@@ -1,0 +1,38 @@
+//! Ablation benchmarks over the *simulator engine*: how expensive is it to
+//! simulate one broadcast under different model features, and (printed via
+//! the measurement labels) which features matter. The model-level ablation
+//! *results* (what contention/protocol do to the tuned ring's advantage)
+//! are produced by `src/bin/ablations.rs`.
+
+use bcast_core::verify::pattern;
+use bcast_core::{bcast_with, Algorithm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpsim::Communicator;
+use netsim::{presets, SimWorld};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    let np = 24;
+    let nbytes = 1 << 18;
+    for (name, preset) in [("hornet", presets::hornet()), ("ideal", presets::ideal(24))] {
+        let model = preset.model_for(nbytes, np);
+        let placement = preset.placement();
+        let src = pattern(nbytes, 4);
+        group.bench_with_input(BenchmarkId::new("bcast_opt_np24_256KiB", name), &np, |b, _| {
+            b.iter(|| {
+                let model = model.clone();
+                SimWorld::run(model, placement, np, |comm| {
+                    let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+                    bcast_with(comm, &mut buf, 0, Algorithm::ScatterRingTuned).unwrap();
+                    comm.now_ns()
+                })
+                .makespan_ns
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

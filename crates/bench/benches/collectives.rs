@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks over the wider collective repertoire on the
+//! threaded backend: allgather variants, alltoall variants, allreduce
+//! variants — the substrate algorithms the broadcast work plugs into.
+
+use bcast_core::allgather::{allgather_bruck, allgather_ring};
+use bcast_core::alltoall::{alltoall_bruck, alltoall_pairwise};
+use bcast_core::reduce::{allreduce_rabenseifner, allreduce_rd};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpsim::{Communicator, ThreadWorld};
+
+fn bench_allgather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allgather");
+    group.sample_size(10);
+    let np = 10;
+    for &block in &[256usize, 16384] {
+        group.throughput(Throughput::Bytes((block * np) as u64));
+        for (name, which) in [("ring", 0u8), ("bruck", 1)] {
+            group.bench_with_input(BenchmarkId::new(name, block), &block, |b, &block| {
+                b.iter(|| {
+                    ThreadWorld::run(np, |comm| {
+                        let sendbuf = vec![comm.rank() as u8; block];
+                        let mut recvbuf = vec![0u8; block * comm.size()];
+                        match which {
+                            0 => allgather_ring(comm, &sendbuf, &mut recvbuf).unwrap(),
+                            _ => allgather_bruck(comm, &sendbuf, &mut recvbuf).unwrap(),
+                        }
+                        recvbuf[0]
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_alltoall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alltoall");
+    group.sample_size(10);
+    let np = 10;
+    for &block in &[128usize, 8192] {
+        group.throughput(Throughput::Bytes((block * np * np) as u64));
+        for (name, which) in [("pairwise", 0u8), ("bruck", 1)] {
+            group.bench_with_input(BenchmarkId::new(name, block), &block, |b, &block| {
+                b.iter(|| {
+                    ThreadWorld::run(np, |comm| {
+                        let sendbuf = vec![comm.rank() as u8; block * comm.size()];
+                        let mut recvbuf = vec![0u8; block * comm.size()];
+                        match which {
+                            0 => alltoall_pairwise(comm, &sendbuf, &mut recvbuf).unwrap(),
+                            _ => alltoall_bruck(comm, &sendbuf, &mut recvbuf).unwrap(),
+                        }
+                        recvbuf[0]
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    let np = 8;
+    for &len in &[256usize, 65536] {
+        group.throughput(Throughput::Bytes((len * 8) as u64));
+        for (name, raben) in [("recursive_doubling", false), ("rabenseifner", true)] {
+            group.bench_with_input(BenchmarkId::new(name, len), &len, |b, &len| {
+                b.iter(|| {
+                    ThreadWorld::run(np, |comm| {
+                        let mut buf: Vec<u64> =
+                            (0..len).map(|i| (comm.rank() + i) as u64).collect();
+                        if raben {
+                            allreduce_rabenseifner(comm, &mut buf, |a, b| a + b).unwrap();
+                        } else {
+                            allreduce_rd(comm, &mut buf, |a, b| a + b).unwrap();
+                        }
+                        buf[0]
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allgather, bench_alltoall, bench_allreduce);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion companion to Figure 8: a medium-to-long message-size sweep at a
+//! fixed non-power-of-two world, native vs tuned, on the threaded backend.
+//! (The paper uses np=129; thread count is scaled to np=17 here so the bench
+//! stays meaningful on small hosts — the simulator binary `fig8` covers the
+//! full-scale sweep.)
+
+use bcast_core::verify::pattern;
+use bcast_core::{bcast_with, Algorithm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpsim::ThreadWorld;
+
+fn bench_sweep(c: &mut Criterion) {
+    let np = 17;
+    let mut group = c.benchmark_group("fig8_sweep");
+    group.sample_size(10);
+    for &nbytes in &[12288usize, 65536, 262144, 1048576] {
+        group.throughput(Throughput::Bytes(nbytes as u64));
+        for (name, algorithm) in [
+            ("native", Algorithm::ScatterRingNative),
+            ("tuned", Algorithm::ScatterRingTuned),
+        ] {
+            let src = pattern(nbytes, 3);
+            group.bench_with_input(BenchmarkId::new(name, nbytes), &nbytes, |b, _| {
+                b.iter(|| {
+                    ThreadWorld::run(np, |comm| {
+                        use mpsim::Communicator;
+                        let mut buf =
+                            if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+                        bcast_with(comm, &mut buf, 0, algorithm).unwrap();
+                        buf[0]
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the pure algorithmic kernels: the tuned ring's
+//! (step, flag) computation, the analytic traffic model, and the simulator's
+//! reservation timeline — the hot non-communication paths of the library.
+
+use bcast_core::traffic::{bcast_volume, tuned_ring_msgs};
+use bcast_core::{step_flag, Algorithm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::Timeline;
+use std::hint::black_box;
+
+fn bench_step_flag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_flag");
+    for &p in &[129usize, 1024, 65536] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for rel in 0..p {
+                    acc += step_flag(black_box(rel), black_box(p)).0;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_traffic_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic_model");
+    for &p in &[129usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("tuned_ring_msgs", p), &p, |b, &p| {
+            b.iter(|| tuned_ring_msgs(black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("bcast_volume_tuned", p), &p, |b, &p| {
+            b.iter(|| bcast_volume(Algorithm::ScatterRingTuned, black_box(1 << 20), p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_timeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeline");
+    group.bench_function("sequential_claims_merge", |b| {
+        b.iter(|| {
+            let mut t = Timeline::new();
+            for i in 0..1000 {
+                t.claim(black_box(i as f64), 1.0);
+            }
+            t.fragments()
+        })
+    });
+    group.bench_function("gap_filling_claims", |b| {
+        b.iter(|| {
+            let mut t = Timeline::new();
+            // alternate far-future and near-past claims
+            for i in 0..500 {
+                t.claim(black_box(1_000_000.0 + i as f64 * 10.0), 5.0);
+                t.claim(black_box(i as f64 * 10.0), 5.0);
+            }
+            t.fragments()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_flag, bench_traffic_model, bench_timeline);
+criterion_main!(benches);

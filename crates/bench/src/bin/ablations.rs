@@ -1,0 +1,82 @@
+//! Model-level ablation study (DESIGN.md §7): which mechanisms turn the
+//! tuned ring's *message* savings into *time* savings?
+//!
+//! For a fixed workload (np=16 intra-node and np=48 two-node, 1 MiB), toggle
+//! one model feature at a time and report the tuned/native speedup:
+//!
+//! * `full`            — the Hornet preset as used in the figures
+//! * `no-contention`   — infinite NIC/memory resources (pure Hockney)
+//! * `no-overhead`     — zero per-message CPU overhead (LogGP o = 0)
+//! * `all-eager`       — eager protocol at every size (credits still apply)
+//! * `all-rendezvous`  — rendezvous at every size
+//! * `loose-credits`   — eager flow-control credits 4 → 64
+//! * `round-robin`     — cyclic placement over 4 nodes (ring locality gone)
+//! * `backbone-4GB/s`  — shared-bisection fabric (inter-node volume scarce)
+//!
+//! Usage: `ablations [--iters N]`
+
+use bcast_bench::compare_sim;
+use netsim::presets::{self, MachinePreset};
+
+fn variants() -> Vec<(&'static str, MachinePreset)> {
+    let base = presets::hornet();
+    let mut v = vec![("full", base.clone())];
+
+    let mut p = base.clone();
+    p.base.contention = false;
+    v.push(("no-contention", p));
+
+    let mut p = base.clone();
+    p.base.o_send_ns = 0.0;
+    p.base.o_recv_ns = 0.0;
+    v.push(("no-overhead", p));
+
+    let mut p = base.clone();
+    p.base.eager_threshold = usize::MAX;
+    v.push(("all-eager", p));
+
+    let mut p = base.clone();
+    p.base.eager_threshold = 0;
+    v.push(("all-rendezvous", p));
+
+    let mut p = base.clone();
+    p.base.eager_credits = 64;
+    v.push(("loose-credits", p));
+
+    // Placement ablation: deal ranks round-robin over 4 nodes — every ring
+    // edge becomes inter-node, the locality the block placement gave the
+    // ring algorithms disappears.
+    let mut p = base.clone();
+    p.placement = netsim::Placement::round_robin(24, 4);
+    v.push(("round-robin", p));
+
+    // Bisection-limited fabric: a 4 GB/s shared backbone makes inter-node
+    // volume the scarce resource (Dragonfly under global congestion).
+    let mut p = base.clone();
+    p.base.backbone_beta_ns_per_byte = 0.25;
+    v.push(("backbone-4GB/s", p));
+
+    v
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters = args
+        .iter()
+        .position(|a| a == "--iters")
+        .map_or(5, |i| args[i + 1].parse().expect("--iters N"));
+
+    println!("# Ablations: tuned/native speedup under model variants ({iters} iters)");
+    println!("{:<16} {:>14} {:>14} {:>16}", "variant", "np16/1MiB", "np48/1MiB", "np33/12288B");
+    for (name, preset) in variants() {
+        let a = compare_sim(&preset, 16, 1 << 20, iters).speedup();
+        let b = compare_sim(&preset, 48, 1 << 20, iters).speedup();
+        let c = compare_sim(&preset, 33, 12288, iters * 3).speedup();
+        println!("{name:<16} {a:>14.3} {b:>14.3} {c:>16.3}");
+    }
+    println!(
+        "\nReading guide: without shared-resource contention the rings tie —\n\
+         the bandwidth saving only pays where bandwidth is actually scarce,\n\
+         which is the paper's core argument."
+    );
+}

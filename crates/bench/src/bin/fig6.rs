@@ -1,0 +1,49 @@
+//! Figure 6 (a–c): bandwidth of `MPI_Bcast_native` vs `MPI_Bcast_opt` for
+//! long messages (2^19..2^25 bytes) with power-of-two process counts
+//! 16, 64 and 256 on the simulated Hornet-like Cray XC40.
+//!
+//! Usage: `fig6 [--iters N] [--np LIST] [--preset hornet|laki|ideal]`
+//!
+//! Output: one CSV block per process count, plus a per-np peak-bandwidth
+//! summary (the paper's §V-A "peak bandwidth" comparison, experiment E7).
+
+use bcast_bench::{compare_sim, fig6_sizes, print_comparison_csv, Comparison};
+use netsim::presets;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters = flag_value(&args, "--iters").map_or(5, |v| v.parse().expect("--iters N"));
+    let nps: Vec<usize> = flag_value(&args, "--np").map_or(vec![16, 64, 256], |v| {
+        v.split(',').map(|s| s.parse().expect("--np LIST")).collect()
+    });
+    let preset = match flag_value(&args, "--preset").as_deref() {
+        None | Some("hornet") => presets::hornet(),
+        Some("laki") => presets::laki(),
+        Some("ideal") => presets::ideal(24),
+        Some(other) => panic!("unknown preset {other}"),
+    };
+    let mut preset = preset;
+    if let Some(v) = flag_value(&args, "--eager-threshold") {
+        preset.base.eager_threshold = v.parse().expect("--eager-threshold BYTES");
+    }
+
+    println!("# Figure 6: long-message bandwidth, native vs tuned ({})", preset.name);
+    println!("# iterations per point: {iters}");
+    for &np in &nps {
+        let rows: Vec<Comparison> =
+            fig6_sizes().iter().map(|&n| compare_sim(&preset, np, n, iters)).collect();
+        print_comparison_csv(&format!("Fig 6, np={np}"), &rows);
+        let peak_native = rows.iter().map(|c| c.native.bandwidth_mbps).fold(f64::MIN, f64::max);
+        let peak_tuned = rows.iter().map(|c| c.tuned.bandwidth_mbps).fold(f64::MIN, f64::max);
+        let best = rows.iter().map(Comparison::improvement_pct).fold(f64::MIN, f64::max);
+        println!(
+            "# np={np} peak: native {peak_native:.0} MB/s, tuned {peak_tuned:.0} MB/s \
+             ({:+.1}% peak, best point {best:+.1}%)\n",
+            (peak_tuned / peak_native - 1.0) * 100.0
+        );
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| args.get(i + 1).expect("flag value").clone())
+}

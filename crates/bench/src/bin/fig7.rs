@@ -1,0 +1,45 @@
+//! Figure 7: throughput speedup of `MPI_Bcast_opt` over `MPI_Bcast_native`
+//! for non-power-of-two process counts (9, 17, 33, 65, 129) at three message
+//! sizes: 12288 B (medium threshold), 524287 B (largest medium), 1048576 B
+//! (long).
+//!
+//! Throughput is broadcasts per second over back-to-back repetitions — which
+//! is where the tuned algorithm's structural advantage shows at small sizes:
+//! the native root must drain its (useless) ring receives before starting
+//! the next broadcast, while the tuned root finishes after its last send.
+//!
+//! Usage: `fig7 [--iters N] [--preset hornet|laki|ideal]`
+
+use bcast_bench::compare_sim;
+use netsim::presets;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters = flag_value(&args, "--iters").map_or(20, |v| v.parse().expect("--iters N"));
+    let preset = match flag_value(&args, "--preset").as_deref() {
+        None | Some("hornet") => presets::hornet(),
+        Some("laki") => presets::laki(),
+        Some("ideal") => presets::ideal(24),
+        Some(other) => panic!("unknown preset {other}"),
+    };
+    let mut preset = preset;
+    if let Some(v) = flag_value(&args, "--eager-threshold") {
+        preset.base.eager_threshold = v.parse().expect("--eager-threshold BYTES");
+    }
+
+    let nps = [9usize, 17, 33, 65, 129];
+    let sizes = [12288usize, 524287, 1048576];
+
+    println!("# Figure 7: throughput speedup tuned/native, npof2 ({})", preset.name);
+    println!("# iterations per point: {iters}");
+    println!("np,ms12288,ms524287,ms1048576");
+    for &np in &nps {
+        let speedups: Vec<f64> =
+            sizes.iter().map(|&ms| compare_sim(&preset, np, ms, iters).speedup()).collect();
+        println!("{np},{:.3},{:.3},{:.3}", speedups[0], speedups[1], speedups[2]);
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| args.get(i + 1).expect("flag value").clone())
+}

@@ -1,0 +1,36 @@
+//! Figure 8: bandwidth of `MPI_Bcast_native` vs `MPI_Bcast_opt` at 129
+//! processes over message sizes 12288..2560000 bytes (medium through long,
+//! all on the scatter-ring path because 129 is not a power of two).
+//!
+//! Usage: `fig8 [--iters N] [--np N] [--preset hornet|laki|ideal]`
+
+use bcast_bench::{compare_sim, fig8_sizes, print_comparison_csv, Comparison};
+use netsim::presets;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters = flag_value(&args, "--iters").map_or(10, |v| v.parse().expect("--iters N"));
+    let np = flag_value(&args, "--np").map_or(129, |v| v.parse().expect("--np N"));
+    let preset = match flag_value(&args, "--preset").as_deref() {
+        None | Some("hornet") => presets::hornet(),
+        Some("laki") => presets::laki(),
+        Some("ideal") => presets::ideal(24),
+        Some(other) => panic!("unknown preset {other}"),
+    };
+    let mut preset = preset;
+    if let Some(v) = flag_value(&args, "--eager-threshold") {
+        preset.base.eager_threshold = v.parse().expect("--eager-threshold BYTES");
+    }
+
+    println!("# Figure 8: medium..long sweep at np={np} ({})", preset.name);
+    println!("# iterations per point: {iters}");
+    let rows: Vec<Comparison> =
+        fig8_sizes().iter().map(|&n| compare_sim(&preset, np, n, iters)).collect();
+    print_comparison_csv(&format!("Fig 8, np={np}"), &rows);
+    let best = rows.iter().map(Comparison::improvement_pct).fold(f64::MIN, f64::max);
+    println!("# best improvement: {best:+.1}% (paper: up to +30%)");
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| args.get(i + 1).expect("flag value").clone())
+}

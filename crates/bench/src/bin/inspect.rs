@@ -1,0 +1,128 @@
+//! Diagnostic probe: per-rank virtual finish times and per-level traffic of
+//! one simulated broadcast, native vs tuned.
+//!
+//! Usage: `inspect [--np N] [--nbytes B] [--iters I] [--preset hornet|laki|ideal]`
+//!
+//! Prints, per algorithm: makespan, the five slowest ranks, per-node finish
+//! spread, and the intra/inter message and byte split — the quantities used
+//! to sanity-check the simulator's behaviour against the paper's §IV
+//! argument (fewer messages → less queueing on shared resources).
+
+use bcast_core::verify::pattern;
+use bcast_core::{bcast_with, Algorithm};
+use mpsim::Communicator;
+use netsim::{presets, SimWorld};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let np = flag(&args, "--np").map_or(64, |v| v.parse().unwrap());
+    let nbytes = flag(&args, "--nbytes").map_or(1 << 20, |v| v.parse().unwrap());
+    let iters = flag(&args, "--iters").map_or(1, |v| v.parse().unwrap());
+    let mut preset = match flag(&args, "--preset").as_deref() {
+        None | Some("hornet") => presets::hornet(),
+        Some("laki") => presets::laki(),
+        Some("ideal") => presets::ideal(24),
+        Some(other) => panic!("unknown preset {other}"),
+    };
+    // Ablation switches for debugging the model.
+    if args.iter().any(|a| a == "--no-unpack") {
+        preset.base.eager_unpack_copy = false;
+    }
+    if args.iter().any(|a| a == "--no-contention") {
+        preset.base.contention = false;
+    }
+    if args.iter().any(|a| a == "--o0") {
+        preset.base.o_send_ns = 0.0;
+        preset.base.o_recv_ns = 0.0;
+    }
+    if args.iter().any(|a| a == "--all-rendezvous") {
+        preset.base.eager_threshold = 0;
+    }
+    if let Some(v) = flag(&args, "--credits") {
+        preset.base.eager_credits = v.parse().unwrap();
+    }
+    if let Some(v) = flag(&args, "--eager-threshold") {
+        preset.base.eager_threshold = v.parse().unwrap();
+    }
+    println!("# inspect: np={np} nbytes={nbytes} iters={iters} preset={}", preset.name);
+
+    let want_trace = args.iter().any(|a| a == "--trace");
+    for algorithm in [Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned] {
+        let model = preset.model_for(nbytes, np);
+        let placement = preset.placement();
+        let src = pattern(nbytes, 7);
+        let (out, events) = SimWorld::run_traced(model, placement, np, |comm| {
+            let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+            comm.barrier().unwrap();
+            for _ in 0..iters {
+                bcast_with(comm, &mut buf, 0, algorithm).unwrap();
+            }
+            comm.vtime()
+        });
+        let mut by_finish: Vec<(usize, f64)> =
+            out.results.iter().copied().enumerate().collect();
+        by_finish.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let (intra_m, inter_m, intra_b, inter_b) = out
+            .traffic
+            .split_msgs(|a, b| placement.level(a, b) == netsim::Level::IntraNode);
+        println!("\n== {algorithm:?}");
+        println!("makespan: {:.1} us", out.makespan_ns / 1000.0);
+        println!(
+            "slowest ranks: {}",
+            by_finish
+                .iter()
+                .take(5)
+                .map(|(r, t)| format!("r{}@{:.1}us(node{})", r, t / 1000.0, placement.node_of(*r)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        if args.iter().any(|a| a == "--dump") {
+            for (r, t) in out.results.iter().enumerate() {
+                println!("rank {r}: {:.1} us", t / 1000.0);
+            }
+        }
+        let nodes = placement.node_count(np);
+        for node in 0..nodes {
+            let finishes: Vec<f64> = (0..np)
+                .filter(|&r| placement.node_of(r) == node)
+                .map(|r| out.results[r])
+                .collect();
+            let max = finishes.iter().copied().fold(f64::MIN, f64::max);
+            let min = finishes.iter().copied().fold(f64::MAX, f64::min);
+            println!("node {node}: finish {:.1}..{:.1} us", min / 1000.0, max / 1000.0);
+        }
+        println!(
+            "traffic: intra {intra_m} msgs / {:.2} MB, inter {inter_m} msgs / {:.2} MB",
+            intra_b as f64 / 1048576.0,
+            inter_b as f64 / 1048576.0
+        );
+        if want_trace {
+            let s = netsim::summarize(&events);
+            println!(
+                "trace: {} transfers ({} eager), mean span {:.2} us, max span {:.2} us",
+                events.len(),
+                s.eager_msgs,
+                s.mean_span_ns / 1000.0,
+                s.max_span_ns / 1000.0
+            );
+            let hot = netsim::events::bytes_by_source_node(&events, placement);
+            println!("bytes by source node: {hot:?}");
+        }
+        let busiest = out
+            .breakdown
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.comm_ns.total_cmp(&b.1.comm_ns))
+            .unwrap();
+        println!(
+            "comm-heaviest rank: r{} with {:.1} us comm ({:.0}% of its busy time)",
+            busiest.0,
+            busiest.1.comm_ns / 1000.0,
+            busiest.1.comm_fraction() * 100.0
+        );
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).map(|i| args[i + 1].clone())
+}

@@ -1,0 +1,45 @@
+//! OSU-microbenchmark-style broadcast latency table (`osu_bcast` look-alike)
+//! on the simulated cluster: one row per message size, average per-broadcast
+//! latency in microseconds for the chosen algorithm.
+//!
+//! Usage: `osu_bcast [--np N] [--algo native|tuned|binomial|auto]
+//!         [--iters I] [--max-size B] [--preset hornet|laki|ideal]`
+
+use bcast_bench::measure_sim;
+use bcast_core::Algorithm;
+use netsim::presets;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |f: &str| args.iter().position(|a| a == f).map(|i| args[i + 1].clone());
+    let np: usize = get("--np").map_or(16, |v| v.parse().unwrap());
+    let iters: usize = get("--iters").map_or(10, |v| v.parse().unwrap());
+    let max_size: usize = get("--max-size").map_or(1 << 22, |v| v.parse().unwrap());
+    let algorithm = match get("--algo").as_deref() {
+        None | Some("tuned") => Algorithm::ScatterRingTuned,
+        Some("native") => Algorithm::ScatterRingNative,
+        Some("binomial") => Algorithm::Binomial,
+        Some("rd") => Algorithm::ScatterRdAllgather,
+        Some(o) => panic!("unknown algo {o}"),
+    };
+    let preset = match get("--preset").as_deref() {
+        None | Some("hornet") => presets::hornet(),
+        Some("laki") => presets::laki(),
+        Some("ideal") => presets::ideal(24),
+        Some(o) => panic!("unknown preset {o}"),
+    };
+
+    println!("# OSU-style MPI_Bcast Latency Test ({}, np={np}, {algorithm:?})", preset.name);
+    println!("# {:>10} {:>14} {:>14}", "Size", "Avg Latency(us)", "Bandwidth(MB/s)");
+    let mut size = 1usize;
+    while size <= max_size {
+        let m = measure_sim(&preset, algorithm, np, size, iters);
+        println!(
+            "{:>12} {:>14.2} {:>14.1}",
+            size,
+            m.mean_ns / 1000.0,
+            m.bandwidth_mbps
+        );
+        size *= 4;
+    }
+}

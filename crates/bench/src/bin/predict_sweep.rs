@@ -1,0 +1,51 @@
+//! Analytic large-scale sweep (beyond the paper's 256 processes): tuned vs
+//! native scatter-ring broadcast makespan under the contention-free
+//! rendezvous Hockney model, up to thousands of ranks, computed in
+//! milliseconds via the schedule evaluator (`bcast_bench::predict`).
+//!
+//! Usage: `predict_sweep [--nbytes B] [--max-p P]`
+
+use bcast_bench::predict::predict_makespan_ns;
+use bcast_core::Algorithm;
+use netsim::{LevelCosts, NetworkModel, Placement};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |f: &str| args.iter().position(|a| a == f).map(|i| args[i + 1].clone());
+    let nbytes: usize = get("--nbytes").map_or(1 << 20, |v| v.parse().unwrap());
+    let max_p: usize = get("--max-p").map_or(4096, |v| v.parse().unwrap());
+
+    // Hornet-like constants, contention-free (the predictor's regime).
+    let mut model = NetworkModel::uniform(400.0, 0.167);
+    model.inter = LevelCosts { alpha_ns: 1300.0, beta_ns_per_byte: 0.10 };
+    model.rendezvous_handshake_ns = 900.0;
+    let placement = Placement::new(24);
+
+    println!("# Analytic sweep: {nbytes} B broadcast, contention-free Hockney, 24 cores/node");
+    println!("P,native_us,tuned_us,speedup");
+    let mut p = 8usize;
+    while p <= max_p {
+        for q in [p, p + p / 8] {
+            // a power of two and a non-power-of-two nearby
+            if q > max_p {
+                continue;
+            }
+            let native = predict_makespan_ns(
+                Algorithm::ScatterRingNative,
+                nbytes,
+                q,
+                &model,
+                placement,
+            );
+            let tuned =
+                predict_makespan_ns(Algorithm::ScatterRingTuned, nbytes, q, &model, placement);
+            println!(
+                "{q},{:.1},{:.1},{:.4}",
+                native / 1000.0,
+                tuned / 1000.0,
+                native / tuned
+            );
+        }
+        p *= 2;
+    }
+}

@@ -1,0 +1,94 @@
+//! Step-level trace of the ring allgather on the simulator: prints selected
+//! ranks' virtual times after every ring step, for debugging the model.
+//!
+//! Usage: `trace [--np N] [--nbytes B] [--tuned] [--ranks 0,1,24] [--o0]
+//!         [--no-unpack] [--all-rendezvous]`
+
+use bcast_core::chunks::ChunkLayout;
+use bcast_core::ring::ring_step_chunks;
+use bcast_core::ring_tuned::{receives_at, sends_at, step_flag};
+use bcast_core::scatter::binomial_scatter;
+use bcast_core::verify::pattern;
+use mpsim::{ring_left, ring_right, split_send_recv, Communicator, Tag};
+use netsim::{presets, SimWorld};
+use std::sync::Mutex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let np: usize = flag(&args, "--np").map_or(96, |v| v.parse().unwrap());
+    let nbytes: usize = flag(&args, "--nbytes").map_or(np * 4096, |v| v.parse().unwrap());
+    let tuned = args.iter().any(|a| a == "--tuned");
+    let watch: Vec<usize> = flag(&args, "--ranks")
+        .map_or(vec![1, 24, 48, 95], |v| v.split(',').map(|s| s.parse().unwrap()).collect());
+    let mut preset = presets::hornet();
+    if args.iter().any(|a| a == "--o0") {
+        preset.base.o_send_ns = 0.0;
+        preset.base.o_recv_ns = 0.0;
+    }
+    if args.iter().any(|a| a == "--no-unpack") {
+        preset.base.eager_unpack_copy = false;
+    }
+    if args.iter().any(|a| a == "--all-rendezvous") {
+        preset.base.eager_threshold = 0;
+    }
+
+    let model = preset.model_for(nbytes, np);
+    let placement = preset.placement();
+    let src = pattern(nbytes, 3);
+    // (rank, step, vtime_us) tuples, any order; sorted before printing
+    let traces: Mutex<Vec<(usize, usize, f64)>> = Mutex::new(vec![]);
+
+    SimWorld::run(model, placement, np, |comm| {
+        let rank = comm.rank();
+        let size = comm.size();
+        let mut buf = if rank == 0 { src.clone() } else { vec![0u8; nbytes] };
+        binomial_scatter(comm, &mut buf, 0).unwrap();
+        if size == 1 {
+            return;
+        }
+        let layout = ChunkLayout::new(buf.len(), size);
+        let (left, right) = (ring_left(rank, size), ring_right(rank, size));
+        let (step, flagv) = step_flag(rank, size);
+        for i in 1..size {
+            let (sc, rc) = ring_step_chunks(rank, size, i);
+            let sr = layout.range(sc);
+            let rr = layout.range(rc);
+            let do_send = if tuned { sends_at(step, flagv, size, i) } else { true };
+            let do_recv = if tuned { receives_at(step, flagv, size, i) } else { true };
+            match (do_send, do_recv) {
+                (true, true) => {
+                    let (sb, rb) =
+                        split_send_recv(&mut buf, sr.start, sr.len(), rr.start, rr.len()).unwrap();
+                    comm.sendrecv(sb, right, Tag::ALLGATHER, rb, left, Tag::ALLGATHER).unwrap();
+                }
+                (true, false) => comm.send(&buf[sr], right, Tag::ALLGATHER).unwrap(),
+                (false, true) => {
+                    comm.recv(&mut buf[rr], left, Tag::ALLGATHER).unwrap();
+                }
+                (false, false) => {}
+            }
+            if watch.contains(&rank) {
+                traces.lock().unwrap().push((rank, i, comm.vtime() / 1000.0));
+            }
+        }
+        assert_eq!(buf, src);
+    });
+
+    let mut t = traces.into_inner().unwrap();
+    t.sort_by_key(|a| (a.0, a.1));
+    let mut last_rank = usize::MAX;
+    let mut last_t = 0.0;
+    for (rank, step, vt) in t {
+        if rank != last_rank {
+            println!("--- rank {rank}");
+            last_rank = rank;
+            last_t = 0.0;
+        }
+        println!("step {step:4}: {vt:9.2} us (+{:.2})", vt - last_t);
+        last_t = vt;
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).map(|i| args[i + 1].clone())
+}

@@ -1,0 +1,430 @@
+//! Fast analytic predictor: compute the contention-free Hockney makespan of
+//! a scatter-ring broadcast *without running any threads*, by evaluating the
+//! algorithm's static communication schedule as a dependency graph.
+//!
+//! This is the classic α–β paper-napkin model made executable: each rank's
+//! operations form a chain, each matched (send, recv) pair completes at
+//! `max(sender_ready, receiver_ready) + handshake + α + sβ`, and the
+//! broadcast finishes when the last rank's chain does. It is validated
+//! against the full simulator (ideal preset, rendezvous, zero overheads),
+//! where both must agree to floating-point accuracy — a strong cross-check
+//! that the threaded virtual-time engine computes what the theory says.
+//!
+//! Because it runs in microseconds it is also the sweep tool for exploring
+//! parameter spaces far beyond what thread-per-rank simulation can touch
+//! (e.g. `P = 4096`).
+
+// rank indices double as identities in the schedule-building loops below;
+// iterator rewrites would obscure the tree arithmetic
+#![allow(clippy::needless_range_loop)]
+
+use bcast_core::chunks::ChunkLayout;
+use bcast_core::ring::ring_step_chunks;
+use bcast_core::ring_tuned::{receives_at, sends_at, step_flag};
+use bcast_core::scatter::owned_chunks;
+use bcast_core::Algorithm;
+use netsim::{Level, NetworkModel, Placement};
+
+/// One endpoint operation in a rank's schedule.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Send `bytes` to `peer` (this rank's `seq`-th message to `peer`).
+    Send { peer: usize, bytes: usize },
+    /// Receive `bytes` from `peer`.
+    Recv { peer: usize, bytes: usize },
+    /// Concurrent exchange (`MPI_Sendrecv`).
+    SendRecv { to: usize, send_bytes: usize, from: usize, recv_bytes: usize },
+}
+
+/// Build the per-rank schedules of a scatter-ring broadcast (root 0).
+fn schedules(algorithm: Algorithm, nbytes: usize, p: usize) -> Vec<Vec<Op>> {
+    assert!(matches!(
+        algorithm,
+        Algorithm::ScatterRingNative | Algorithm::ScatterRingTuned | Algorithm::Binomial
+    ));
+    let layout = ChunkLayout::new(nbytes, p);
+    let mut ops: Vec<Vec<Op>> = vec![Vec::new(); p];
+
+    if algorithm == Algorithm::Binomial {
+        // Whole-buffer tree: same shape as the scatter, full-size messages.
+        for rel in 1..p {
+            let parent = rel - (1 << rel.trailing_zeros());
+            ops[rel].push(Op::Recv { peer: parent, bytes: nbytes });
+        }
+        for parent in 0..p {
+            let avail: usize = if parent == 0 {
+                p.next_power_of_two()
+            } else {
+                1 << parent.trailing_zeros()
+            };
+            let mut mask = avail >> 1;
+            let mut sends = Vec::new();
+            while mask > 0 {
+                let child = parent + mask;
+                if child < p && child - (1 << child.trailing_zeros()) == parent {
+                    sends.push(Op::Send { peer: child, bytes: nbytes });
+                }
+                mask >>= 1;
+            }
+            ops[parent].extend(sends);
+        }
+        return ops;
+    }
+
+    // Binomial scatter (root 0 ⇒ relative == absolute ranks).
+    for rel in 1..p {
+        let parent = rel - (1 << rel.trailing_zeros());
+        let own = owned_chunks(rel, p);
+        let bytes = layout.span_bytes(rel..rel + own);
+        if bytes > 0 {
+            // The parent's sends happen highest-distance child first; child
+            // order within a parent's op list must mirror the executed
+            // algorithm (descending mask) for FIFO matching to line up.
+            ops[rel].push(Op::Recv { peer: parent, bytes });
+        }
+    }
+    // Parent send ops, in descending-mask order per parent.
+    for parent in 0..p {
+        let avail: usize = if parent == 0 {
+            p.next_power_of_two()
+        } else {
+            1 << parent.trailing_zeros()
+        };
+        let mut mask = avail >> 1;
+        let mut sends = Vec::new();
+        while mask > 0 {
+            let child = parent + mask;
+            if child < p && child - (1 << child.trailing_zeros()) == parent {
+                let own = owned_chunks(child, p);
+                let bytes = layout.span_bytes(child..child + own);
+                if bytes > 0 {
+                    sends.push(Op::Send { peer: child, bytes });
+                }
+            }
+            mask >>= 1;
+        }
+        // a non-root rank receives its subtree before forwarding; the root
+        // has no receive, so appending is correct for everyone (ring ops
+        // are added below, after all scatter ops)
+        ops[parent].extend(sends);
+    }
+
+    // Ring allgather.
+    if p > 1 {
+        for rel in 0..p {
+            let right = (rel + 1) % p;
+            let left = (rel + p - 1) % p;
+            let (step, flag) = step_flag(rel, p);
+            for i in 1..p {
+                let (sc, rc) = ring_step_chunks(rel, p, i);
+                let sbytes = layout.count(sc);
+                let rbytes = layout.count(rc);
+                let (do_send, do_recv) = match algorithm {
+                    Algorithm::ScatterRingNative => (true, true),
+                    _ => (sends_at(step, flag, p, i), receives_at(step, flag, p, i)),
+                };
+                match (do_send, do_recv) {
+                    (true, true) => ops[rel].push(Op::SendRecv {
+                        to: right,
+                        send_bytes: sbytes,
+                        from: left,
+                        recv_bytes: rbytes,
+                    }),
+                    (true, false) => ops[rel].push(Op::Send { peer: right, bytes: sbytes }),
+                    (false, true) => ops[rel].push(Op::Recv { peer: left, bytes: rbytes }),
+                    (false, false) => {}
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// Evaluate the schedule under a contention-free rendezvous Hockney model
+/// and return the makespan in nanoseconds.
+///
+/// Restrictions (checked): rendezvous only (`eager_threshold == 0`), no
+/// contention, no per-message CPU overhead — the regime in which the
+/// dependency recurrence below is exact. Inter-node rendezvous lets the
+/// sender continue after serialization (`start + sβ`); intra-node transfers
+/// release both sides at `start + α + sβ`, mirroring the fabric.
+pub fn predict_makespan_ns(
+    algorithm: Algorithm,
+    nbytes: usize,
+    p: usize,
+    model: &NetworkModel,
+    placement: Placement,
+) -> f64 {
+    assert_eq!(model.eager_threshold, 0, "predictor covers rendezvous only");
+    assert!(!model.contention, "predictor covers the contention-free model only");
+    assert_eq!(model.o_send_ns, 0.0);
+    assert_eq!(model.o_recv_ns, 0.0);
+
+    let scheds = schedules(algorithm, nbytes, p);
+
+    // Matching is FIFO per directed pair: the k-th send rank->peer matches
+    // the k-th receive at peer from rank. Resolve each op's partner op index
+    // per direction.
+    use std::collections::HashMap;
+    let mut send_seq: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    let mut recv_seq: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    for (r, ops) in scheds.iter().enumerate() {
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Send { peer, .. } => send_seq.entry((r, peer)).or_default().push(i),
+                Op::Recv { peer, .. } => recv_seq.entry((peer, r)).or_default().push(i),
+                Op::SendRecv { to, from, .. } => {
+                    send_seq.entry((r, to)).or_default().push(i);
+                    recv_seq.entry((from, r)).or_default().push(i);
+                }
+            }
+        }
+    }
+    // partner op index for each (rank, op) per direction
+    let mut send_partner: Vec<Vec<Option<(usize, usize)>>> =
+        scheds.iter().map(|o| vec![None; o.len()]).collect();
+    let mut recv_partner: Vec<Vec<Option<(usize, usize)>>> =
+        scheds.iter().map(|o| vec![None; o.len()]).collect();
+    let mut s_cursor: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut r_cursor: HashMap<(usize, usize), usize> = HashMap::new();
+    for (r, ops) in scheds.iter().enumerate() {
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Send { peer, .. } => {
+                    let c = s_cursor.entry((r, peer)).or_insert(0);
+                    send_partner[r][i] = Some((peer, recv_seq[&(r, peer)][*c]));
+                    *c += 1;
+                }
+                Op::Recv { peer, .. } => {
+                    let c = r_cursor.entry((peer, r)).or_insert(0);
+                    recv_partner[r][i] = Some((peer, send_seq[&(peer, r)][*c]));
+                    *c += 1;
+                }
+                Op::SendRecv { to, from, .. } => {
+                    let cs = s_cursor.entry((r, to)).or_insert(0);
+                    send_partner[r][i] = Some((to, recv_seq[&(r, to)][*cs]));
+                    *cs += 1;
+                    let cr = r_cursor.entry((from, r)).or_insert(0);
+                    recv_partner[r][i] = Some((from, send_seq[&(from, r)][*cr]));
+                    *cr += 1;
+                }
+            }
+        }
+    }
+
+    // transfer completion under the rendezvous model, mirroring the fabric:
+    // start = max(ready) + handshake; inter-node senders leave after
+    // serialization, intra-node transfers release both sides together.
+    let xfer = |src: usize, dst: usize, bytes: usize, ready: f64| -> (f64, f64) {
+        let level = placement.level(src, dst);
+        let costs = model.costs(level);
+        let start = ready + model.rendezvous_handshake_ns;
+        let end = start + costs.alpha_ns + costs.serialize_ns(bytes);
+        match level {
+            Level::InterNode => (start + costs.serialize_ns(bytes), end),
+            Level::IntraNode => (end, end),
+        }
+    };
+
+    // Relaxation over per-op completion times: an op is computable once the
+    // previous op of this rank and of every partner has completed. The
+    // dependency graph is acyclic (indices strictly decrease), so repeated
+    // sweeps terminate having computed everything.
+    let mut done: Vec<Vec<Option<f64>>> = scheds.iter().map(|o| vec![None; o.len()]).collect();
+    let ready_of = |done: &Vec<Vec<Option<f64>>>, r: usize, i: usize| -> Option<f64> {
+        if i == 0 {
+            Some(0.0)
+        } else {
+            done[r][i - 1]
+        }
+    };
+    let mut remaining: usize = scheds.iter().map(Vec::len).sum();
+    // first not-yet-computed op per rank: ops complete in order within a
+    // rank (each depends on its predecessor), so a cursor suffices
+    let mut cursor = vec![0usize; p];
+    while remaining > 0 {
+        let mut progressed = false;
+        for r in 0..p {
+            for i in cursor[r]..scheds[r].len() {
+                if done[r][i].is_some() {
+                    cursor[r] = i + 1;
+                    continue;
+                }
+                let Some(my_ready) = ready_of(&done, r, i) else { break };
+                let partner_ready = |link: Option<(usize, usize)>| -> Option<f64> {
+                    let (peer, pi) = link?;
+                    ready_of(&done, peer, pi)
+                };
+                let value = match scheds[r][i] {
+                    Op::Send { peer, bytes } => {
+                        let pr = partner_ready(send_partner[r][i]);
+                        pr.map(|pr| xfer(r, peer, bytes, my_ready.max(pr)).0)
+                    }
+                    Op::Recv { peer, bytes } => {
+                        let pr = partner_ready(recv_partner[r][i]);
+                        pr.map(|pr| xfer(peer, r, bytes, my_ready.max(pr)).1)
+                    }
+                    Op::SendRecv { to, send_bytes, from, recv_bytes } => {
+                        match (
+                            partner_ready(send_partner[r][i]),
+                            partner_ready(recv_partner[r][i]),
+                        ) {
+                            (Some(ps), Some(pr)) => {
+                                let s_done = xfer(r, to, send_bytes, my_ready.max(ps)).0;
+                                let r_done = xfer(from, r, recv_bytes, my_ready.max(pr)).1;
+                                Some(s_done.max(r_done))
+                            }
+                            _ => None,
+                        }
+                    }
+                };
+                if let Some(v) = value {
+                    done[r][i] = Some(v);
+                    cursor[r] = i + 1;
+                    remaining -= 1;
+                    progressed = true;
+                } else {
+                    break; // later ops of this rank can't be ready either
+                }
+            }
+        }
+        assert!(progressed, "schedule deadlocked - matching bug");
+    }
+    done.iter()
+        .flat_map(|ops| ops.iter().map(|d| d.unwrap()))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcast_core::verify::pattern;
+    use mpsim::Communicator;
+    use netsim::SimWorld;
+
+    fn rendezvous_model() -> NetworkModel {
+        let mut m = NetworkModel::uniform(800.0, 0.4);
+        m.rendezvous_handshake_ns = 350.0;
+        // distinct inter level to exercise both paths
+        m.inter = netsim::LevelCosts { alpha_ns: 1500.0, beta_ns_per_byte: 0.9 };
+        m
+    }
+
+    fn simulate(algorithm: Algorithm, nbytes: usize, p: usize, cores: usize) -> f64 {
+        let model = rendezvous_model();
+        let src = pattern(nbytes, 3);
+        let out = SimWorld::run(model, Placement::new(cores), p, |comm| {
+            let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+            bcast_core::bcast_with(comm, &mut buf, 0, algorithm).unwrap();
+            assert_eq!(buf, src);
+        });
+        out.makespan_ns
+    }
+
+    #[test]
+    fn predictor_matches_simulator_native() {
+        for &(p, nbytes, cores) in &[
+            (4usize, 4096usize, 2usize),
+            (8, 10_000, 4),
+            (10, 4096, 24),
+            (13, 999, 3),
+        ] {
+            let predicted = predict_makespan_ns(
+                Algorithm::ScatterRingNative,
+                nbytes,
+                p,
+                &rendezvous_model(),
+                Placement::new(cores),
+            );
+            let simulated = simulate(Algorithm::ScatterRingNative, nbytes, p, cores);
+            let rel = (predicted - simulated).abs() / simulated.max(1.0);
+            assert!(
+                rel < 1e-9,
+                "native p={p} nbytes={nbytes}: predicted {predicted} vs simulated {simulated}"
+            );
+        }
+    }
+
+    #[test]
+    fn predictor_matches_simulator_tuned() {
+        for &(p, nbytes, cores) in &[
+            (4usize, 4096usize, 2usize),
+            (8, 10_000, 4),
+            (10, 4096, 24),
+            (13, 999, 3),
+            (24, 65_536, 24),
+        ] {
+            let predicted = predict_makespan_ns(
+                Algorithm::ScatterRingTuned,
+                nbytes,
+                p,
+                &rendezvous_model(),
+                Placement::new(cores),
+            );
+            let simulated = simulate(Algorithm::ScatterRingTuned, nbytes, p, cores);
+            let rel = (predicted - simulated).abs() / simulated.max(1.0);
+            assert!(
+                rel < 1e-9,
+                "tuned p={p} nbytes={nbytes}: predicted {predicted} vs simulated {simulated}"
+            );
+        }
+    }
+
+    #[test]
+    fn predictor_matches_simulator_binomial() {
+        for &(p, nbytes, cores) in &[(4usize, 4096usize, 2usize), (10, 10_000, 24), (13, 999, 3)] {
+            let predicted = predict_makespan_ns(
+                Algorithm::Binomial,
+                nbytes,
+                p,
+                &rendezvous_model(),
+                Placement::new(cores),
+            );
+            let simulated = simulate(Algorithm::Binomial, nbytes, p, cores);
+            let rel = (predicted - simulated).abs() / simulated.max(1.0);
+            assert!(
+                rel < 1e-9,
+                "binomial p={p} nbytes={nbytes}: predicted {predicted} vs simulated {simulated}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_vs_ring_crossover_in_the_analytic_model() {
+        // latency-bound: binomial wins; bandwidth-bound: the rings win —
+        // the reason MPICH switches algorithms at all.
+        let m = rendezvous_model();
+        let placement = Placement::new(24);
+        let small_binomial =
+            predict_makespan_ns(Algorithm::Binomial, 1024, 16, &m, placement);
+        let small_ring =
+            predict_makespan_ns(Algorithm::ScatterRingTuned, 1024, 16, &m, placement);
+        assert!(small_binomial < small_ring);
+        let big_binomial =
+            predict_makespan_ns(Algorithm::Binomial, 1 << 22, 16, &m, placement);
+        let big_ring =
+            predict_makespan_ns(Algorithm::ScatterRingTuned, 1 << 22, 16, &m, placement);
+        assert!(big_ring < big_binomial);
+    }
+
+    #[test]
+    fn predictor_scales_to_thousands_of_ranks() {
+        // The whole point: sweep sizes no thread-per-rank simulation touches.
+        let t = predict_makespan_ns(
+            Algorithm::ScatterRingTuned,
+            1 << 20,
+            2048,
+            &rendezvous_model(),
+            Placement::new(24),
+        );
+        let n = predict_makespan_ns(
+            Algorithm::ScatterRingNative,
+            1 << 20,
+            2048,
+            &rendezvous_model(),
+            Placement::new(24),
+        );
+        assert!(t > 0.0 && n > 0.0);
+        assert!(t <= n * 1.001, "tuned {t} should not exceed native {n}");
+    }
+}

@@ -1,0 +1,292 @@
+//! Top-level broadcast entry points and MPICH3's algorithm selection.
+//!
+//! * [`bcast_native`] — `MPI_Bcast_native` of the paper: binomial scatter +
+//!   **enclosed** ring allgather (the MPICH3 lmsg / mmsg-npof2 path).
+//! * [`bcast_opt`] — `MPI_Bcast_opt`: binomial scatter + **tuned** ring
+//!   allgather (the paper's contribution).
+//! * [`bcast_binomial_tree`] — the smsg path (re-export of
+//!   [`crate::binomial::bcast_binomial`]).
+//! * [`bcast_scatter_rd`] — the mmsg-pof2 path (scatter + recursive doubling).
+//! * [`bcast_auto`] — dispatch among the above with MPICH3's message-size /
+//!   process-count thresholds ([`Thresholds`]), optionally substituting the
+//!   tuned ring wherever the native ring would run.
+
+use mpsim::{is_pof2, Communicator, Rank, Result};
+
+use crate::binomial::bcast_binomial;
+use crate::rd_allgather::rd_allgather;
+use crate::ring::ring_allgather_native;
+use crate::ring_tuned::ring_allgather_tuned;
+use crate::scatter::binomial_scatter;
+
+/// MPICH3's broadcast switching thresholds (`MPIR_CVAR_BCAST_*`), in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Thresholds {
+    /// Below this the message is "short" → binomial tree
+    /// (`MPIR_CVAR_BCAST_SHORT_MSG_SIZE`, default 12288).
+    pub short_msg: usize,
+    /// Below this (and ≥ `short_msg`) the message is "medium"; at or above it
+    /// is "long" (`MPIR_CVAR_BCAST_LONG_MSG_SIZE`, default 524288).
+    pub long_msg: usize,
+    /// Worlds smaller than this always use binomial
+    /// (`MPIR_CVAR_BCAST_MIN_PROCS`, default 8).
+    pub min_procs: usize,
+}
+
+impl Default for Thresholds {
+    /// The MPICH3 defaults quoted in the paper's Section V: 12288 and 524288
+    /// bytes, minimum 8 processes.
+    fn default() -> Self {
+        Self { short_msg: 12288, long_msg: 524288, min_procs: 8 }
+    }
+}
+
+/// Message-size regime under a given threshold configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// `nbytes < short_msg` (or a tiny world): latency-bound.
+    Short,
+    /// `short_msg ≤ nbytes < long_msg`: the paper's "mmsg".
+    Medium,
+    /// `nbytes ≥ long_msg`: the paper's "lmsg".
+    Long,
+}
+
+impl Thresholds {
+    /// Classify a message size.
+    pub fn regime(&self, nbytes: usize) -> Regime {
+        if nbytes < self.short_msg {
+            Regime::Short
+        } else if nbytes < self.long_msg {
+            Regime::Medium
+        } else {
+            Regime::Long
+        }
+    }
+}
+
+/// The algorithm the MPICH3 dispatcher would run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Binomial tree over the whole buffer (smsg).
+    Binomial,
+    /// Binomial scatter + recursive-doubling allgather (mmsg-pof2).
+    ScatterRdAllgather,
+    /// Binomial scatter + enclosed ring allgather (lmsg / mmsg-npof2) —
+    /// `MPI_Bcast_native`.
+    ScatterRingNative,
+    /// Binomial scatter + tuned non-enclosed ring allgather —
+    /// `MPI_Bcast_opt`.
+    ScatterRingTuned,
+}
+
+/// MPICH3's selection logic (`MPIR_Bcast_intra_auto`), §I and §V of the
+/// paper. When `tuned` is set, the ring-based path resolves to the paper's
+/// [`Algorithm::ScatterRingTuned`] instead of the native ring.
+pub fn select_algorithm(nbytes: usize, size: usize, th: &Thresholds, tuned: bool) -> Algorithm {
+    if nbytes < th.short_msg || size < th.min_procs {
+        Algorithm::Binomial
+    } else if nbytes < th.long_msg && is_pof2(size) {
+        Algorithm::ScatterRdAllgather
+    } else if tuned {
+        Algorithm::ScatterRingTuned
+    } else {
+        Algorithm::ScatterRingNative
+    }
+}
+
+/// `MPI_Bcast_native`: binomial scatter followed by the enclosed ring
+/// allgather — MPICH3's long-message / medium-npof2 broadcast.
+pub fn bcast_native(comm: &(impl Communicator + ?Sized), buf: &mut [u8], root: Rank) -> Result<()> {
+    binomial_scatter(comm, buf, root)?;
+    ring_allgather_native(comm, buf, root)
+}
+
+/// `MPI_Bcast_opt`: binomial scatter followed by the **tuned** ring
+/// allgather — the paper's bandwidth-saving broadcast.
+pub fn bcast_opt(comm: &(impl Communicator + ?Sized), buf: &mut [u8], root: Rank) -> Result<()> {
+    binomial_scatter(comm, buf, root)?;
+    ring_allgather_tuned(comm, buf, root)
+}
+
+/// Binomial-tree broadcast (MPICH3's short-message path).
+pub fn bcast_binomial_tree(
+    comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
+    bcast_binomial(comm, buf, root)
+}
+
+/// Binomial scatter + recursive-doubling allgather (MPICH3's medium-message
+/// power-of-two path). Requires a power-of-two world, like MPICH.
+pub fn bcast_scatter_rd(
+    comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
+    binomial_scatter(comm, buf, root)?;
+    rd_allgather(comm, buf, root)
+}
+
+/// Run one specific [`Algorithm`].
+pub fn bcast_with(
+    comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+    algorithm: Algorithm,
+) -> Result<()> {
+    match algorithm {
+        Algorithm::Binomial => bcast_binomial_tree(comm, buf, root),
+        Algorithm::ScatterRdAllgather => bcast_scatter_rd(comm, buf, root),
+        Algorithm::ScatterRingNative => bcast_native(comm, buf, root),
+        Algorithm::ScatterRingTuned => bcast_opt(comm, buf, root),
+    }
+}
+
+/// Broadcast with MPICH3's automatic algorithm selection.
+///
+/// With `tuned = false` this behaves like stock MPICH3; with `tuned = true`
+/// it is MPICH3 patched with the paper's optimization (the paper's "Laki"
+/// setup, where the tuned ring was spliced into the MPI library itself).
+pub fn bcast_auto(
+    comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+    th: &Thresholds,
+    tuned: bool,
+) -> Result<()> {
+    let algorithm = select_algorithm(buf.len(), comm.size(), th, tuned);
+    bcast_with(comm, buf, root, algorithm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::ThreadWorld;
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 41 + 29) as u8).collect()
+    }
+
+    #[test]
+    fn default_thresholds_match_paper() {
+        let th = Thresholds::default();
+        assert_eq!(th.short_msg, 12288);
+        assert_eq!(th.long_msg, 524288);
+        assert_eq!(th.min_procs, 8);
+        // Paper §V: "long messages should be larger than 524287 in bytes and
+        // medium messages should be larger than 12287 and smaller than 524288".
+        assert_eq!(th.regime(12287), Regime::Short);
+        assert_eq!(th.regime(12288), Regime::Medium);
+        assert_eq!(th.regime(524287), Regime::Medium);
+        assert_eq!(th.regime(524288), Regime::Long);
+    }
+
+    #[test]
+    fn selection_matches_mpich3() {
+        let th = Thresholds::default();
+        // smsg → binomial regardless of world size
+        assert_eq!(select_algorithm(100, 256, &th, false), Algorithm::Binomial);
+        // tiny world → binomial even for long messages
+        assert_eq!(select_algorithm(1 << 20, 4, &th, false), Algorithm::Binomial);
+        // mmsg-pof2 → recursive doubling
+        assert_eq!(select_algorithm(65536, 64, &th, false), Algorithm::ScatterRdAllgather);
+        // mmsg-npof2 → ring (the paper's first target case)
+        assert_eq!(select_algorithm(65536, 129, &th, false), Algorithm::ScatterRingNative);
+        assert_eq!(select_algorithm(65536, 129, &th, true), Algorithm::ScatterRingTuned);
+        // lmsg → ring even for pof2 (the paper's second target case)
+        assert_eq!(select_algorithm(1 << 20, 64, &th, false), Algorithm::ScatterRingNative);
+        assert_eq!(select_algorithm(1 << 20, 64, &th, true), Algorithm::ScatterRingTuned);
+        // boundary sizes
+        assert_eq!(select_algorithm(12288, 9, &th, false), Algorithm::ScatterRingNative);
+        assert_eq!(select_algorithm(524287, 16, &th, false), Algorithm::ScatterRdAllgather);
+        assert_eq!(select_algorithm(524288, 16, &th, false), Algorithm::ScatterRingNative);
+    }
+
+    #[test]
+    fn tuned_flag_only_affects_ring_paths() {
+        let th = Thresholds::default();
+        for &(nbytes, size) in &[(100usize, 256usize), (65536, 64), (1000, 4)] {
+            let a = select_algorithm(nbytes, size, &th, false);
+            let b = select_algorithm(nbytes, size, &th, true);
+            if a == Algorithm::ScatterRingNative {
+                assert_eq!(b, Algorithm::ScatterRingTuned);
+            } else {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn all_algorithms_broadcast_correctly() {
+        for &algorithm in &[
+            Algorithm::Binomial,
+            Algorithm::ScatterRingNative,
+            Algorithm::ScatterRingTuned,
+        ] {
+            for &(size, nbytes, root) in
+                &[(8usize, 200usize, 0usize), (10, 97, 7), (9, 3, 4), (2, 1, 1)]
+            {
+                let src = pattern(nbytes);
+                ThreadWorld::run(size, |comm| {
+                    let mut buf =
+                        if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+                    bcast_with(comm, &mut buf, root, algorithm).unwrap();
+                    assert_eq!(buf, src, "{algorithm:?} rank {}", comm.rank());
+                });
+            }
+        }
+        // RD path needs pof2 worlds
+        for &(size, nbytes, root) in &[(8usize, 200usize, 5usize), (16, 97, 0), (4, 0, 3)] {
+            let src = pattern(nbytes);
+            ThreadWorld::run(size, |comm| {
+                let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+                bcast_with(comm, &mut buf, root, Algorithm::ScatterRdAllgather).unwrap();
+                assert_eq!(buf, src);
+            });
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_end_to_end() {
+        // Pick sizes that exercise each branch with a small world.
+        let th = Thresholds { short_msg: 64, long_msg: 256, min_procs: 4 };
+        for &(size, nbytes) in &[
+            (9usize, 16usize), // short → binomial
+            (8, 128),          // medium pof2 → RD
+            (9, 128),          // medium npof2 → ring
+            (8, 512),          // long pof2 → ring
+            (9, 512),          // long npof2 → ring
+        ] {
+            for tuned in [false, true] {
+                let src = pattern(nbytes);
+                ThreadWorld::run(size, |comm| {
+                    let mut buf = if comm.rank() == 2 { src.clone() } else { vec![0u8; nbytes] };
+                    bcast_auto(comm, &mut buf, 2, &th, tuned).unwrap();
+                    assert_eq!(buf, src);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn tuned_auto_saves_messages_on_ring_paths() {
+        let th = Thresholds { short_msg: 8, long_msg: 16, min_procs: 4 };
+        let size = 10;
+        let nbytes = 1000; // long → ring
+        let src = pattern(nbytes);
+        let run = |tuned: bool| {
+            ThreadWorld::run(size, |comm| {
+                let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+                bcast_auto(comm, &mut buf, 0, &th, tuned).unwrap();
+            })
+            .traffic
+            .total_msgs()
+        };
+        let native = run(false);
+        let tuned = run(true);
+        assert_eq!(native, 90 + 9);
+        assert_eq!(tuned, 75 + 9);
+    }
+}

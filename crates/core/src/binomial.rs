@@ -1,0 +1,112 @@
+//! Binomial-tree broadcast — MPICH3's short-message (`smsg`) algorithm.
+//!
+//! The whole buffer travels down the same binomial tree the scatter uses,
+//! but undivided: `ceil(log2 P)` latency steps, `P − 1` transfers of the full
+//! `nbytes`. Optimal for small messages where latency dominates; wasteful in
+//! bandwidth for large ones (every transfer carries all `nbytes`), which is
+//! why MPICH switches to scatter-based algorithms past 12 KiB.
+
+use mpsim::{absolute_rank, relative_rank, Communicator, Rank, Result, Tag};
+
+/// Broadcast `buf` from `root` to every rank via a binomial tree.
+pub fn bcast_binomial(
+    comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
+    comm.check_rank(root)?;
+    let size = comm.size();
+    if size == 1 {
+        return Ok(());
+    }
+    let rank = comm.rank();
+    let relative = relative_rank(rank, root, size);
+
+    // Receive from parent (rank differing in our lowest set bit).
+    let mut mask = 1usize;
+    while mask < size {
+        if relative & mask != 0 {
+            let src = absolute_rank(relative - mask, root, size);
+            comm.recv(buf, src, Tag::BCAST)?;
+            break;
+        }
+        mask <<= 1;
+    }
+
+    // Forward to children, farthest first.
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < size {
+            let dst = absolute_rank(relative + mask, root, size);
+            comm.send(buf, dst, Tag::BCAST)?;
+        }
+        mask >>= 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::ThreadWorld;
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 89 + 3) as u8).collect()
+    }
+
+    fn run(size: usize, nbytes: usize, root: Rank) -> mpsim::WorldTraffic {
+        let src = pattern(nbytes);
+        let out = ThreadWorld::run(size, |comm| {
+            let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+            bcast_binomial(comm, &mut buf, root).unwrap();
+            assert_eq!(buf, src, "rank {}", comm.rank());
+        });
+        out.traffic
+    }
+
+    #[test]
+    fn completes_for_many_shapes() {
+        for &(size, nbytes, root) in &[
+            (2usize, 16usize, 0usize),
+            (8, 100, 0),
+            (8, 100, 5),
+            (10, 1, 9),
+            (13, 12288, 6),
+            (1, 8, 0),
+            (7, 0, 3),
+        ] {
+            run(size, nbytes, root);
+        }
+    }
+
+    #[test]
+    fn exactly_p_minus_1_full_size_transfers() {
+        for &(size, nbytes) in &[(8usize, 64usize), (10, 100), (13, 33)] {
+            let t = run(size, nbytes, 0);
+            assert_eq!(t.total_msgs(), (size - 1) as u64);
+            assert_eq!(t.total_bytes(), ((size - 1) * nbytes) as u64);
+        }
+    }
+
+    #[test]
+    fn root_sends_ceil_log2_p_messages() {
+        // The root has one child per bit level: ceil(log2 P) sends.
+        for size in 2..40usize {
+            let t = run(size, 8, 0);
+            assert_eq!(
+                t.per_rank[0].msgs_sent,
+                u64::from(mpsim::ceil_log2(size)),
+                "size={size}"
+            );
+            assert_eq!(t.per_rank[0].msgs_recvd, 0);
+        }
+    }
+
+    #[test]
+    fn every_non_root_receives_exactly_once() {
+        let t = run(11, 64, 4);
+        for (rank, st) in t.per_rank.iter().enumerate() {
+            assert_eq!(st.msgs_recvd, u64::from(rank != 4), "rank={rank}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Chunk geometry of scatter-based broadcasts.
+//!
+//! Before the scatter phase, the `nbytes`-byte source buffer is divided into
+//! `P` chunks of `scatter_size = ceil(nbytes / P)` bytes each (Listing 1 of
+//! the paper). Because of the ceiling, the last chunk may be short and — when
+//! `nbytes < P·scatter_size − scatter_size`, i.e. for very small messages —
+//! trailing chunks may be empty. All displacement/count arithmetic for every
+//! algorithm in this crate goes through [`ChunkLayout`] so the clamping rules
+//! (`count = max(0, min(scatter_size, nbytes − i·scatter_size))`) live in one
+//! place.
+
+use std::ops::Range;
+
+use mpsim::ceil_div;
+
+/// Geometry of the `P`-way chunking of an `nbytes` buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkLayout {
+    nbytes: usize,
+    chunks: usize,
+    scatter_size: usize,
+}
+
+impl ChunkLayout {
+    /// Layout for broadcasting `nbytes` among `chunks` (= communicator size)
+    /// pieces.
+    pub fn new(nbytes: usize, chunks: usize) -> Self {
+        assert!(chunks >= 1, "layout needs at least one chunk");
+        let scatter_size = if nbytes == 0 { 0 } else { ceil_div(nbytes, chunks) };
+        Self { nbytes, chunks, scatter_size }
+    }
+
+    /// Total buffer size in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.nbytes
+    }
+
+    /// Number of chunks (the communicator size `P`).
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// The paper's `scatter_size = (nbytes + comm_size − 1) / comm_size`.
+    pub fn scatter_size(&self) -> usize {
+        self.scatter_size
+    }
+
+    /// Payload bytes of chunk `i`: `min(scatter_size, nbytes − i·scatter_size)`
+    /// clamped below at 0, exactly as the pseudo-code computes
+    /// `left_count`/`right_count`.
+    pub fn count(&self, i: usize) -> usize {
+        debug_assert!(i < self.chunks);
+        let start = i.saturating_mul(self.scatter_size);
+        self.scatter_size.min(self.nbytes.saturating_sub(start))
+    }
+
+    /// Displacement of chunk `i`, clamped into the buffer so that
+    /// `disp(i)..disp(i)+count(i)` is always a valid (possibly empty) range.
+    pub fn disp(&self, i: usize) -> usize {
+        debug_assert!(i < self.chunks);
+        (i * self.scatter_size).min(self.nbytes)
+    }
+
+    /// Byte range of chunk `i`.
+    pub fn range(&self, i: usize) -> Range<usize> {
+        let d = self.disp(i);
+        d..d + self.count(i)
+    }
+
+    /// Byte range covered by the contiguous chunk interval `[first, last)`.
+    ///
+    /// Used by recursive-doubling allgather, which exchanges whole intervals
+    /// of chunks per round.
+    pub fn span(&self, chunk_range: Range<usize>) -> Range<usize> {
+        debug_assert!(chunk_range.start <= chunk_range.end && chunk_range.end <= self.chunks);
+        let start = (chunk_range.start * self.scatter_size).min(self.nbytes);
+        let end = (chunk_range.end * self.scatter_size).min(self.nbytes);
+        start..end
+    }
+
+    /// Bytes in the chunk interval `[first, last)`.
+    pub fn span_bytes(&self, chunk_range: Range<usize>) -> usize {
+        let r = self.span(chunk_range);
+        r.end - r.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_division() {
+        let l = ChunkLayout::new(80, 8);
+        assert_eq!(l.scatter_size(), 10);
+        for i in 0..8 {
+            assert_eq!(l.count(i), 10);
+            assert_eq!(l.disp(i), i * 10);
+        }
+    }
+
+    #[test]
+    fn chunks_tile_the_buffer() {
+        for nbytes in [0usize, 1, 7, 8, 9, 100, 12288, 524287] {
+            for chunks in [1usize, 2, 3, 8, 10, 129] {
+                let l = ChunkLayout::new(nbytes, chunks);
+                let total: usize = (0..chunks).map(|i| l.count(i)).sum();
+                assert_eq!(total, nbytes, "nbytes={nbytes} chunks={chunks}");
+                // ranges are contiguous and ordered
+                let mut pos = 0;
+                for i in 0..chunks {
+                    let r = l.range(i);
+                    assert_eq!(r.start, pos.min(l.nbytes()));
+                    pos = r.end.max(pos);
+                }
+                assert_eq!(pos, nbytes);
+            }
+        }
+    }
+
+    #[test]
+    fn short_last_chunk() {
+        // 10 bytes over 4 chunks: scatter_size = 3, counts 3,3,3,1
+        let l = ChunkLayout::new(10, 4);
+        assert_eq!(l.scatter_size(), 3);
+        assert_eq!(
+            (0..4).map(|i| l.count(i)).collect::<Vec<_>>(),
+            vec![3, 3, 3, 1]
+        );
+    }
+
+    #[test]
+    fn empty_trailing_chunks_when_message_smaller_than_p() {
+        // 3 bytes over 8 chunks: scatter_size = 1, counts 1,1,1,0,0,0,0,0
+        let l = ChunkLayout::new(3, 8);
+        assert_eq!(l.scatter_size(), 1);
+        let counts: Vec<_> = (0..8).map(|i| l.count(i)).collect();
+        assert_eq!(counts, vec![1, 1, 1, 0, 0, 0, 0, 0]);
+        // displacements of empty chunks stay in-bounds
+        for i in 0..8 {
+            let r = l.range(i);
+            assert!(r.end <= 3);
+        }
+    }
+
+    #[test]
+    fn zero_bytes() {
+        let l = ChunkLayout::new(0, 5);
+        assert_eq!(l.scatter_size(), 0);
+        for i in 0..5 {
+            assert_eq!(l.count(i), 0);
+            assert_eq!(l.range(i), 0..0);
+        }
+    }
+
+    #[test]
+    fn paper_medium_message_geometry() {
+        // ms = 12288 over 10 ranks: scatter_size = 1229, last chunk = 12288 − 9·1229 = 1227
+        let l = ChunkLayout::new(12288, 10);
+        assert_eq!(l.scatter_size(), 1229);
+        assert_eq!(l.count(9), 12288 - 9 * 1229);
+        assert_eq!(l.count(0), 1229);
+    }
+
+    #[test]
+    fn spans() {
+        let l = ChunkLayout::new(10, 4); // 3,3,3,1
+        assert_eq!(l.span(0..2), 0..6);
+        assert_eq!(l.span(2..4), 6..10);
+        assert_eq!(l.span_bytes(3..4), 1);
+        assert_eq!(l.span_bytes(0..4), 10);
+        assert_eq!(l.span_bytes(2..2), 0);
+    }
+
+    #[test]
+    fn span_clamps_past_end() {
+        let l = ChunkLayout::new(3, 8);
+        assert_eq!(l.span(4..8), 3..3);
+        assert_eq!(l.span_bytes(0..8), 3);
+    }
+}

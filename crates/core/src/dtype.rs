@@ -1,0 +1,106 @@
+//! Minimal typed-element layer over the byte-oriented transport — the slice
+//! of MPI's datatype machinery the reduction collectives need.
+//!
+//! The point-to-point layer moves raw bytes; reductions must interpret them
+//! as elements to combine. [`Dtype`] provides safe, explicit (de)serialization
+//! with fixed little-endian wire format, avoiding any `unsafe` transmutes.
+
+/// A fixed-size element type with a defined wire encoding.
+pub trait Dtype: Copy + Send + Sync + 'static {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+    /// Write the element at `out[..Self::SIZE]`.
+    fn write(&self, out: &mut [u8]);
+    /// Read an element from `b[..Self::SIZE]`.
+    fn read(b: &[u8]) -> Self;
+}
+
+macro_rules! impl_dtype {
+    ($($t:ty),*) => {$(
+        impl Dtype for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            fn write(&self, out: &mut [u8]) {
+                out[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
+            }
+            fn read(b: &[u8]) -> Self {
+                <$t>::from_le_bytes(b[..Self::SIZE].try_into().unwrap())
+            }
+        }
+    )*};
+}
+
+impl_dtype!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Encode a typed slice into a fresh byte vector.
+pub fn encode<T: Dtype>(vals: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; vals.len() * T::SIZE];
+    for (v, chunk) in vals.iter().zip(out.chunks_exact_mut(T::SIZE)) {
+        v.write(chunk);
+    }
+    out
+}
+
+/// Decode a byte slice (length must be a multiple of `T::SIZE`) into values.
+pub fn decode<T: Dtype>(bytes: &[u8]) -> Vec<T> {
+    assert_eq!(bytes.len() % T::SIZE, 0, "byte length not a multiple of element size");
+    bytes.chunks_exact(T::SIZE).map(T::read).collect()
+}
+
+/// Combine `other` (encoded) into `acc` (encoded) element-wise with `op`:
+/// `acc[i] = op(acc[i], other[i])`.
+pub fn combine_into<T: Dtype>(acc: &mut [u8], other: &[u8], op: impl Fn(T, T) -> T) {
+    assert_eq!(acc.len(), other.len(), "reduction operands differ in length");
+    assert_eq!(acc.len() % T::SIZE, 0);
+    for (a, b) in acc.chunks_exact_mut(T::SIZE).zip(other.chunks_exact(T::SIZE)) {
+        op(T::read(a), T::read(b)).write(a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        assert_eq!(decode::<u32>(&encode(&[1u32, 2, 3])), vec![1, 2, 3]);
+        assert_eq!(decode::<f64>(&encode(&[1.5f64, -2.25])), vec![1.5, -2.25]);
+        assert_eq!(decode::<i16>(&encode(&[-7i16, 300])), vec![-7, 300]);
+        assert_eq!(decode::<u8>(&encode(&[255u8, 0])), vec![255, 0]);
+    }
+
+    #[test]
+    fn wire_format_is_little_endian() {
+        let e = encode(&[0x0102_0304u32]);
+        assert_eq!(e, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn combine_elementwise() {
+        let mut acc = encode(&[1u64, 10, 100]);
+        let other = encode(&[2u64, 20, 200]);
+        combine_into::<u64>(&mut acc, &other, |a, b| a + b);
+        assert_eq!(decode::<u64>(&acc), vec![3, 30, 300]);
+    }
+
+    #[test]
+    fn combine_order_is_acc_then_other() {
+        let mut acc = encode(&[10i32]);
+        combine_into::<i32>(&mut acc, &encode(&[3i32]), |a, b| a - b);
+        assert_eq!(decode::<i32>(&acc), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn combine_rejects_mismatched_lengths() {
+        let mut acc = encode(&[1u32]);
+        combine_into::<u32>(&mut acc, &encode(&[1u32, 2]), |a, _| a);
+    }
+
+    #[test]
+    fn empty_slices_work() {
+        let e = encode::<f64>(&[]);
+        assert!(e.is_empty());
+        let mut acc = Vec::new();
+        combine_into::<f64>(&mut acc, &[], |a, _| a);
+    }
+}

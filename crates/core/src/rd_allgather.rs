@@ -1,0 +1,147 @@
+//! Recursive-doubling allgather — phase two of MPICH3's broadcast for
+//! *medium* messages with a *power-of-two* process count (`mmsg-pof2`).
+//!
+//! After the binomial scatter, round `k` (mask `2^k`) has every rank exchange
+//! its accumulated aligned block of `2^k` chunks with the partner `rel ^ 2^k`,
+//! doubling the block each round: `log2 P` rounds, one message per rank per
+//! round (`P·log2 P` transfers), each rank receiving `nbytes·(P−1)/P` bytes in
+//! total.
+//!
+//! MPICH only selects this path when `P` is a power of two (the
+//! non-power-of-two fixup rounds are never exercised by broadcast, which
+//! falls back to the ring); we mirror that contract and require `is_pof2(P)`.
+
+use mpsim::{absolute_rank, is_pof2, relative_rank, split_send_recv, Communicator, Rank, Result, Tag};
+
+use crate::chunks::ChunkLayout;
+
+/// Run the recursive-doubling allgather over a buffer that has been
+/// binomial-scattered from `root`.
+///
+/// # Panics
+///
+/// Panics if `comm.size()` is not a power of two — callers (the broadcast
+/// selection logic) must route non-power-of-two worlds to the ring variants.
+pub fn rd_allgather(
+    comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
+    comm.check_rank(root)?;
+    let size = comm.size();
+    assert!(is_pof2(size), "recursive-doubling allgather requires a power-of-two world");
+    if size == 1 {
+        return Ok(());
+    }
+    let rank = comm.rank();
+    let nbytes = buf.len();
+    let layout = ChunkLayout::new(nbytes, size);
+    let rel = relative_rank(rank, root, size);
+
+    // Bytes accumulated so far: our own chunk.
+    let mut curr_size = layout.count(rel);
+    let mut mask = 1usize;
+    let mut round = 0u32;
+    while mask < size {
+        let partner_rel = rel ^ mask;
+        let partner = absolute_rank(partner_rel, root, size);
+
+        // Aligned block starts (in chunks) for this round.
+        let send_block = (rel >> round) << round;
+        let recv_block = (partner_rel >> round) << round;
+        let send_start = layout.span(send_block..size).start;
+        let recv_start = layout.span(recv_block..size).start;
+        // Maximum the partner can hold of its block:
+        let recv_capacity = layout.span_bytes(recv_block..(recv_block + mask).min(size));
+
+        let (sbuf, rbuf) =
+            split_send_recv(buf, send_start, curr_size, recv_start, recv_capacity)?;
+        let received = comm.sendrecv(sbuf, partner, Tag::ALLGATHER, rbuf, partner, Tag::ALLGATHER)?;
+        curr_size += received;
+
+        mask <<= 1;
+        round += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scatter::binomial_scatter;
+    use mpsim::ThreadWorld;
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 151 + 11) as u8).collect()
+    }
+
+    fn run(size: usize, nbytes: usize, root: Rank) -> mpsim::WorldTraffic {
+        let src = pattern(nbytes);
+        let out = ThreadWorld::run(size, |comm| {
+            let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+            binomial_scatter(comm, &mut buf, root).unwrap();
+            rd_allgather(comm, &mut buf, root).unwrap();
+            assert_eq!(buf, src, "rank {} incomplete", comm.rank());
+        });
+        out.traffic
+    }
+
+    #[test]
+    fn completes_broadcast_pof2() {
+        for &(size, nbytes, root) in &[
+            (2usize, 16usize, 0usize),
+            (4, 64, 1),
+            (8, 100, 0),
+            (8, 97, 5),
+            (16, 12288, 3),
+            (32, 1000, 31),
+            (1, 8, 0),
+        ] {
+            run(size, nbytes, root);
+        }
+    }
+
+    #[test]
+    fn handles_tiny_and_zero_messages() {
+        run(8, 3, 0); // empty trailing chunks
+        run(8, 0, 2);
+        run(16, 15, 0);
+    }
+
+    #[test]
+    fn transfer_count_is_p_log2_p() {
+        for size in [2usize, 4, 8, 16] {
+            let t = run(size, size * 16, 0);
+            let scatter = (size - 1) as u64;
+            let expected = (size as u64) * u64::from(size.trailing_zeros());
+            assert_eq!(t.total_msgs() - scatter, expected, "size={size}");
+        }
+    }
+
+    #[test]
+    fn allgather_bytes_per_rank() {
+        // Each rank receives nbytes − its own chunk during the allgather.
+        let (size, nbytes) = (8usize, 80usize);
+        let src = pattern(nbytes);
+        let out = ThreadWorld::run(size, |comm| {
+            let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+            binomial_scatter(comm, &mut buf, 0).unwrap();
+            let before = comm.traffic().bytes_recvd;
+            rd_allgather(comm, &mut buf, 0).unwrap();
+            comm.traffic().bytes_recvd - before
+        });
+        let layout = ChunkLayout::new(nbytes, size);
+        for (rel, &got) in out.results.iter().enumerate() {
+            assert_eq!(got, (nbytes - layout.count(rel)) as u64, "rel={rel}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_npof2() {
+        ThreadWorld::run(6, |comm| {
+            let mut buf = vec![0u8; 12];
+            let _ = rd_allgather(comm, &mut buf, 0);
+        });
+    }
+}

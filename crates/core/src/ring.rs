@@ -1,0 +1,167 @@
+//! The *native* enclosed ring allgather — phase two of MPICH3's
+//! scatter-ring-allgather broadcast (Figure 3 of the paper) and the baseline
+//! the tuned algorithm improves on.
+//!
+//! Every rank runs `P − 1` steps of `MPI_Sendrecv`: at step `i` it forwards
+//! chunk `(rank − i + 1) mod P` (in root-relative numbering) to its right
+//! neighbour while receiving chunk `(rank − i) mod P` from its left
+//! neighbour. The ring is *enclosed*: each rank behaves as if it owned only
+//! its own chunk after the scatter, so chunks a rank already holds (its
+//! binomial subtree) are transmitted to it anyway — `P·(P−1)` transfers in
+//! total, the paper's "verbose data transmissions".
+
+use mpsim::{relative_rank, ring_left, ring_right, split_send_recv, Communicator, Rank, Result, Tag};
+
+use crate::chunks::ChunkLayout;
+
+/// One step of the ring walk: which chunk is sent right and which is
+/// received from the left at step `i` (1-based), for a rank at root-relative
+/// position `rel` in a ring of `size`.
+///
+/// Exposed for the schedule/traffic model, which replays the same walk
+/// without a communicator.
+#[inline]
+pub fn ring_step_chunks(rel: Rank, size: usize, i: usize) -> (usize, usize) {
+    debug_assert!((1..size).contains(&i));
+    // j (sent) = rel − (i−1) mod size ; jnext (received) = rel − i mod size
+    let send = (rel + size - ((i - 1) % size)) % size;
+    let recv = (rel + size - (i % size)) % size;
+    (send, recv)
+}
+
+/// Run the enclosed (native) ring allgather over a buffer that has been
+/// binomial-scattered from `root`.
+///
+/// Transcribes the final loop of the paper's Listing 1 *without* the tuned
+/// `step`/`flag` short-circuit: every rank does a full `sendrecv` at every
+/// one of the `P − 1` steps.
+pub fn ring_allgather_native(
+    comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
+    comm.check_rank(root)?;
+    let size = comm.size();
+    if size == 1 {
+        return Ok(());
+    }
+    let rank = comm.rank();
+    let layout = ChunkLayout::new(buf.len(), size);
+    let left = ring_left(rank, size);
+    let right = ring_right(rank, size);
+    let rel = relative_rank(rank, root, size);
+
+    for i in 1..size {
+        let (send_chunk, recv_chunk) = ring_step_chunks(rel, size, i);
+        let send_range = layout.range(send_chunk);
+        let recv_range = layout.range(recv_chunk);
+        let (sbuf, rbuf) = split_send_recv(
+            buf,
+            send_range.start,
+            send_range.len(),
+            recv_range.start,
+            recv_range.len(),
+        )?;
+        comm.sendrecv(sbuf, right, Tag::ALLGATHER, rbuf, left, Tag::ALLGATHER)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scatter::binomial_scatter;
+    use mpsim::ThreadWorld;
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 197 + 13) as u8).collect()
+    }
+
+    /// scatter + native ring = complete broadcast; returns traffic.
+    fn run(size: usize, nbytes: usize, root: Rank) -> mpsim::WorldTraffic {
+        let src = pattern(nbytes);
+        let out = ThreadWorld::run(size, |comm| {
+            let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+            binomial_scatter(comm, &mut buf, root).unwrap();
+            ring_allgather_native(comm, &mut buf, root).unwrap();
+            assert_eq!(buf, src, "rank {} incomplete", comm.rank());
+        });
+        out.traffic
+    }
+
+    #[test]
+    fn step_chunks_walk_the_ring() {
+        // Figure 3 for 8 processes: p_rel sends its own chunk first.
+        let (send, recv) = ring_step_chunks(5, 8, 1);
+        assert_eq!((send, recv), (5, 4));
+        let (send, recv) = ring_step_chunks(5, 8, 2);
+        assert_eq!((send, recv), (4, 3));
+        // wrap-around
+        let (send, recv) = ring_step_chunks(0, 8, 1);
+        assert_eq!((send, recv), (0, 7));
+        let (send, recv) = ring_step_chunks(0, 8, 7);
+        assert_eq!((send, recv), (2, 1));
+    }
+
+    #[test]
+    fn each_rank_receives_every_foreign_chunk_exactly_once() {
+        // Over P−1 steps the received chunk indices are all chunks except rel.
+        for size in 2..12 {
+            for rel in 0..size {
+                let mut seen: Vec<usize> = (1..size).map(|i| ring_step_chunks(rel, size, i).1).collect();
+                seen.sort_unstable();
+                let expected: Vec<usize> = (0..size).filter(|&c| c != rel).collect();
+                assert_eq!(seen, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn completes_broadcast_pof2() {
+        run(8, 64, 0);
+        run(8, 61, 3);
+        run(16, 257, 15);
+    }
+
+    #[test]
+    fn completes_broadcast_npof2() {
+        run(10, 100, 0);
+        run(10, 97, 7);
+        run(9, 50, 4);
+        run(3, 2, 1);
+    }
+
+    #[test]
+    fn transfer_count_is_p_times_p_minus_1() {
+        // Ring phase alone moves P·(P−1) messages; scatter adds P−1.
+        for size in [4usize, 8, 10, 13] {
+            let traffic = run(size, 16 * size, 0);
+            let expected = (size * (size - 1) + (size - 1)) as u64;
+            assert_eq!(traffic.total_msgs(), expected, "size={size}");
+        }
+    }
+
+    #[test]
+    fn paper_counts_8_and_10() {
+        // Paper §IV: "The number of message transfers in the original ring
+        // allgather algorithm is 8 × (8 − 1) = 56 for 8 processes" and
+        // "10 × (10 − 1) = 90".
+        let t8 = run(8, 80, 0);
+        assert_eq!(t8.total_msgs() - 7, 56); // minus the 7 scatter messages
+        let t10 = run(10, 100, 0);
+        assert_eq!(t10.total_msgs() - 9, 90);
+    }
+
+    #[test]
+    fn tiny_and_zero_messages() {
+        run(8, 3, 0); // empty trailing chunks → zero-byte sendrecvs
+        run(5, 0, 2); // all chunks empty
+        run(2, 1, 0);
+    }
+
+    #[test]
+    fn single_rank_is_noop() {
+        let t = run(1, 10, 0);
+        assert_eq!(t.total_msgs(), 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Binomial-tree scatter — phase one of the scatter-(ring|rd)-allgather
+//! broadcasts (Figures 1 and 2 of the paper; `scatter_for_bcast` in MPICH).
+//!
+//! The root divides its `nbytes` buffer into `P` chunks and disseminates them
+//! down a binomial tree rooted at itself: in the first step the root sends
+//! the upper half of the chunks to the rank `P/2` (rounded to a power of two)
+//! positions away, spawning a subtree, and so on. After `ceil(log2 P)` steps
+//! every rank `r` (in root-relative numbering) holds the contiguous chunk
+//! interval `[r, r + own(r))` where `own(r) = min(2^tz(r), P − r)` and
+//! `tz` is the number of trailing zero bits (`own(0) = P` for the root).
+//!
+//! That ownership interval is exactly what the tuned ring allgather's
+//! `(step, flag)` computation relies on — see [`crate::ring_tuned`].
+
+use mpsim::{absolute_rank, relative_rank, Communicator, Rank, Result, Tag};
+
+use crate::chunks::ChunkLayout;
+
+/// Number of chunks rank `relative` (root-relative) holds after the scatter:
+/// `min(2^trailing_zeros(relative), P − relative)`, with the root holding all
+/// `P`.
+///
+/// This is the closed form of the binomial-tree delivery; it is validated
+/// against the executed scatter in this module's tests and drives the
+/// analytic traffic model.
+pub fn owned_chunks(relative: Rank, size: usize) -> usize {
+    debug_assert!(relative < size);
+    if relative == 0 {
+        size
+    } else {
+        let pow = 1usize << relative.trailing_zeros().min(usize::BITS - 1);
+        pow.min(size - relative)
+    }
+}
+
+/// Run the binomial scatter phase of a scatter-based broadcast.
+///
+/// `buf` is the full `nbytes` broadcast buffer on every rank; on entry only
+/// the root's contents are meaningful. On return, rank `r` holds chunks
+/// `[rel(r), rel(r) + owned_chunks(rel(r), P))` of the root's data in place.
+///
+/// Returns the number of payload bytes *present in this rank's buffer* (its
+/// ownership in bytes): the full subtree span it received — forwarding to
+/// children copies bytes onward but does not remove them.
+pub fn binomial_scatter(
+    comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<usize> {
+    comm.check_rank(root)?;
+    let size = comm.size();
+    let rank = comm.rank();
+    let nbytes = buf.len();
+    let layout = ChunkLayout::new(nbytes, size);
+    let scatter_size = layout.scatter_size();
+    let relative = relative_rank(rank, root, size);
+
+    // Receive phase: wait for the parent (the rank that differs in our
+    // lowest set bit) to deliver our subtree's chunks.
+    let mut curr_size = if rank == root { nbytes } else { 0 };
+    let mut mask = 1usize;
+    while mask < size {
+        if relative & mask != 0 {
+            let src = absolute_rank(relative - mask, root, size);
+            let disp = (relative * scatter_size).min(nbytes);
+            let capacity = nbytes - disp;
+            if capacity == 0 {
+                // Message shorter than P chunks: nothing addressed to us.
+                curr_size = 0;
+            } else {
+                curr_size = comm.recv(&mut buf[disp..], src, Tag::SCATTER)?;
+            }
+            break;
+        }
+        mask <<= 1;
+    }
+
+    // Ownership = everything delivered to our buffer; the send loop below
+    // forwards subtree chunks onward but the bytes stay in place (the paper's
+    // Figure 4/5 top rows list this retained set per rank).
+    let owned_bytes = curr_size;
+
+    // Send phase: peel off the upper half of what we hold for each child,
+    // highest distance first (Figure 1's order: 0→4, then 0→2, 0→1).
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < size {
+            let send_size = curr_size.saturating_sub(scatter_size * mask);
+            if send_size > 0 {
+                let dst = absolute_rank(relative + mask, root, size);
+                let disp = ((relative + mask) * scatter_size).min(nbytes);
+                comm.send(&buf[disp..disp + send_size], dst, Tag::SCATTER)?;
+                curr_size -= send_size;
+            }
+        }
+        mask >>= 1;
+    }
+    Ok(owned_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::ThreadWorld;
+
+    /// Fill a reference pattern that makes positions distinguishable.
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 131 + 7) as u8).collect()
+    }
+
+    /// Run the scatter on a thread world and return each rank's buffer and
+    /// retained byte count.
+    fn run_scatter(size: usize, nbytes: usize, root: Rank) -> (Vec<Vec<u8>>, Vec<usize>) {
+        let src = pattern(nbytes);
+        let out = ThreadWorld::run(size, |comm| {
+            let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+            let kept = binomial_scatter(comm, &mut buf, root).unwrap();
+            (buf, kept)
+        });
+        let (bufs, kept) = out.results.into_iter().unzip();
+        (bufs, kept)
+    }
+
+    #[test]
+    fn every_rank_gets_its_ownership_interval() {
+        for &(size, nbytes) in
+            &[(8usize, 64usize), (8, 61), (10, 100), (10, 97), (9, 55), (5, 3), (16, 1), (7, 0)]
+        {
+            let src = pattern(nbytes);
+            let (bufs, kept) = run_scatter(size, nbytes, 0);
+            let layout = ChunkLayout::new(nbytes, size);
+            for rel in 0..size {
+                let own = owned_chunks(rel, size);
+                let span = layout.span(rel..(rel + own).min(size));
+                assert_eq!(
+                    &bufs[rel][span.clone()],
+                    &src[span.clone()],
+                    "size={size} nbytes={nbytes} rel={rel}"
+                );
+                assert_eq!(
+                    kept[rel],
+                    span.end - span.start,
+                    "curr_size mismatch size={size} nbytes={nbytes} rel={rel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_root_rotates_ownership() {
+        let size = 10;
+        let nbytes = 100;
+        let root = 7;
+        let src = pattern(nbytes);
+        let (bufs, _) = run_scatter(size, nbytes, root);
+        let layout = ChunkLayout::new(nbytes, size);
+        for (rank, buf) in bufs.iter().enumerate() {
+            let rel = mpsim::relative_rank(rank, root, size);
+            let own = owned_chunks(rel, size);
+            let span = layout.span(rel..(rel + own).min(size));
+            assert_eq!(&buf[span.clone()], &src[span], "rank={rank} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn owned_chunks_matches_paper_figure_1() {
+        // P = 8 (Figure 4 top row): {all}, {1}, {2,3}, {3}, {4..7}, {5}, {6,7}, {7}
+        let own: Vec<_> = (0..8).map(|r| owned_chunks(r, 8)).collect();
+        assert_eq!(own, vec![8, 1, 2, 1, 4, 1, 2, 1]);
+    }
+
+    #[test]
+    fn owned_chunks_matches_paper_figure_2() {
+        // P = 10 (Figure 5 top row): root all, p4 gets {4..7}, p8 gets {8,9}
+        let own: Vec<_> = (0..10).map(|r| owned_chunks(r, 10)).collect();
+        assert_eq!(own, vec![10, 1, 2, 1, 4, 1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn owned_chunks_covers_everything_exactly_via_tree() {
+        // The union of [r, r+own(r)) over odd-level... simply: every chunk c
+        // is owned by its scatter-tree ancestors only; the *sum* of owned
+        // equals the total bytes retained, and every chunk is owned by at
+        // least one rank (its own index).
+        for size in 1..70 {
+            for rel in 0..size {
+                let own = owned_chunks(rel, size);
+                assert!(own >= 1);
+                assert!(rel + own <= size, "interval escapes: rel={rel} size={size}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_message_count_is_p_minus_1() {
+        // Binomial scatter delivers exactly one message to every non-root rank.
+        for &(size, nbytes) in &[(8usize, 64usize), (10, 100), (13, 77)] {
+            let src = pattern(nbytes);
+            let out = ThreadWorld::run(size, |comm| {
+                let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+                binomial_scatter(comm, &mut buf, 0).unwrap();
+            });
+            assert_eq!(out.traffic.total_msgs(), (size - 1) as u64);
+            assert!(out.traffic.is_balanced());
+        }
+    }
+
+    #[test]
+    fn scatter_bytes_on_wire_match_subtree_sizes() {
+        // Each rank receives exactly its subtree's bytes: total wire bytes =
+        // sum over non-root ranks of span(rel..rel+own).
+        let (size, nbytes) = (10, 97);
+        let src = pattern(nbytes);
+        let out = ThreadWorld::run(size, |comm| {
+            let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+            binomial_scatter(comm, &mut buf, 0).unwrap();
+        });
+        let layout = ChunkLayout::new(nbytes, size);
+        let expected: usize =
+            (1..size).map(|rel| layout.span_bytes(rel..rel + owned_chunks(rel, size))).sum();
+        assert_eq!(out.traffic.total_bytes(), expected as u64);
+    }
+
+    #[test]
+    fn tiny_message_smaller_than_p() {
+        // nbytes < P: trailing ranks receive nothing but must not hang.
+        let (bufs, kept) = run_scatter(8, 3, 0);
+        let src = pattern(3);
+        assert_eq!(&bufs[0][..], &src[..]);
+        assert_eq!(kept[0], 3);
+        for rel in 1..3 {
+            assert_eq!(bufs[rel][rel], src[rel]);
+            assert_eq!(kept[rel], 1);
+        }
+        for &k in &kept[3..8] {
+            assert_eq!(k, 0);
+        }
+    }
+
+    #[test]
+    fn single_rank_scatter_is_identity() {
+        let (bufs, kept) = run_scatter(1, 10, 0);
+        assert_eq!(bufs[0], pattern(10));
+        assert_eq!(kept[0], 10);
+    }
+
+    #[test]
+    fn zero_byte_scatter() {
+        let (_, kept) = run_scatter(6, 0, 2);
+        assert!(kept.iter().all(|&k| k == 0));
+    }
+}

@@ -1,0 +1,242 @@
+//! Standalone `MPI_Scatter` and `MPI_Gather` over binomial trees — the
+//! dissemination/collection primitives MPICH builds its broadcast scatter
+//! phase from, provided here as proper collectives with MPI semantics
+//! (uniform block per rank, root holds the full buffer).
+
+use mpsim::{absolute_rank, relative_rank, Communicator, Rank, Result, Tag};
+
+/// `MPI_Scatter`: the root's `sendbuf` (length `block × P`, rank order) is
+/// split into `P` blocks; rank `r` receives block `r` into `recvbuf`.
+///
+/// Runs down a binomial tree in root-relative rank space: each internal node
+/// receives its whole subtree's blocks and forwards halves, `ceil(log2 P)`
+/// latency steps total. Non-root ranks pass an empty `sendbuf`.
+pub fn scatter_binomial(
+    comm: &(impl Communicator + ?Sized),
+    sendbuf: &[u8],
+    recvbuf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
+    comm.check_rank(root)?;
+    let size = comm.size();
+    let rank = comm.rank();
+    let block = recvbuf.len();
+    if rank == root {
+        assert_eq!(sendbuf.len(), block * size, "root scatter buffer must be block × P");
+    }
+
+    let relative = relative_rank(rank, root, size);
+
+    // Staging buffer in *relative* order so subtrees are contiguous.
+    let mut stage = vec![0u8; block * size];
+    let mut have = 0usize; // blocks held, starting at our own relative slot
+    if rank == root {
+        for rel in 0..size {
+            let abs = absolute_rank(rel, root, size);
+            stage[rel * block..(rel + 1) * block]
+                .copy_from_slice(&sendbuf[abs * block..(abs + 1) * block]);
+        }
+        have = size;
+    }
+
+    // Receive phase: the parent delivers our whole subtree.
+    let mut mask = 1usize;
+    while mask < size {
+        if relative & mask != 0 {
+            let src = absolute_rank(relative - mask, root, size);
+            let subtree = mask.min(size - relative);
+            let got = comm.recv(
+                &mut stage[relative * block..(relative + subtree) * block],
+                src,
+                Tag::SCATTER,
+            )?;
+            debug_assert_eq!(got, subtree * block);
+            have = subtree;
+            break;
+        }
+        mask <<= 1;
+    }
+
+    // Send phase: forward the upper half of what we hold to each child.
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < size {
+            let child_rel = relative + mask;
+            let child_blocks = have.saturating_sub(mask).min(mask.min(size - child_rel));
+            if child_blocks > 0 {
+                let dst = absolute_rank(child_rel, root, size);
+                comm.send(
+                    &stage[child_rel * block..(child_rel + child_blocks) * block],
+                    dst,
+                    Tag::SCATTER,
+                )?;
+                have -= child_blocks;
+            }
+        }
+        mask >>= 1;
+    }
+
+    recvbuf.copy_from_slice(&stage[relative * block..relative * block + block]);
+    Ok(())
+}
+
+/// `MPI_Gather`: rank `r`'s `sendbuf` (one block) ends up at block `r` of the
+/// root's `recvbuf` — the binomial mirror image of [`scatter_binomial`]:
+/// leaves send first, internal nodes accumulate their subtree before
+/// forwarding to their parent.
+pub fn gather_binomial(
+    comm: &(impl Communicator + ?Sized),
+    sendbuf: &[u8],
+    recvbuf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
+    comm.check_rank(root)?;
+    let size = comm.size();
+    let rank = comm.rank();
+    let block = sendbuf.len();
+    if rank == root {
+        assert_eq!(recvbuf.len(), block * size, "root gather buffer must be block × P");
+    }
+
+    let relative = relative_rank(rank, root, size);
+    let mut stage = vec![0u8; block * size];
+    stage[relative * block..(relative + 1) * block].copy_from_slice(sendbuf);
+    let mut have = 1usize; // contiguous blocks held from our relative slot
+
+    // Collect from children (nearest first — the reverse of scatter's order).
+    let mut mask = 1usize;
+    while mask < size {
+        if relative & mask != 0 {
+            // We have collected our whole subtree: ship it to the parent.
+            let dst = absolute_rank(relative - mask, root, size);
+            comm.send(&stage[relative * block..(relative + have) * block], dst, Tag::GATHER)?;
+            break;
+        }
+        let child_rel = relative + mask;
+        if child_rel < size {
+            let child_blocks = mask.min(size - child_rel);
+            let got = comm.recv(
+                &mut stage[child_rel * block..(child_rel + child_blocks) * block],
+                absolute_rank(child_rel, root, size),
+                Tag::GATHER,
+            )?;
+            debug_assert_eq!(got, child_blocks * block);
+            have += child_blocks;
+        }
+        mask <<= 1;
+    }
+
+    if rank == root {
+        debug_assert_eq!(have, size);
+        for rel in 0..size {
+            let abs = absolute_rank(rel, root, size);
+            recvbuf[abs * block..(abs + 1) * block]
+                .copy_from_slice(&stage[rel * block..(rel + 1) * block]);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::ThreadWorld;
+
+    fn root_payload(size: usize, block: usize) -> Vec<u8> {
+        (0..size)
+            .flat_map(|r| (0..block).map(move |i| ((r * 37 + i * 11) % 251) as u8))
+            .collect()
+    }
+
+    #[test]
+    fn scatter_delivers_each_block() {
+        for &(size, block, root) in &[
+            (1usize, 4usize, 0usize),
+            (2, 3, 1),
+            (8, 16, 0),
+            (8, 16, 5),
+            (10, 7, 9),
+            (13, 1, 6),
+            (5, 0, 2),
+        ] {
+            let payload = root_payload(size, block);
+            let out = ThreadWorld::run(size, |comm| {
+                let sendbuf =
+                    if comm.rank() == root { payload.clone() } else { Vec::new() };
+                let mut recvbuf = vec![0u8; block];
+                scatter_binomial(comm, &sendbuf, &mut recvbuf, root).unwrap();
+                recvbuf
+            });
+            for (rank, buf) in out.results.iter().enumerate() {
+                assert_eq!(
+                    buf,
+                    &payload[rank * block..(rank + 1) * block],
+                    "size={size} block={block} root={root} rank={rank}"
+                );
+            }
+            // binomial scatter: exactly one message per non-root rank
+            assert_eq!(out.traffic.total_msgs(), (size - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn gather_collects_each_block() {
+        for &(size, block, root) in &[
+            (1usize, 4usize, 0usize),
+            (2, 3, 0),
+            (8, 16, 0),
+            (8, 16, 3),
+            (10, 7, 9),
+            (13, 2, 12),
+            (6, 0, 1),
+        ] {
+            let out = ThreadWorld::run(size, |comm| {
+                let sendbuf: Vec<u8> =
+                    (0..block).map(|i| ((comm.rank() * 37 + i * 11) % 251) as u8).collect();
+                let mut recvbuf =
+                    if comm.rank() == root { vec![0u8; block * size] } else { Vec::new() };
+                gather_binomial(comm, &sendbuf, &mut recvbuf, root).unwrap();
+                recvbuf
+            });
+            assert_eq!(
+                out.results[root],
+                root_payload(size, block),
+                "size={size} block={block} root={root}"
+            );
+            assert_eq!(out.traffic.total_msgs(), (size - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn scatter_then_gather_round_trips() {
+        let (size, block, root) = (11usize, 9usize, 4usize);
+        let payload = root_payload(size, block);
+        let out = ThreadWorld::run(size, |comm| {
+            let sendbuf = if comm.rank() == root { payload.clone() } else { Vec::new() };
+            let mut mine = vec![0u8; block];
+            scatter_binomial(comm, &sendbuf, &mut mine, root).unwrap();
+            let mut gathered =
+                if comm.rank() == root { vec![0u8; block * size] } else { Vec::new() };
+            gather_binomial(comm, &mine, &mut gathered, root).unwrap();
+            gathered
+        });
+        assert_eq!(out.results[root], payload);
+    }
+
+    #[test]
+    fn scatter_gather_message_sizes_follow_subtrees() {
+        // Internal tree nodes carry whole subtrees: total wire bytes equal
+        // sum over non-root ranks of subtree_blocks × block.
+        let (size, block) = (10usize, 8usize);
+        let payload = root_payload(size, block);
+        let out = ThreadWorld::run(size, |comm| {
+            let sendbuf = if comm.rank() == 0 { payload.clone() } else { Vec::new() };
+            let mut recvbuf = vec![0u8; block];
+            scatter_binomial(comm, &sendbuf, &mut recvbuf, 0).unwrap();
+        });
+        let expected: usize = (1..size)
+            .map(|rel| crate::scatter::owned_chunks(rel, size) * block)
+            .sum();
+        assert_eq!(out.traffic.total_bytes(), expected as u64);
+    }
+}

@@ -1,0 +1,211 @@
+//! Multi-core-aware (SMP) broadcast — the three-phase scheme the paper's
+//! Section I describes for medium messages with non-power-of-two process
+//! counts:
+//!
+//! 1. intra-node broadcast on the **root's node** (binomial tree),
+//! 2. **inter-node** broadcast among the node leaders
+//!    (scatter-ring-allgather — native or tuned),
+//! 3. intra-node broadcast on **every other node** (binomial tree).
+//!
+//! Rank→node placement is *block* (consecutive ranks fill a node before the
+//! next node starts), which is the default placement on the paper's Hornet
+//! system.
+
+use mpsim::{Communicator, Rank, Result, SubComm};
+
+use crate::bcast::{bcast_with, Algorithm};
+use crate::binomial::bcast_binomial;
+
+/// Block placement of ranks onto nodes with a fixed number of cores per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeMap {
+    /// Ranks per node (24 on Hornet, 8 on Laki).
+    pub cores_per_node: usize,
+}
+
+impl NodeMap {
+    /// New block placement with `cores_per_node` ranks per node.
+    pub fn new(cores_per_node: usize) -> Self {
+        assert!(cores_per_node >= 1);
+        Self { cores_per_node }
+    }
+
+    /// Node index hosting `rank`.
+    pub fn node_of(&self, rank: Rank) -> usize {
+        rank / self.cores_per_node
+    }
+
+    /// Number of nodes needed for a world of `size` ranks.
+    pub fn node_count(&self, size: usize) -> usize {
+        size.div_ceil(self.cores_per_node)
+    }
+
+    /// Leader (lowest rank) of `node`.
+    pub fn leader_of(&self, node: usize) -> Rank {
+        node * self.cores_per_node
+    }
+
+    /// All ranks of `node` within a world of `size` ranks.
+    pub fn ranks_of(&self, node: usize, size: usize) -> Vec<Rank> {
+        let start = node * self.cores_per_node;
+        let end = (start + self.cores_per_node).min(size);
+        (start..end).collect()
+    }
+
+    /// Whether two ranks share a node — the intra/inter classifier used by
+    /// traffic splitting and the cluster simulator.
+    pub fn same_node(&self, a: Rank, b: Rank) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+/// Three-phase SMP-aware broadcast.
+///
+/// `inter_algorithm` selects the inter-node (leader) phase —
+/// [`Algorithm::ScatterRingNative`] reproduces the MPICH3 behaviour the paper
+/// describes, [`Algorithm::ScatterRingTuned`] is the optimized variant.
+pub fn bcast_smp(
+    comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+    nodes: &NodeMap,
+    inter_algorithm: Algorithm,
+) -> Result<()> {
+    comm.check_rank(root)?;
+    let size = comm.size();
+    let rank = comm.rank();
+    if size == 1 {
+        return Ok(());
+    }
+
+    let root_node = nodes.node_of(root);
+    let my_node = nodes.node_of(rank);
+
+    // Phase 1: intra-node broadcast on the root's node so its leader holds
+    // the data.
+    if my_node == root_node {
+        let members = nodes.ranks_of(root_node, size);
+        if members.len() > 1 {
+            let sub = SubComm::new(comm, members)
+                .expect("rank is on the root node but missing from member list");
+            let local_root = sub.from_parent(root).expect("root missing from its own node");
+            bcast_binomial(&sub, buf, local_root)?;
+        }
+    }
+
+    // Phase 2: inter-node broadcast among node leaders.
+    let leaders: Vec<Rank> =
+        (0..nodes.node_count(size)).map(|n| nodes.leader_of(n)).collect();
+    if leaders.len() > 1 {
+        if let Some(sub) = SubComm::new(comm, leaders) {
+            let local_root =
+                sub.from_parent(nodes.leader_of(root_node)).expect("root node has no leader");
+            bcast_with(&sub, buf, local_root, inter_algorithm)?;
+        }
+    }
+
+    // Phase 3: intra-node broadcast on every node except the root's.
+    if my_node != root_node {
+        let members = nodes.ranks_of(my_node, size);
+        if members.len() > 1 {
+            let sub =
+                SubComm::new(comm, members).expect("rank missing from its own node's member list");
+            let local_root = sub
+                .from_parent(nodes.leader_of(my_node))
+                .expect("node leader missing from node members");
+            bcast_binomial(&sub, buf, local_root)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::ThreadWorld;
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 101 + 17) as u8).collect()
+    }
+
+    #[test]
+    fn node_map_block_placement() {
+        let m = NodeMap::new(4);
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(3), 0);
+        assert_eq!(m.node_of(4), 1);
+        assert_eq!(m.node_count(9), 3);
+        assert_eq!(m.leader_of(2), 8);
+        assert_eq!(m.ranks_of(2, 9), vec![8]);
+        assert_eq!(m.ranks_of(1, 9), vec![4, 5, 6, 7]);
+        assert!(m.same_node(5, 6));
+        assert!(!m.same_node(3, 4));
+    }
+
+    #[test]
+    fn smp_bcast_completes() {
+        for &(size, cpn, nbytes, root) in &[
+            (12usize, 4usize, 120usize, 0usize),
+            (12, 4, 120, 5),   // root not a leader
+            (10, 4, 97, 9),    // ragged last node, root on it
+            (9, 3, 50, 4),
+            (8, 8, 64, 3),     // single node
+            (6, 1, 30, 2),     // one rank per node (pure inter)
+            (24, 6, 12288, 13),
+        ] {
+            for algorithm in [Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned] {
+                let src = pattern(nbytes);
+                ThreadWorld::run(size, |comm| {
+                    let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+                    bcast_smp(comm, &mut buf, root, &NodeMap::new(cpn), algorithm).unwrap();
+                    assert_eq!(buf, src, "rank {} (size={size} cpn={cpn})", comm.rank());
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn inter_node_traffic_only_between_leaders() {
+        let (size, cpn) = (12usize, 4usize);
+        let nodes = NodeMap::new(cpn);
+        let out = ThreadWorld::run(size, |comm| {
+            let mut buf = if comm.rank() == 0 { pattern(120) } else { vec![0u8; 120] };
+            bcast_smp(comm, &mut buf, 0, &NodeMap::new(cpn), Algorithm::ScatterRingTuned).unwrap();
+        });
+        for (src, st) in out.traffic.per_rank.iter().enumerate() {
+            for (&dst, pt) in &st.by_peer {
+                if pt.msgs_sent > 0 && !nodes.same_node(src, dst) {
+                    // inter-node messages must be leader-to-leader
+                    assert_eq!(src % cpn, 0, "non-leader {src} sent inter-node");
+                    assert_eq!(dst % cpn, 0, "non-leader {dst} received inter-node");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smp_tuned_reduces_inter_node_messages() {
+        let (size, cpn, nbytes) = (20usize, 4usize, 400usize);
+        let nodes = NodeMap::new(cpn);
+        let count_inter = |algorithm: Algorithm| {
+            let out = ThreadWorld::run(size, |comm| {
+                let mut buf = if comm.rank() == 0 { pattern(nbytes) } else { vec![0u8; nbytes] };
+                bcast_smp(comm, &mut buf, 0, &NodeMap::new(cpn), algorithm).unwrap();
+            });
+            out.traffic.split_msgs(|a, b| nodes.same_node(a, b)).1
+        };
+        let native = count_inter(Algorithm::ScatterRingNative);
+        let tuned = count_inter(Algorithm::ScatterRingTuned);
+        // 5 leaders: native ring 5·4 = 20 msgs + 4 scatter; tuned 5²−Σown.
+        assert_eq!(native, 20 + 4);
+        assert!(tuned < native, "tuned {tuned} native {native}");
+    }
+
+    #[test]
+    fn single_rank_world_is_noop() {
+        ThreadWorld::run(1, |comm| {
+            let mut buf = vec![1, 2, 3];
+            bcast_smp(comm, &mut buf, 0, &NodeMap::new(4), Algorithm::ScatterRingTuned).unwrap();
+        });
+    }
+}

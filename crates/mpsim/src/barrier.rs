@@ -1,0 +1,133 @@
+//! A stoppable sense-reversing barrier.
+//!
+//! `std::sync::Barrier` cannot be interrupted: if one rank panics before
+//! reaching the barrier, every other rank blocks forever. World teardown
+//! needs to be able to fail blocked rendezvous, so we use a small
+//! condvar-based barrier with a `stop` switch, mirroring the mailbox design.
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{CommError, Result};
+
+struct State {
+    /// Ranks currently waiting in the active phase.
+    waiting: usize,
+    /// Phase counter; flips each time the barrier releases.
+    generation: u64,
+    /// Set on teardown; all waiters return `WorldStopped`.
+    stopped: bool,
+}
+
+/// Reusable barrier for a fixed number of participants.
+pub struct StopBarrier {
+    parties: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl StopBarrier {
+    /// Barrier releasing once `parties` threads have called [`wait`](Self::wait).
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "barrier needs at least one party");
+        Self {
+            parties,
+            state: Mutex::new(State { waiting: 0, generation: 0, stopped: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until all parties arrive (or the barrier is stopped).
+    pub fn wait(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.stopped {
+            return Err(CommError::WorldStopped);
+        }
+        st.waiting += 1;
+        if st.waiting == self.parties {
+            st.waiting = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = st.generation;
+        while st.generation == gen && !st.stopped {
+            self.cv.wait(&mut st);
+        }
+        if st.stopped && st.generation == gen {
+            return Err(CommError::WorldStopped);
+        }
+        Ok(())
+    }
+
+    /// Fail all current and future waiters.
+    pub fn stop(&self) {
+        let mut st = self.state.lock();
+        st.stopped = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = StopBarrier::new(1);
+        for _ in 0..10 {
+            b.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn releases_all_parties_together() {
+        let n = 8;
+        let b = Arc::new(StopBarrier::new(n));
+        let before = Arc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for _ in 0..n {
+            let b = Arc::clone(&b);
+            let before = Arc::clone(&before);
+            handles.push(std::thread::spawn(move || {
+                before.fetch_add(1, Ordering::SeqCst);
+                b.wait().unwrap();
+                // by the time anyone exits, everyone must have arrived
+                assert_eq!(before.load(Ordering::SeqCst), n);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn reusable_across_generations() {
+        let n = 4;
+        let b = Arc::new(StopBarrier::new(n));
+        let mut handles = vec![];
+        for _ in 0..n {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    b.wait().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn stop_unblocks_waiters() {
+        let b = Arc::new(StopBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || b2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        b.stop();
+        assert_eq!(h.join().unwrap().unwrap_err(), CommError::WorldStopped);
+        assert_eq!(b.wait().unwrap_err(), CommError::WorldStopped);
+    }
+}

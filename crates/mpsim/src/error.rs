@@ -1,0 +1,94 @@
+//! Error type shared by every [`Communicator`](crate::Communicator) backend.
+
+use crate::rank::Rank;
+
+/// Errors surfaced by point-to-point and collective operations.
+///
+/// MPI reports most of these as fatal; we surface them as values so tests can
+/// assert on them, and collectives propagate them with `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A received message was longer than the posted receive buffer
+    /// (MPI's `MPI_ERR_TRUNCATE`).
+    Truncation {
+        /// Capacity of the posted receive buffer.
+        capacity: usize,
+        /// Size of the matched incoming message.
+        incoming: usize,
+    },
+    /// A rank argument was outside `0..size`.
+    InvalidRank {
+        /// The offending rank.
+        rank: Rank,
+        /// The communicator size.
+        size: usize,
+    },
+    /// A count/displacement pair pointed outside the caller's buffer.
+    OutOfBounds {
+        /// Requested displacement.
+        disp: usize,
+        /// Requested count.
+        count: usize,
+        /// Buffer length.
+        len: usize,
+    },
+    /// The world was torn down (a peer panicked or exited) while this rank
+    /// was blocked in a call.
+    WorldStopped,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Truncation { capacity, incoming } => write!(
+                f,
+                "message truncated: incoming {incoming} bytes exceeds receive capacity {capacity}"
+            ),
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "invalid rank {rank} for communicator of size {size}")
+            }
+            CommError::OutOfBounds { disp, count, len } => write!(
+                f,
+                "region [{disp}, {disp}+{count}) out of bounds for buffer of length {len}"
+            ),
+            CommError::WorldStopped => write!(f, "world stopped while operation was in flight"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, CommError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings_mention_key_numbers() {
+        let e = CommError::Truncation { capacity: 4, incoming: 9 };
+        let s = e.to_string();
+        assert!(s.contains('4') && s.contains('9'));
+
+        let e = CommError::InvalidRank { rank: 12, size: 8 };
+        assert!(e.to_string().contains("12"));
+
+        let e = CommError::OutOfBounds { disp: 10, count: 20, len: 16 };
+        assert!(e.to_string().contains("16"));
+
+        assert!(CommError::WorldStopped.to_string().contains("stopped"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            CommError::InvalidRank { rank: 1, size: 1 },
+            CommError::InvalidRank { rank: 1, size: 1 }
+        );
+        assert_ne!(
+            CommError::WorldStopped,
+            CommError::InvalidRank { rank: 0, size: 1 }
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! # mpsim — an MPI-like message-passing runtime for collective-algorithm research
+//!
+//! This crate provides the point-to-point substrate on which the broadcast
+//! collectives of the paper *"A Bandwidth-saving Optimization for MPI Broadcast
+//! Collective Operation"* (Zhou et al., ICPP 2015) are implemented and measured.
+//!
+//! It deliberately mirrors the small slice of MPI semantics the paper's
+//! pseudo-code relies on:
+//!
+//! * a fixed-size *world* of `P` ranks (`0..P`),
+//! * blocking, tag-matched [`Communicator::send`] / [`Communicator::recv`] with
+//!   per-`(source, tag)` FIFO ordering (MPI's non-overtaking rule),
+//! * a combined [`Communicator::sendrecv`] (the workhorse of ring allgather),
+//! * a [`Communicator::barrier`],
+//! * per-rank traffic accounting ([`TrafficStats`]) so that the paper's
+//!   transfer-count arithmetic (`P·(P−1)` vs the tuned count) can be *measured*
+//!   rather than merely asserted.
+//!
+//! Two executors implement [`Communicator`]:
+//!
+//! * [`ThreadWorld`] (this crate): one OS thread per rank with real byte
+//!   movement through mailboxes — used for correctness tests and wall-clock
+//!   (intra-node-style) benchmarks;
+//! * `netsim::SimWorld` (sibling crate): the same trait over a virtual-time
+//!   cluster simulator standing in for the paper's Cray XC40.
+//!
+//! Collective algorithms are written once against the trait and run unchanged
+//! on both, exactly like the paper's "user-level" implementation runs on both
+//! of its machines.
+//!
+//! ## Example
+//!
+//! ```
+//! use mpsim::{ThreadWorld, Communicator, Tag};
+//!
+//! let outcome = ThreadWorld::run(4, |comm| {
+//!     // rank 0 sends its rank to everyone else
+//!     if comm.rank() == 0 {
+//!         for peer in 1..comm.size() {
+//!             comm.send(&[42], peer, Tag(7)).unwrap();
+//!         }
+//!         42u8
+//!     } else {
+//!         let mut buf = [0u8; 1];
+//!         comm.recv(&mut buf, 0, Tag(7)).unwrap();
+//!         buf[0]
+//!     }
+//! });
+//! assert!(outcome.results.iter().all(|&v| v == 42));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod barrier;
+pub mod comm;
+pub mod counters;
+pub mod error;
+pub mod mailbox;
+pub mod nonblocking;
+pub mod rank;
+pub mod sub_comm;
+pub mod thread_comm;
+
+pub use barrier::StopBarrier;
+pub use comm::{split_send_recv, Communicator};
+pub use counters::{PeerTraffic, TrafficStats, WorldTraffic};
+pub use error::{CommError, Result};
+pub use nonblocking::NonBlocking;
+pub use rank::{
+    absolute_rank, ceil_div, ceil_log2, ceil_pof2, is_pof2, relative_rank, ring_left,
+    ring_right, Rank, Tag,
+};
+pub use sub_comm::SubComm;
+pub use thread_comm::{ThreadComm, ThreadWorld, WorldOutcome};

@@ -1,0 +1,184 @@
+//! Per-rank mailbox with MPI-style `(source, tag)` matching.
+//!
+//! Each rank owns one [`Mailbox`]. Senders push envelopes; the owning rank
+//! blocks in [`Mailbox::pop_blocking`] until a message matching the requested
+//! `(source, tag)` pair is present. Messages for a given pair are delivered
+//! strictly in push order (MPI's non-overtaking guarantee), implemented as a
+//! FIFO queue per pair.
+
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{CommError, Result};
+use crate::rank::{Rank, Tag};
+
+/// A delivered message payload.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sending rank (kept for diagnostics; matching already fixed it).
+    pub src: Rank,
+    /// The payload.
+    pub data: Box<[u8]>,
+}
+
+#[derive(Default)]
+struct State {
+    /// FIFO of pending messages per (source, tag).
+    queues: HashMap<(Rank, Tag), VecDeque<Envelope>>,
+    /// Set when the world is tearing down; wakes all blocked receivers.
+    stopped: bool,
+}
+
+/// Mailbox owned by a single receiving rank.
+///
+/// `push` may be called from any thread; `pop_blocking` is called by the
+/// owning rank's thread.
+#[derive(Default)]
+pub struct Mailbox {
+    state: Mutex<State>,
+    available: Condvar,
+}
+
+impl Mailbox {
+    /// Create an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver a message from `src` with `tag`.
+    pub fn push(&self, src: Rank, tag: Tag, data: Box<[u8]>) {
+        let mut st = self.state.lock();
+        st.queues
+            .entry((src, tag))
+            .or_default()
+            .push_back(Envelope { src, data });
+        // Wake all waiters: the owning rank may be blocked on a different
+        // (src, tag) in `sendrecv`'s receive half, and spurious wakeups are
+        // benign.
+        self.available.notify_all();
+    }
+
+    /// Block until a message from `src` with `tag` is available and return it.
+    pub fn pop_blocking(&self, src: Rank, tag: Tag) -> Result<Envelope> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(q) = st.queues.get_mut(&(src, tag)) {
+                if let Some(env) = q.pop_front() {
+                    return Ok(env);
+                }
+            }
+            if st.stopped {
+                return Err(CommError::WorldStopped);
+            }
+            self.available.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking variant: returns `None` when no matching message is
+    /// queued (an `MPI_Iprobe`-with-receive convenience for tests).
+    pub fn try_pop(&self, src: Rank, tag: Tag) -> Option<Envelope> {
+        let mut st = self.state.lock();
+        st.queues.get_mut(&(src, tag)).and_then(VecDeque::pop_front)
+    }
+
+    /// Number of queued messages matching `(src, tag)`.
+    pub fn pending(&self, src: Rank, tag: Tag) -> usize {
+        let st = self.state.lock();
+        st.queues.get(&(src, tag)).map_or(0, VecDeque::len)
+    }
+
+    /// Total queued messages across all pairs (diagnostics; a clean run
+    /// should end with 0 everywhere).
+    pub fn pending_total(&self) -> usize {
+        let st = self.state.lock();
+        st.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Mark the world as stopped, failing all current and future blocking
+    /// receives with [`CommError::WorldStopped`].
+    pub fn stop(&self) {
+        let mut st = self.state.lock();
+        st.stopped = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_per_pair() {
+        let mb = Mailbox::new();
+        mb.push(1, Tag(5), vec![1].into());
+        mb.push(1, Tag(5), vec![2].into());
+        mb.push(1, Tag(5), vec![3].into());
+        assert_eq!(&*mb.pop_blocking(1, Tag(5)).unwrap().data, &[1]);
+        assert_eq!(&*mb.pop_blocking(1, Tag(5)).unwrap().data, &[2]);
+        assert_eq!(&*mb.pop_blocking(1, Tag(5)).unwrap().data, &[3]);
+    }
+
+    #[test]
+    fn matching_is_exact_on_src_and_tag() {
+        let mb = Mailbox::new();
+        mb.push(1, Tag(5), vec![10].into());
+        mb.push(2, Tag(5), vec![20].into());
+        mb.push(1, Tag(6), vec![30].into());
+        assert_eq!(&*mb.pop_blocking(2, Tag(5)).unwrap().data, &[20]);
+        assert_eq!(&*mb.pop_blocking(1, Tag(6)).unwrap().data, &[30]);
+        assert_eq!(&*mb.pop_blocking(1, Tag(5)).unwrap().data, &[10]);
+    }
+
+    #[test]
+    fn try_pop_does_not_block() {
+        let mb = Mailbox::new();
+        assert!(mb.try_pop(0, Tag(0)).is_none());
+        mb.push(0, Tag(0), vec![].into());
+        assert!(mb.try_pop(0, Tag(0)).is_some());
+        assert!(mb.try_pop(0, Tag(0)).is_none());
+    }
+
+    #[test]
+    fn pending_counts() {
+        let mb = Mailbox::new();
+        assert_eq!(mb.pending(3, Tag(1)), 0);
+        mb.push(3, Tag(1), vec![].into());
+        mb.push(3, Tag(1), vec![].into());
+        mb.push(4, Tag(1), vec![].into());
+        assert_eq!(mb.pending(3, Tag(1)), 2);
+        assert_eq!(mb.pending_total(), 3);
+    }
+
+    #[test]
+    fn blocking_receiver_woken_by_push() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let h = std::thread::spawn(move || mb2.pop_blocking(7, Tag(9)).unwrap());
+        // Give the receiver a moment to block, then deliver.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        mb.push(7, Tag(9), vec![42].into());
+        assert_eq!(&*h.join().unwrap().data, &[42]);
+    }
+
+    #[test]
+    fn stop_unblocks_with_error() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let h = std::thread::spawn(move || mb2.pop_blocking(0, Tag(0)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        mb.stop();
+        assert_eq!(h.join().unwrap().unwrap_err(), CommError::WorldStopped);
+        // and future receives fail immediately
+        assert_eq!(mb.pop_blocking(0, Tag(0)).unwrap_err(), CommError::WorldStopped);
+    }
+
+    #[test]
+    fn zero_byte_messages_are_real_messages() {
+        let mb = Mailbox::new();
+        mb.push(0, Tag(0), Box::new([]));
+        let env = mb.pop_blocking(0, Tag(0)).unwrap();
+        assert_eq!(env.data.len(), 0);
+    }
+}

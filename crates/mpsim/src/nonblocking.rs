@@ -1,0 +1,139 @@
+//! Nonblocking point-to-point (`MPI_Isend` / `MPI_Irecv` / `MPI_Wait`).
+//!
+//! The blocking [`Communicator`] API is all the paper's algorithms need, but
+//! pipelined algorithms (e.g. segmented chain broadcast) want a receive
+//! posted *while* the previous segment is still being forwarded. The
+//! [`NonBlocking`] extension trait provides exactly the post/wait pair; the
+//! receive is posted by `(capacity, source, tag)` and the payload is
+//! delivered into the caller's buffer at wait time, which keeps borrows
+//! short without losing any overlap (both backends buffer internally).
+
+use crate::comm::Communicator;
+use crate::error::Result;
+use crate::rank::{Rank, Tag};
+
+/// Post/wait point-to-point operations. Every handle must be waited on;
+/// dropping one without waiting loses the operation's completion (and, for
+/// receives, the message).
+pub trait NonBlocking: Communicator {
+    /// In-flight send handle.
+    type SendPending;
+    /// In-flight receive handle.
+    type RecvPending;
+
+    /// Start a send; the payload is captured immediately (like an MPI
+    /// buffered/eager send), so `buf` may be reused as soon as this returns.
+    fn isend(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<Self::SendPending>;
+
+    /// Post a receive for up to `capacity` bytes from `src` with `tag`.
+    fn irecv(&self, capacity: usize, src: Rank, tag: Tag) -> Result<Self::RecvPending>;
+
+    /// Complete a send.
+    fn wait_send(&self, pending: Self::SendPending) -> Result<()>;
+
+    /// Complete a receive, copying the payload into `buf` (which must be at
+    /// least the posted capacity) and returning its length.
+    fn wait_recv(&self, pending: Self::RecvPending, buf: &mut [u8]) -> Result<usize>;
+}
+
+/// Threaded backend: sends are already buffered (they complete at post
+/// time); a posted receive just records the match key — MPI's
+/// non-overtaking rule guarantees that waiting later picks exactly the
+/// message that was next at post time, *provided* posted receives for the
+/// same `(src, tag)` are waited in post order.
+pub struct ThreadSendPending(());
+
+/// Pending receive on the threaded backend.
+pub struct ThreadRecvPending {
+    src: Rank,
+    tag: Tag,
+    capacity: usize,
+}
+
+impl NonBlocking for crate::thread_comm::ThreadComm {
+    type SendPending = ThreadSendPending;
+    type RecvPending = ThreadRecvPending;
+
+    fn isend(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<Self::SendPending> {
+        self.send(buf, dest, tag)?;
+        Ok(ThreadSendPending(()))
+    }
+
+    fn irecv(&self, capacity: usize, src: Rank, tag: Tag) -> Result<Self::RecvPending> {
+        self.check_rank(src)?;
+        Ok(ThreadRecvPending { src, tag, capacity })
+    }
+
+    fn wait_send(&self, _pending: Self::SendPending) -> Result<()> {
+        Ok(())
+    }
+
+    fn wait_recv(&self, pending: Self::RecvPending, buf: &mut [u8]) -> Result<usize> {
+        assert!(
+            buf.len() >= pending.capacity,
+            "wait_recv buffer smaller than the posted capacity"
+        );
+        self.recv(&mut buf[..pending.capacity], pending.src, pending.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread_comm::ThreadWorld;
+
+    #[test]
+    fn isend_completes_immediately_and_delivers() {
+        let out = ThreadWorld::run(2, |comm| {
+            if comm.rank() == 0 {
+                let p = comm.isend(&[1, 2, 3], 1, Tag(0)).unwrap();
+                comm.wait_send(p).unwrap();
+                vec![]
+            } else {
+                let p = comm.irecv(3, 0, Tag(0)).unwrap();
+                let mut buf = [0u8; 3];
+                let n = comm.wait_recv(p, &mut buf).unwrap();
+                buf[..n].to_vec()
+            }
+        });
+        assert_eq!(out.results[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn posted_receives_complete_in_post_order() {
+        let out = ThreadWorld::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..4u8 {
+                    comm.send(&[i], 1, Tag(7)).unwrap();
+                }
+                vec![]
+            } else {
+                let pendings: Vec<_> =
+                    (0..4).map(|_| comm.irecv(1, 0, Tag(7)).unwrap()).collect();
+                let mut got = Vec::new();
+                for p in pendings {
+                    let mut b = [0u8; 1];
+                    comm.wait_recv(p, &mut b).unwrap();
+                    got.push(b[0]);
+                }
+                got
+            }
+        });
+        assert_eq!(out.results[1], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn overlap_send_and_recv_through_posts() {
+        // classic exchange without sendrecv: post both, then wait both
+        let out = ThreadWorld::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            let sp = comm.isend(&[comm.rank() as u8], peer, Tag(1)).unwrap();
+            let rp = comm.irecv(1, peer, Tag(1)).unwrap();
+            let mut b = [0u8; 1];
+            comm.wait_recv(rp, &mut b).unwrap();
+            comm.wait_send(sp).unwrap();
+            b[0]
+        });
+        assert_eq!(out.results, vec![1, 0]);
+    }
+}

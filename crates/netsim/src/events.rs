@@ -1,0 +1,143 @@
+//! Transfer-event tracing: an optional per-message record of what the
+//! fabric did, for post-mortem analysis of a simulated run (per-level
+//! volumes, time profiles, hot nodes) without instrumenting algorithms.
+//!
+//! Recording is opt-in (`SimWorld::run_traced`) because a large sweep can
+//! commit millions of transfers.
+
+use mpsim::Rank;
+
+use crate::topology::{Level, Placement};
+
+/// One completed point-to-point transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferEvent {
+    /// Sending rank.
+    pub src: Rank,
+    /// Receiving rank.
+    pub dst: Rank,
+    /// Payload bytes.
+    pub bytes: usize,
+    /// Communication level (derived from the run's placement).
+    pub level: Level,
+    /// Whether the eager protocol carried it.
+    pub eager: bool,
+    /// Virtual time the sender was ready to move the data.
+    pub sender_ready_ns: f64,
+    /// Virtual time the receiver observed completion.
+    pub delivered_ns: f64,
+}
+
+impl TransferEvent {
+    /// End-to-end latency the receiver observed past sender readiness.
+    pub fn span_ns(&self) -> f64 {
+        self.delivered_ns - self.sender_ready_ns
+    }
+}
+
+/// Aggregate view over a trace.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Messages and bytes that stayed on a node.
+    pub intra_msgs: u64,
+    /// Intra-node payload bytes.
+    pub intra_bytes: u64,
+    /// Messages that crossed nodes.
+    pub inter_msgs: u64,
+    /// Inter-node payload bytes.
+    pub inter_bytes: u64,
+    /// Eager-protocol messages.
+    pub eager_msgs: u64,
+    /// Mean observed transfer span in nanoseconds.
+    pub mean_span_ns: f64,
+    /// Maximum observed transfer span in nanoseconds.
+    pub max_span_ns: f64,
+}
+
+/// Summarize a trace.
+pub fn summarize(events: &[TransferEvent]) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    let mut span_total = 0.0;
+    for e in events {
+        match e.level {
+            Level::IntraNode => {
+                s.intra_msgs += 1;
+                s.intra_bytes += e.bytes as u64;
+            }
+            Level::InterNode => {
+                s.inter_msgs += 1;
+                s.inter_bytes += e.bytes as u64;
+            }
+        }
+        s.eager_msgs += u64::from(e.eager);
+        span_total += e.span_ns();
+        s.max_span_ns = s.max_span_ns.max(e.span_ns());
+    }
+    if !events.is_empty() {
+        s.mean_span_ns = span_total / events.len() as f64;
+    }
+    s
+}
+
+/// Per-node outgoing byte totals — quick "who is the hot spot" view.
+pub fn bytes_by_source_node(events: &[TransferEvent], placement: Placement) -> Vec<u64> {
+    let nodes = events
+        .iter()
+        .map(|e| placement.node_of(e.src))
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut out = vec![0u64; nodes];
+    for e in events {
+        out[placement.node_of(e.src)] += e.bytes as u64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src: Rank, dst: Rank, bytes: usize, level: Level, t0: f64, t1: f64) -> TransferEvent {
+        TransferEvent {
+            src,
+            dst,
+            bytes,
+            level,
+            eager: false,
+            sender_ready_ns: t0,
+            delivered_ns: t1,
+        }
+    }
+
+    #[test]
+    fn summary_splits_levels_and_spans() {
+        let events = vec![
+            ev(0, 1, 100, Level::IntraNode, 0.0, 10.0),
+            ev(0, 8, 200, Level::InterNode, 5.0, 35.0),
+            ev(1, 9, 50, Level::InterNode, 0.0, 20.0),
+        ];
+        let s = summarize(&events);
+        assert_eq!(s.intra_msgs, 1);
+        assert_eq!(s.intra_bytes, 100);
+        assert_eq!(s.inter_msgs, 2);
+        assert_eq!(s.inter_bytes, 250);
+        assert_eq!(s.max_span_ns, 30.0);
+        assert!((s.mean_span_ns - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_summarizes_to_zeros() {
+        assert_eq!(summarize(&[]), TraceSummary::default());
+    }
+
+    #[test]
+    fn per_node_byte_attribution() {
+        let p = Placement::new(4);
+        let events = vec![
+            ev(0, 5, 100, Level::InterNode, 0.0, 1.0),
+            ev(1, 2, 10, Level::IntraNode, 0.0, 1.0),
+            ev(6, 0, 40, Level::InterNode, 0.0, 1.0),
+        ];
+        assert_eq!(bytes_by_source_node(&events, p), vec![110, 40]);
+    }
+}

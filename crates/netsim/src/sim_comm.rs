@@ -1,0 +1,721 @@
+//! The simulated executor: one OS thread per rank, each carrying a virtual
+//! clock, all sharing one [`Fabric`].
+//!
+//! `SimWorld::run` mirrors `mpsim::ThreadWorld::run` — the same collective
+//! code runs on both — but time is *virtual*: `Communicator::now_ns` returns
+//! the rank's simulated clock, and [`SimOutcome`] reports per-rank finish
+//! times and the makespan of the run, which the benchmark harness converts
+//! into the paper's bandwidth numbers.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mpsim::barrier::StopBarrier;
+use mpsim::counters::CounterCell;
+use mpsim::{ceil_log2, CommError, Communicator, Rank, Result, Tag, TrafficStats, WorldTraffic};
+
+use crate::fabric::{Fabric, SimTime};
+use crate::model::NetworkModel;
+use crate::topology::Placement;
+
+/// Everything a simulated world run produced.
+#[derive(Debug)]
+pub struct SimOutcome<R> {
+    /// Per-rank return values of the user closure, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank traffic statistics.
+    pub traffic: WorldTraffic,
+    /// Per-rank final virtual times in nanoseconds.
+    pub finish_ns: Vec<f64>,
+    /// Maximum finish time — the simulated wall-clock of the whole run.
+    pub makespan_ns: f64,
+    /// Per-rank time breakdown (communication vs modelled compute).
+    pub breakdown: Vec<TimeBreakdown>,
+}
+
+/// Where a rank's virtual time went.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    /// Time spent inside communication calls (including blocking waits).
+    pub comm_ns: f64,
+    /// Time added by [`SimComm::compute`].
+    pub compute_ns: f64,
+}
+
+impl TimeBreakdown {
+    /// Fraction of the rank's total busy time spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        let total = self.comm_ns + self.compute_ns;
+        if total > 0.0 {
+            self.comm_ns / total
+        } else {
+            0.0
+        }
+    }
+}
+
+struct BarrierState {
+    vtimes: Vec<SimTime>,
+}
+
+struct Shared {
+    fabric: Fabric,
+    enter: StopBarrier,
+    leave: StopBarrier,
+    barrier_state: Mutex<BarrierState>,
+}
+
+/// Entry point for simulated runs.
+pub struct SimWorld;
+
+impl SimWorld {
+    /// Run `f` on `n` simulated ranks placed on a cluster of
+    /// `placement.cores_per_node`-core nodes with network `model`.
+    ///
+    /// Panics in rank closures are propagated after the world is torn down,
+    /// exactly like the threaded backend.
+    pub fn run<R, F>(model: NetworkModel, placement: Placement, n: usize, f: F) -> SimOutcome<R>
+    where
+        R: Send,
+        F: Fn(&SimComm) -> R + Sync,
+    {
+        Self::run_inner(model, placement, n, f, false).0
+    }
+
+    /// Like [`run`](Self::run), additionally recording every transfer —
+    /// see [`crate::events`] for the analysis helpers.
+    pub fn run_traced<R, F>(
+        model: NetworkModel,
+        placement: Placement,
+        n: usize,
+        f: F,
+    ) -> (SimOutcome<R>, Vec<crate::events::TransferEvent>)
+    where
+        R: Send,
+        F: Fn(&SimComm) -> R + Sync,
+    {
+        Self::run_inner(model, placement, n, f, true)
+    }
+
+    fn run_inner<R, F>(
+        model: NetworkModel,
+        placement: Placement,
+        n: usize,
+        f: F,
+        traced: bool,
+    ) -> (SimOutcome<R>, Vec<crate::events::TransferEvent>)
+    where
+        R: Send,
+        F: Fn(&SimComm) -> R + Sync,
+    {
+        assert!(n >= 1, "world needs at least one rank");
+        let shared = Arc::new(Shared {
+            fabric: Fabric::with_trace(model, placement, n, traced),
+            enter: StopBarrier::new(n),
+            leave: StopBarrier::new(n),
+            barrier_state: Mutex::new(BarrierState { vtimes: vec![0.0; n] }),
+        });
+
+        let mut slots: Vec<Option<(R, TrafficStats, SimTime, TimeBreakdown)>> =
+            (0..n).map(|_| None).collect();
+        let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, slot) in slots.iter_mut().enumerate() {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let comm = SimComm {
+                        rank,
+                        size: n,
+                        shared: Arc::clone(&shared),
+                        clock: std::cell::Cell::new(0.0),
+                        counters: CounterCell::default(),
+                        breakdown: std::cell::Cell::new(TimeBreakdown::default()),
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| f(&comm))) {
+                        Ok(r) => {
+                            *slot = Some((r, comm.counters.take(), comm.clock.get(), comm.breakdown.get()));
+                            None
+                        }
+                        Err(payload) => {
+                            shared.fabric.stop();
+                            shared.enter.stop();
+                            shared.leave.stop();
+                            Some(payload)
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                if let Some(payload) = h.join().expect("rank thread poisoned the scope") {
+                    panicked.get_or_insert(payload);
+                }
+            }
+        });
+
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
+        }
+
+        let mut results = Vec::with_capacity(n);
+        let mut traffic = Vec::with_capacity(n);
+        let mut finish_ns = Vec::with_capacity(n);
+        let mut breakdown = Vec::with_capacity(n);
+        for slot in slots {
+            let (r, t, v, b) = slot.expect("rank finished without result despite no panic");
+            results.push(r);
+            traffic.push(t);
+            finish_ns.push(v);
+            breakdown.push(b);
+        }
+        let makespan_ns = finish_ns.iter().copied().fold(0.0, f64::max);
+        let events = shared.fabric.take_trace();
+        (
+            SimOutcome {
+                results,
+                traffic: WorldTraffic::new(traffic),
+                finish_ns,
+                makespan_ns,
+                breakdown,
+            },
+            events,
+        )
+    }
+}
+
+/// Rank-local communicator handle for the simulated backend.
+pub struct SimComm {
+    rank: Rank,
+    size: usize,
+    shared: Arc<Shared>,
+    clock: std::cell::Cell<SimTime>,
+    counters: CounterCell,
+    breakdown: std::cell::Cell<TimeBreakdown>,
+}
+
+impl SimComm {
+    /// This rank's current virtual time in nanoseconds (`f64` precision;
+    /// [`Communicator::now_ns`] rounds).
+    pub fn vtime(&self) -> SimTime {
+        self.clock.get()
+    }
+
+    /// Advance this rank's clock by `ns` of local computation.
+    ///
+    /// Lets workloads model compute phases between communication calls
+    /// (e.g. the matrix-multiply example's local GEMM).
+    pub fn compute(&self, ns: f64) {
+        assert!(ns >= 0.0, "cannot compute for negative time");
+        self.clock.set(self.clock.get() + ns);
+        let mut b = self.breakdown.get();
+        b.compute_ns += ns;
+        self.breakdown.set(b);
+    }
+
+    /// Where this rank's time has gone so far.
+    pub fn time_breakdown(&self) -> TimeBreakdown {
+        self.breakdown.get()
+    }
+
+    /// Attribute the clock movement across a communication call.
+    fn charge_comm(&self, from: SimTime) {
+        let mut b = self.breakdown.get();
+        b.comm_ns += self.clock.get() - from;
+        self.breakdown.set(b);
+    }
+
+    /// The placement this world is simulated on.
+    pub fn placement(&self) -> Placement {
+        self.shared.fabric.placement()
+    }
+
+    /// Move the clock forward to `t` if `t` is later; earlier completions
+    /// (e.g. a nonblocking send that finished while we were busy) leave the
+    /// clock untouched.
+    fn advance_to(&self, t: SimTime) {
+        self.clock.set(self.clock.get().max(t));
+    }
+}
+
+/// Pending nonblocking send on the simulator.
+pub struct SimSendPending {
+    handle: crate::fabric::SendHandle,
+    ready: SimTime,
+}
+
+/// Pending nonblocking receive on the simulator.
+pub struct SimRecvPending {
+    handle: crate::fabric::RecvHandle,
+    ready: SimTime,
+    capacity: usize,
+    src: Rank,
+}
+
+impl mpsim::NonBlocking for SimComm {
+    type SendPending = SimSendPending;
+    type RecvPending = SimRecvPending;
+
+    /// Post a send: the CPU pays its issue overhead now; the transfer's
+    /// completion is observed at [`wait_send`](mpsim::NonBlocking::wait_send),
+    /// so independent operations overlap in virtual time.
+    fn isend(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<SimSendPending> {
+        self.check_rank(dest)?;
+        let from = self.vtime();
+        let ready = from + self.shared.fabric.model().o_send_ns;
+        self.advance_to(ready);
+        self.charge_comm(from);
+        let handle = self.shared.fabric.post_send(self.rank, dest, tag, buf, ready)?;
+        self.counters.record_send(dest, buf.len());
+        Ok(SimSendPending { handle, ready })
+    }
+
+    fn irecv(&self, capacity: usize, src: Rank, tag: Tag) -> Result<SimRecvPending> {
+        self.check_rank(src)?;
+        let from = self.vtime();
+        let ready = from + self.shared.fabric.model().o_recv_ns;
+        self.advance_to(ready);
+        self.charge_comm(from);
+        let handle = self.shared.fabric.post_recv(src, self.rank, tag, capacity, ready)?;
+        Ok(SimRecvPending { handle, ready, capacity, src })
+    }
+
+    fn wait_send(&self, pending: SimSendPending) -> Result<()> {
+        let from = self.vtime();
+        let done = self.shared.fabric.wait_send(&pending.handle)?;
+        self.advance_to(done.max(pending.ready));
+        self.charge_comm(from);
+        Ok(())
+    }
+
+    fn wait_recv(&self, pending: SimRecvPending, buf: &mut [u8]) -> Result<usize> {
+        assert!(
+            buf.len() >= pending.capacity,
+            "wait_recv buffer smaller than the posted capacity"
+        );
+        let from = self.vtime();
+        let (data, done) = self.shared.fabric.wait_recv(&pending.handle)?;
+        buf[..data.len()].copy_from_slice(&data);
+        self.advance_to(done.max(pending.ready));
+        self.charge_comm(from);
+        self.counters.record_recv(pending.src, data.len());
+        Ok(data.len())
+    }
+}
+
+impl Communicator for SimComm {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
+        self.check_rank(dest)?;
+        let from = self.vtime();
+        // LogGP o: the CPU is busy issuing the message before it can move.
+        let ready = from + self.shared.fabric.model().o_send_ns;
+        let h = self.shared.fabric.post_send(self.rank, dest, tag, buf, ready)?;
+        let done = self.shared.fabric.wait_send(&h)?;
+        self.advance_to(done.max(ready));
+        self.charge_comm(from);
+        self.counters.record_send(dest, buf.len());
+        Ok(())
+    }
+
+    fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
+        self.check_rank(src)?;
+        let from = self.vtime();
+        let ready = from + self.shared.fabric.model().o_recv_ns;
+        let h = self.shared.fabric.post_recv(src, self.rank, tag, buf.len(), ready)?;
+        let (data, done) = self.shared.fabric.wait_recv(&h)?;
+        buf[..data.len()].copy_from_slice(&data);
+        self.advance_to(done.max(ready));
+        self.charge_comm(from);
+        self.counters.record_recv(src, data.len());
+        Ok(data.len())
+    }
+
+    fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dest: Rank,
+        sendtag: Tag,
+        recvbuf: &mut [u8],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        self.check_rank(dest)?;
+        self.check_rank(src)?;
+        let now = self.vtime();
+        // The CPU issues the send, then posts the receive: both overheads
+        // serialize on this rank even though the transfers overlap.
+        let model = self.shared.fabric.model();
+        let send_ready = now + model.o_send_ns;
+        let recv_ready = send_ready + model.o_recv_ns;
+        // Post both sides before waiting on either — this is what makes
+        // rings of rendezvous sendrecvs deadlock-free (MPI_Sendrecv).
+        let sh = self.shared.fabric.post_send(self.rank, dest, sendtag, sendbuf, send_ready)?;
+        let rh =
+            self.shared.fabric.post_recv(src, self.rank, recvtag, recvbuf.len(), recv_ready)?;
+        let send_done = self.shared.fabric.wait_send(&sh)?;
+        let (data, recv_done) = self.shared.fabric.wait_recv(&rh)?;
+        recvbuf[..data.len()].copy_from_slice(&data);
+        self.advance_to(send_done.max(recv_done).max(recv_ready));
+        self.charge_comm(now);
+        self.counters.record_send(dest, sendbuf.len());
+        self.counters.record_recv(src, data.len());
+        Ok(data.len())
+    }
+
+    /// Barrier: all clocks jump to the latest participant plus a
+    /// dissemination cost of `barrier_alpha_ns · ceil(log2 n)`.
+    fn barrier(&self) -> Result<()> {
+        if self.size == 1 {
+            return Ok(());
+        }
+        self.shared.barrier_state.lock().vtimes[self.rank] = self.vtime();
+        self.shared.enter.wait()?;
+        let max = {
+            let st = self.shared.barrier_state.lock();
+            st.vtimes.iter().copied().fold(0.0, f64::max)
+        };
+        // Second phase keeps anyone from writing the next barrier's time
+        // before every rank has read this one's maximum.
+        self.shared.leave.wait()?;
+        let from = self.vtime();
+        let cost = self.shared.fabric.model().barrier_alpha_ns
+            * f64::from(ceil_log2(self.size));
+        self.advance_to(max + cost);
+        self.charge_comm(from);
+        Ok(())
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.vtime().round() as u64
+    }
+
+    fn check_rank(&self, rank: Rank) -> Result<()> {
+        if rank < self.size {
+            Ok(())
+        } else {
+            Err(CommError::InvalidRank { rank, size: self.size })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_world(alpha: f64, beta: f64, cores: usize, _n: usize) -> (NetworkModel, Placement) {
+        (NetworkModel::uniform(alpha, beta), Placement::new(cores))
+    }
+
+    #[test]
+    fn pingpong_virtual_times() {
+        let (m, p) = uniform_world(1000.0, 1.0, 8, 2);
+        let out = SimWorld::run(m, p, 2, |comm| {
+            let mut buf = [0u8; 100];
+            if comm.rank() == 0 {
+                comm.send(&[7u8; 100], 1, Tag(0)).unwrap();
+                comm.recv(&mut buf, 1, Tag(1)).unwrap();
+            } else {
+                comm.recv(&mut buf, 0, Tag(0)).unwrap();
+                comm.send(&buf, 0, Tag(1)).unwrap();
+            }
+            comm.vtime()
+        });
+        // each hop: α + 100β = 1100; round trip = 2200 (rendezvous intra:
+        // both sides leave at transfer end)
+        assert_eq!(out.finish_ns, vec![2200.0, 2200.0]);
+        assert_eq!(out.makespan_ns, 2200.0);
+        assert_eq!(out.traffic.total_bytes(), 200);
+    }
+
+    #[test]
+    fn sendrecv_ring_no_deadlock_under_rendezvous() {
+        // uniform → rendezvous everywhere: a naive send-then-recv would
+        // deadlock; the fused sendrecv must not.
+        let n = 8;
+        let (m, p) = uniform_world(10.0, 1.0, 4, n);
+        let out = SimWorld::run(m, p, n, |comm| {
+            let sbuf = [comm.rank() as u8; 16];
+            let mut rbuf = [0u8; 16];
+            let right = mpsim::ring_right(comm.rank(), comm.size());
+            let left = mpsim::ring_left(comm.rank(), comm.size());
+            comm.sendrecv(&sbuf, right, Tag(0), &mut rbuf, left, Tag(0)).unwrap();
+            rbuf[0]
+        });
+        for (rank, &got) in out.results.iter().enumerate() {
+            assert_eq!(got as usize, mpsim::ring_left(rank, n));
+        }
+        // all ranks advance by exactly one transfer: 10 + 16 = 26
+        assert!(out.finish_ns.iter().all(|&t| t == 26.0), "{:?}", out.finish_ns);
+    }
+
+    #[test]
+    fn clocks_are_deterministic_without_contention() {
+        let run = || {
+            let (m, p) = uniform_world(50.0, 2.0, 4, 6);
+            SimWorld::run(m, p, 6, |comm| {
+                let mut buf = vec![0u8; 64];
+                if comm.rank() == 0 {
+                    buf = (0..64u8).collect();
+                }
+                bcast_like(comm, &mut buf);
+                comm.vtime()
+            })
+            .finish_ns
+        };
+        // simple deterministic chain broadcast for the test
+        fn bcast_like(comm: &SimComm, buf: &mut [u8]) {
+            let r = comm.rank();
+            if r > 0 {
+                comm.recv(buf, r - 1, Tag(9)).unwrap();
+            }
+            if r + 1 < comm.size() {
+                comm.send(buf, r + 1, Tag(9)).unwrap();
+            }
+        }
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        // chain: each hop adds 50 + 128 = 178
+        assert_eq!(a[5], 5.0 * 178.0);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let (m, p) = uniform_world(100.0, 0.0, 4, 4);
+        let out = SimWorld::run(m, p, 4, |comm| {
+            comm.compute(1000.0 * comm.rank() as f64);
+            comm.barrier().unwrap();
+            comm.vtime()
+        });
+        // max vtime 3000 + barrier cost 100·log2(4)=200
+        assert!(out.results.iter().all(|&t| t == 3200.0), "{:?}", out.results);
+    }
+
+    #[test]
+    fn compute_advances_clock() {
+        let (m, p) = uniform_world(0.0, 0.0, 1, 1);
+        let out = SimWorld::run(m, p, 1, |comm| {
+            comm.compute(123.0);
+            comm.compute(877.0);
+            comm.vtime()
+        });
+        assert_eq!(out.results[0], 1000.0);
+        assert_eq!(out.breakdown[0].compute_ns, 1000.0);
+        assert_eq!(out.breakdown[0].comm_ns, 0.0);
+        assert_eq!(out.breakdown[0].comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_attributes_comm_and_compute() {
+        let (m, p) = uniform_world(100.0, 1.0, 4, 2);
+        let out = SimWorld::run(m, p, 2, |comm| {
+            comm.compute(500.0);
+            let mut buf = [0u8; 50];
+            if comm.rank() == 0 {
+                comm.send(&[1u8; 50], 1, Tag(0)).unwrap();
+            } else {
+                comm.recv(&mut buf, 0, Tag(0)).unwrap();
+            }
+            comm.time_breakdown()
+        });
+        for b in &out.breakdown {
+            assert_eq!(b.compute_ns, 500.0);
+            // rendezvous: both sides leave at 500 + 150 → 150ns of comm
+            assert_eq!(b.comm_ns, 150.0);
+            assert!((b.comm_fraction() - 150.0 / 650.0).abs() < 1e-12);
+        }
+        assert_eq!(out.results[0], out.breakdown[0]);
+    }
+
+    #[test]
+    fn breakdown_counts_blocking_wait_as_comm() {
+        // rank 1 computes for 10_000 first; rank 0's send blocks that long
+        let (m, p) = uniform_world(0.0, 1.0, 4, 2);
+        let out = SimWorld::run(m, p, 2, |comm| {
+            let mut buf = [0u8; 10];
+            if comm.rank() == 0 {
+                comm.send(&[1u8; 10], 1, Tag(0)).unwrap();
+            } else {
+                comm.compute(10_000.0);
+                comm.recv(&mut buf, 0, Tag(0)).unwrap();
+            }
+            comm.time_breakdown()
+        });
+        assert_eq!(out.breakdown[0].comm_ns, 10_010.0); // blocked on receiver
+        assert_eq!(out.breakdown[1].comm_ns, 10.0);
+    }
+
+    #[test]
+    fn intra_vs_inter_costs_differ() {
+        let model = NetworkModel {
+            intra: crate::model::LevelCosts { alpha_ns: 10.0, beta_ns_per_byte: 0.1 },
+            inter: crate::model::LevelCosts { alpha_ns: 1000.0, beta_ns_per_byte: 1.0 },
+            eager_threshold: 0,
+            rendezvous_handshake_ns: 0.0,
+            eager_unpack_copy: false,
+            contention: false,
+            mem_channels: 1.0,
+            barrier_alpha_ns: 0.0,
+            o_send_ns: 0.0,
+            o_recv_ns: 0.0,
+            eager_credits: usize::MAX,
+            backbone_beta_ns_per_byte: 0.0,
+        };
+        let out = SimWorld::run(model, Placement::new(2), 4, |comm| {
+            let mut buf = [0u8; 100];
+            match comm.rank() {
+                0 => comm.send(&[1u8; 100], 1, Tag(0)).unwrap(), // intra (node 0)
+                1 => {
+                    comm.recv(&mut buf, 0, Tag(0)).unwrap();
+                }
+                2 => comm.send(&[1u8; 100], 3, Tag(1)).unwrap(), // intra (node 1)
+                _ => {
+                    comm.recv(&mut buf, 2, Tag(1)).unwrap();
+                }
+            }
+            comm.vtime()
+        });
+        assert_eq!(out.results[1], 10.0 + 10.0); // α + 100·0.1
+        // now inter-node
+        let model = NetworkModel {
+            intra: crate::model::LevelCosts { alpha_ns: 10.0, beta_ns_per_byte: 0.1 },
+            inter: crate::model::LevelCosts { alpha_ns: 1000.0, beta_ns_per_byte: 1.0 },
+            eager_threshold: 0,
+            rendezvous_handshake_ns: 0.0,
+            eager_unpack_copy: false,
+            contention: false,
+            mem_channels: 1.0,
+            barrier_alpha_ns: 0.0,
+            o_send_ns: 0.0,
+            o_recv_ns: 0.0,
+            eager_credits: usize::MAX,
+            backbone_beta_ns_per_byte: 0.0,
+        };
+        let out = SimWorld::run(model, Placement::new(1), 2, |comm| {
+            let mut buf = [0u8; 100];
+            if comm.rank() == 0 {
+                comm.send(&[1u8; 100], 1, Tag(0)).unwrap();
+            } else {
+                comm.recv(&mut buf, 0, Tag(0)).unwrap();
+            }
+            comm.vtime()
+        });
+        assert_eq!(out.results[1], 1000.0 + 100.0);
+    }
+
+    #[test]
+    fn panic_propagates_and_unblocks() {
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let (m, p) = uniform_world(0.0, 0.0, 4, 3);
+            SimWorld::run(m, p, 3, |comm| {
+                if comm.rank() == 2 {
+                    panic!("sim rank exploded");
+                }
+                let mut buf = [0u8; 1];
+                let _ = comm.recv(&mut buf, 2, Tag(0));
+                let _ = comm.barrier();
+            })
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nonblocking_operations_overlap_in_virtual_time() {
+        use mpsim::NonBlocking;
+        // Rank 1 posts two receives before either message exists; both
+        // transfers overlap, so its finish time reflects the LATER of the
+        // two, not their sum.
+        let (m, p) = uniform_world(0.0, 1.0, 4, 3);
+        let out = SimWorld::run(m, p, 3, |comm| {
+            match comm.rank() {
+                0 => comm.send(&[0u8; 100], 1, Tag(0)).unwrap(),
+                2 => comm.send(&[0u8; 100], 1, Tag(1)).unwrap(),
+                _ => {
+                    let r0 = comm.irecv(100, 0, Tag(0)).unwrap();
+                    let r2 = comm.irecv(100, 2, Tag(1)).unwrap();
+                    let mut b = [0u8; 100];
+                    comm.wait_recv(r0, &mut b).unwrap();
+                    comm.wait_recv(r2, &mut b).unwrap();
+                }
+            }
+            comm.vtime()
+        });
+        // uniform model: rendezvous, both transfers start at 0, 100ns each,
+        // fully overlapped -> receiver finishes at 100, not 200.
+        assert_eq!(out.results[1], 100.0);
+    }
+
+    #[test]
+    fn nonblocking_send_then_wait_matches_blocking_send() {
+        use mpsim::NonBlocking;
+        let (m, p) = uniform_world(50.0, 2.0, 4, 2);
+        let out = SimWorld::run(m, p, 2, |comm| {
+            if comm.rank() == 0 {
+                let s = comm.isend(&[7u8; 25], 1, Tag(3)).unwrap();
+                comm.wait_send(s).unwrap();
+            } else {
+                let mut b = [0u8; 25];
+                comm.recv(&mut b, 0, Tag(3)).unwrap();
+                assert_eq!(b, [7u8; 25]);
+            }
+            comm.vtime()
+        });
+        // rendezvous intra: both sides leave at 50 + 50 = 100
+        assert_eq!(out.results, vec![100.0, 100.0]);
+    }
+
+    #[test]
+    fn run_traced_records_every_transfer() {
+        let (m, p) = uniform_world(10.0, 1.0, 2, 4);
+        let (out, events) = SimWorld::run_traced(m, p, 4, |comm| {
+            if comm.rank() == 0 {
+                for peer in 1..comm.size() {
+                    comm.send(&vec![0u8; peer * 10], peer, Tag(0)).unwrap();
+                }
+            } else {
+                let mut buf = vec![0u8; comm.rank() * 10];
+                comm.recv(&mut buf, 0, Tag(0)).unwrap();
+            }
+        });
+        assert_eq!(events.len() as u64, out.traffic.total_msgs());
+        let summary = crate::events::summarize(&events);
+        assert_eq!(summary.intra_msgs + summary.inter_msgs, 3);
+        assert_eq!(summary.intra_bytes + summary.inter_bytes, 60);
+        // ranks 0,1 share node 0; ranks 2,3 are on node 1
+        assert_eq!(summary.intra_msgs, 1);
+        assert!(events.iter().all(|e| e.delivered_ns >= e.sender_ready_ns));
+        // plain run() records nothing
+        let (m, p) = uniform_world(10.0, 1.0, 2, 2);
+        let out = SimWorld::run(m, p, 2, |comm| comm.rank());
+        assert_eq!(out.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn traffic_counted_same_as_threaded_backend() {
+        let (m, p) = uniform_world(5.0, 1.0, 4, 4);
+        let out = SimWorld::run(m, p, 4, |comm| {
+            if comm.rank() == 0 {
+                for peer in 1..comm.size() {
+                    comm.send(&[0u8; 8], peer, Tag(0)).unwrap();
+                }
+            } else {
+                let mut buf = [0u8; 8];
+                comm.recv(&mut buf, 0, Tag(0)).unwrap();
+            }
+        });
+        assert_eq!(out.traffic.total_msgs(), 3);
+        assert_eq!(out.traffic.total_bytes(), 24);
+        assert!(out.traffic.is_balanced());
+    }
+}

@@ -1,0 +1,152 @@
+//! Cluster topology: placement of ranks onto multi-core nodes.
+//!
+//! The paper's experiments run on Hornet (Cray XC40, 24 cores/node) and Laki
+//! (NEC cluster, 8 cores/node) with the default *block* placement:
+//! consecutive ranks fill a node before the next node is used ("all the
+//! processes are placed among the nodes in a blocked manner by default on
+//! Hornet", §V-A). The two communication levels the paper analyses — intra-
+//! node and inter-node — are derived from the placement.
+//!
+//! A *round-robin* placement (cyclic over a fixed node set) is provided as
+//! an ablation: it destroys the ring algorithms' locality (every ring edge
+//! becomes inter-node), which is exactly the sensitivity MPI users hit when
+//! they change `--distribution` flags.
+
+use mpsim::Rank;
+
+/// Communication level of a (source, destination) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Both ranks on the same node: shared-memory copies.
+    IntraNode,
+    /// Different nodes: messages traverse the interconnect.
+    InterNode,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    /// Consecutive ranks fill each node (`node = rank / cores_per_node`).
+    Block,
+    /// Ranks deal out cyclically over `nodes` nodes (`node = rank % nodes`).
+    RoundRobin {
+        /// Number of nodes in the allocation.
+        nodes: usize,
+    },
+}
+
+/// Placement of ranks onto nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Hardware cores per node (capacity; informs LLC-pressure estimates).
+    pub cores_per_node: usize,
+    strategy: Strategy,
+}
+
+impl Placement {
+    /// Block placement with `cores_per_node` ranks per node (the paper's
+    /// default).
+    pub fn new(cores_per_node: usize) -> Self {
+        assert!(cores_per_node >= 1, "need at least one core per node");
+        Self { cores_per_node, strategy: Strategy::Block }
+    }
+
+    /// Round-robin placement over a fixed allocation of `nodes` nodes, each
+    /// with `cores_per_node` cores.
+    pub fn round_robin(cores_per_node: usize, nodes: usize) -> Self {
+        assert!(cores_per_node >= 1 && nodes >= 1);
+        Self { cores_per_node, strategy: Strategy::RoundRobin { nodes } }
+    }
+
+    /// Node hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: Rank) -> usize {
+        match self.strategy {
+            Strategy::Block => rank / self.cores_per_node,
+            Strategy::RoundRobin { nodes } => rank % nodes,
+        }
+    }
+
+    /// Number of nodes a world of `size` ranks occupies.
+    pub fn node_count(&self, size: usize) -> usize {
+        match self.strategy {
+            Strategy::Block => size.div_ceil(self.cores_per_node),
+            Strategy::RoundRobin { nodes } => nodes.min(size.max(1)),
+        }
+    }
+
+    /// The largest number of ranks any single node hosts in a world of
+    /// `size` ranks (drives per-node cache-footprint estimates).
+    pub fn max_ranks_per_node(&self, size: usize) -> usize {
+        match self.strategy {
+            Strategy::Block => self.cores_per_node.min(size),
+            Strategy::RoundRobin { nodes } => size.div_ceil(nodes),
+        }
+    }
+
+    /// Communication level between two ranks.
+    #[inline]
+    pub fn level(&self, a: Rank, b: Rank) -> Level {
+        if self.node_of(a) == self.node_of(b) {
+            Level::IntraNode
+        } else {
+            Level::InterNode
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement_hornet_like() {
+        let p = Placement::new(24);
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(23), 0);
+        assert_eq!(p.node_of(24), 1);
+        assert_eq!(p.node_count(16), 1); // paper: np=16 fits one Hornet node
+        assert_eq!(p.node_count(64), 3); // np=64 spans 3 nodes
+        assert_eq!(p.node_count(256), 11); // np=256 spans 11 nodes
+        assert_eq!(p.node_count(129), 6);
+        assert_eq!(p.max_ranks_per_node(16), 16);
+        assert_eq!(p.max_ranks_per_node(64), 24);
+    }
+
+    #[test]
+    fn levels() {
+        let p = Placement::new(4);
+        assert_eq!(p.level(0, 3), Level::IntraNode);
+        assert_eq!(p.level(3, 4), Level::InterNode);
+        assert_eq!(p.level(5, 5), Level::IntraNode);
+    }
+
+    #[test]
+    fn one_core_per_node_is_all_inter() {
+        let p = Placement::new(1);
+        assert_eq!(p.level(0, 1), Level::InterNode);
+        assert_eq!(p.node_count(7), 7);
+    }
+
+    #[test]
+    fn round_robin_deals_cyclically() {
+        let p = Placement::round_robin(24, 4);
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(1), 1);
+        assert_eq!(p.node_of(4), 0);
+        assert_eq!(p.node_count(3), 3);
+        assert_eq!(p.node_count(100), 4);
+        assert_eq!(p.max_ranks_per_node(100), 25);
+        // consecutive ranks never share a node (for nodes > 1)
+        for r in 0..20 {
+            assert_eq!(p.level(r, r + 1), Level::InterNode);
+        }
+    }
+
+    #[test]
+    fn round_robin_same_residue_is_intra() {
+        let p = Placement::round_robin(8, 3);
+        assert_eq!(p.level(1, 4), Level::IntraNode);
+        assert_eq!(p.level(2, 8), Level::IntraNode);
+        assert_eq!(p.level(2, 7), Level::InterNode);
+    }
+}

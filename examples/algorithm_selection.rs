@@ -1,0 +1,53 @@
+//! Show MPICH3's broadcast algorithm-selection map over (message size,
+//! process count), with and without the paper's tuned ring spliced in —
+//! exactly the dispatch logic of `MPIR_Bcast` with the thresholds quoted in
+//! the paper's Section V (12288 and 524288 bytes, 8 processes minimum).
+//!
+//! Run with: `cargo run --release --example algorithm_selection`
+
+use bcast_core::{select_algorithm, Algorithm, Regime, Thresholds};
+
+fn glyph(a: Algorithm) -> &'static str {
+    match a {
+        Algorithm::Binomial => "B",
+        Algorithm::ScatterRdAllgather => "R",
+        Algorithm::ScatterRingNative => "N",
+        Algorithm::ScatterRingTuned => "T",
+    }
+}
+
+fn main() {
+    let th = Thresholds::default();
+    let sizes: Vec<usize> = (10..=23).map(|e| 1usize << e).collect();
+    let nps = [4usize, 8, 9, 16, 17, 33, 64, 65, 128, 129, 256];
+
+    for tuned in [false, true] {
+        println!(
+            "\nSelection map ({}): B=binomial R=scatter+recursive-doubling \
+             N=native ring T=tuned ring",
+            if tuned { "patched MPICH, tuned ring enabled" } else { "stock MPICH3" }
+        );
+        print!("{:>10}", "bytes\\np");
+        for np in nps {
+            print!("{np:>5}");
+        }
+        println!();
+        for &nbytes in &sizes {
+            print!("{nbytes:>10}");
+            for &np in &nps {
+                print!("{:>5}", glyph(select_algorithm(nbytes, np, &th, tuned)));
+            }
+            let regime = match th.regime(nbytes) {
+                Regime::Short => "short",
+                Regime::Medium => "medium",
+                Regime::Long => "long",
+            };
+            println!("  ({regime})");
+        }
+    }
+
+    println!(
+        "\nThe paper's optimization replaces N with T everywhere it appears:\n\
+         long messages (any np) and medium messages with non-power-of-two np."
+    );
+}

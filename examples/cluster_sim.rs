@@ -1,0 +1,67 @@
+//! Simulate the paper's Hornet-like Cray XC40 and compare all four MPICH
+//! broadcast algorithms across the three message regimes — a condensed tour
+//! of the evaluation section.
+//!
+//! Run with: `cargo run --release --example cluster_sim`
+
+use bcast_core::verify::pattern;
+use bcast_core::{bcast_with, select_algorithm, Algorithm, Thresholds};
+use mpsim::Communicator;
+use netsim::{presets, SimWorld};
+
+fn simulate(np: usize, nbytes: usize, algorithm: Algorithm) -> f64 {
+    let preset = presets::hornet();
+    let model = preset.model_for(nbytes, np);
+    let src = pattern(nbytes, 99);
+    let out = SimWorld::run(model, preset.placement(), np, |comm| {
+        let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+        comm.barrier().unwrap();
+        bcast_with(comm, &mut buf, 0, algorithm).unwrap();
+        assert_eq!(buf, src);
+    });
+    out.makespan_ns
+}
+
+fn main() {
+    let th = Thresholds::default();
+    println!("Simulated Hornet (24-core nodes, Aries-like network)\n");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>12}  MPICH picks",
+        "np", "bytes", "binomial", "scat+rd", "scat+ring", "scat+tuned"
+    );
+
+    for &(np, nbytes) in &[
+        (16usize, 4096usize),  // smsg
+        (16, 65536),           // mmsg pof2
+        (24, 65536),           // mmsg npof2 (the paper's first target)
+        (16, 1 << 20),         // lmsg pof2 (the paper's second target)
+        (48, 1 << 20),         // lmsg, 2 nodes
+        (129, 1 << 20),        // lmsg npof2, 6 nodes
+    ] {
+        let mut cells = Vec::new();
+        for algorithm in [
+            Algorithm::Binomial,
+            Algorithm::ScatterRdAllgather,
+            Algorithm::ScatterRingNative,
+            Algorithm::ScatterRingTuned,
+        ] {
+            if algorithm == Algorithm::ScatterRdAllgather && !np.is_power_of_two() {
+                cells.push("-".to_string()); // MPICH never runs RD on npof2
+                continue;
+            }
+            let us = simulate(np, nbytes, algorithm) / 1000.0;
+            cells.push(format!("{us:.1}us"));
+        }
+        let picked = select_algorithm(nbytes, np, &th, true);
+        println!(
+            "{np:>6} {nbytes:>10} {:>12} {:>12} {:>12} {:>12}  {picked:?}",
+            cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    println!(
+        "\nReading guide: binomial wins for small messages (latency-bound);\n\
+         the scatter-based algorithms win for large ones (bandwidth-bound);\n\
+         the tuned ring never does worse than the native ring it replaces."
+    );
+}

@@ -1,0 +1,119 @@
+//! The paper's motivating workload (Section I cites HPL / basic linear
+//! algebra): a distributed matrix multiply whose inner loop broadcasts
+//! column panels of `A` to every rank — so broadcast bandwidth directly
+//! bounds GEMM scalability.
+//!
+//! `C = A · B` with `B` and `C` distributed by column blocks over the ranks
+//! of a simulated Hornet-like cluster. For each panel of `A` the owner
+//! broadcasts it (native vs tuned scatter-ring-allgather), then every rank
+//! updates its local block; local compute time is modelled via
+//! `SimComm::compute`. The result is verified against a serial multiply.
+//!
+//! Run with: `cargo run --release --example matmul`
+
+use bcast_core::{bcast_with, Algorithm};
+use mpsim::Communicator;
+use netsim::{presets, SimComm, SimWorld};
+
+const N: usize = 192; // matrix dimension
+const PANEL: usize = 32; // k-panel width
+const RANKS: usize = 12;
+const FLOPS_PER_NS: f64 = 8.0; // modelled per-core GEMM rate
+
+fn a_entry(i: usize, k: usize) -> f64 {
+    ((i * 31 + k * 17) % 13) as f64 - 6.0
+}
+
+fn b_entry(k: usize, j: usize) -> f64 {
+    ((k * 7 + j * 3) % 11) as f64 - 5.0
+}
+
+/// Column range owned by `rank`.
+fn cols_of(rank: usize) -> std::ops::Range<usize> {
+    let per = N.div_ceil(RANKS);
+    let lo = (rank * per).min(N);
+    let hi = ((rank + 1) * per).min(N);
+    lo..hi
+}
+
+fn run(algorithm: Algorithm) -> (f64, Vec<Vec<f64>>) {
+    let preset = presets::hornet();
+    let model = preset.model_for(N * PANEL * 8, RANKS);
+    let out = SimWorld::run(model, preset.placement(), RANKS, |comm: &SimComm| {
+        let cols = cols_of(comm.rank());
+        let lc = cols.len();
+        // local B block (N × lc) and C block, column-major by local column
+        let b_local: Vec<f64> = cols
+            .clone()
+            .flat_map(|j| (0..N).map(move |k| b_entry(k, j)))
+            .collect();
+        let mut c_local = vec![0.0f64; N * lc];
+        let mut panel = vec![0u8; N * PANEL * 8];
+
+        let mut kp = 0;
+        while kp < N {
+            let kb = PANEL.min(N - kp);
+            // Root materializes the panel A[:, kp..kp+kb], row-major by panel col.
+            if comm.rank() == 0 {
+                for (c, chunk) in panel.chunks_exact_mut(8).enumerate().take(N * kb) {
+                    let i = c / kb;
+                    let k = kp + c % kb;
+                    chunk.copy_from_slice(&a_entry(i, k).to_le_bytes());
+                }
+            }
+            // Broadcast the panel to every rank.
+            bcast_with(comm, &mut panel[..N * kb * 8], 0, algorithm).unwrap();
+            // Local update: C_local += panel · B_local[kp..kp+kb, :]
+            for (jl, cj) in c_local.chunks_exact_mut(N).enumerate() {
+                for (kk, &bkj) in
+                    b_local[jl * N + kp..jl * N + kp + kb].iter().enumerate()
+                {
+                    for (i, cij) in cj.iter_mut().enumerate() {
+                        let a = f64::from_le_bytes(
+                            panel[(i * kb + kk) * 8..(i * kb + kk) * 8 + 8].try_into().unwrap(),
+                        );
+                        *cij += a * bkj;
+                    }
+                }
+            }
+            // Model the GEMM cost instead of charging wall time.
+            comm.compute(2.0 * (N * kb * lc) as f64 / FLOPS_PER_NS);
+            kp += kb;
+        }
+        c_local
+    });
+    (out.makespan_ns, out.results)
+}
+
+fn main() {
+    println!("Distributed GEMM {N}x{N}, {RANKS} ranks, panel {PANEL} (simulated Hornet)");
+    let mut reference: Option<Vec<Vec<f64>>> = None;
+    let mut times = Vec::new();
+    for algorithm in [Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned] {
+        let (ns, c) = run(algorithm);
+        times.push(ns);
+        println!("{algorithm:?}: total {:.1} us (comms + modelled compute)", ns / 1000.0);
+        if let Some(r) = &reference {
+            assert_eq!(r, &c, "algorithms disagree on the product");
+        } else {
+            reference = Some(c);
+        }
+    }
+
+    // Verify against a serial multiply.
+    let c = reference.unwrap();
+    for (rank, c_local) in c.iter().enumerate() {
+        let cols = cols_of(rank);
+        for (jl, j) in cols.enumerate() {
+            for i in 0..N {
+                let expect: f64 = (0..N).map(|k| a_entry(i, k) * b_entry(k, j)).sum();
+                assert_eq!(c_local[jl * N + i], expect, "C[{i},{j}] wrong");
+            }
+        }
+    }
+    println!("result verified against serial multiply ✔");
+    println!(
+        "tuned broadcast saves {:.1}% of end-to-end time on this workload",
+        (1.0 - times[1] / times[0]) * 100.0
+    );
+}

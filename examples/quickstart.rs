@@ -1,0 +1,40 @@
+//! Quickstart: broadcast a buffer among 8 thread-ranks with the paper's
+//! tuned algorithm, verify every rank got it, and show the traffic saving
+//! over MPICH's native scatter-ring-allgather.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bcast_core::traffic::bcast_volume;
+use bcast_core::verify::pattern;
+use bcast_core::{bcast_with, Algorithm};
+use mpsim::{Communicator, ThreadWorld};
+
+fn main() {
+    let ranks = 8;
+    let nbytes = 1 << 20; // 1 MiB: a "long message" by MPICH's thresholds
+    let root = 0;
+    let message = pattern(nbytes, 2024);
+
+    for algorithm in [Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned] {
+        let src = message.clone();
+        let out = ThreadWorld::run(ranks, |comm| {
+            let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+            bcast_with(comm, &mut buf, root, algorithm).unwrap();
+            assert_eq!(buf, src, "rank {} did not receive the message", comm.rank());
+        });
+        let model = bcast_volume(algorithm, nbytes, ranks);
+        println!(
+            "{algorithm:?}: {} messages, {:.2} MiB on the wire (model: {} msgs), wall {:?}",
+            out.traffic.total_msgs(),
+            out.traffic.total_bytes() as f64 / (1 << 20) as f64,
+            model.msgs,
+            out.elapsed,
+        );
+        assert_eq!(out.traffic.total_msgs(), model.msgs);
+    }
+
+    println!(
+        "\nPaper §IV, P=8: the native ring moves 56 allgather messages, the tuned ring 44\n\
+         (plus 7 binomial-scatter messages each) — every rank still ends with the full buffer."
+    );
+}

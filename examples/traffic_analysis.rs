@@ -1,0 +1,43 @@
+//! Transfer-count analysis across process counts: the paper's Section IV
+//! arithmetic, from the analytic model and cross-checked against the
+//! instrumented runtime.
+//!
+//! Run with: `cargo run --release --example traffic_analysis`
+
+use bcast_core::owned_chunks;
+use bcast_core::traffic::{native_ring_msgs, ring_saving_msgs, tuned_ring_msgs};
+use bcast_core::verify::run_threaded;
+use bcast_core::Algorithm;
+
+fn main() {
+    println!("Ring-allgather transfers: native P(P-1) vs tuned P^2 - sum(own)");
+    println!("{:>5} {:>10} {:>10} {:>8} {:>8}", "P", "native", "tuned", "saved", "saved%");
+    for p in [2usize, 4, 8, 10, 16, 32, 64, 128, 256, 512, 1024] {
+        let native = native_ring_msgs(p);
+        let tuned = tuned_ring_msgs(p);
+        let saved = ring_saving_msgs(p);
+        println!(
+            "{p:>5} {native:>10} {tuned:>10} {saved:>8} {:>7.1}%",
+            100.0 * saved as f64 / native as f64
+        );
+    }
+
+    println!("\nScatter-tree ownership for the paper's worked examples:");
+    for p in [8usize, 10] {
+        let owns: Vec<usize> = (0..p).map(|rel| owned_chunks(rel, p)).collect();
+        println!("P={p}: own = {owns:?} (root keeps all, subtree roots keep their span)");
+    }
+
+    println!("\nCross-check against the instrumented runtime (P=10, 100 bytes):");
+    let native = run_threaded(Algorithm::ScatterRingNative, 10, 100, 0);
+    let tuned = run_threaded(Algorithm::ScatterRingTuned, 10, 100, 0);
+    assert!(native.correct && tuned.correct);
+    println!(
+        "measured: native {} msgs (9 scatter + 90 ring), tuned {} msgs (9 scatter + 75 ring)",
+        native.traffic.total_msgs(),
+        tuned.traffic.total_msgs()
+    );
+    assert_eq!(native.traffic.total_msgs(), 99);
+    assert_eq!(tuned.traffic.total_msgs(), 84);
+    println!("paper §IV: 90 -> 75 for P=10 (reduced by 15)  ✔");
+}

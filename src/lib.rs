@@ -1,0 +1,67 @@
+//! # bcast-opt — umbrella crate for the broadcast-optimization reproduction
+//!
+//! Reproduction of *"A Bandwidth-saving Optimization for MPI Broadcast
+//! Collective Operation"* (Zhou, Marjanovic, Niethammer, Gracia — ICPP 2015).
+//!
+//! This crate re-exports the three layers of the workspace and hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`):
+//!
+//! * [`mpsim`] — the MPI-like point-to-point substrate (threaded executor,
+//!   traffic counters, sub-communicators),
+//! * [`netsim`] — the virtual-time cluster simulator standing in for the
+//!   paper's Cray XC40,
+//! * [`core`] (crate `bcast-core`) — the broadcast algorithms: MPICH3's
+//!   native scatter-ring-allgather, the paper's tuned variant, the binomial
+//!   and recursive-doubling paths, the selection logic, the SMP-aware
+//!   three-phase scheme, and the analytic traffic model.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results of every figure.
+
+#![warn(missing_docs)]
+
+pub use bcast_core as core;
+pub use mpsim;
+pub use netsim;
+
+/// Convenience: run one broadcast of `nbytes` from `root` on a simulated
+/// machine preset and return the makespan in nanoseconds.
+///
+/// This is the measurement primitive the examples build on; the benchmark
+/// harness in `crates/bench` has a more complete version with barriers and
+/// repetitions (matching the paper's methodology).
+pub fn simulate_bcast_once(
+    preset: &netsim::MachinePreset,
+    algorithm: bcast_core::Algorithm,
+    size: usize,
+    nbytes: usize,
+    root: usize,
+) -> f64 {
+    let model = preset.model_for(nbytes, size);
+    let src = bcast_core::verify::pattern(nbytes, 1);
+    let out = netsim::SimWorld::run(model, preset.placement(), size, |comm| {
+        use mpsim::Communicator;
+        let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+        bcast_core::bcast_with(comm, &mut buf, root, algorithm).unwrap();
+        assert_eq!(buf, src);
+    });
+    out.makespan_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_bcast_once_runs() {
+        let t = simulate_bcast_once(
+            &netsim::presets::hornet(),
+            bcast_core::Algorithm::ScatterRingTuned,
+            16,
+            1 << 19,
+            0,
+        );
+        assert!(t > 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! The same collective code must behave identically on both executors:
+//! identical payload delivery and identical traffic counters on the real
+//! threaded runtime and on the virtual-time cluster simulator.
+
+use bcast_core::traffic::bcast_volume;
+use bcast_core::verify::pattern;
+use bcast_core::{bcast_with, Algorithm};
+use mpsim::{Communicator, ThreadWorld};
+use netsim::{presets, NetworkModel, Placement, SimWorld};
+
+fn sim_run(
+    algorithm: Algorithm,
+    np: usize,
+    nbytes: usize,
+    root: usize,
+) -> (Vec<Vec<u8>>, mpsim::WorldTraffic) {
+    let preset = presets::hornet();
+    let model = preset.model_for(nbytes, np);
+    let src = pattern(nbytes, 5);
+    let out = SimWorld::run(model, preset.placement(), np, |comm| {
+        let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+        bcast_with(comm, &mut buf, root, algorithm).unwrap();
+        buf
+    });
+    (out.results, out.traffic)
+}
+
+fn thread_run(
+    algorithm: Algorithm,
+    np: usize,
+    nbytes: usize,
+    root: usize,
+) -> (Vec<Vec<u8>>, mpsim::WorldTraffic) {
+    let src = pattern(nbytes, 5);
+    let out = ThreadWorld::run(np, |comm| {
+        let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+        bcast_with(comm, &mut buf, root, algorithm).unwrap();
+        buf
+    });
+    (out.results, out.traffic)
+}
+
+#[test]
+fn same_payloads_and_traffic_on_both_backends() {
+    for &algorithm in &[
+        Algorithm::Binomial,
+        Algorithm::ScatterRingNative,
+        Algorithm::ScatterRingTuned,
+    ] {
+        for &(np, nbytes, root) in &[(10usize, 997usize, 3usize), (24, 4096, 0), (9, 10, 8)] {
+            let (tb, tt) = thread_run(algorithm, np, nbytes, root);
+            let (sb, st) = sim_run(algorithm, np, nbytes, root);
+            assert_eq!(tb, sb, "{algorithm:?} np={np}");
+            assert_eq!(tt, st, "{algorithm:?} np={np} traffic differs");
+            let model = bcast_volume(algorithm, nbytes, np);
+            assert_eq!(tt.total_msgs(), model.msgs);
+            assert_eq!(tt.total_bytes(), model.bytes);
+        }
+    }
+}
+
+#[test]
+fn rd_path_matches_on_pof2_worlds() {
+    for &(np, nbytes, root) in &[(8usize, 2048usize, 2usize), (16, 999, 15)] {
+        let (tb, tt) = thread_run(Algorithm::ScatterRdAllgather, np, nbytes, root);
+        let (sb, st) = sim_run(Algorithm::ScatterRdAllgather, np, nbytes, root);
+        assert_eq!(tb, sb);
+        assert_eq!(tt, st);
+    }
+}
+
+#[test]
+fn simulator_protocols_do_not_change_delivered_bytes() {
+    // eager vs rendezvous is a timing matter only: force each protocol and
+    // check payloads are identical.
+    let np = 12;
+    let nbytes = 50_000;
+    let src = pattern(nbytes, 9);
+    let mut results = Vec::new();
+    for eager_threshold in [0usize, usize::MAX] {
+        let mut model = NetworkModel::uniform(100.0, 0.5);
+        model.eager_threshold = eager_threshold;
+        let out = SimWorld::run(model, Placement::new(4), np, |comm| {
+            let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+            bcast_core::bcast_opt(comm, &mut buf, 0).unwrap();
+            buf
+        });
+        assert!(out.results.iter().all(|b| b == &src));
+        results.push(out.traffic);
+    }
+    assert_eq!(results[0], results[1], "traffic must not depend on protocol");
+}
+
+#[test]
+fn flow_control_credits_preserve_semantics() {
+    // Tight credits change timing, never results.
+    let np = 16;
+    let nbytes = 16 * 512;
+    let src = pattern(nbytes, 11);
+    for credits in [1usize, 2, 7, usize::MAX] {
+        let mut model = NetworkModel::uniform(10.0, 1.0);
+        model.eager_threshold = usize::MAX; // everything eager
+        model.eager_credits = credits;
+        let out = SimWorld::run(model, Placement::new(4), np, |comm| {
+            let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+            bcast_core::bcast_opt(comm, &mut buf, 0).unwrap();
+            assert_eq!(buf, src, "credits={credits}");
+        });
+        assert!(out.traffic.is_balanced());
+        assert!(out.makespan_ns > 0.0);
+    }
+}
+
+#[test]
+fn virtual_time_is_deterministic_without_contention() {
+    let run = || {
+        let model = NetworkModel::uniform(123.0, 0.75);
+        let out = SimWorld::run(model, Placement::new(6), 18, |comm| {
+            let mut buf = if comm.rank() == 4 { pattern(3000, 1) } else { vec![0u8; 3000] };
+            bcast_core::bcast_native(comm, &mut buf, 4).unwrap();
+            comm.now_ns()
+        });
+        out.results
+    };
+    assert_eq!(run(), run());
+}

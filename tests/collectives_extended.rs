@@ -1,0 +1,218 @@
+//! Integration tests for the extended collective repertoire (allgather
+//! variants, scatter/gather, reductions, pipeline broadcast) running on the
+//! simulated cluster — cross-crate coverage beyond the per-module unit tests.
+
+use bcast_core::allgather::{
+    allgather_auto, allgather_bruck, allgather_ring, AllgatherThresholds,
+};
+use bcast_core::pipeline::bcast_pipeline;
+use bcast_core::reduce::{allreduce_rabenseifner, allreduce_rd, reduce_binomial};
+use bcast_core::scatter_gather::{gather_binomial, scatter_binomial};
+use mpsim::Communicator;
+use netsim::{presets, SimWorld};
+
+fn hornet_world<R: Send>(
+    np: usize,
+    nbytes_hint: usize,
+    f: impl Fn(&netsim::SimComm) -> R + Sync,
+) -> netsim::SimOutcome<R> {
+    let preset = presets::hornet();
+    SimWorld::run(preset.model_for(nbytes_hint, np), preset.placement(), np, f)
+}
+
+#[test]
+fn allgather_variants_agree_on_the_simulator() {
+    for &np in &[8usize, 30] {
+        let block = 512usize;
+        let out = hornet_world(np, block * np, |comm| {
+            let me = comm.rank() as u8;
+            let sendbuf = vec![me; block];
+            let mut ring = vec![0u8; block * comm.size()];
+            allgather_ring(comm, &sendbuf, &mut ring).unwrap();
+            let mut bruck = vec![0u8; block * comm.size()];
+            allgather_bruck(comm, &sendbuf, &mut bruck).unwrap();
+            let mut auto = vec![0u8; block * comm.size()];
+            allgather_auto(comm, &sendbuf, &mut auto, &AllgatherThresholds::default()).unwrap();
+            assert_eq!(ring, bruck);
+            assert_eq!(ring, auto);
+            ring
+        });
+        let want: Vec<u8> = (0..np).flat_map(|r| vec![r as u8; 512]).collect();
+        for buf in &out.results {
+            assert_eq!(buf, &want, "np={np}");
+        }
+    }
+}
+
+#[test]
+fn bruck_is_faster_than_ring_for_small_blocks_on_the_cluster() {
+    // Why MPICH picks Bruck for short non-power-of-two allgathers:
+    // ceil(log2 P) rounds instead of P−1.
+    let np = 30;
+    let block = 64usize;
+    let time = |which: u8| {
+        hornet_world(np, block * np, move |comm| {
+            let sendbuf = vec![comm.rank() as u8; block];
+            let mut recvbuf = vec![0u8; block * comm.size()];
+            comm.barrier().unwrap();
+            match which {
+                0 => allgather_ring(comm, &sendbuf, &mut recvbuf).unwrap(),
+                _ => allgather_bruck(comm, &sendbuf, &mut recvbuf).unwrap(),
+            }
+        })
+        .makespan_ns
+    };
+    let ring = time(0);
+    let bruck = time(1);
+    assert!(bruck < ring, "bruck {bruck} !< ring {ring}");
+}
+
+#[test]
+fn scatter_gather_round_trip_on_the_simulator() {
+    let (np, block) = (50usize, 128usize);
+    let payload: Vec<u8> = (0..np * block).map(|i| (i % 251) as u8).collect();
+    let payload2 = payload.clone();
+    let out = hornet_world(np, block, move |comm| {
+        let sendbuf = if comm.rank() == 3 { payload2.clone() } else { Vec::new() };
+        let mut mine = vec![0u8; block];
+        scatter_binomial(comm, &sendbuf, &mut mine, 3).unwrap();
+        // each rank doubles its block, then gather the results
+        for b in &mut mine {
+            *b = b.wrapping_mul(2);
+        }
+        let mut gathered = if comm.rank() == 3 { vec![0u8; block * comm.size()] } else { Vec::new() };
+        gather_binomial(comm, &mine, &mut gathered, 3).unwrap();
+        gathered
+    });
+    let want: Vec<u8> = payload.iter().map(|b| b.wrapping_mul(2)).collect();
+    assert_eq!(out.results[3], want);
+}
+
+#[test]
+fn alltoall_on_the_simulator() {
+    use bcast_core::alltoall::{alltoall_bruck, alltoall_pairwise};
+    for &np in &[8usize, 30] {
+        let block = 256usize;
+        let out = hornet_world(np, block * np, move |comm| {
+            let me = comm.rank() as u8;
+            let sendbuf: Vec<u8> = (0..comm.size())
+                .flat_map(|d| (0..block).map(move |i| me ^ (d as u8) ^ (i as u8)))
+                .collect();
+            let mut a = vec![0u8; sendbuf.len()];
+            alltoall_pairwise(comm, &sendbuf, &mut a).unwrap();
+            let mut b = vec![0u8; sendbuf.len()];
+            alltoall_bruck(comm, &sendbuf, &mut b).unwrap();
+            assert_eq!(a, b);
+            a
+        });
+        for (d, buf) in out.results.iter().enumerate() {
+            for s in 0..np {
+                assert!(buf[s * block..(s + 1) * block]
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &v)| v == (s as u8) ^ (d as u8) ^ (i as u8)));
+            }
+        }
+    }
+}
+
+#[test]
+fn reductions_on_the_simulator() {
+    for &np in &[8usize, 13, 48] {
+        let len = 100usize;
+        let out = hornet_world(np, len * 8, move |comm| {
+            let mine: Vec<u64> = (0..len).map(|i| (comm.rank() + i) as u64).collect();
+            // reduce to root 2
+            let mut at_root = if comm.rank() == 2 { vec![0u64; len] } else { vec![] };
+            reduce_binomial(comm, &mine, &mut at_root, |a, b| a + b, 2).unwrap();
+            // allreduce
+            let mut everywhere = mine.clone();
+            allreduce_rd(comm, &mut everywhere, |a, b| a + b).unwrap();
+            (at_root, everywhere)
+        });
+        let want: Vec<u64> =
+            (0..len).map(|i| (0..np).map(|r| (r + i) as u64).sum()).collect();
+        assert_eq!(out.results[2].0, want, "reduce np={np}");
+        for (rank, (_, all)) in out.results.iter().enumerate() {
+            assert_eq!(all, &want, "allreduce np={np} rank={rank}");
+        }
+    }
+}
+
+#[test]
+fn rabenseifner_beats_rd_for_long_vectors_on_the_cluster() {
+    // The bandwidth argument behind reduce-scatter+allgather, measured in
+    // simulated time rather than asserted from the formula.
+    let np = 16;
+    let len = 1 << 16;
+    let time = |raben: bool| {
+        hornet_world(np, len * 8, move |comm| {
+            let mut buf: Vec<u64> = (0..len).map(|i| (comm.rank() + i) as u64).collect();
+            comm.barrier().unwrap();
+            if raben {
+                allreduce_rabenseifner(comm, &mut buf, |a, b| a + b).unwrap();
+            } else {
+                allreduce_rd(comm, &mut buf, |a, b| a + b).unwrap();
+            }
+        })
+        .makespan_ns
+    };
+    let rd = time(false);
+    let raben = time(true);
+    assert!(raben < rd, "rabenseifner {raben} !< rd {rd}");
+}
+
+#[test]
+fn pipeline_bcast_on_the_simulator() {
+    let (np, nbytes) = (24usize, 1 << 18);
+    let src = bcast_core::verify::pattern(nbytes, 55);
+    let src2 = src.clone();
+    let out = hornet_world(np, nbytes, move |comm| {
+        let mut buf = if comm.rank() == 0 { src2.clone() } else { vec![0u8; nbytes] };
+        bcast_pipeline(comm, &mut buf, 0, 16 * 1024).unwrap();
+        buf
+    });
+    for buf in &out.results {
+        assert_eq!(buf, &src);
+    }
+}
+
+#[test]
+fn pipeline_vs_scatter_ring_tradeoff() {
+    // Pipeline moves (P−1)·n total bytes (every byte crosses every link)
+    // while the scatter-ring family moves ~2n per non-root rank; the two
+    // trade synchronization structure for volume, so their times stay in
+    // the same ballpark while their wire footprints differ hugely.
+    let (np, nbytes) = (24usize, 1 << 20);
+    let src = bcast_core::verify::pattern(nbytes, 56);
+    let run = |pipeline: bool| {
+        let src = src.clone();
+        hornet_world(np, nbytes, move |comm| {
+            let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+            comm.barrier().unwrap();
+            if pipeline {
+                bcast_pipeline(comm, &mut buf, 0, 32 * 1024).unwrap();
+            } else {
+                bcast_core::bcast_opt(comm, &mut buf, 0).unwrap();
+            }
+        })
+    };
+    let pipe = run(true);
+    let tuned = run(false);
+    // Any broadcast must deliver n bytes to each of the P−1 non-root ranks,
+    // so both schemes move ≈ (P−1)·n total — the difference is structure
+    // (chain of full-size segments vs ring of 1/P chunks), not volume.
+    let floor = ((np - 1) * nbytes) as u64;
+    for t in [pipe.traffic.total_bytes(), tuned.traffic.total_bytes()] {
+        assert!((floor..floor + 2 * nbytes as u64).contains(&t), "volume {t} out of band");
+    }
+    // time: same ballpark (within 2× either way) on a single node where the
+    // shared memory channel absorbs the extra volume at aggregate bandwidth
+    let ratio = tuned.makespan_ns / pipe.makespan_ns;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "times should be comparable: tuned {} pipe {}",
+        tuned.makespan_ns,
+        pipe.makespan_ns
+    );
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the simulator-backed stack: arbitrary shapes,
+//! models and protocols must all deliver correct broadcasts with balanced,
+//! model-matching traffic, and virtual time must behave like time.
+
+use bcast_core::traffic::bcast_volume;
+use bcast_core::{bcast_with, Algorithm};
+use mpsim::Communicator;
+use netsim::{NetworkModel, Placement, SimWorld};
+use proptest::prelude::*;
+
+fn model_strategy() -> impl Strategy<Value = NetworkModel> {
+    (
+        0.0f64..2000.0,      // alpha
+        0.0f64..4.0,         // beta
+        0usize..20_000,      // eager threshold
+        prop_oneof![Just(false), Just(true)], // contention
+        1.0f64..8.0,         // mem channels
+        prop_oneof![Just(usize::MAX), (1usize..8).prop_map(|c| c)], // credits
+    )
+        .prop_map(|(alpha, beta, eager, contention, k, credits)| {
+            let mut m = NetworkModel::uniform(alpha, beta);
+            m.eager_threshold = eager;
+            m.contention = contention;
+            m.mem_channels = k;
+            m.eager_credits = credits;
+            m.rendezvous_handshake_ns = alpha / 2.0;
+            m.eager_unpack_copy = contention;
+            m.o_send_ns = 50.0;
+            m.o_recv_ns = 50.0;
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any model, any placement, any shape: the tuned broadcast delivers and
+    /// the traffic matches the analytic volume.
+    #[test]
+    fn tuned_bcast_correct_under_arbitrary_models(
+        model in model_strategy(),
+        np in 1usize..20,
+        cores in 1usize..26,
+        nbytes in 0usize..3000,
+        root_pick in any::<u64>(),
+    ) {
+        let root = (root_pick as usize) % np;
+        let src = bcast_core::verify::pattern(nbytes, 31);
+        let src2 = src.clone();
+        let out = SimWorld::run(model, Placement::new(cores), np, move |comm| {
+            let mut buf = if comm.rank() == root { src2.clone() } else { vec![0u8; nbytes] };
+            bcast_with(comm, &mut buf, root, Algorithm::ScatterRingTuned).unwrap();
+            buf
+        });
+        prop_assert!(out.results.iter().all(|b| b == &src));
+        prop_assert!(out.traffic.is_balanced());
+        let vol = bcast_volume(Algorithm::ScatterRingTuned, nbytes, np);
+        prop_assert_eq!(out.traffic.total_msgs(), vol.msgs);
+        prop_assert_eq!(out.traffic.total_bytes(), vol.bytes);
+    }
+
+    /// Virtual clocks never precede the physically-required minimum: a
+    /// broadcast of n bytes through a β-limited fabric cannot beat the
+    /// contention-free Hockney bound for the root's own sends.
+    #[test]
+    fn makespan_respects_hockney_lower_bound(
+        np in 2usize..16,
+        nbytes in 1usize..20_000,
+    ) {
+        let alpha = 500.0;
+        let beta = 1.0;
+        let model = NetworkModel::uniform(alpha, beta);
+        let src = bcast_core::verify::pattern(nbytes, 33);
+        let src2 = src.clone();
+        let out = SimWorld::run(model, Placement::new(4), np, move |comm| {
+            let mut buf = if comm.rank() == 0 { src2.clone() } else { vec![0u8; nbytes] };
+            bcast_with(comm, &mut buf, 0, Algorithm::ScatterRingTuned).unwrap();
+        });
+        // Every non-root rank must receive nbytes total; the last byte into
+        // the slowest rank needs at least α + nbytes·β/P per hop once —
+        // a loose but non-trivial bound: α + nbytes·β/np.
+        let bound = alpha + (nbytes as f64 * beta) / np as f64;
+        prop_assert!(
+            out.makespan_ns + 1e-6 >= bound,
+            "makespan {} below physical bound {}", out.makespan_ns, bound
+        );
+    }
+
+    /// Per-rank finish times are monotone under repetition: k+1 broadcasts
+    /// never finish before k broadcasts.
+    #[test]
+    fn more_work_never_finishes_earlier(
+        np in 2usize..12,
+        nbytes in 1usize..4000,
+    ) {
+        let model = NetworkModel::uniform(100.0, 0.5);
+        let time_for = |iters: usize| {
+            let src = bcast_core::verify::pattern(nbytes, 37);
+            SimWorld::run(model.clone(), Placement::new(4), np, move |comm| {
+                let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+                for _ in 0..iters {
+                    bcast_with(comm, &mut buf, 0, Algorithm::ScatterRingTuned).unwrap();
+                }
+            })
+            .makespan_ns
+        };
+        prop_assert!(time_for(3) >= time_for(2));
+        prop_assert!(time_for(2) >= time_for(1));
+    }
+}
