@@ -6,12 +6,12 @@
 
 use bcast_core::verify::pattern;
 use bcast_core::{bcast_with, Algorithm};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpsim::Communicator;
 use netsim::{presets, SimWorld};
+use testkit::bench::Harness;
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_engine");
+fn bench_engine(h: &mut Harness) {
+    let mut group = h.group("sim_engine");
     group.sample_size(10);
     let np = 24;
     let nbytes = 1 << 18;
@@ -19,7 +19,7 @@ fn bench_engine(c: &mut Criterion) {
         let model = preset.model_for(nbytes, np);
         let placement = preset.placement();
         let src = pattern(nbytes, 4);
-        group.bench_with_input(BenchmarkId::new("bcast_opt_np24_256KiB", name), &np, |b, _| {
+        group.bench(&format!("bcast_opt_np24_256KiB/{name}"), |b| {
             b.iter(|| {
                 let model = model.clone();
                 SimWorld::run(model, placement, np, |comm| {
@@ -31,8 +31,6 @@ fn bench_engine(c: &mut Criterion) {
             })
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);
+testkit::bench_main!(bench_engine);

@@ -1,21 +1,21 @@
-//! Criterion micro-benchmarks over the wider collective repertoire on the
-//! threaded backend: allgather variants, alltoall variants, allreduce
-//! variants — the substrate algorithms the broadcast work plugs into.
+//! Micro-benchmarks over the wider collective repertoire on the threaded
+//! backend: allgather variants, alltoall variants, allreduce variants —
+//! the substrate algorithms the broadcast work plugs into.
 
 use bcast_core::allgather::{allgather_bruck, allgather_ring};
 use bcast_core::alltoall::{alltoall_bruck, alltoall_pairwise};
 use bcast_core::reduce::{allreduce_rabenseifner, allreduce_rd};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpsim::{Communicator, ThreadWorld};
+use testkit::bench::Harness;
 
-fn bench_allgather(c: &mut Criterion) {
-    let mut group = c.benchmark_group("allgather");
+fn bench_allgather(h: &mut Harness) {
+    let mut group = h.group("allgather");
     group.sample_size(10);
     let np = 10;
     for &block in &[256usize, 16384] {
-        group.throughput(Throughput::Bytes((block * np) as u64));
+        group.throughput_bytes((block * np) as u64);
         for (name, which) in [("ring", 0u8), ("bruck", 1)] {
-            group.bench_with_input(BenchmarkId::new(name, block), &block, |b, &block| {
+            group.bench(&format!("{name}/{block}"), |b| {
                 b.iter(|| {
                     ThreadWorld::run(np, |comm| {
                         let sendbuf = vec![comm.rank() as u8; block];
@@ -30,17 +30,16 @@ fn bench_allgather(c: &mut Criterion) {
             });
         }
     }
-    group.finish();
 }
 
-fn bench_alltoall(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alltoall");
+fn bench_alltoall(h: &mut Harness) {
+    let mut group = h.group("alltoall");
     group.sample_size(10);
     let np = 10;
     for &block in &[128usize, 8192] {
-        group.throughput(Throughput::Bytes((block * np * np) as u64));
+        group.throughput_bytes((block * np * np) as u64);
         for (name, which) in [("pairwise", 0u8), ("bruck", 1)] {
-            group.bench_with_input(BenchmarkId::new(name, block), &block, |b, &block| {
+            group.bench(&format!("{name}/{block}"), |b| {
                 b.iter(|| {
                     ThreadWorld::run(np, |comm| {
                         let sendbuf = vec![comm.rank() as u8; block * comm.size()];
@@ -55,17 +54,16 @@ fn bench_alltoall(c: &mut Criterion) {
             });
         }
     }
-    group.finish();
 }
 
-fn bench_allreduce(c: &mut Criterion) {
-    let mut group = c.benchmark_group("allreduce");
+fn bench_allreduce(h: &mut Harness) {
+    let mut group = h.group("allreduce");
     group.sample_size(10);
     let np = 8;
     for &len in &[256usize, 65536] {
-        group.throughput(Throughput::Bytes((len * 8) as u64));
+        group.throughput_bytes((len * 8) as u64);
         for (name, raben) in [("recursive_doubling", false), ("rabenseifner", true)] {
-            group.bench_with_input(BenchmarkId::new(name, len), &len, |b, &len| {
+            group.bench(&format!("{name}/{len}"), |b| {
                 b.iter(|| {
                     ThreadWorld::run(np, |comm| {
                         let mut buf: Vec<u64> =
@@ -81,8 +79,6 @@ fn bench_allreduce(c: &mut Criterion) {
             });
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_allgather, bench_alltoall, bench_allreduce);
-criterion_main!(benches);
+testkit::bench_main!(bench_allgather, bench_alltoall, bench_allreduce);

@@ -1,5 +1,5 @@
-//! Criterion companion to Figure 6 on the *real threaded* backend: wall-time
-//! of native vs tuned broadcast with actual byte movement through memory.
+//! Companion to Figure 6 on the *real threaded* backend: wall-time of
+//! native vs tuned broadcast with actual byte movement through memory.
 //! The tuned ring does measurably less copying — the paper's intra-node
 //! argument — independent of the cluster simulator.
 //!
@@ -8,44 +8,35 @@
 
 use bcast_core::verify::pattern;
 use bcast_core::{bcast_with, Algorithm};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpsim::ThreadWorld;
+use testkit::bench::Harness;
 
-fn bench_bcast(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_threaded");
+fn bench_bcast(h: &mut Harness) {
+    let mut group = h.group("fig6_threaded");
     group.sample_size(10);
     for &np in &[8usize, 16] {
         for &nbytes in &[512 * 1024usize, 2 * 1024 * 1024] {
-            group.throughput(Throughput::Bytes(nbytes as u64));
+            group.throughput_bytes(nbytes as u64);
             for (name, algorithm) in [
                 ("native", Algorithm::ScatterRingNative),
                 ("tuned", Algorithm::ScatterRingTuned),
                 ("binomial", Algorithm::Binomial),
             ] {
                 let src = pattern(nbytes, 1);
-                group.bench_with_input(
-                    BenchmarkId::new(name, format!("np{np}/{nbytes}B")),
-                    &nbytes,
-                    |b, _| {
-                        b.iter(|| {
-                            ThreadWorld::run(np, |comm| {
-                                use mpsim::Communicator;
-                                let mut buf = if comm.rank() == 0 {
-                                    src.clone()
-                                } else {
-                                    vec![0u8; nbytes]
-                                };
-                                bcast_with(comm, &mut buf, 0, algorithm).unwrap();
-                                buf[0]
-                            })
+                group.bench(&format!("{name}/np{np}/{nbytes}B"), |b| {
+                    b.iter(|| {
+                        ThreadWorld::run(np, |comm| {
+                            use mpsim::Communicator;
+                            let mut buf =
+                                if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+                            bcast_with(comm, &mut buf, 0, algorithm).unwrap();
+                            buf[0]
                         })
-                    },
-                );
+                    })
+                });
             }
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_bcast);
-criterion_main!(benches);
+testkit::bench_main!(bench_bcast);

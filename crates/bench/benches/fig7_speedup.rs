@@ -1,50 +1,40 @@
-//! Criterion companion to Figure 7: throughput of repeated broadcasts,
-//! native vs tuned, for non-power-of-two worlds at the paper's three
-//! message sizes, on the real threaded backend.
+//! Companion to Figure 7: throughput of repeated broadcasts, native vs
+//! tuned, for non-power-of-two worlds at the paper's three message sizes,
+//! on the real threaded backend.
 
 use bcast_core::verify::pattern;
 use bcast_core::{bcast_with, Algorithm};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpsim::ThreadWorld;
+use testkit::bench::Harness;
 
 const REPS: usize = 8; // back-to-back broadcasts per world run (paper: 100)
 
-fn bench_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_throughput");
+fn bench_throughput(h: &mut Harness) {
+    let mut group = h.group("fig7_throughput");
     group.sample_size(10);
     for &np in &[9usize, 17] {
         for &nbytes in &[12288usize, 524287] {
-            group.throughput(Throughput::Elements(REPS as u64));
-            for (name, algorithm) in [
-                ("native", Algorithm::ScatterRingNative),
-                ("tuned", Algorithm::ScatterRingTuned),
-            ] {
+            group.throughput_bytes((nbytes * REPS) as u64);
+            for (name, algorithm) in
+                [("native", Algorithm::ScatterRingNative), ("tuned", Algorithm::ScatterRingTuned)]
+            {
                 let src = pattern(nbytes, 2);
-                group.bench_with_input(
-                    BenchmarkId::new(name, format!("np{np}/ms{nbytes}")),
-                    &nbytes,
-                    |b, _| {
-                        b.iter(|| {
-                            ThreadWorld::run(np, |comm| {
-                                use mpsim::Communicator;
-                                let mut buf = if comm.rank() == 0 {
-                                    src.clone()
-                                } else {
-                                    vec![0u8; nbytes]
-                                };
-                                for _ in 0..REPS {
-                                    bcast_with(comm, &mut buf, 0, algorithm).unwrap();
-                                }
-                                buf[0]
-                            })
+                group.bench(&format!("{name}/np{np}/ms{nbytes}"), |b| {
+                    b.iter(|| {
+                        ThreadWorld::run(np, |comm| {
+                            use mpsim::Communicator;
+                            let mut buf =
+                                if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+                            for _ in 0..REPS {
+                                bcast_with(comm, &mut buf, 0, algorithm).unwrap();
+                            }
+                            buf[0]
                         })
-                    },
-                );
+                    })
+                });
             }
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_throughput);
-criterion_main!(benches);
+testkit::bench_main!(bench_throughput);

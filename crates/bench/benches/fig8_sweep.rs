@@ -1,26 +1,25 @@
-//! Criterion companion to Figure 8: a medium-to-long message-size sweep at a
-//! fixed non-power-of-two world, native vs tuned, on the threaded backend.
+//! Companion to Figure 8: a medium-to-long message-size sweep at a fixed
+//! non-power-of-two world, native vs tuned, on the threaded backend.
 //! (The paper uses np=129; thread count is scaled to np=17 here so the bench
 //! stays meaningful on small hosts — the simulator binary `fig8` covers the
 //! full-scale sweep.)
 
 use bcast_core::verify::pattern;
 use bcast_core::{bcast_with, Algorithm};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpsim::ThreadWorld;
+use testkit::bench::Harness;
 
-fn bench_sweep(c: &mut Criterion) {
+fn bench_sweep(h: &mut Harness) {
     let np = 17;
-    let mut group = c.benchmark_group("fig8_sweep");
+    let mut group = h.group("fig8_sweep");
     group.sample_size(10);
     for &nbytes in &[12288usize, 65536, 262144, 1048576] {
-        group.throughput(Throughput::Bytes(nbytes as u64));
-        for (name, algorithm) in [
-            ("native", Algorithm::ScatterRingNative),
-            ("tuned", Algorithm::ScatterRingTuned),
-        ] {
+        group.throughput_bytes(nbytes as u64);
+        for (name, algorithm) in
+            [("native", Algorithm::ScatterRingNative), ("tuned", Algorithm::ScatterRingTuned)]
+        {
             let src = pattern(nbytes, 3);
-            group.bench_with_input(BenchmarkId::new(name, nbytes), &nbytes, |b, _| {
+            group.bench(&format!("{name}/{nbytes}"), |b| {
                 b.iter(|| {
                     ThreadWorld::run(np, |comm| {
                         use mpsim::Communicator;
@@ -33,8 +32,6 @@ fn bench_sweep(c: &mut Criterion) {
             });
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_sweep);
-criterion_main!(benches);
+testkit::bench_main!(bench_sweep);

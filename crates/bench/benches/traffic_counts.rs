@@ -4,14 +4,14 @@
 
 use bcast_core::traffic::{bcast_volume, tuned_ring_msgs};
 use bcast_core::{step_flag, Algorithm};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netsim::Timeline;
 use std::hint::black_box;
+use testkit::bench::Harness;
 
-fn bench_step_flag(c: &mut Criterion) {
-    let mut group = c.benchmark_group("step_flag");
+fn bench_step_flag(h: &mut Harness) {
+    let mut group = h.group("step_flag");
     for &p in &[129usize, 1024, 65536] {
-        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+        group.bench(&p.to_string(), |b| {
             b.iter(|| {
                 let mut acc = 0usize;
                 for rel in 0..p {
@@ -21,25 +21,21 @@ fn bench_step_flag(c: &mut Criterion) {
             })
         });
     }
-    group.finish();
 }
 
-fn bench_traffic_model(c: &mut Criterion) {
-    let mut group = c.benchmark_group("traffic_model");
+fn bench_traffic_model(h: &mut Harness) {
+    let mut group = h.group("traffic_model");
     for &p in &[129usize, 1024] {
-        group.bench_with_input(BenchmarkId::new("tuned_ring_msgs", p), &p, |b, &p| {
-            b.iter(|| tuned_ring_msgs(black_box(p)))
-        });
-        group.bench_with_input(BenchmarkId::new("bcast_volume_tuned", p), &p, |b, &p| {
+        group.bench(&format!("tuned_ring_msgs/{p}"), |b| b.iter(|| tuned_ring_msgs(black_box(p))));
+        group.bench(&format!("bcast_volume_tuned/{p}"), |b| {
             b.iter(|| bcast_volume(Algorithm::ScatterRingTuned, black_box(1 << 20), p))
         });
     }
-    group.finish();
 }
 
-fn bench_timeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("timeline");
-    group.bench_function("sequential_claims_merge", |b| {
+fn bench_timeline(h: &mut Harness) {
+    let mut group = h.group("timeline");
+    group.bench("sequential_claims_merge", |b| {
         b.iter(|| {
             let mut t = Timeline::new();
             for i in 0..1000 {
@@ -48,7 +44,7 @@ fn bench_timeline(c: &mut Criterion) {
             t.fragments()
         })
     });
-    group.bench_function("gap_filling_claims", |b| {
+    group.bench("gap_filling_claims", |b| {
         b.iter(|| {
             let mut t = Timeline::new();
             // alternate far-future and near-past claims
@@ -59,8 +55,6 @@ fn bench_timeline(c: &mut Criterion) {
             t.fragments()
         })
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_step_flag, bench_traffic_model, bench_timeline);
-criterion_main!(benches);
+testkit::bench_main!(bench_step_flag, bench_traffic_model, bench_timeline);

@@ -59,12 +59,10 @@ fn main() {
             }
             comm.vtime()
         });
-        let mut by_finish: Vec<(usize, f64)> =
-            out.results.iter().copied().enumerate().collect();
+        let mut by_finish: Vec<(usize, f64)> = out.results.iter().copied().enumerate().collect();
         by_finish.sort_by(|a, b| b.1.total_cmp(&a.1));
-        let (intra_m, inter_m, intra_b, inter_b) = out
-            .traffic
-            .split_msgs(|a, b| placement.level(a, b) == netsim::Level::IntraNode);
+        let (intra_m, inter_m, intra_b, inter_b) =
+            out.traffic.split_msgs(|a, b| placement.level(a, b) == netsim::Level::IntraNode);
         println!("\n== {algorithm:?}");
         println!("makespan: {:.1} us", out.makespan_ns / 1000.0);
         println!(
@@ -83,10 +81,8 @@ fn main() {
         }
         let nodes = placement.node_count(np);
         for node in 0..nodes {
-            let finishes: Vec<f64> = (0..np)
-                .filter(|&r| placement.node_of(r) == node)
-                .map(|r| out.results[r])
-                .collect();
+            let finishes: Vec<f64> =
+                (0..np).filter(|&r| placement.node_of(r) == node).map(|r| out.results[r]).collect();
             let max = finishes.iter().copied().fold(f64::MIN, f64::max);
             let min = finishes.iter().copied().fold(f64::MAX, f64::min);
             println!("node {node}: finish {:.1}..{:.1} us", min / 1000.0, max / 1000.0);

@@ -34,12 +34,7 @@ fn main() {
     let mut size = 1usize;
     while size <= max_size {
         let m = measure_sim(&preset, algorithm, np, size, iters);
-        println!(
-            "{:>12} {:>14.2} {:>14.1}",
-            size,
-            m.mean_ns / 1000.0,
-            m.bandwidth_mbps
-        );
+        println!("{:>12} {:>14.2} {:>14.1}", size, m.mean_ns / 1000.0, m.bandwidth_mbps);
         size *= 4;
     }
 }

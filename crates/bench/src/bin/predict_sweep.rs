@@ -30,21 +30,11 @@ fn main() {
             if q > max_p {
                 continue;
             }
-            let native = predict_makespan_ns(
-                Algorithm::ScatterRingNative,
-                nbytes,
-                q,
-                &model,
-                placement,
-            );
+            let native =
+                predict_makespan_ns(Algorithm::ScatterRingNative, nbytes, q, &model, placement);
             let tuned =
                 predict_makespan_ns(Algorithm::ScatterRingTuned, nbytes, q, &model, placement);
-            println!(
-                "{q},{:.1},{:.1},{:.4}",
-                native / 1000.0,
-                tuned / 1000.0,
-                native / tuned
-            );
+            println!("{q},{:.1},{:.1},{:.4}", native / 1000.0, tuned / 1000.0, native / tuned);
         }
         p *= 2;
     }

@@ -12,7 +12,7 @@
 //! * `src/bin/fig7.rs` — Fig. 7: throughput speedup, np ∈ {9, 17, 33, 65, 129};
 //! * `src/bin/fig8.rs` — Fig. 8: bandwidth sweep at np = 129;
 //! * `src/bin/traffic_table.rs` — §IV transfer counts (56→44, 90→75, scaling);
-//! * `benches/` — Criterion micro-benchmarks on the real threaded backend.
+//! * `benches/` — micro-benchmarks on the in-tree `testkit::bench` harness (real threaded backend).
 
 #![warn(missing_docs)]
 

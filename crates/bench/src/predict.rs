@@ -52,11 +52,8 @@ fn schedules(algorithm: Algorithm, nbytes: usize, p: usize) -> Vec<Vec<Op>> {
             ops[rel].push(Op::Recv { peer: parent, bytes: nbytes });
         }
         for parent in 0..p {
-            let avail: usize = if parent == 0 {
-                p.next_power_of_two()
-            } else {
-                1 << parent.trailing_zeros()
-            };
+            let avail: usize =
+                if parent == 0 { p.next_power_of_two() } else { 1 << parent.trailing_zeros() };
             let mut mask = avail >> 1;
             let mut sends = Vec::new();
             while mask > 0 {
@@ -85,11 +82,8 @@ fn schedules(algorithm: Algorithm, nbytes: usize, p: usize) -> Vec<Vec<Op>> {
     }
     // Parent send ops, in descending-mask order per parent.
     for parent in 0..p {
-        let avail: usize = if parent == 0 {
-            p.next_power_of_two()
-        } else {
-            1 << parent.trailing_zeros()
-        };
+        let avail: usize =
+            if parent == 0 { p.next_power_of_two() } else { 1 << parent.trailing_zeros() };
         let mut mask = avail >> 1;
         let mut sends = Vec::new();
         while mask > 0 {
@@ -265,10 +259,8 @@ pub fn predict_makespan_ns(
                         pr.map(|pr| xfer(peer, r, bytes, my_ready.max(pr)).1)
                     }
                     Op::SendRecv { to, send_bytes, from, recv_bytes } => {
-                        match (
-                            partner_ready(send_partner[r][i]),
-                            partner_ready(recv_partner[r][i]),
-                        ) {
+                        match (partner_ready(send_partner[r][i]), partner_ready(recv_partner[r][i]))
+                        {
                             (Some(ps), Some(pr)) => {
                                 let s_done = xfer(r, to, send_bytes, my_ready.max(ps)).0;
                                 let r_done = xfer(from, r, recv_bytes, my_ready.max(pr)).1;
@@ -290,9 +282,7 @@ pub fn predict_makespan_ns(
         }
         assert!(progressed, "schedule deadlocked - matching bug");
     }
-    done.iter()
-        .flat_map(|ops| ops.iter().map(|d| d.unwrap()))
-        .fold(0.0, f64::max)
+    done.iter().flat_map(|ops| ops.iter().map(|d| d.unwrap())).fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -323,12 +313,9 @@ mod tests {
 
     #[test]
     fn predictor_matches_simulator_native() {
-        for &(p, nbytes, cores) in &[
-            (4usize, 4096usize, 2usize),
-            (8, 10_000, 4),
-            (10, 4096, 24),
-            (13, 999, 3),
-        ] {
+        for &(p, nbytes, cores) in
+            &[(4usize, 4096usize, 2usize), (8, 10_000, 4), (10, 4096, 24), (13, 999, 3)]
+        {
             let predicted = predict_makespan_ns(
                 Algorithm::ScatterRingNative,
                 nbytes,
@@ -395,15 +382,11 @@ mod tests {
         // the reason MPICH switches algorithms at all.
         let m = rendezvous_model();
         let placement = Placement::new(24);
-        let small_binomial =
-            predict_makespan_ns(Algorithm::Binomial, 1024, 16, &m, placement);
-        let small_ring =
-            predict_makespan_ns(Algorithm::ScatterRingTuned, 1024, 16, &m, placement);
+        let small_binomial = predict_makespan_ns(Algorithm::Binomial, 1024, 16, &m, placement);
+        let small_ring = predict_makespan_ns(Algorithm::ScatterRingTuned, 1024, 16, &m, placement);
         assert!(small_binomial < small_ring);
-        let big_binomial =
-            predict_makespan_ns(Algorithm::Binomial, 1 << 22, 16, &m, placement);
-        let big_ring =
-            predict_makespan_ns(Algorithm::ScatterRingTuned, 1 << 22, 16, &m, placement);
+        let big_binomial = predict_makespan_ns(Algorithm::Binomial, 1 << 22, 16, &m, placement);
+        let big_ring = predict_makespan_ns(Algorithm::ScatterRingTuned, 1 << 22, 16, &m, placement);
         assert!(big_ring < big_binomial);
     }
 

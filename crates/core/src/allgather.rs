@@ -241,9 +241,7 @@ mod tests {
             let mut recvbuf = vec![0u8; block * comm.size()];
             match algo {
                 AllgatherAlgorithm::Ring => allgather_ring(comm, &sendbuf, &mut recvbuf),
-                AllgatherAlgorithm::RecursiveDoubling => {
-                    allgather_rd(comm, &sendbuf, &mut recvbuf)
-                }
+                AllgatherAlgorithm::RecursiveDoubling => allgather_rd(comm, &sendbuf, &mut recvbuf),
                 AllgatherAlgorithm::Bruck => allgather_bruck(comm, &sendbuf, &mut recvbuf),
             }
             .unwrap();
@@ -253,9 +251,7 @@ mod tests {
     }
 
     fn expected(size: usize, block: usize) -> Vec<u8> {
-        (0..size)
-            .flat_map(|r| (0..block).map(move |i| (r as u8) ^ (i as u8)))
-            .collect()
+        (0..size).flat_map(|r| (0..block).map(move |i| (r as u8) ^ (i as u8))).collect()
     }
 
     #[test]
@@ -283,10 +279,7 @@ mod tests {
                 assert_eq!(buf, &want, "rd size={size} block={block}");
             }
             if size > 1 {
-                assert_eq!(
-                    traffic.total_msgs(),
-                    (size as u64) * u64::from(size.trailing_zeros())
-                );
+                assert_eq!(traffic.total_msgs(), (size as u64) * u64::from(size.trailing_zeros()));
             }
         }
     }
@@ -309,10 +302,7 @@ mod tests {
             }
             // ceil(log2 P) steps, one message per rank per step
             if size > 1 {
-                assert_eq!(
-                    traffic.total_msgs(),
-                    (size as u64) * u64::from(mpsim::ceil_log2(size))
-                );
+                assert_eq!(traffic.total_msgs(), (size as u64) * u64::from(mpsim::ceil_log2(size)));
             }
         }
     }

@@ -113,8 +113,7 @@ pub fn alltoall_bruck(
     // (rank − k) % P.
     for k in 0..size {
         let src = (rank + size - k) % size;
-        recvbuf[src * block..(src + 1) * block]
-            .copy_from_slice(&work[k * block..(k + 1) * block]);
+        recvbuf[src * block..(src + 1) * block].copy_from_slice(&work[k * block..(k + 1) * block]);
     }
     Ok(())
 }
@@ -146,8 +145,7 @@ mod tests {
     fn run(which: u8, size: usize, block: usize) -> (Vec<Vec<u8>>, mpsim::WorldTraffic) {
         let out = ThreadWorld::run(size, |comm| {
             let me = comm.rank();
-            let sendbuf: Vec<u8> =
-                (0..size).flat_map(|d| block_for(me, d, block)).collect();
+            let sendbuf: Vec<u8> = (0..size).flat_map(|d| block_for(me, d, block)).collect();
             let mut recvbuf = vec![0u8; size * block];
             match which {
                 0 => alltoall_pairwise(comm, &sendbuf, &mut recvbuf).unwrap(),

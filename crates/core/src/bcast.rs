@@ -220,18 +220,15 @@ mod tests {
 
     #[test]
     fn all_algorithms_broadcast_correctly() {
-        for &algorithm in &[
-            Algorithm::Binomial,
-            Algorithm::ScatterRingNative,
-            Algorithm::ScatterRingTuned,
-        ] {
+        for &algorithm in
+            &[Algorithm::Binomial, Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned]
+        {
             for &(size, nbytes, root) in
                 &[(8usize, 200usize, 0usize), (10, 97, 7), (9, 3, 4), (2, 1, 1)]
             {
                 let src = pattern(nbytes);
                 ThreadWorld::run(size, |comm| {
-                    let mut buf =
-                        if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+                    let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
                     bcast_with(comm, &mut buf, root, algorithm).unwrap();
                     assert_eq!(buf, src, "{algorithm:?} rank {}", comm.rank());
                 });

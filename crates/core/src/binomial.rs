@@ -93,11 +93,7 @@ mod tests {
         // The root has one child per bit level: ceil(log2 P) sends.
         for size in 2..40usize {
             let t = run(size, 8, 0);
-            assert_eq!(
-                t.per_rank[0].msgs_sent,
-                u64::from(mpsim::ceil_log2(size)),
-                "size={size}"
-            );
+            assert_eq!(t.per_rank[0].msgs_sent, u64::from(mpsim::ceil_log2(size)), "size={size}");
             assert_eq!(t.per_rank[0].msgs_recvd, 0);
         }
     }

@@ -123,10 +123,7 @@ mod tests {
         // 10 bytes over 4 chunks: scatter_size = 3, counts 3,3,3,1
         let l = ChunkLayout::new(10, 4);
         assert_eq!(l.scatter_size(), 3);
-        assert_eq!(
-            (0..4).map(|i| l.count(i)).collect::<Vec<_>>(),
-            vec![3, 3, 3, 1]
-        );
+        assert_eq!((0..4).map(|i| l.count(i)).collect::<Vec<_>>(), vec![3, 3, 3, 1]);
     }
 
     #[test]

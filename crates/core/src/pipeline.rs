@@ -31,10 +31,8 @@ pub fn bcast_pipeline<C: NonBlocking>(
     let nbytes = buf.len();
     let segment = if segment == 0 { nbytes } else { segment };
     let relative = relative_rank(comm.rank(), root, size);
-    let prev =
-        (relative > 0).then(|| absolute_rank(relative - 1, root, size));
-    let next =
-        (relative + 1 < size).then(|| absolute_rank(relative + 1, root, size));
+    let prev = (relative > 0).then(|| absolute_rank(relative - 1, root, size));
+    let next = (relative + 1 < size).then(|| absolute_rank(relative + 1, root, size));
 
     let mut pending: Option<C::SendPending> = None;
     let mut offset = 0usize;

@@ -11,7 +11,9 @@
 //! non-power-of-two fixup rounds are never exercised by broadcast, which
 //! falls back to the ring); we mirror that contract and require `is_pof2(P)`.
 
-use mpsim::{absolute_rank, is_pof2, relative_rank, split_send_recv, Communicator, Rank, Result, Tag};
+use mpsim::{
+    absolute_rank, is_pof2, relative_rank, split_send_recv, Communicator, Rank, Result, Tag,
+};
 
 use crate::chunks::ChunkLayout;
 
@@ -22,11 +24,7 @@ use crate::chunks::ChunkLayout;
 ///
 /// Panics if `comm.size()` is not a power of two — callers (the broadcast
 /// selection logic) must route non-power-of-two worlds to the ring variants.
-pub fn rd_allgather(
-    comm: &(impl Communicator + ?Sized),
-    buf: &mut [u8],
-    root: Rank,
-) -> Result<()> {
+pub fn rd_allgather(comm: &(impl Communicator + ?Sized), buf: &mut [u8], root: Rank) -> Result<()> {
     comm.check_rank(root)?;
     let size = comm.size();
     assert!(is_pof2(size), "recursive-doubling allgather requires a power-of-two world");
@@ -54,9 +52,9 @@ pub fn rd_allgather(
         // Maximum the partner can hold of its block:
         let recv_capacity = layout.span_bytes(recv_block..(recv_block + mask).min(size));
 
-        let (sbuf, rbuf) =
-            split_send_recv(buf, send_start, curr_size, recv_start, recv_capacity)?;
-        let received = comm.sendrecv(sbuf, partner, Tag::ALLGATHER, rbuf, partner, Tag::ALLGATHER)?;
+        let (sbuf, rbuf) = split_send_recv(buf, send_start, curr_size, recv_start, recv_capacity)?;
+        let received =
+            comm.sendrecv(sbuf, partner, Tag::ALLGATHER, rbuf, partner, Tag::ALLGATHER)?;
         curr_size += received;
 
         mask <<= 1;

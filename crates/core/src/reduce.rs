@@ -177,18 +177,12 @@ pub fn reduce_scatter_block_rh<T: Dtype>(
         let mid = lo + (hi - lo) / 2;
         // The half containing our final block stays; the other half goes to
         // the partner (who is responsible for it).
-        let (keep, give) = if rank & mask == 0 { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
+        let (keep, give) =
+            if rank & mask == 0 { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
         let give_bytes = (give.1 - give.0) * block * elem;
         let keep_bytes = (keep.1 - keep.0) * block * elem;
         let (gs, ge) = (give.0 * block * elem, give.1 * block * elem);
-        comm.sendrecv(
-            &acc[gs..ge],
-            partner,
-            RS,
-            &mut incoming[..keep_bytes],
-            partner,
-            RS,
-        )?;
+        comm.sendrecv(&acc[gs..ge], partner, RS, &mut incoming[..keep_bytes], partner, RS)?;
         debug_assert_eq!(give_bytes + keep_bytes, (hi - lo) * block * elem);
         let (ks, ke) = (keep.0 * block * elem, keep.1 * block * elem);
         let mut kept = acc[ks..ke].to_vec();
@@ -259,9 +253,7 @@ mod tests {
     }
 
     fn expected_sum(size: usize, len: usize) -> Vec<u64> {
-        (0..len)
-            .map(|i| (0..size).map(|r| ((r + 1) * (i + 3)) as u64).sum())
-            .collect()
+        (0..len).map(|i| (0..size).map(|r| ((r + 1) * (i + 3)) as u64).sum()).collect()
     }
 
     #[test]
@@ -329,14 +321,12 @@ mod tests {
         let (size, len) = (6usize, 5usize);
         let out = ThreadWorld::run(size, |comm| {
             // powers of two are exactly summable in f64 in any order
-            let mut buf: Vec<f64> =
-                (0..len).map(|i| (1u64 << (comm.rank() + i)) as f64).collect();
+            let mut buf: Vec<f64> = (0..len).map(|i| (1u64 << (comm.rank() + i)) as f64).collect();
             allreduce_rd(comm, &mut buf, |a, b| a + b).unwrap();
             buf
         });
-        let want: Vec<f64> = (0..len)
-            .map(|i| (0..size).map(|r| (1u64 << (r + i)) as f64).sum())
-            .collect();
+        let want: Vec<f64> =
+            (0..len).map(|i| (0..size).map(|r| (1u64 << (r + i)) as f64).sum()).collect();
         for got in &out.results {
             assert_eq!(got, &want);
         }
@@ -374,7 +364,9 @@ mod tests {
 
     #[test]
     fn rabenseifner_matches_rd() {
-        for &(size, len) in &[(4usize, 8usize), (8, 24), (8, 7 /* fallback */), (6, 12 /* fallback */)] {
+        for &(size, len) in
+            &[(4usize, 8usize), (8, 24), (8, 7 /* fallback */), (6, 12 /* fallback */)]
+        {
             let out = ThreadWorld::run(size, |comm| {
                 let mut buf = contribution(comm.rank(), len);
                 allreduce_rabenseifner(comm, &mut buf, |a, b| a + b).unwrap();

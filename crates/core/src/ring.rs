@@ -10,7 +10,9 @@
 //! binomial subtree) are transmitted to it anyway — `P·(P−1)` transfers in
 //! total, the paper's "verbose data transmissions".
 
-use mpsim::{relative_rank, ring_left, ring_right, split_send_recv, Communicator, Rank, Result, Tag};
+use mpsim::{
+    relative_rank, ring_left, ring_right, split_send_recv, Communicator, Rank, Result, Tag,
+};
 
 use crate::chunks::ChunkLayout;
 
@@ -108,7 +110,8 @@ mod tests {
         // Over P−1 steps the received chunk indices are all chunks except rel.
         for size in 2..12 {
             for rel in 0..size {
-                let mut seen: Vec<usize> = (1..size).map(|i| ring_step_chunks(rel, size, i).1).collect();
+                let mut seen: Vec<usize> =
+                    (1..size).map(|i| ring_step_chunks(rel, size, i).1).collect();
                 seen.sort_unstable();
                 let expected: Vec<usize> = (0..size).filter(|&c| c != rel).collect();
                 assert_eq!(seen, expected);

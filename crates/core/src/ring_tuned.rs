@@ -176,8 +176,8 @@ mod tests {
             (4, SendOnly), // stops receiving after step 6 (10−4)
             (2, RecvOnly),
             (2, SendOnly),
-            (2, RecvOnly), // right neighbour p8 owns {8,9} → step 2
-            (2, SendOnly), // p8 owns {8,9}: 2^3 capped to 10−8 = 2
+            (2, RecvOnly),  // right neighbour p8 owns {8,9} → step 2
+            (2, SendOnly),  // p8 owns {8,9}: 2^3 capped to 10−8 = 2
             (10, RecvOnly), // left neighbour of root
         ];
         for (rel, &e) in expect.iter().enumerate() {
@@ -255,7 +255,10 @@ mod tests {
                 for i in 1..size {
                     if receives_at(step, flag, size, i) {
                         let (_, recv_chunk) = ring_step_chunks(rel, size, i);
-                        assert!(!have[recv_chunk], "size={size} rel={rel} re-received {recv_chunk}");
+                        assert!(
+                            !have[recv_chunk],
+                            "size={size} rel={rel} re-received {recv_chunk}"
+                        );
                         have[recv_chunk] = true;
                     }
                 }
@@ -275,8 +278,8 @@ mod tests {
             (16, 1024, 9),
             (3, 2, 1),
             (2, 10, 1),
-            (12, 7, 0),  // nbytes < P
-            (6, 0, 5),   // zero bytes
+            (12, 7, 0), // nbytes < P
+            (6, 0, 5),  // zero bytes
         ] {
             run(size, nbytes, root);
         }

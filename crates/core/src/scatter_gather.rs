@@ -143,9 +143,7 @@ mod tests {
     use mpsim::ThreadWorld;
 
     fn root_payload(size: usize, block: usize) -> Vec<u8> {
-        (0..size)
-            .flat_map(|r| (0..block).map(move |i| ((r * 37 + i * 11) % 251) as u8))
-            .collect()
+        (0..size).flat_map(|r| (0..block).map(move |i| ((r * 37 + i * 11) % 251) as u8)).collect()
     }
 
     #[test]
@@ -161,8 +159,7 @@ mod tests {
         ] {
             let payload = root_payload(size, block);
             let out = ThreadWorld::run(size, |comm| {
-                let sendbuf =
-                    if comm.rank() == root { payload.clone() } else { Vec::new() };
+                let sendbuf = if comm.rank() == root { payload.clone() } else { Vec::new() };
                 let mut recvbuf = vec![0u8; block];
                 scatter_binomial(comm, &sendbuf, &mut recvbuf, root).unwrap();
                 recvbuf
@@ -234,9 +231,8 @@ mod tests {
             let mut recvbuf = vec![0u8; block];
             scatter_binomial(comm, &sendbuf, &mut recvbuf, 0).unwrap();
         });
-        let expected: usize = (1..size)
-            .map(|rel| crate::scatter::owned_chunks(rel, size) * block)
-            .sum();
+        let expected: usize =
+            (1..size).map(|rel| crate::scatter::owned_chunks(rel, size) * block).sum();
         assert_eq!(out.traffic.total_bytes(), expected as u64);
     }
 }

@@ -94,8 +94,7 @@ pub fn bcast_smp(
     }
 
     // Phase 2: inter-node broadcast among node leaders.
-    let leaders: Vec<Rank> =
-        (0..nodes.node_count(size)).map(|n| nodes.leader_of(n)).collect();
+    let leaders: Vec<Rank> = (0..nodes.node_count(size)).map(|n| nodes.leader_of(n)).collect();
     if leaders.len() > 1 {
         if let Some(sub) = SubComm::new(comm, leaders) {
             let local_root =
@@ -146,11 +145,11 @@ mod tests {
     fn smp_bcast_completes() {
         for &(size, cpn, nbytes, root) in &[
             (12usize, 4usize, 120usize, 0usize),
-            (12, 4, 120, 5),   // root not a leader
-            (10, 4, 97, 9),    // ragged last node, root on it
+            (12, 4, 120, 5), // root not a leader
+            (10, 4, 97, 9),  // ragged last node, root on it
             (9, 3, 50, 4),
-            (8, 8, 64, 3),     // single node
-            (6, 1, 30, 2),     // one rank per node (pure inter)
+            (8, 8, 64, 3), // single node
+            (6, 1, 30, 2), // one rank per node (pure inter)
             (24, 6, 12288, 13),
         ] {
             for algorithm in [Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned] {

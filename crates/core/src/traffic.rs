@@ -60,9 +60,7 @@ pub fn ring_saving_msgs(p: usize) -> u64 {
 /// the send when `send_size <= 0`).
 pub fn scatter_msgs(nbytes: usize, p: usize) -> u64 {
     let layout = ChunkLayout::new(nbytes, p);
-    (1..p)
-        .filter(|&rel| layout.span_bytes(rel..rel + owned_chunks(rel, p)) > 0)
-        .count() as u64
+    (1..p).filter(|&rel| layout.span_bytes(rel..rel + owned_chunks(rel, p)) > 0).count() as u64
 }
 
 /// Byte volume of the binomial scatter for an `nbytes` broadcast: every
@@ -149,15 +147,11 @@ pub fn bcast_volume(algorithm: Algorithm, nbytes: usize, p: usize) -> Volume {
         return Volume::default();
     }
     match algorithm {
-        Algorithm::Binomial => Volume {
-            msgs: p as u64 - 1,
-            bytes: (p as u64 - 1) * nbytes as u64,
-        },
-        Algorithm::ScatterRdAllgather => Volume {
-            msgs: scatter_msgs(nbytes, p),
-            bytes: scatter_bytes(nbytes, p),
+        Algorithm::Binomial => Volume { msgs: p as u64 - 1, bytes: (p as u64 - 1) * nbytes as u64 },
+        Algorithm::ScatterRdAllgather => {
+            Volume { msgs: scatter_msgs(nbytes, p), bytes: scatter_bytes(nbytes, p) }
+                .plus(rd_allgather_volume(nbytes, p))
         }
-        .plus(rd_allgather_volume(nbytes, p)),
         Algorithm::ScatterRingNative => Volume {
             msgs: scatter_msgs(nbytes, p) + native_ring_msgs(p),
             bytes: scatter_bytes(nbytes, p) + native_ring_bytes(nbytes, p),

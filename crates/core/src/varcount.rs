@@ -8,7 +8,10 @@
 //! `r`, placed at `displs[r]` of the assembled buffer. Every rank must pass
 //! identical `counts`/`displs` (collective arguments).
 
-use mpsim::{absolute_rank, relative_rank, ring_left, ring_right, split_send_recv, Communicator, Rank, Result, Tag};
+use mpsim::{
+    absolute_rank, relative_rank, ring_left, ring_right, split_send_recv, Communicator, Rank,
+    Result, Tag,
+};
 
 const AGV: Tag = Tag(0xF8);
 const SCV: Tag = Tag(0xF9);
@@ -143,11 +146,7 @@ pub fn gatherv_binomial(
             // ship our packed subtree [relative, relative+span) to the parent
             let span_end = (relative + mask).min(size);
             let lo = rel_displs[relative];
-            let hi = if span_end == size {
-                stage.len()
-            } else {
-                rel_displs[span_end]
-            };
+            let hi = if span_end == size { stage.len() } else { rel_displs[span_end] };
             let parent = absolute_rank(relative - mask, root, size);
             comm.send(&stage[lo..hi], parent, GAV)?;
             break;
@@ -205,8 +204,7 @@ mod tests {
                 allgatherv_ring(comm, &mine, &mut all, &counts, &displs).unwrap();
                 all
             });
-            let want: Vec<u8> =
-                (0..size).flat_map(|r| contribution(r, counts[r])).collect();
+            let want: Vec<u8> = (0..size).flat_map(|r| contribution(r, counts[r])).collect();
             for (rank, got) in out.results.iter().enumerate() {
                 assert_eq!(got, &want, "size={size} rank={rank}");
             }
@@ -238,8 +236,7 @@ mod tests {
         for &(size, root) in &[(1usize, 0usize), (5, 2), (10, 9), (8, 0)] {
             let counts = counts_for(size);
             let displs = packed_displs(&counts);
-            let payload: Vec<u8> =
-                (0..size).flat_map(|r| contribution(r, counts[r])).collect();
+            let payload: Vec<u8> = (0..size).flat_map(|r| contribution(r, counts[r])).collect();
             let out = ThreadWorld::run(size, |comm| {
                 let sendbuf = if comm.rank() == root { payload.clone() } else { vec![] };
                 let mut mine = vec![0u8; counts[comm.rank()]];
@@ -264,8 +261,7 @@ mod tests {
                 gatherv_binomial(comm, &mine, &mut all, &counts, &displs, root).unwrap();
                 all
             });
-            let want: Vec<u8> =
-                (0..size).flat_map(|r| contribution(r, counts[r])).collect();
+            let want: Vec<u8> = (0..size).flat_map(|r| contribution(r, counts[r])).collect();
             assert_eq!(out.results[root], want, "size={size} root={root}");
             // binomial: one message per non-root rank
             assert_eq!(out.traffic.total_msgs(), (size - 1) as u64);

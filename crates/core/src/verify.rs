@@ -87,9 +87,8 @@ mod tests {
 
     #[test]
     fn check_bcast_with_closure() {
-        let traffic = check_bcast(8, 64, 0, |comm, buf, root| {
-            crate::bcast::bcast_opt(comm, buf, root)
-        });
+        let traffic =
+            check_bcast(8, 64, 0, |comm, buf, root| crate::bcast::bcast_opt(comm, buf, root));
         assert_eq!(traffic.total_msgs(), 7 + 44);
     }
 }

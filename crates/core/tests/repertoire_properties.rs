@@ -1,157 +1,201 @@
 //! Property-based tests for the wider collective repertoire: allgather
 //! (ring/RD/Bruck), alltoall (pairwise/Bruck), scatter/gather (+v),
 //! reductions, and the pipeline broadcast — arbitrary world sizes, block
-//! sizes, roots and payloads on the real threaded runtime.
+//! sizes, roots and payloads on the real threaded runtime, randomized by
+//! the in-tree `testkit` harness.
 
 use bcast_core::allgather::{allgather_bruck, allgather_rd, allgather_ring};
 use bcast_core::alltoall::{alltoall_bruck, alltoall_pairwise};
 use bcast_core::pipeline::{bcast_pipeline, pipeline_msgs};
 use bcast_core::reduce::{allreduce_rabenseifner, allreduce_rd, reduce_binomial};
-use bcast_core::varcount::{allgatherv_ring, gatherv_binomial, packed_displs, scatterv_linear, total};
+use bcast_core::varcount::{
+    allgatherv_ring, gatherv_binomial, packed_displs, scatterv_linear, total,
+};
 use mpsim::{Communicator, ThreadWorld};
-use proptest::prelude::*;
+use testkit::prop::{self, Config};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn allgather_variants_deliver_identical_results(
-        size in 1usize..16,
-        block in 0usize..200,
-        seed in any::<u8>(),
-    ) {
-        let out = ThreadWorld::run(size, |comm| {
-            let mine: Vec<u8> =
-                (0..block).map(|i| (comm.rank() as u8) ^ (i as u8) ^ seed).collect();
-            let mut ring = vec![0u8; block * comm.size()];
-            allgather_ring(comm, &mine, &mut ring).unwrap();
-            let mut bruck = vec![0u8; block * comm.size()];
-            allgather_bruck(comm, &mine, &mut bruck).unwrap();
-            assert_eq!(ring, bruck);
-            if comm.size().is_power_of_two() {
-                let mut rd = vec![0u8; block * comm.size()];
-                allgather_rd(comm, &mine, &mut rd).unwrap();
-                assert_eq!(ring, rd);
-            }
-            ring
-        });
-        // every rank identical, blocks in rank order
-        for buf in &out.results {
-            prop_assert_eq!(buf, &out.results[0]);
-        }
-        for (r, chunk) in out.results[0].chunks(block.max(1)).enumerate().take(size) {
-            if block > 0 {
-                prop_assert!(chunk.iter().enumerate().all(|(i, &b)| b == (r as u8) ^ (i as u8) ^ seed));
-            }
-        }
-    }
-
-    #[test]
-    fn alltoall_variants_agree(
-        size in 1usize..14,
-        block in 0usize..120,
-    ) {
-        ThreadWorld::run(size, |comm| {
-            let me = comm.rank() as u8;
-            let sendbuf: Vec<u8> = (0..comm.size())
-                .flat_map(|d| (0..block).map(move |i| me ^ (d as u8) ^ (i as u8)))
-                .collect();
-            let mut a = vec![0u8; sendbuf.len()];
-            alltoall_pairwise(comm, &sendbuf, &mut a).unwrap();
-            let mut b = vec![0u8; sendbuf.len()];
-            alltoall_bruck(comm, &sendbuf, &mut b).unwrap();
-            assert_eq!(a, b);
-            // block from rank s carries s ^ me ^ i
-            for (s, chunk) in a.chunks(block.max(1)).enumerate().take(comm.size()) {
-                if block > 0 {
-                    assert!(chunk
-                        .iter()
-                        .enumerate()
-                        .all(|(i, &v)| v == (s as u8) ^ me ^ (i as u8)));
+#[test]
+fn allgather_variants_deliver_identical_results() {
+    prop::check(
+        "allgather_variants_deliver_identical_results",
+        Config::cases(40),
+        &(prop::usize_range(1..16), prop::usize_range(0..200), prop::any_u8()),
+        |&(size, block, seed)| {
+            let out = ThreadWorld::run(size, |comm| {
+                let mine: Vec<u8> =
+                    (0..block).map(|i| (comm.rank() as u8) ^ (i as u8) ^ seed).collect();
+                let mut ring = vec![0u8; block * comm.size()];
+                allgather_ring(comm, &mine, &mut ring).unwrap();
+                let mut bruck = vec![0u8; block * comm.size()];
+                allgather_bruck(comm, &mine, &mut bruck).unwrap();
+                assert_eq!(ring, bruck);
+                if comm.size().is_power_of_two() {
+                    let mut rd = vec![0u8; block * comm.size()];
+                    allgather_rd(comm, &mine, &mut rd).unwrap();
+                    assert_eq!(ring, rd);
+                }
+                ring
+            });
+            // every rank identical, blocks in rank order
+            for buf in &out.results {
+                if buf != &out.results[0] {
+                    return Err("ranks disagree".into());
                 }
             }
-        });
-    }
+            for (r, chunk) in out.results[0].chunks(block.max(1)).enumerate().take(size) {
+                if block > 0
+                    && !chunk.iter().enumerate().all(|(i, &b)| b == (r as u8) ^ (i as u8) ^ seed)
+                {
+                    return Err(format!("block of rank {r} corrupted"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn reductions_sum_correctly(
-        size in 1usize..14,
-        len in 0usize..100,
-        root_pick in any::<u64>(),
-    ) {
-        let root = (root_pick as usize) % size;
-        let out = ThreadWorld::run(size, |comm| {
-            let mine: Vec<u64> =
-                (0..len).map(|i| ((comm.rank() + 1) * (i + 1)) as u64).collect();
-            let mut reduced = if comm.rank() == root { vec![0u64; len] } else { vec![] };
-            reduce_binomial(comm, &mine, &mut reduced, |a, b| a + b, root).unwrap();
-            let mut all = mine.clone();
-            allreduce_rd(comm, &mut all, |a, b| a + b).unwrap();
-            let mut raben = mine;
-            allreduce_rabenseifner(comm, &mut raben, |a, b| a + b).unwrap();
-            assert_eq!(all, raben);
-            (reduced, all)
-        });
-        let triangle = (size * (size + 1) / 2) as u64;
-        let want: Vec<u64> = (0..len).map(|i| triangle * (i + 1) as u64).collect();
-        prop_assert_eq!(&out.results[root].0, &want);
-        for (_, all) in &out.results {
-            prop_assert_eq!(all, &want);
-        }
-    }
+#[test]
+fn alltoall_variants_agree() {
+    prop::check(
+        "alltoall_variants_agree",
+        Config::cases(40),
+        &(prop::usize_range(1..14), prop::usize_range(0..120)),
+        |&(size, block)| {
+            ThreadWorld::run(size, |comm| {
+                let me = comm.rank() as u8;
+                let sendbuf: Vec<u8> = (0..comm.size())
+                    .flat_map(|d| (0..block).map(move |i| me ^ (d as u8) ^ (i as u8)))
+                    .collect();
+                let mut a = vec![0u8; sendbuf.len()];
+                alltoall_pairwise(comm, &sendbuf, &mut a).unwrap();
+                let mut b = vec![0u8; sendbuf.len()];
+                alltoall_bruck(comm, &sendbuf, &mut b).unwrap();
+                assert_eq!(a, b);
+                // block from rank s carries s ^ me ^ i
+                for (s, chunk) in a.chunks(block.max(1)).enumerate().take(comm.size()) {
+                    if block > 0 {
+                        assert!(chunk
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &v)| v == (s as u8) ^ me ^ (i as u8)));
+                    }
+                }
+            });
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn varcount_round_trip(
-        size in 1usize..12,
-        seed in any::<u64>(),
-        root_pick in any::<u64>(),
-    ) {
-        let root = (root_pick as usize) % size;
-        let counts: Vec<usize> =
-            (0..size).map(|r| ((seed >> (r % 8)) as usize + r) % 23).collect();
-        let displs = packed_displs(&counts);
-        let n = total(&counts);
-        let payload: Vec<u8> = (0..n).map(|i| (i as u8).wrapping_mul(31)).collect();
-        let payload2 = payload.clone();
-        let counts2 = counts.clone();
-        let displs2 = displs.clone();
-        let out = ThreadWorld::run(size, move |comm| {
-            let me = comm.rank();
-            let sendbuf = if me == root { payload2.clone() } else { vec![] };
-            let mut mine = vec![0u8; counts2[me]];
-            scatterv_linear(comm, &sendbuf, &mut mine, &counts2, &displs2, root).unwrap();
-            // allgatherv reassembles the full payload everywhere
-            let mut assembled = vec![0u8; n];
-            allgatherv_ring(comm, &mine, &mut assembled, &counts2, &displs2).unwrap();
-            // gatherv brings it back to the root too
-            let mut back = if me == root { vec![0u8; n] } else { vec![] };
-            gatherv_binomial(comm, &mine, &mut back, &counts2, &displs2, root).unwrap();
-            (assembled, back)
-        });
-        for (rank, (assembled, _)) in out.results.iter().enumerate() {
-            prop_assert_eq!(assembled, &payload, "rank {}", rank);
-        }
-        prop_assert_eq!(&out.results[root].1, &payload);
-    }
+#[test]
+fn reductions_sum_correctly() {
+    prop::check(
+        "reductions_sum_correctly",
+        Config::cases(40),
+        &(prop::usize_range(1..14), prop::usize_range(0..100), prop::any_u64()),
+        |&(size, len, root_pick)| {
+            let root = (root_pick as usize) % size;
+            let out = ThreadWorld::run(size, |comm| {
+                let mine: Vec<u64> =
+                    (0..len).map(|i| ((comm.rank() + 1) * (i + 1)) as u64).collect();
+                let mut reduced = if comm.rank() == root { vec![0u64; len] } else { vec![] };
+                reduce_binomial(comm, &mine, &mut reduced, |a, b| a + b, root).unwrap();
+                let mut all = mine.clone();
+                allreduce_rd(comm, &mut all, |a, b| a + b).unwrap();
+                let mut raben = mine;
+                allreduce_rabenseifner(comm, &mut raben, |a, b| a + b).unwrap();
+                assert_eq!(all, raben);
+                (reduced, all)
+            });
+            let triangle = (size * (size + 1) / 2) as u64;
+            let want: Vec<u64> = (0..len).map(|i| triangle * (i + 1) as u64).collect();
+            if out.results[root].0 != want {
+                return Err("reduce_binomial wrong at root".into());
+            }
+            for (_, all) in &out.results {
+                if all != &want {
+                    return Err("allreduce diverged".into());
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn pipeline_bcast_any_segment(
-        size in 1usize..12,
-        nbytes in 0usize..800,
-        segment in 0usize..900,
-        root_pick in any::<u64>(),
-    ) {
-        let root = (root_pick as usize) % size;
-        let src = bcast_core::verify::pattern(nbytes, 91);
-        let src2 = src.clone();
-        let out = ThreadWorld::run(size, move |comm| {
-            let mut buf = if comm.rank() == root { src2.clone() } else { vec![0u8; nbytes] };
-            bcast_pipeline(comm, &mut buf, root, segment).unwrap();
-            buf
-        });
-        for buf in &out.results {
-            prop_assert_eq!(buf, &src);
-        }
-        prop_assert_eq!(out.traffic.total_msgs(), pipeline_msgs(nbytes, segment, size));
-    }
+#[test]
+fn varcount_round_trip() {
+    prop::check(
+        "varcount_round_trip",
+        Config::cases(40),
+        &(prop::usize_range(1..12), prop::any_u64(), prop::any_u64()),
+        |&(size, seed, root_pick)| {
+            let root = (root_pick as usize) % size;
+            let counts: Vec<usize> =
+                (0..size).map(|r| ((seed >> (r % 8)) as usize + r) % 23).collect();
+            let displs = packed_displs(&counts);
+            let n = total(&counts);
+            let payload: Vec<u8> = (0..n).map(|i| (i as u8).wrapping_mul(31)).collect();
+            let payload2 = payload.clone();
+            let counts2 = counts.clone();
+            let displs2 = displs.clone();
+            let out = ThreadWorld::run(size, move |comm| {
+                let me = comm.rank();
+                let sendbuf = if me == root { payload2.clone() } else { vec![] };
+                let mut mine = vec![0u8; counts2[me]];
+                scatterv_linear(comm, &sendbuf, &mut mine, &counts2, &displs2, root).unwrap();
+                // allgatherv reassembles the full payload everywhere
+                let mut assembled = vec![0u8; n];
+                allgatherv_ring(comm, &mine, &mut assembled, &counts2, &displs2).unwrap();
+                // gatherv brings it back to the root too
+                let mut back = if me == root { vec![0u8; n] } else { vec![] };
+                gatherv_binomial(comm, &mine, &mut back, &counts2, &displs2, root).unwrap();
+                (assembled, back)
+            });
+            for (rank, (assembled, _)) in out.results.iter().enumerate() {
+                if assembled != &payload {
+                    return Err(format!("rank {rank} reassembled wrong payload"));
+                }
+            }
+            if out.results[root].1 != payload {
+                return Err("gatherv returned wrong payload at root".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn pipeline_bcast_any_segment() {
+    prop::check(
+        "pipeline_bcast_any_segment",
+        Config::cases(40),
+        &(
+            prop::usize_range(1..12),
+            prop::usize_range(0..800),
+            prop::usize_range(0..900),
+            prop::any_u64(),
+        ),
+        |&(size, nbytes, segment, root_pick)| {
+            let root = (root_pick as usize) % size;
+            let src = bcast_core::verify::pattern(nbytes, 91);
+            let src2 = src.clone();
+            let out = ThreadWorld::run(size, move |comm| {
+                let mut buf = if comm.rank() == root { src2.clone() } else { vec![0u8; nbytes] };
+                bcast_pipeline(comm, &mut buf, root, segment).unwrap();
+                buf
+            });
+            for buf in &out.results {
+                if buf != &src {
+                    return Err("pipeline bcast diverged".into());
+                }
+            }
+            let want = pipeline_msgs(nbytes, segment, size);
+            if out.traffic.total_msgs() != want {
+                return Err(format!(
+                    "msgs: measured {} != modelled {want}",
+                    out.traffic.total_msgs()
+                ));
+            }
+            Ok(())
+        },
+    );
 }

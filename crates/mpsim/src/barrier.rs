@@ -5,7 +5,7 @@
 //! needs to be able to fail blocked rendezvous, so we use a small
 //! condvar-based barrier with a `stop` switch, mirroring the mailbox design.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 use crate::error::{CommError, Result};
 

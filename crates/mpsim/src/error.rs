@@ -86,9 +86,6 @@ mod tests {
             CommError::InvalidRank { rank: 1, size: 1 },
             CommError::InvalidRank { rank: 1, size: 1 }
         );
-        assert_ne!(
-            CommError::WorldStopped,
-            CommError::InvalidRank { rank: 0, size: 1 }
-        );
+        assert_ne!(CommError::WorldStopped, CommError::InvalidRank { rank: 0, size: 1 });
     }
 }

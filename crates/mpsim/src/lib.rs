@@ -60,6 +60,7 @@ pub mod mailbox;
 pub mod nonblocking;
 pub mod rank;
 pub mod sub_comm;
+pub mod sync;
 pub mod thread_comm;
 
 pub use barrier::StopBarrier;
@@ -68,8 +69,8 @@ pub use counters::{PeerTraffic, TrafficStats, WorldTraffic};
 pub use error::{CommError, Result};
 pub use nonblocking::NonBlocking;
 pub use rank::{
-    absolute_rank, ceil_div, ceil_log2, ceil_pof2, is_pof2, relative_rank, ring_left,
-    ring_right, Rank, Tag,
+    absolute_rank, ceil_div, ceil_log2, ceil_pof2, is_pof2, relative_rank, ring_left, ring_right,
+    Rank, Tag,
 };
 pub use sub_comm::SubComm;
 pub use thread_comm::{ThreadComm, ThreadWorld, WorldOutcome};

@@ -8,7 +8,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 use crate::error::{CommError, Result};
 use crate::rank::{Rank, Tag};
@@ -49,10 +49,7 @@ impl Mailbox {
     /// Deliver a message from `src` with `tag`.
     pub fn push(&self, src: Rank, tag: Tag, data: Box<[u8]>) {
         let mut st = self.state.lock();
-        st.queues
-            .entry((src, tag))
-            .or_default()
-            .push_back(Envelope { src, data });
+        st.queues.entry((src, tag)).or_default().push_back(Envelope { src, data });
         // Wake all waiters: the owning rank may be blocked on a different
         // (src, tag) in `sendrecv`'s receive half, and spurious wakeups are
         // benign.

@@ -69,10 +69,7 @@ impl NonBlocking for crate::thread_comm::ThreadComm {
     }
 
     fn wait_recv(&self, pending: Self::RecvPending, buf: &mut [u8]) -> Result<usize> {
-        assert!(
-            buf.len() >= pending.capacity,
-            "wait_recv buffer smaller than the posted capacity"
-        );
+        assert!(buf.len() >= pending.capacity, "wait_recv buffer smaller than the posted capacity");
         self.recv(&mut buf[..pending.capacity], pending.src, pending.tag)
     }
 }
@@ -108,8 +105,7 @@ mod tests {
                 }
                 vec![]
             } else {
-                let pendings: Vec<_> =
-                    (0..4).map(|_| comm.irecv(1, 0, Tag(7)).unwrap()).collect();
+                let pendings: Vec<_> = (0..4).map(|_| comm.irecv(1, 0, Tag(7)).unwrap()).collect();
                 let mut got = Vec::new();
                 for p in pendings {
                     let mut b = [0u8; 1];

@@ -148,8 +148,14 @@ impl<C: Communicator + ?Sized> Communicator for SubComm<'_, C> {
     ) -> Result<usize> {
         self.check_rank(dest)?;
         self.check_rank(src)?;
-        self.parent
-            .sendrecv(sendbuf, self.members[dest], sendtag, recvbuf, self.members[src], recvtag)
+        self.parent.sendrecv(
+            sendbuf,
+            self.members[dest],
+            sendtag,
+            recvbuf,
+            self.members[src],
+            recvtag,
+        )
     }
 
     /// Dissemination barrier over the member set only.
@@ -270,11 +276,8 @@ mod tests {
             let sc = SubComm::split(comm, color, key).expect("every rank has a color");
             assert_eq!(sc.size(), 3);
             // members sorted by key: highest parent rank first
-            let expect: Vec<usize> = if comm.rank() % 2 == 0 {
-                vec![4, 2, 0]
-            } else {
-                vec![5, 3, 1]
-            };
+            let expect: Vec<usize> =
+                if comm.rank() % 2 == 0 { vec![4, 2, 0] } else { vec![5, 3, 1] };
             assert_eq!(sc.members(), &expect[..]);
             assert_eq!(sc.to_parent(sc.rank()), comm.rank());
             // the new group is a working communicator

@@ -80,7 +80,11 @@ impl ThreadWorld {
                 let shared = Arc::clone(&shared);
                 let f = &f;
                 handles.push(scope.spawn(move || {
-                    let comm = ThreadComm { rank, shared: Arc::clone(&shared), counters: CounterCell::default() };
+                    let comm = ThreadComm {
+                        rank,
+                        shared: Arc::clone(&shared),
+                        counters: CounterCell::default(),
+                    };
                     let out = catch_unwind(AssertUnwindSafe(|| f(&comm)));
                     match out {
                         Ok(r) => {
@@ -284,10 +288,7 @@ mod tests {
                 comm.recv(&mut small, 0, Tag(0)).map(|_| 0)
             }
         });
-        assert_eq!(
-            out.results[1],
-            Err(CommError::Truncation { capacity: 4, incoming: 16 })
-        );
+        assert_eq!(out.results[1], Err(CommError::Truncation { capacity: 4, incoming: 16 }));
     }
 
     #[test]

@@ -81,11 +81,7 @@ pub fn summarize(events: &[TransferEvent]) -> TraceSummary {
 
 /// Per-node outgoing byte totals — quick "who is the hot spot" view.
 pub fn bytes_by_source_node(events: &[TransferEvent], placement: Placement) -> Vec<u64> {
-    let nodes = events
-        .iter()
-        .map(|e| placement.node_of(e.src))
-        .max()
-        .map_or(0, |m| m + 1);
+    let nodes = events.iter().map(|e| placement.node_of(e.src)).max().map_or(0, |m| m + 1);
     let mut out = vec![0u64; nodes];
     for e in events {
         out[placement.node_of(e.src)] += e.bytes as u64;

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use mpsim::sync::{Condvar, Mutex};
 
 use mpsim::{CommError, Rank, Result, Tag};
 
@@ -347,10 +347,7 @@ impl Fabric {
             ready
         };
         let mut inject_end = start_tx + ser;
-        if model.contention
-            && level == Level::InterNode
-            && model.backbone_beta_ns_per_byte > 0.0
-        {
+        if model.contention && level == Level::InterNode && model.backbone_beta_ns_per_byte > 0.0 {
             let bb = data.len() as f64 * model.backbone_beta_ns_per_byte;
             let start_bb = st.backbone.claim(start_tx, bb);
             inject_end = inject_end.max(start_bb + bb);
@@ -384,8 +381,7 @@ impl Fabric {
             };
             *st.outstanding.entry(key).or_default() += 1;
             let ready = d.ready.max(credit_time);
-            let offer =
-                Self::inject_eager(model, placement, st, src, dst, d.data, ready, d.done);
+            let offer = Self::inject_eager(model, placement, st, src, dst, d.data, ready, d.done);
             let matched = st.chan.entry((src, dst, d.tag)).or_default().recvs.pop_front();
             match matched {
                 Some(recv) => {
@@ -487,9 +483,8 @@ impl Fabric {
                                     t = t_bb;
                                     continue;
                                 }
-                                let t_rx =
-                                    st.nic_rx[dnode].next_fit(t_tx + costs.alpha_ns, ser)
-                                        - costs.alpha_ns;
+                                let t_rx = st.nic_rx[dnode].next_fit(t_tx + costs.alpha_ns, ser)
+                                    - costs.alpha_ns;
                                 if t_rx <= t_tx + 1e-9 {
                                     t = t_tx;
                                     break;
@@ -727,7 +722,7 @@ mod tests {
         let r1 = f.post_recv(0, 1, Tag(0), 10, 100.0).unwrap();
         let (d1, t1) = f.wait_recv(&r1).unwrap();
         assert_eq!(&*d1, &[1; 10]); // FIFO preserved across deferral
-        // credit returns at recv_done + alpha(=0): s3 injects from max(20, t1)
+                                    // credit returns at recv_done + alpha(=0): s3 injects from max(20, t1)
         let s3_done = f.wait_send(&s3).unwrap();
         assert!(s3_done >= t1, "deferred send waited for the credit: {s3_done} vs {t1}");
         let r2 = f.post_recv(0, 1, Tag(0), 10, 100.0).unwrap();

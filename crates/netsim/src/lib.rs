@@ -57,8 +57,8 @@ pub mod topology;
 
 pub use events::{summarize, TraceSummary, TransferEvent};
 pub use fabric::{Fabric, SimTime};
-pub use resources::Timeline;
 pub use model::{LevelCosts, NetworkModel, Protocol};
 pub use presets::MachinePreset;
+pub use resources::Timeline;
 pub use sim_comm::{SimComm, SimOutcome, SimWorld, TimeBreakdown};
 pub use topology::{Level, Placement};

@@ -10,7 +10,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mpsim::sync::Mutex;
 
 use mpsim::barrier::StopBarrier;
 use mpsim::counters::CounterCell;
@@ -138,7 +138,12 @@ impl SimWorld {
                     };
                     match catch_unwind(AssertUnwindSafe(|| f(&comm))) {
                         Ok(r) => {
-                            *slot = Some((r, comm.counters.take(), comm.clock.get(), comm.breakdown.get()));
+                            *slot = Some((
+                                r,
+                                comm.counters.take(),
+                                comm.clock.get(),
+                                comm.breakdown.get(),
+                            ));
                             None
                         }
                         Err(payload) => {
@@ -292,10 +297,7 @@ impl mpsim::NonBlocking for SimComm {
     }
 
     fn wait_recv(&self, pending: SimRecvPending, buf: &mut [u8]) -> Result<usize> {
-        assert!(
-            buf.len() >= pending.capacity,
-            "wait_recv buffer smaller than the posted capacity"
-        );
+        assert!(buf.len() >= pending.capacity, "wait_recv buffer smaller than the posted capacity");
         let from = self.vtime();
         let (data, done) = self.shared.fabric.wait_recv(&pending.handle)?;
         buf[..data.len()].copy_from_slice(&data);
@@ -389,8 +391,7 @@ impl Communicator for SimComm {
         // before every rank has read this one's maximum.
         self.shared.leave.wait()?;
         let from = self.vtime();
-        let cost = self.shared.fabric.model().barrier_alpha_ns
-            * f64::from(ceil_log2(self.size));
+        let cost = self.shared.fabric.model().barrier_alpha_ns * f64::from(ceil_log2(self.size));
         self.advance_to(max + cost);
         self.charge_comm(from);
         Ok(())
@@ -587,7 +588,7 @@ mod tests {
             comm.vtime()
         });
         assert_eq!(out.results[1], 10.0 + 10.0); // α + 100·0.1
-        // now inter-node
+                                                 // now inter-node
         let model = NetworkModel {
             intra: crate::model::LevelCosts { alpha_ns: 10.0, beta_ns_per_byte: 0.1 },
             inter: crate::model::LevelCosts { alpha_ns: 1000.0, beta_ns_per_byte: 1.0 },

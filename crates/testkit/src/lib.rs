@@ -1,0 +1,30 @@
+//! # testkit — zero-dependency test infrastructure for the workspace
+//!
+//! This environment builds with **no registry access**, so the usual
+//! ecosystem crates (`rand`, `proptest`, `criterion`) are unavailable.
+//! `testkit` provides the minimal in-tree replacements the workspace's
+//! tests and benchmarks need:
+//!
+//! * [`rng`] — deterministic PRNGs: SplitMix64 (seeding/stream-splitting)
+//!   and xoshiro256** (the workhorse generator), behind a small
+//!   [`rng::Rng`] trait;
+//! * [`prop`] — a property-testing harness: composable strategies, a
+//!   per-property case budget, greedy shrinking for integers/floats/vectors/
+//!   tuples, and **seed reporting** — a failing property prints a
+//!   `TESTKIT_SEED` value that deterministically replays the failing case;
+//! * [`bench`] — a wall-clock micro-benchmark harness for
+//!   `harness = false` bench targets: warmup + N timed iterations,
+//!   median/p10/p90 statistics, substring filters, and `--json` output
+//!   feeding the `results/` flow. [`bench_main!`] replaces
+//!   `criterion_group!`/`criterion_main!`.
+//!
+//! Everything here is plain `std`; the crate must keep compiling offline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};

@@ -31,12 +31,12 @@ fn main() {
     );
 
     for &(np, nbytes) in &[
-        (16usize, 4096usize),  // smsg
-        (16, 65536),           // mmsg pof2
-        (24, 65536),           // mmsg npof2 (the paper's first target)
-        (16, 1 << 20),         // lmsg pof2 (the paper's second target)
-        (48, 1 << 20),         // lmsg, 2 nodes
-        (129, 1 << 20),        // lmsg npof2, 6 nodes
+        (16usize, 4096usize), // smsg
+        (16, 65536),          // mmsg pof2
+        (24, 65536),          // mmsg npof2 (the paper's first target)
+        (16, 1 << 20),        // lmsg pof2 (the paper's second target)
+        (48, 1 << 20),        // lmsg, 2 nodes
+        (129, 1 << 20),       // lmsg npof2, 6 nodes
     ] {
         let mut cells = Vec::new();
         for algorithm in [

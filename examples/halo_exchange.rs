@@ -59,15 +59,8 @@ fn distributed() -> (Vec<f64>, f64, usize) {
             // halo exchange with neighbours (boundary ranks mirror themselves)
             let mut bytes = [0u8; 8];
             if rank > 0 {
-                comm.sendrecv(
-                    &t[1].to_le_bytes(),
-                    rank - 1,
-                    Tag(1),
-                    &mut bytes,
-                    rank - 1,
-                    Tag(2),
-                )
-                .unwrap();
+                comm.sendrecv(&t[1].to_le_bytes(), rank - 1, Tag(1), &mut bytes, rank - 1, Tag(2))
+                    .unwrap();
                 t[0] = f64::from_le_bytes(bytes);
             } else {
                 t[0] = t[1];

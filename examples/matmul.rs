@@ -43,10 +43,8 @@ fn run(algorithm: Algorithm) -> (f64, Vec<Vec<f64>>) {
         let cols = cols_of(comm.rank());
         let lc = cols.len();
         // local B block (N × lc) and C block, column-major by local column
-        let b_local: Vec<f64> = cols
-            .clone()
-            .flat_map(|j| (0..N).map(move |k| b_entry(k, j)))
-            .collect();
+        let b_local: Vec<f64> =
+            cols.clone().flat_map(|j| (0..N).map(move |k| b_entry(k, j))).collect();
         let mut c_local = vec![0.0f64; N * lc];
         let mut panel = vec![0u8; N * PANEL * 8];
 
@@ -65,9 +63,7 @@ fn run(algorithm: Algorithm) -> (f64, Vec<Vec<f64>>) {
             bcast_with(comm, &mut panel[..N * kb * 8], 0, algorithm).unwrap();
             // Local update: C_local += panel · B_local[kp..kp+kb, :]
             for (jl, cj) in c_local.chunks_exact_mut(N).enumerate() {
-                for (kk, &bkj) in
-                    b_local[jl * N + kp..jl * N + kp + kb].iter().enumerate()
-                {
+                for (kk, &bkj) in b_local[jl * N + kp..jl * N + kp + kb].iter().enumerate() {
                     for (i, cij) in cj.iter_mut().enumerate() {
                         let a = f64::from_le_bytes(
                             panel[(i * kb + kk) * 8..(i * kb + kk) * 8 + 8].try_into().unwrap(),

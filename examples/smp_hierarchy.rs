@@ -19,14 +19,18 @@ fn main() {
     let nodes = NodeMap::new(preset.cores_per_node());
     let src = pattern(nbytes, 7);
 
-    println!("Simulated {}: np={np}, {} nodes, message {} KiB\n", preset.name,
-             placement.node_count(np), nbytes >> 10);
+    println!(
+        "Simulated {}: np={np}, {} nodes, message {} KiB\n",
+        preset.name,
+        placement.node_count(np),
+        nbytes >> 10
+    );
 
     // Demonstrate the split API itself: group ranks by node, order by rank.
     let out = SimWorld::run(preset.model_for(nbytes, np), placement, np, |comm| {
         let color = Some(comm.placement().node_of(comm.rank()) as u64);
-        let node_comm = SubComm::split(comm, color, comm.rank() as i64)
-            .expect("every rank belongs to a node");
+        let node_comm =
+            SubComm::split(comm, color, comm.rank() as i64).expect("every rank belongs to a node");
         // within the node group, local rank 0 is the node leader
         (node_comm.size(), node_comm.rank(), node_comm.to_parent(0))
     });
@@ -34,10 +38,7 @@ fn main() {
     println!("rank 30 sits in a node group of {gsize} ranks led by global rank {leader}\n");
 
     // Compare flat vs SMP-aware broadcast traffic and simulated time.
-    println!(
-        "{:<28} {:>12} {:>14} {:>14}",
-        "broadcast", "time (us)", "intra msgs", "inter msgs"
-    );
+    println!("{:<28} {:>12} {:>14} {:>14}", "broadcast", "time (us)", "intra msgs", "inter msgs");
     for (name, smp, algorithm) in [
         ("flat native ring", false, Algorithm::ScatterRingNative),
         ("flat tuned ring", false, Algorithm::ScatterRingTuned),
@@ -55,10 +56,7 @@ fn main() {
         });
         let (intra, inter, _, _) =
             out.traffic.split_msgs(|a, b| placement.level(a, b) == Level::IntraNode);
-        println!(
-            "{name:<28} {:>12.1} {intra:>14} {inter:>14}",
-            out.makespan_ns / 1000.0
-        );
+        println!("{name:<28} {:>12.1} {intra:>14} {inter:>14}", out.makespan_ns / 1000.0);
     }
 
     println!(

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: run every CI gate, offline.
+# Usage: scripts/ci.sh [--quick]
+#   --quick   skip the release build (test/fmt/clippy only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+run() {
+  echo "==> $*" >&2
+  "$@"
+}
+
+export CARGO_NET_OFFLINE=true
+
+if [[ $quick -eq 0 ]]; then
+  run cargo build --workspace --release --offline
+fi
+run cargo test -q --workspace --offline
+run cargo bench --workspace --offline -- --help >/dev/null
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "All CI gates passed."

@@ -64,9 +64,9 @@ fn main() {
         usage();
     }
     let get = |flag: &str| {
-        args.iter().position(|a| a == flag).map(|i| {
-            args.get(i + 1).unwrap_or_else(|| usage()).clone()
-        })
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| args.get(i + 1).unwrap_or_else(|| usage()).clone())
     };
     let backend = get("--backend").unwrap_or_else(|| "sim".into());
     let np: usize = get("--np").map_or(16, |v| v.parse().expect("--np N"));
@@ -176,10 +176,7 @@ fn report(
         traffic.total_bytes() as f64 / iters as f64 / (1 << 20) as f64
     );
     println!("time/bcast:     {:.1} us", per_bcast / 1000.0);
-    println!(
-        "bandwidth:      {:.1} MB/s",
-        nbytes as f64 / (1 << 20) as f64 / (per_bcast * 1e-9)
-    );
+    println!("bandwidth:      {:.1} MB/s", nbytes as f64 / (1 << 20) as f64 / (per_bcast * 1e-9));
     if !correct {
         std::process::exit(1);
     }

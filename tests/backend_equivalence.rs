@@ -42,11 +42,9 @@ fn thread_run(
 
 #[test]
 fn same_payloads_and_traffic_on_both_backends() {
-    for &algorithm in &[
-        Algorithm::Binomial,
-        Algorithm::ScatterRingNative,
-        Algorithm::ScatterRingTuned,
-    ] {
+    for &algorithm in
+        &[Algorithm::Binomial, Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned]
+    {
         for &(np, nbytes, root) in &[(10usize, 997usize, 3usize), (24, 4096, 0), (9, 10, 8)] {
             let (tb, tt) = thread_run(algorithm, np, nbytes, root);
             let (sb, st) = sim_run(algorithm, np, nbytes, root);

@@ -2,9 +2,7 @@
 //! variants, scatter/gather, reductions, pipeline broadcast) running on the
 //! simulated cluster — cross-crate coverage beyond the per-module unit tests.
 
-use bcast_core::allgather::{
-    allgather_auto, allgather_bruck, allgather_ring, AllgatherThresholds,
-};
+use bcast_core::allgather::{allgather_auto, allgather_bruck, allgather_ring, AllgatherThresholds};
 use bcast_core::pipeline::bcast_pipeline;
 use bcast_core::reduce::{allreduce_rabenseifner, allreduce_rd, reduce_binomial};
 use bcast_core::scatter_gather::{gather_binomial, scatter_binomial};
@@ -80,7 +78,8 @@ fn scatter_gather_round_trip_on_the_simulator() {
         for b in &mut mine {
             *b = b.wrapping_mul(2);
         }
-        let mut gathered = if comm.rank() == 3 { vec![0u8; block * comm.size()] } else { Vec::new() };
+        let mut gathered =
+            if comm.rank() == 3 { vec![0u8; block * comm.size()] } else { Vec::new() };
         gather_binomial(comm, &mine, &mut gathered, 3).unwrap();
         gathered
     });
@@ -130,8 +129,7 @@ fn reductions_on_the_simulator() {
             allreduce_rd(comm, &mut everywhere, |a, b| a + b).unwrap();
             (at_root, everywhere)
         });
-        let want: Vec<u64> =
-            (0..len).map(|i| (0..np).map(|r| (r + i) as u64).sum()).collect();
+        let want: Vec<u64> = (0..len).map(|i| (0..np).map(|r| (r + i) as u64).sum()).collect();
         assert_eq!(out.results[2].0, want, "reduce np={np}");
         for (rank, (_, all)) in out.results.iter().enumerate() {
             assert_eq!(all, &want, "allreduce np={np} rank={rank}");

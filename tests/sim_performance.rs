@@ -24,11 +24,7 @@ fn tuned_at_least_matches_native_intra_node() {
 fn tuned_wins_clearly_for_medium_npof2() {
     // Paper Fig. 8 regime: np not a power of two, medium message.
     let c = compare_sim(&presets::hornet(), 33, 65536, 10);
-    assert!(
-        c.speedup() > 1.02,
-        "expected a clear speedup, got {:.3}",
-        c.speedup()
-    );
+    assert!(c.speedup() > 1.02, "expected a clear speedup, got {:.3}", c.speedup());
 }
 
 #[test]

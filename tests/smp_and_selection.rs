@@ -48,10 +48,7 @@ fn smp_bcast_moves_less_inter_node_data_than_flat_bcast() {
 
     let flat = inter_bytes(false);
     let smp = inter_bytes(true);
-    assert!(
-        smp < flat,
-        "SMP-aware bcast should cut inter-node bytes: smp={smp} flat={flat}"
-    );
+    assert!(smp < flat, "SMP-aware bcast should cut inter-node bytes: smp={smp} flat={flat}");
 }
 
 #[test]

@@ -1,0 +1,78 @@
+//! Pin the paper's headline traffic numbers (Table 1 / §3 of "A
+//! Bandwidth-Saving Optimization for MPI Broadcast Collective Operation"):
+//! the native enclosed-ring allgather moves P·(P−1) transfers while the
+//! tuned schedule moves P² − Σ own(i) — e.g. 44 vs 56 at P=8 and 75 vs 90
+//! at P=10 — and the *measured* traffic of the real threaded runtime
+//! matches the analytic counters exactly.
+
+use bcast_core::traffic::{
+    bcast_volume, native_ring_msgs, ring_saving_msgs, scatter_msgs, tuned_ring_msgs,
+};
+use bcast_core::{bcast_with, Algorithm};
+use mpsim::{Communicator, ThreadWorld};
+
+const WORLDS: [usize; 5] = [4, 8, 10, 16, 30];
+
+/// Analytic table: the native enclosed ring is always P·(P−1); the tuned
+/// counts reproduce the paper's examples.
+#[test]
+fn paper_table_analytic_counts() {
+    for p in WORLDS {
+        assert_eq!(native_ring_msgs(p), (p * (p - 1)) as u64, "native ring at P={p}");
+        assert_eq!(
+            tuned_ring_msgs(p) + ring_saving_msgs(p),
+            native_ring_msgs(p),
+            "saving must close the gap at P={p}"
+        );
+    }
+    // The two worked examples the paper prints.
+    assert_eq!(native_ring_msgs(8), 56);
+    assert_eq!(tuned_ring_msgs(8), 44);
+    assert_eq!(native_ring_msgs(10), 90);
+    assert_eq!(tuned_ring_msgs(10), 75);
+}
+
+/// Measured table: broadcast on real threads and compare the runtime's
+/// traffic counters against the analytic model, per world size and
+/// algorithm. The total is scatter + ring-allgather messages.
+#[test]
+fn paper_table_measured_counts() {
+    let nbytes = 4096;
+    for p in WORLDS {
+        for (algorithm, ring_msgs) in [
+            (Algorithm::ScatterRingNative, native_ring_msgs(p)),
+            (Algorithm::ScatterRingTuned, tuned_ring_msgs(p)),
+        ] {
+            let src = bcast_core::verify::pattern(nbytes, 71);
+            let src2 = src.clone();
+            let out = ThreadWorld::run(p, move |comm| {
+                let mut buf = if comm.rank() == 0 { src2.clone() } else { vec![0u8; nbytes] };
+                bcast_with(comm, &mut buf, 0, algorithm).unwrap();
+                assert_eq!(buf, src2, "rank {} diverged at P={p}", comm.rank());
+            });
+            assert!(out.traffic.is_balanced(), "unbalanced counters at P={p}");
+            let expect = scatter_msgs(nbytes, p) + ring_msgs;
+            assert_eq!(
+                out.traffic.total_msgs(),
+                expect,
+                "{algorithm:?} at P={p}: measured msgs != scatter + ring table entry"
+            );
+            let vol = bcast_volume(algorithm, nbytes, p);
+            assert_eq!(out.traffic.total_msgs(), vol.msgs, "volume model drifted at P={p}");
+            assert_eq!(out.traffic.total_bytes(), vol.bytes, "byte model drifted at P={p}");
+        }
+    }
+}
+
+/// The saving the table promises is monotone in P and strictly positive
+/// for every world in the table (P ≥ 3 per the paper).
+#[test]
+fn paper_table_saving_is_positive_and_growing() {
+    let mut last = 0;
+    for p in WORLDS {
+        let saved = ring_saving_msgs(p);
+        assert!(saved > 0, "no saving at P={p}");
+        assert!(saved > last, "saving shrank at P={p}");
+        last = saved;
+    }
+}
