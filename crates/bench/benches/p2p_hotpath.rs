@@ -1,0 +1,160 @@
+//! Point-to-point hot-path microbenchmarks for the threaded runtime.
+//!
+//! The paper's signal — fewer bytes moved by the tuned ring — is only
+//! measurable on the threaded backend if the per-message software overhead
+//! (allocation, locking, wakeups) is small compared to the copy itself.
+//! These benches pin that overhead down:
+//!
+//! * `pingpong/*` — round-trip latency between two ranks at 64 B / 4 KiB /
+//!   64 KiB payloads (`ROUNDS` round trips per sample, so per-message
+//!   latency = sample / (2·ROUNDS));
+//! * `fanin/7-to-1` — N-to-1 mailbox contention: seven senders hammer one
+//!   receiver's mailbox;
+//! * `barrier/roundtrip` — barrier latency across 8 ranks;
+//! * `mailbox/push_pop` — single-threaded mailbox machinery cost without
+//!   any cross-thread wakeup.
+//!
+//! Each world-based group also reports the buffer-pool counters of its last
+//! run (hit rate and misses = heap allocations), proving the steady-state
+//! zero-allocation claim rather than asserting it.
+
+use std::hint::black_box;
+
+use mpsim::{Communicator, Tag, ThreadWorld};
+use testkit::bench::Harness;
+
+/// Round trips per timed sample (amortizes the 2-thread spawn cost).
+const ROUNDS: usize = 256;
+
+/// Messages per sender in the fan-in bench.
+const FANIN_MSGS: usize = 128;
+
+/// Barriers per timed sample.
+const BARRIERS: usize = 256;
+
+fn pingpong_world(size: usize) -> mpsim::WorldOutcome<()> {
+    ThreadWorld::run(2, move |comm| {
+        let payload = vec![1u8; size];
+        let mut buf = vec![0u8; size];
+        if comm.rank() == 0 {
+            for _ in 0..ROUNDS {
+                comm.send(&payload, 1, Tag(0)).unwrap();
+                comm.recv(&mut buf, 1, Tag(1)).unwrap();
+            }
+        } else {
+            for _ in 0..ROUNDS {
+                comm.recv(&mut buf, 0, Tag(0)).unwrap();
+                comm.send(&payload, 0, Tag(1)).unwrap();
+            }
+        }
+        black_box(&buf);
+    })
+}
+
+fn bench_pingpong(h: &mut Harness) {
+    let mut group = h.group("pingpong");
+    for &size in &[64usize, 4096, 65536] {
+        let samples = if size >= 65536 { 10 } else { 15 };
+        group.sample_size(samples).throughput_bytes((2 * ROUNDS * size) as u64);
+        group.bench(&format!("{size}B"), |b| {
+            let mut last = None;
+            b.iter(|| last = Some(pingpong_world(size)));
+            report_pool(&format!("pingpong/{size}B"), last.as_ref());
+        });
+    }
+}
+
+fn bench_fanin(h: &mut Harness) {
+    let mut group = h.group("fanin");
+    group.sample_size(10);
+    group.bench("7-to-1", |b| {
+        let mut last = None;
+        b.iter(|| {
+            let out = ThreadWorld::run(8, |comm| {
+                let size = 1024;
+                if comm.rank() == 0 {
+                    let mut buf = vec![0u8; size];
+                    for src in 1..comm.size() {
+                        for _ in 0..FANIN_MSGS {
+                            comm.recv(&mut buf, src, Tag(3)).unwrap();
+                        }
+                    }
+                    black_box(&buf);
+                } else {
+                    let payload = vec![comm.rank() as u8; size];
+                    for _ in 0..FANIN_MSGS {
+                        comm.send(&payload, 0, Tag(3)).unwrap();
+                    }
+                }
+            });
+            last = Some(out);
+        });
+        report_pool("fanin/7-to-1", last.as_ref());
+    });
+}
+
+fn bench_barrier(h: &mut Harness) {
+    let mut group = h.group("barrier");
+    group.sample_size(10);
+    group.bench("roundtrip", |b| {
+        b.iter(|| {
+            ThreadWorld::run(8, |comm| {
+                for _ in 0..BARRIERS {
+                    comm.barrier().unwrap();
+                }
+            })
+        })
+    });
+}
+
+fn bench_mailbox(h: &mut Harness) {
+    use mpsim::mailbox::Mailbox;
+    let mut group = h.group("mailbox");
+    group.bench("push_pop_1KiB", |b| {
+        let mb = Mailbox::new();
+        let payload = vec![7u8; 1024];
+        b.iter(|| {
+            for _ in 0..64 {
+                mb.push(0, Tag(0), payload.clone().into());
+                black_box(mb.pop_blocking(0, Tag(0)).unwrap());
+            }
+        })
+    });
+}
+
+/// Print the buffer-pool counters of a world run, when the runtime exposes
+/// them (per-message allocation proof for the zero-allocation claim).
+fn report_pool<R>(label: &str, outcome: Option<&mpsim::WorldOutcome<R>>) {
+    if let Some(out) = outcome {
+        let p = &out.pool;
+        println!(
+            "    {label}: pool rents={} hits={} ({:.1}% hit) allocs={} outstanding={}",
+            p.hits + p.misses,
+            p.hits,
+            p.hit_rate() * 100.0,
+            p.misses,
+            p.outstanding
+        );
+    }
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    bench_pingpong(&mut h);
+    bench_fanin(&mut h);
+    bench_barrier(&mut h);
+    bench_mailbox(&mut h);
+    // Per-operation view: world-level samples divided by their batch size.
+    for r in h.records() {
+        let per_op = match (r.group.as_str(), r.id.as_str()) {
+            ("pingpong", _) => Some(("per message", r.median_ns / (2.0 * ROUNDS as f64))),
+            ("fanin", _) => Some(("per message", r.median_ns / (7.0 * FANIN_MSGS as f64))),
+            ("barrier", _) => Some(("per barrier", r.median_ns / BARRIERS as f64)),
+            _ => None,
+        };
+        if let Some((what, ns)) = per_op {
+            println!("    {}/{}: {ns:.0} ns {what}", r.group, r.id);
+        }
+    }
+    h.finish();
+}

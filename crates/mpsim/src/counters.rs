@@ -133,6 +133,27 @@ impl WorldTraffic {
     }
 }
 
+/// Mailbox wakeup accounting: how many deliveries had to wake a blocked
+/// receiver versus how many took the notify-free fast path.
+///
+/// The threaded backend's send path only issues a condvar notify when the
+/// destination slot has a blocked waiter; these counters let tests and
+/// benches assert that uncontended sends really skip the wakeup.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WakeupStats {
+    /// Envelopes delivered (mailbox pushes).
+    pub pushes: u64,
+    /// Pushes that found a blocked receiver and issued a notify.
+    pub notifies: u64,
+}
+
+impl WakeupStats {
+    /// Pushes that skipped the wakeup entirely.
+    pub fn skipped(&self) -> u64 {
+        self.pushes - self.notifies
+    }
+}
+
 /// Interior-mutable counter cell used by rank-local communicator handles.
 ///
 /// A communicator handle lives on exactly one thread, so `RefCell` suffices;

@@ -58,16 +58,22 @@ pub mod counters;
 pub mod error;
 pub mod mailbox;
 pub mod nonblocking;
+pub mod pool;
 pub mod rank;
 pub mod sub_comm;
 pub mod sync;
+#[cfg_attr(not(feature = "fast-sync"), allow(dead_code))]
+pub(crate) mod sync_fast;
+#[cfg_attr(feature = "fast-sync", allow(dead_code))]
+pub(crate) mod sync_std;
 pub mod thread_comm;
 
 pub use barrier::StopBarrier;
 pub use comm::{split_send_recv, Communicator};
-pub use counters::{PeerTraffic, TrafficStats, WorldTraffic};
+pub use counters::{PeerTraffic, TrafficStats, WakeupStats, WorldTraffic};
 pub use error::{CommError, Result};
 pub use nonblocking::NonBlocking;
+pub use pool::{BufferPool, PoolStats, PooledBuf};
 pub use rank::{
     absolute_rank, ceil_div, ceil_log2, ceil_pof2, is_pof2, relative_rank, ring_left, ring_right,
     Rank, Tag,

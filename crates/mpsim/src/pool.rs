@@ -1,0 +1,354 @@
+//! Size-classed, thread-safe buffer pool backing the zero-allocation fabric.
+//!
+//! Every message the threaded backend moves used to pay one heap allocation
+//! (`buf.to_vec().into_boxed_slice()`) on the send side and one deallocation
+//! after copy-out on the receive side. In a steady-state collective the same
+//! handful of buffer sizes cycle between sender and receiver, so the
+//! allocator traffic is pure overhead — and at small message sizes it
+//! dominates the copy the paper's byte-count argument cares about.
+//!
+//! [`BufferPool`] keeps one freelist per power-of-two size class. Renting
+//! ([`BufferPool::rent`]) pops a recycled buffer when one is available and
+//! allocates otherwise; dropping the returned [`PooledBuf`] pushes the
+//! buffer back onto its class freelist. Counters ([`PoolStats`]) record
+//! hits, misses (= actual heap allocations) and outstanding rentals, so
+//! benches and tests can *prove* the steady-state zero-allocation claim.
+//!
+//! The pool is deliberately not global: each `ThreadWorld`/`Fabric` owns one
+//! `Arc<BufferPool>`, so worlds cannot poison each other's statistics and
+//! all memory is released when the world's last handle drops.
+
+use std::mem::ManuallyDrop;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::sync::Mutex;
+
+/// Smallest size class: `1 << MIN_SHIFT` bytes (64 B).
+const MIN_SHIFT: u32 = 6;
+/// Largest size class: `1 << MAX_SHIFT` bytes (64 MiB). Larger rentals are
+/// served by plain allocation and freed on drop (never pooled).
+const MAX_SHIFT: u32 = 26;
+/// Number of freelists.
+const NUM_CLASSES: usize = (MAX_SHIFT - MIN_SHIFT + 1) as usize;
+/// Per-class freelist cap: beyond this, returned buffers are freed instead
+/// of pooled, bounding worst-case held memory.
+const MAX_PER_CLASS: usize = 64;
+
+/// Snapshot of a pool's counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Rentals served from a freelist (no heap allocation).
+    pub hits: u64,
+    /// Rentals that had to allocate (freelist empty, oversized, or zero-len).
+    pub misses: u64,
+    /// Buffers returned to a freelist so far.
+    pub returned: u64,
+    /// Buffers currently rented out (rents minus returns/frees).
+    pub outstanding: u64,
+}
+
+impl PoolStats {
+    /// Fraction of rentals served without allocating, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe buffer pool with power-of-two size classes.
+#[derive(Default)]
+pub struct BufferPool {
+    classes: [Mutex<Vec<Box<[u8]>>>; NUM_CLASSES],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returned: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// Size class index for `len`, or `None` when the rental bypasses the pool
+/// (zero-length or beyond the largest class).
+fn class_of(len: usize) -> Option<usize> {
+    if len == 0 || len > (1usize << MAX_SHIFT) {
+        return None;
+    }
+    let shift = len.next_power_of_two().trailing_zeros().max(MIN_SHIFT);
+    Some((shift - MIN_SHIFT) as usize)
+}
+
+impl BufferPool {
+    /// Create an empty pool.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Rent a zero-initialized buffer of logical length `len`.
+    ///
+    /// The backing capacity is `len` rounded up to its size class, so a
+    /// recycled buffer serves every rental of the same class. The returned
+    /// handle dereferences to exactly `len` bytes.
+    pub fn rent(self: &Arc<Self>, len: usize) -> PooledBuf {
+        self.rent_raw(len, true)
+    }
+
+    fn rent_raw(self: &Arc<Self>, len: usize, zero: bool) -> PooledBuf {
+        let Some(class) = class_of(len) else {
+            // Oversized or empty: plain allocation, freed on drop.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return PooledBuf {
+                data: ManuallyDrop::new(vec![0u8; len].into_boxed_slice()),
+                len,
+                pool: Some(Arc::clone(self)),
+                class: None,
+            };
+        };
+        let recycled = self.classes[class].lock().pop();
+        let data = match recycled {
+            Some(mut buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // Only the logical prefix is handed out; zero it so a rental
+                // never observes a previous message's bytes. `rent_copy`
+                // skips this — its copy overwrites the whole prefix.
+                if zero {
+                    buf[..len].fill(0);
+                }
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                vec![0u8; 1usize << (class as u32 + MIN_SHIFT)].into_boxed_slice()
+            }
+        };
+        PooledBuf {
+            data: ManuallyDrop::new(data),
+            len,
+            pool: Some(Arc::clone(self)),
+            class: Some(class),
+        }
+    }
+
+    /// Rent a buffer and copy `src` into it — the send-path one-liner.
+    pub fn rent_copy(self: &Arc<Self>, src: &[u8]) -> PooledBuf {
+        let mut buf = self.rent_raw(src.len(), false);
+        buf.copy_from_slice(src);
+        buf
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> PoolStats {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let returned = self.returned.load(Ordering::Relaxed);
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        PoolStats {
+            hits,
+            misses,
+            returned,
+            outstanding: (hits + misses).saturating_sub(returned + dropped),
+        }
+    }
+
+    /// Buffers currently sitting on freelists (diagnostics).
+    pub fn idle_buffers(&self) -> usize {
+        self.classes.iter().map(|c| c.lock().len()).sum()
+    }
+
+    fn recycle(&self, data: Box<[u8]>, class: Option<usize>) {
+        match class {
+            Some(class) => {
+                let mut list = self.classes[class].lock();
+                if list.len() < MAX_PER_CLASS {
+                    list.push(data);
+                    drop(list);
+                    self.returned.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    drop(list);
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// RAII handle to a rented (or standalone) buffer.
+///
+/// Dereferences to its logical `len` bytes. Dropping a pooled handle returns
+/// the backing buffer to its freelist; handles created from raw storage via
+/// [`From`] simply free it, which keeps call sites (tests, the simulator's
+/// trace tooling) free to construct envelopes without a pool.
+pub struct PooledBuf {
+    data: ManuallyDrop<Box<[u8]>>,
+    len: usize,
+    pool: Option<Arc<BufferPool>>,
+    class: Option<usize>,
+}
+
+impl PooledBuf {
+    /// Logical length in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the handle holds no payload bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[..self.len]
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data[..self.len]
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledBuf")
+            .field("len", &self.len)
+            .field("pooled", &self.class.is_some())
+            .finish()
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        // SAFETY: `data` is never touched again after this take.
+        let data = unsafe { ManuallyDrop::take(&mut self.data) };
+        match &self.pool {
+            Some(pool) => pool.recycle(data, self.class),
+            None => drop(data),
+        }
+    }
+}
+
+impl From<Box<[u8]>> for PooledBuf {
+    fn from(data: Box<[u8]>) -> Self {
+        let len = data.len();
+        PooledBuf { data: ManuallyDrop::new(data), len, pool: None, class: None }
+    }
+}
+
+impl From<Vec<u8>> for PooledBuf {
+    fn from(data: Vec<u8>) -> Self {
+        data.into_boxed_slice().into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_rounding() {
+        assert_eq!(class_of(0), None);
+        assert_eq!(class_of(1), Some(0)); // rounds up to 64
+        assert_eq!(class_of(64), Some(0));
+        assert_eq!(class_of(65), Some(1)); // 128
+        assert_eq!(class_of(4096), Some(6));
+        assert_eq!(class_of(1 << 26), Some(NUM_CLASSES - 1));
+        assert_eq!(class_of((1 << 26) + 1), None);
+    }
+
+    #[test]
+    fn rent_miss_then_hit() {
+        let pool = BufferPool::new();
+        let a = pool.rent(100);
+        assert_eq!(a.len(), 100);
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(pool.stats().outstanding, 1);
+        drop(a);
+        assert_eq!(pool.stats().returned, 1);
+        assert_eq!(pool.stats().outstanding, 0);
+        // same class (128B) is a hit, even at a different logical length
+        let b = pool.rent(128);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 1);
+        drop(b);
+        assert!((pool.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rentals_are_zeroed() {
+        let pool = BufferPool::new();
+        let mut a = pool.rent(64);
+        a.copy_from_slice(&[0xFF; 64]);
+        drop(a);
+        let b = pool.rent(32); // same class, shorter logical length
+        assert!(b.iter().all(|&x| x == 0), "recycled buffer leaked bytes");
+    }
+
+    #[test]
+    fn rent_copy_round_trips_payload() {
+        let pool = BufferPool::new();
+        let src: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let buf = pool.rent_copy(&src);
+        assert_eq!(&*buf, &src[..]);
+    }
+
+    #[test]
+    fn zero_len_and_oversized_bypass_freelists() {
+        let pool = BufferPool::new();
+        let z = pool.rent(0);
+        assert!(z.is_empty());
+        drop(z);
+        assert_eq!(pool.idle_buffers(), 0);
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.outstanding, 0);
+    }
+
+    #[test]
+    fn unpooled_from_impls() {
+        let v: PooledBuf = vec![1, 2, 3].into();
+        assert_eq!(&*v, &[1, 2, 3]);
+        let b: PooledBuf = Box::<[u8]>::from([9u8; 4]).into();
+        assert_eq!(b.len(), 4);
+        drop(b); // must not panic or touch any pool
+    }
+
+    #[test]
+    fn freelist_is_capped() {
+        let pool = BufferPool::new();
+        let bufs: Vec<_> = (0..MAX_PER_CLASS + 8).map(|_| pool.rent(64)).collect();
+        drop(bufs);
+        assert_eq!(pool.idle_buffers(), MAX_PER_CLASS);
+        let stats = pool.stats();
+        assert_eq!(stats.returned, MAX_PER_CLASS as u64);
+        assert_eq!(stats.outstanding, 0);
+    }
+
+    #[test]
+    fn pool_is_shared_across_threads() {
+        let pool = BufferPool::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let mut b = pool.rent(256);
+                        b[0] = i as u8;
+                        drop(b);
+                    }
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, 400);
+        assert_eq!(stats.outstanding, 0);
+    }
+}

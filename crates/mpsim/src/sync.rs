@@ -1,107 +1,42 @@
-//! Synchronization shim: a `parking_lot`-shaped API over `std::sync`.
+//! Synchronization seam: a `parking_lot`-shaped API with two backends.
 //!
 //! The runtime originally used `parking_lot` for its locks. To keep the
 //! workspace building with **zero external dependencies** (registry access
 //! cannot be assumed), this module provides the same call shapes —
 //! `Mutex::lock()` returning a guard directly, `Condvar::wait(&mut guard)`,
-//! `RwLock::{read, write}` — over the standard library primitives. All lock
-//! users in `mpsim` and `netsim` go through this module, so a faster lock
-//! backend (e.g. `parking_lot` again, or a futex-based lock) can be swapped
-//! back in behind this one file without touching any call site.
+//! `RwLock::{read, write}` — and selects one of two implementations:
 //!
-//! Poisoning is deliberately ignored: a panicking rank already triggers
-//! world teardown through [`crate::barrier::StopBarrier::stop`] and
+//! * default: a thin shim over `std::sync` (`sync_std`), ignoring
+//!   poisoning;
+//! * `fast-sync` feature: the spin-then-park backend in `sync_fast` —
+//!   atomics plus `thread::park_timeout`, with a spin window sized for the
+//!   mailbox/barrier rendezvous hot path.
+//!
+//! All lock users in `mpsim` and `netsim` go through this module, so the
+//! backend swap needs no call-site changes; `mailbox`, `barrier`, the
+//! netsim `fabric`, and `sim_comm` all pick it up automatically. Both
+//! backends are always *compiled* (tests and clippy cover each everywhere);
+//! the feature only chooses which one this module re-exports.
+//!
+//! Poisoning is deliberately ignored by both backends: a panicking rank
+//! already triggers world teardown through
+//! [`crate::barrier::StopBarrier::stop`] and
 //! [`crate::mailbox::Mailbox::stop`], and the protected state (message
 //! queues, reservation timelines) stays structurally valid across an
 //! unwind, matching `parking_lot`'s no-poisoning semantics that the
 //! original code was written against.
 
-use std::fmt;
 use std::sync::PoisonError;
 
-/// A mutual-exclusion lock whose `lock` returns the guard directly.
-#[derive(Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
-
-/// RAII guard returned by [`Mutex::lock`].
-///
-/// The inner `Option` is always `Some` except transiently inside
-/// [`Condvar::wait`], which must move the std guard out and back.
-pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
-
-impl<T> Mutex<T> {
-    /// Create a mutex protecting `value`.
-    pub const fn new(value: T) -> Self {
-        Self(std::sync::Mutex::new(value))
-    }
-
-    /// Consume the mutex, returning the protected value.
-    pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
-    }
-}
-
-impl<T: ?Sized> Mutex<T> {
-    /// Acquire the lock, blocking until it is available.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
-    }
-
-    /// Mutable access without locking (requires exclusive ownership).
-    pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
-    }
-}
-
-impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
-    }
-}
-
-impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        self.0.as_ref().expect("guard invariant: present outside Condvar::wait")
-    }
-}
-
-impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
-    fn deref_mut(&mut self) -> &mut T {
-        self.0.as_mut().expect("guard invariant: present outside Condvar::wait")
-    }
-}
-
-/// Condition variable operating on [`MutexGuard`] in place.
-#[derive(Default)]
-pub struct Condvar(std::sync::Condvar);
-
-impl Condvar {
-    /// Create a new condition variable.
-    pub const fn new() -> Self {
-        Self(std::sync::Condvar::new())
-    }
-
-    /// Atomically release the guard's lock and block until notified; the
-    /// lock is re-acquired before returning. Spurious wakeups are possible,
-    /// so callers loop on their predicate.
-    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let inner = guard.0.take().expect("guard invariant: present on entry to wait");
-        guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
-    }
-
-    /// Wake a single waiting thread.
-    pub fn notify_one(&self) {
-        self.0.notify_one();
-    }
-
-    /// Wake all waiting threads.
-    pub fn notify_all(&self) {
-        self.0.notify_all();
-    }
-}
+#[cfg(feature = "fast-sync")]
+pub use crate::sync_fast::{Condvar, Mutex, MutexGuard};
+#[cfg(not(feature = "fast-sync"))]
+pub use crate::sync_std::{Condvar, Mutex, MutexGuard};
 
 /// A reader-writer lock whose `read`/`write` return guards directly.
+///
+/// Only used on cold paths, so it has a single std-backed implementation
+/// regardless of the selected mutex backend.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
 
@@ -164,6 +99,9 @@ impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    // These exercise whichever backend the feature set selected, through
+    // the exact API the runtime uses.
 
     #[test]
     fn mutex_basic_and_guard_deref() {

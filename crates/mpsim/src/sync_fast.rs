@@ -1,0 +1,499 @@
+//! Spin-then-park lock backend (`fast-sync` feature).
+//!
+//! The ROADMAP's fast-lock seam: a mutex and condvar built directly on
+//! `std::sync::atomic` plus `thread::park_timeout`, tuned for the threaded
+//! runtime's access pattern — critical sections of a few hundred
+//! nanoseconds (a hash-map queue push or pop) and rendezvous where the
+//! other side arrives almost immediately (ping-pong, barrier).
+//!
+//! * **Mutex**: a word-sized state machine (`0` unlocked / `1` locked /
+//!   `2` locked-contended). `lock` spins briefly with `spin_loop` hints
+//!   before registering in a waiter list and parking; `unlock` is a single
+//!   `swap` that unparks one registered waiter only when contention was
+//!   observed.
+//! * **Condvar**: waiters register a `(flag, thread)` pair, release the
+//!   mutex, then *spin on the flag* before parking — a notify that arrives
+//!   within the spin window (the common case for message rendezvous)
+//!   completes without any syscall on the waiting side.
+//!
+//! Every park uses [`PARK_TIMEOUT`] as a safety net, so even a lost wakeup
+//! (theoretically possible in the window between a waiter registering and
+//! parking while the notifier misses the registration) only costs bounded
+//! latency, never liveness. Spurious wakeups are allowed by both APIs; all
+//! callers loop on their predicate.
+//!
+//! Spin windows are sized by [`multicore`]: spinning only pays when the
+//! peer can run concurrently on another hardware thread. On a single core
+//! a spinning waiter starves the thread that would wake it, so there the
+//! windows collapse to zero and every blocking path parks immediately.
+//!
+//! Poisoning does not exist here, matching the std shim's `parking_lot`
+//! semantics: the protected state stays structurally valid across unwinds
+//! and world teardown is handled at a higher level.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::{self, Thread};
+use std::time::Duration;
+
+/// Spin iterations before a lock acquisition parks (multicore only).
+const LOCK_SPINS: u32 = 128;
+/// Spin iterations a condvar waiter burns on its flag before parking
+/// (multicore only). Message rendezvous usually completes well inside
+/// this window.
+const WAIT_SPINS: u32 = 6000;
+/// Park safety net: bounds the cost of any lost-wakeup race.
+const PARK_TIMEOUT: Duration = Duration::from_micros(100);
+/// Timeslice donations a condvar waiter makes after its spin window and
+/// before parking. On one core `yield_now` hands the CPU straight to the
+/// peer that will set our flag, and `unpark` on a thread that never parked
+/// is a syscall-free atomic store — so a rendezvous that completes within
+/// the yield window costs two context switches and no futex traffic.
+const WAIT_YIELDS: u32 = 32;
+/// Timeslice donations a contended lock acquisition makes before parking.
+const LOCK_YIELDS: u32 = 16;
+
+/// Does spinning pay on this machine? Only when the peer can make progress
+/// on another hardware thread: on a single core every spin iteration merely
+/// delays the peer's next scheduler slot, so a waiter spinning on its flag
+/// starves the very thread that would set it and then rides the park
+/// timeout. With one core all spin windows collapse to zero and blocking
+/// paths park immediately, turning each wakeup into a plain scheduler
+/// handoff (what a futex-based lock would do).
+fn multicore() -> bool {
+    // 0 = uninitialized, 1 = single core, 2 = multicore.
+    static CORES: AtomicU32 = AtomicU32::new(0);
+    match CORES.load(Ordering::Relaxed) {
+        0 => {
+            let n = thread::available_parallelism().map_or(1, usize::from);
+            let class = if n > 1 { 2 } else { 1 };
+            CORES.store(class, Ordering::Relaxed);
+            class == 2
+        }
+        class => class == 2,
+    }
+}
+
+fn lock_spins() -> u32 {
+    if multicore() {
+        LOCK_SPINS
+    } else {
+        0
+    }
+}
+
+fn wait_spins() -> u32 {
+    if multicore() {
+        WAIT_SPINS
+    } else {
+        0
+    }
+}
+
+/// A minimal spinlock-guarded list used for waiter registries.
+struct SpinList<T> {
+    lock: AtomicBool,
+    items: UnsafeCell<Vec<T>>,
+}
+
+// SAFETY: access to `items` is serialized by the `lock` flag.
+unsafe impl<T: Send> Send for SpinList<T> {}
+unsafe impl<T: Send> Sync for SpinList<T> {}
+
+impl<T> Default for SpinList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SpinList<T> {
+    const fn new() -> Self {
+        Self { lock: AtomicBool::new(false), items: UnsafeCell::new(Vec::new()) }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+        let mut spins = 0u32;
+        while self
+            .lock
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            // The critical sections are a few instructions, so contention is
+            // rare and brief — but if the holder lost its timeslice (or we
+            // share one core with it), burning ours only delays the release.
+            spins += 1;
+            if spins > 64 {
+                thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // SAFETY: the spinlock above gives exclusive access.
+        let r = f(unsafe { &mut *self.items.get() });
+        self.lock.store(false, Ordering::Release);
+        r
+    }
+}
+
+const UNLOCKED: u32 = 0;
+const LOCKED: u32 = 1;
+const CONTENDED: u32 = 2;
+
+/// Spin-then-park mutual-exclusion lock; `lock` returns the guard directly.
+pub struct Mutex<T: ?Sized> {
+    state: AtomicU32,
+    parked: SpinList<Thread>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the lock protocol serializes access to `data`.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+/// RAII guard returned by [`Mutex::lock`]; unlocks on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            state: AtomicU32::new(UNLOCKED),
+            parked: SpinList::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking (spin, then park) until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if self
+            .state
+            .compare_exchange_weak(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return MutexGuard { mutex: self };
+        }
+        self.lock_slow();
+        MutexGuard { mutex: self }
+    }
+
+    #[cold]
+    fn lock_slow(&self) {
+        for _ in 0..lock_spins() {
+            if self.state.load(Ordering::Relaxed) == UNLOCKED
+                && self
+                    .state
+                    .compare_exchange_weak(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut yields = 0;
+        loop {
+            // Announce contention; a swap that finds UNLOCKED acquires the
+            // lock (conservatively leaving it marked contended, which at
+            // worst costs one extra unpark at the next unlock).
+            if self.state.swap(CONTENDED, Ordering::Acquire) == UNLOCKED {
+                return;
+            }
+            // Critical sections are sub-microsecond, so donating a
+            // timeslice is almost always enough for the holder to finish;
+            // parking is the backstop for a descheduled holder.
+            if yields < LOCK_YIELDS {
+                yields += 1;
+                thread::yield_now();
+                continue;
+            }
+            self.parked.with(|v| v.push(thread::current()));
+            // Recheck after registering: an unlock that raced us may have
+            // missed the registration. A stale registry entry only yields a
+            // spurious unpark later, which every park loop tolerates.
+            if self.state.swap(CONTENDED, Ordering::Acquire) == UNLOCKED {
+                return;
+            }
+            thread::park_timeout(PARK_TIMEOUT);
+        }
+    }
+
+    fn unlock(&self) {
+        if self.state.swap(UNLOCKED, Ordering::Release) == CONTENDED {
+            if let Some(t) = self.parked.with(Vec::pop) {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Best-effort: do not block the formatter on a held lock.
+        match self.state.load(Ordering::Relaxed) {
+            UNLOCKED => {
+                let guard = self.lock();
+                f.debug_tuple("Mutex").field(&&*guard).finish()
+            }
+            _ => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard holds the lock exclusively.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.unlock();
+    }
+}
+
+/// One registered condvar waiter.
+struct Waiter {
+    notified: AtomicBool,
+    thread: Thread,
+}
+
+/// Per-thread cached waiter, so a blocking receive loop does not allocate
+/// on every wait. Reused only when no registry or notifier still holds a
+/// reference (`strong_count == 1`), which makes the flag reset safe.
+fn current_waiter() -> Arc<Waiter> {
+    thread_local! {
+        static CACHED: std::cell::RefCell<Option<Arc<Waiter>>> =
+            const { std::cell::RefCell::new(None) };
+    }
+    CACHED.with(|c| {
+        let mut slot = c.borrow_mut();
+        match slot.as_ref() {
+            Some(w) if Arc::strong_count(w) == 1 => {
+                w.notified.store(false, Ordering::Relaxed);
+                Arc::clone(w)
+            }
+            _ => {
+                let w = Arc::new(Waiter {
+                    notified: AtomicBool::new(false),
+                    thread: thread::current(),
+                });
+                *slot = Some(Arc::clone(&w));
+                w
+            }
+        }
+    })
+}
+
+/// Condition variable operating on [`MutexGuard`] in place.
+#[derive(Default)]
+pub struct Condvar {
+    waiters: SpinList<Arc<Waiter>>,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Self { waiters: SpinList::new() }
+    }
+
+    /// Atomically release the guard's lock and block until notified; the
+    /// lock is re-acquired before returning. Spurious wakeups are possible,
+    /// so callers loop on their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let waiter = current_waiter();
+        self.waiters.with(|v| v.push(Arc::clone(&waiter)));
+        // Release while registered: a notify between unlock and park sets
+        // the flag (and possibly pre-loads our park token), so it cannot be
+        // lost.
+        guard.mutex.unlock();
+        let max_spins = wait_spins();
+        let mut spins = 0;
+        let mut yields = 0;
+        while !waiter.notified.load(Ordering::Acquire) {
+            if spins < max_spins {
+                spins += 1;
+                std::hint::spin_loop();
+            } else if yields < WAIT_YIELDS {
+                yields += 1;
+                thread::yield_now();
+            } else {
+                thread::park_timeout(PARK_TIMEOUT);
+            }
+        }
+        // Re-acquire before returning so the guard's eventual drop unlocks
+        // exactly once.
+        if guard
+            .mutex
+            .state
+            .compare_exchange_weak(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            guard.mutex.lock_slow();
+        }
+    }
+
+    /// Wake a single waiting thread.
+    pub fn notify_one(&self) {
+        if let Some(w) = self.waiters.with(Vec::pop) {
+            w.notified.store(true, Ordering::Release);
+            w.thread.unpark();
+        }
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) {
+        let drained = self.waiters.with(std::mem::take);
+        for w in drained {
+            w.notified.store(true, Ordering::Release);
+            w.thread.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lock_excludes_and_counts() {
+        let m = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 80_000);
+    }
+
+    #[test]
+    fn condvar_rendezvous() {
+        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let consumed = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pair = Arc::clone(&pair);
+                let consumed = Arc::clone(&consumed);
+                s.spawn(move || {
+                    let (m, cv) = &*pair;
+                    let mut g = m.lock();
+                    while *g == 0 {
+                        cv.wait(&mut g);
+                    }
+                    *g -= 1;
+                    consumed.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            let (m, cv) = &*pair;
+            for _ in 0..4 {
+                std::thread::sleep(Duration::from_millis(1));
+                *m.lock() += 1;
+                cv.notify_one();
+            }
+        });
+        assert_eq!(consumed.load(Ordering::SeqCst), 4);
+        assert_eq!(*pair.0.lock(), 0);
+    }
+
+    #[test]
+    fn notify_all_releases_everyone() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let woke = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let pair = Arc::clone(&pair);
+                let woke = Arc::clone(&woke);
+                s.spawn(move || {
+                    let (m, cv) = &*pair;
+                    let mut g = m.lock();
+                    while !*g {
+                        cv.wait(&mut g);
+                    }
+                    woke.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        assert_eq!(woke.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn notify_before_wait_is_not_lost_for_registered_waiter() {
+        // A waiter that registered but has not parked yet must still see a
+        // notify issued immediately after the mutex was released.
+        for _ in 0..200 {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let h = std::thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                let mut g = m.lock();
+                while !*g {
+                    cv.wait(&mut g);
+                }
+            });
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn guard_drop_unlocks() {
+        let m = Mutex::new(5);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn debug_does_not_deadlock_while_held() {
+        let m = Mutex::new(3);
+        let g = m.lock();
+        let s = format!("{m:?}");
+        assert!(s.contains("locked"));
+        drop(g);
+        assert!(format!("{m:?}").contains('3'));
+    }
+}

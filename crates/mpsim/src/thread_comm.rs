@@ -20,6 +20,7 @@ use crate::comm::Communicator;
 use crate::counters::{CounterCell, TrafficStats, WorldTraffic};
 use crate::error::{CommError, Result};
 use crate::mailbox::Mailbox;
+use crate::pool::{BufferPool, PoolStats};
 use crate::rank::{Rank, Tag};
 
 /// Everything a world run produced.
@@ -29,6 +30,12 @@ pub struct WorldOutcome<R> {
     pub results: Vec<R>,
     /// Per-rank traffic statistics, indexed by rank.
     pub traffic: WorldTraffic,
+    /// Final buffer-pool counters for the world's shared [`BufferPool`].
+    ///
+    /// After a steady-state workload, `misses` stops growing and
+    /// [`PoolStats::hit_rate`] approaches 1.0 — every message rides a
+    /// recycled buffer instead of a fresh heap allocation.
+    pub pool: PoolStats,
     /// Wall-clock duration of the whole run (spawn to last join).
     pub elapsed: Duration,
 }
@@ -36,6 +43,7 @@ pub struct WorldOutcome<R> {
 struct Shared {
     mailboxes: Vec<Mailbox>,
     barrier: StopBarrier,
+    pool: Arc<BufferPool>,
     start: Instant,
 }
 
@@ -68,6 +76,7 @@ impl ThreadWorld {
         let shared = Arc::new(Shared {
             mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
             barrier: StopBarrier::new(n),
+            pool: BufferPool::new(),
             start: Instant::now(),
         });
 
@@ -110,6 +119,7 @@ impl ThreadWorld {
         }
 
         let elapsed = shared.start.elapsed();
+        let pool = shared.pool.stats();
         let mut results = Vec::with_capacity(n);
         let mut traffic = Vec::with_capacity(n);
         for slot in slots {
@@ -117,7 +127,7 @@ impl ThreadWorld {
             results.push(r);
             traffic.push(t);
         }
-        WorldOutcome { results, traffic: WorldTraffic::new(traffic), elapsed }
+        WorldOutcome { results, traffic: WorldTraffic::new(traffic), pool, elapsed }
     }
 }
 
@@ -136,6 +146,15 @@ impl ThreadComm {
     pub fn traffic(&self) -> TrafficStats {
         self.counters.snapshot()
     }
+
+    /// Snapshot of the world-shared buffer pool's counters.
+    ///
+    /// All ranks share one pool, so the numbers are global. Useful for
+    /// asserting steady-state behaviour mid-run (e.g. "no new allocations
+    /// happened between these two barriers").
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.pool.stats()
+    }
 }
 
 impl Communicator for ThreadComm {
@@ -150,7 +169,10 @@ impl Communicator for ThreadComm {
     fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
         self.check_rank(dest)?;
         self.counters.record_send(dest, buf.len());
-        self.shared.mailboxes[dest].push(self.rank, tag, buf.to_vec().into_boxed_slice());
+        // Rent from the shared pool instead of allocating: in steady state
+        // this is a freelist pop + memcpy, with the buffer returning to the
+        // pool when the receiver's copy-out drops the envelope.
+        self.shared.mailboxes[dest].push(self.rank, tag, self.shared.pool.rent_copy(buf));
         Ok(())
     }
 

@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use mpsim::pool::{BufferPool, PoolStats, PooledBuf};
 use mpsim::sync::{Condvar, Mutex};
 
 use mpsim::{CommError, Rank, Result, Tag};
@@ -82,11 +83,11 @@ pub struct SendHandle {
 
 /// Handle a rank waits on for a posted receive; yields payload + new virtual time.
 pub struct RecvHandle {
-    cell: Arc<Cell<(Box<[u8]>, SimTime)>>,
+    cell: Arc<Cell<(PooledBuf, SimTime)>>,
 }
 
 struct SendOffer {
-    data: Box<[u8]>,
+    data: PooledBuf,
     sender_vtime: SimTime,
     /// For eager sends: when the last byte reaches the destination side of
     /// the wire (the receive side still claims ejection/unpack resources).
@@ -97,7 +98,7 @@ struct SendOffer {
 struct RecvOffer {
     capacity: usize,
     receiver_vtime: SimTime,
-    done: Arc<Cell<(Box<[u8]>, SimTime)>>,
+    done: Arc<Cell<(PooledBuf, SimTime)>>,
 }
 
 #[derive(Default)]
@@ -109,7 +110,7 @@ struct Queues {
 /// An eager send stalled on flow-control credits, not yet injected.
 struct DeferredSend {
     tag: Tag,
-    data: Box<[u8]>,
+    data: PooledBuf,
     ready: SimTime,
     done: Arc<Cell<SimTime>>,
 }
@@ -136,6 +137,8 @@ pub struct Fabric {
     model: NetworkModel,
     placement: Placement,
     state: Mutex<State>,
+    /// Payload buffers for in-flight messages, recycled on delivery.
+    pool: Arc<BufferPool>,
     /// Optional per-transfer event log (see [`crate::events`]).
     trace: Option<Mutex<Vec<TransferEvent>>>,
 }
@@ -158,6 +161,7 @@ impl Fabric {
         Fabric {
             model,
             placement,
+            pool: BufferPool::new(),
             trace: traced.then(|| Mutex::new(Vec::new())),
             state: Mutex::new(State {
                 chan: HashMap::new(),
@@ -185,6 +189,11 @@ impl Fabric {
     /// The placement this fabric simulates.
     pub fn placement(&self) -> Placement {
         self.placement
+    }
+
+    /// Snapshot of the fabric's payload-pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Fail all pending and future operations (world teardown).
@@ -216,6 +225,7 @@ impl Fabric {
         now: SimTime,
     ) -> Result<SendHandle> {
         let cell = Cell::new();
+        let payload = self.pool.rent_copy(data);
         let mut st = self.state.lock();
         if st.stopped {
             return Err(CommError::WorldStopped);
@@ -230,7 +240,7 @@ impl Fabric {
             if blocked {
                 st.deferred.entry(key).or_default().push_back(DeferredSend {
                     tag,
-                    data: data.to_vec().into_boxed_slice(),
+                    data: payload,
                     ready: now,
                     done: Arc::clone(&cell),
                 });
@@ -243,13 +253,13 @@ impl Fabric {
                 &mut st,
                 src,
                 dst,
-                data.to_vec().into_boxed_slice(),
+                payload,
                 now,
                 Arc::clone(&cell),
             )
         } else {
             SendOffer {
-                data: data.to_vec().into_boxed_slice(),
+                data: payload,
                 sender_vtime: now,
                 eager_wire_arrival: None,
                 done: Arc::clone(&cell),
@@ -312,9 +322,10 @@ impl Fabric {
         handle.cell.wait()
     }
 
-    /// Block until a posted receive completes; returns the payload and the
-    /// receiver's new virtual time.
-    pub fn wait_recv(&self, handle: &RecvHandle) -> Result<(Box<[u8]>, SimTime)> {
+    /// Block until a posted receive completes; returns the payload (a pooled
+    /// buffer that recycles itself when dropped) and the receiver's new
+    /// virtual time.
+    pub fn wait_recv(&self, handle: &RecvHandle) -> Result<(PooledBuf, SimTime)> {
         handle.cell.wait()
     }
 
@@ -328,7 +339,7 @@ impl Fabric {
         st: &mut State,
         src: Rank,
         dst: Rank,
-        data: Box<[u8]>,
+        data: PooledBuf,
         ready: SimTime,
         done: Arc<Cell<SimTime>>,
     ) -> SendOffer {

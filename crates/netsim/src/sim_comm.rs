@@ -33,6 +33,8 @@ pub struct SimOutcome<R> {
     pub makespan_ns: f64,
     /// Per-rank time breakdown (communication vs modelled compute).
     pub breakdown: Vec<TimeBreakdown>,
+    /// Final counters of the fabric's payload buffer pool.
+    pub pool: mpsim::PoolStats,
 }
 
 /// Where a rank's virtual time went.
@@ -179,6 +181,7 @@ impl SimWorld {
         }
         let makespan_ns = finish_ns.iter().copied().fold(0.0, f64::max);
         let events = shared.fabric.take_trace();
+        let pool = shared.fabric.pool_stats();
         (
             SimOutcome {
                 results,
@@ -186,6 +189,7 @@ impl SimWorld {
                 finish_ns,
                 makespan_ns,
                 breakdown,
+                pool,
             },
             events,
         )

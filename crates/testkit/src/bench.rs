@@ -91,6 +91,7 @@ struct Options {
     samples: usize,
     warmup: usize,
     json_path: Option<String>,
+    criterion_dir: Option<String>,
     list_only: bool,
     quick: bool,
 }
@@ -102,6 +103,7 @@ impl Default for Options {
             samples: 20,
             warmup: 3,
             json_path: None,
+            criterion_dir: None,
             list_only: false,
             quick: false,
         }
@@ -118,6 +120,10 @@ Options:
       --samples <N>   timed iterations per benchmark (default 20)
       --warmup <N>    untimed warmup iterations per benchmark (default 3)
       --json <PATH>   also write results as JSON to PATH
+      --criterion-dir <DIR>
+                      also write Criterion-compatible estimates
+                      (<DIR>/<group>/<id>/new/estimates.json), so existing
+                      Criterion tooling can consume the results
       --quick         shorthand for --warmup 1 --samples 3
       --list          list benchmark names without running them
       --bench, --test accepted (passed by cargo) and ignored
@@ -151,6 +157,10 @@ impl Harness {
                 "--json" => {
                     options.json_path =
                         Some(args.next().unwrap_or_else(|| die("--json needs a path")))
+                }
+                "--criterion-dir" => {
+                    options.criterion_dir =
+                        Some(args.next().unwrap_or_else(|| die("--criterion-dir needs a path")))
                 }
                 "--quick" => {
                     options.warmup = 1;
@@ -193,6 +203,15 @@ impl Harness {
                 die(&format!("cannot write --json {path}: {e}"));
             }
             eprintln!("wrote {} benchmark records to {path}", self.records.len());
+        }
+        if let Some(dir) = &self.options.criterion_dir {
+            if let Err(e) = write_criterion_dir(std::path::Path::new(dir), &self.records) {
+                die(&format!("cannot write --criterion-dir {dir}: {e}"));
+            }
+            eprintln!(
+                "wrote Criterion estimates for {} benchmarks under {dir}",
+                self.records.len()
+            );
         }
         if self.records.is_empty() && !self.options.list_only {
             eprintln!("no benchmarks matched the filter(s)");
@@ -335,6 +354,46 @@ fn records_to_json(records: &[Record]) -> String {
     out
 }
 
+/// Write records in Criterion's on-disk layout:
+/// `<dir>/<group>/<id>/new/estimates.json`, one directory per benchmark,
+/// with `point_estimate` values in nanoseconds. Path separators inside
+/// group/id names are flattened (as Criterion itself does) so every
+/// benchmark maps to exactly one directory level each for group and id.
+pub fn write_criterion_dir(dir: &std::path::Path, records: &[Record]) -> std::io::Result<()> {
+    for r in records {
+        let bench_dir = dir.join(sanitize_component(&r.group)).join(sanitize_component(&r.id));
+        let new_dir = bench_dir.join("new");
+        std::fs::create_dir_all(&new_dir)?;
+        std::fs::write(new_dir.join("estimates.json"), estimates_json(r))?;
+    }
+    Ok(())
+}
+
+/// Criterion directory names never contain path separators.
+fn sanitize_component(name: &str) -> String {
+    name.replace(['/', '\\'], "_")
+}
+
+/// The `estimates.json` subset downstream tooling reads: `mean` and
+/// `median` estimates with their confidence intervals. The p10/p90 spread
+/// stands in for the bootstrap interval (we keep raw samples, not a
+/// resampled distribution).
+fn estimates_json(r: &Record) -> String {
+    let est = |point: f64, lo: f64, hi: f64| {
+        format!(
+            "{{\"confidence_interval\": {{\"confidence_level\": 0.8, \
+             \"lower_bound\": {lo}, \"upper_bound\": {hi}}}, \
+             \"point_estimate\": {point}, \"standard_error\": {se}}}",
+            se = (hi - lo) / 2.0
+        )
+    };
+    format!(
+        "{{\n  \"mean\": {},\n  \"median\": {}\n}}\n",
+        est(r.mean_ns, r.p10_ns, r.p90_ns),
+        est(r.median_ns, r.p10_ns, r.p90_ns),
+    )
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(1);
@@ -391,6 +450,42 @@ mod tests {
         assert!(json.trim_end().ends_with('}'));
         // exactly one comma between the two records
         assert_eq!(json.matches("}},").count() + json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn criterion_estimates_have_the_expected_shape() {
+        let r = Record {
+            group: "pingpong".into(),
+            id: "64B".into(),
+            median_ns: 100.0,
+            p10_ns: 90.0,
+            p90_ns: 130.0,
+            mean_ns: 105.0,
+            samples: 9,
+            bytes_per_iter: None,
+        };
+        let json = estimates_json(&r);
+        assert!(json.contains("\"mean\": {"));
+        assert!(json.contains("\"median\": {"));
+        assert!(json.contains("\"point_estimate\": 100"));
+        assert!(json.contains("\"point_estimate\": 105"));
+        assert!(json.contains("\"lower_bound\": 90"));
+        assert!(json.contains("\"upper_bound\": 130"));
+        assert!(json.contains("\"confidence_level\": 0.8"));
+        assert!(json.contains("\"standard_error\": 20"));
+    }
+
+    #[test]
+    fn criterion_dir_layout_matches_criterion() {
+        let mut h = Harness::with_budget(0, 2);
+        h.group("grp").bench("with/slash", |b| b.iter(|| 1));
+        let dir = std::env::temp_dir().join(format!("testkit-criterion-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_criterion_dir(&dir, h.records()).unwrap();
+        let estimates = dir.join("grp").join("with_slash").join("new").join("estimates.json");
+        let content = std::fs::read_to_string(&estimates).unwrap();
+        assert!(content.contains("\"point_estimate\""));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Benchmark trajectory gate: run the pure-CPU kernels of the traffic_counts
+# bench (step_flag and timeline groups — no thread spawning, so their
+# medians are stable even under --quick) and fail if any median regressed
+# by more than the threshold against the checked-in baseline.
+#
+# Usage: scripts/bench_compare.sh [--update-baseline]
+#   --update-baseline   re-measure and overwrite results/bench_baseline.json
+#
+# Environment:
+#   BENCH_COMPARE_THRESHOLD   allowed median regression in percent (default 30)
+#   BENCH_COMPARE_OUT         where to write the fresh measurements
+#                             (default target/bench_current.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=results/bench_baseline.json
+CURRENT=${BENCH_COMPARE_OUT:-target/bench_current.json}
+THRESHOLD=${BENCH_COMPARE_THRESHOLD:-30}
+
+update=0
+[[ "${1:-}" == "--update-baseline" ]] && update=1
+
+export CARGO_NET_OFFLINE=true
+mkdir -p "$(dirname "$CURRENT")"
+# The bench binary runs with the package root as cwd; hand it an absolute path.
+cargo bench -p bcast-bench --bench traffic_counts --offline -- \
+  --quick --json "$PWD/$CURRENT" step_flag timeline >/dev/null
+
+if [[ $update -eq 1 ]]; then
+  cp "$CURRENT" "$BASELINE"
+  echo "baseline updated: $BASELINE"
+  exit 0
+fi
+
+if [[ ! -f $BASELINE ]]; then
+  echo "error: no baseline at $BASELINE — run scripts/bench_compare.sh --update-baseline" >&2
+  exit 1
+fi
+
+python3 - "$BASELINE" "$CURRENT" "$THRESHOLD" <<'PY'
+import json, sys
+
+base_path, cur_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+GATED_GROUPS = {"step_flag", "timeline"}
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {f"{r['group']}/{r['id']}": r["median_ns"] for r in doc["benchmarks"]}
+
+base, cur = load(base_path), load(cur_path)
+failed = False
+for name in sorted(base):
+    if name.split("/", 1)[0] not in GATED_GROUPS:
+        continue
+    if name not in cur:
+        print(f"MISSING   {name} (in baseline, absent from this run)")
+        failed = True
+        continue
+    b, c = base[name], cur[name]
+    delta = 100.0 * (c - b) / b if b > 0 else 0.0
+    status = "OK"
+    if delta > threshold:
+        status, failed = "REGRESSED", True
+    print(f"{status:9s} {name}: {b:.0f} ns -> {c:.0f} ns ({delta:+.1f}%)")
+if failed:
+    print(f"bench gate FAILED (threshold {threshold:.0f}% on median)", file=sys.stderr)
+sys.exit(1 if failed else 0)
+PY
+echo "bench gate passed (threshold ${THRESHOLD}% on median)"

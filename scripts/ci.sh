@@ -18,9 +18,22 @@ export CARGO_NET_OFFLINE=true
 if [[ $quick -eq 0 ]]; then
   run cargo build --workspace --release --offline
 fi
-run cargo test -q --workspace --offline
+
+# Feature matrix: the lock backend is selected at compile time, so every
+# combination must build, test, and lint cleanly. The empty leg is the
+# default std backend; fast-sync swaps in the spin-then-park locks.
+feature_legs=("--no-default-features" "" "--features mpsim/fast-sync")
+for features in "${feature_legs[@]}"; do
+  # shellcheck disable=SC2086
+  run cargo test -q --workspace --offline $features
+  # shellcheck disable=SC2086
+  run cargo clippy --workspace --all-targets --offline $features -- -D warnings
+done
+
 run cargo bench --workspace --offline -- --help >/dev/null
 run cargo fmt --all --check
-run cargo clippy --workspace --all-targets --offline -- -D warnings
+if [[ $quick -eq 0 ]]; then
+  run scripts/bench_compare.sh
+fi
 
 echo "All CI gates passed."

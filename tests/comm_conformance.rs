@@ -1,0 +1,134 @@
+//! Backend-agnostic conformance suite for [`Communicator`] semantics.
+//!
+//! One generic battery of point-to-point semantics — self-messaging
+//! sendrecv, zero-byte messages, truncation errors, out-of-order
+//! `(source, tag)` matching — executed verbatim against both executors:
+//! the threaded runtime and the virtual-time simulator. The CI feature
+//! matrix re-runs this binary with `--features mpsim/fast-sync`, so the
+//! same battery also covers the spin-then-park lock backend.
+
+use mpsim::{CommError, Communicator, NonBlocking, Tag, ThreadWorld};
+use netsim::{NetworkModel, Placement, SimWorld};
+
+const WORLD: usize = 6;
+
+/// The conformance battery. Runs on every rank of a `WORLD`-sized world;
+/// panics (failing the hosting test) on any semantic violation.
+///
+/// Out-of-order receive sections pre-post their receives with `irecv` so the
+/// battery is protocol-agnostic: under a rendezvous protocol a blocking
+/// receive for a not-yet-sent message while the peer's earlier send is still
+/// unmatched would deadlock (exactly as in MPI).
+fn conformance_battery<C: Communicator + NonBlocking>(comm: &C) {
+    assert_eq!(comm.size(), WORLD);
+    let me = comm.rank();
+
+    // --- sendrecv with self as both peers: must not deadlock and must
+    // deliver the payload back (MPI_Sendrecv to MPI_PROC self).
+    let sbuf = [me as u8; 17];
+    let mut rbuf = [0u8; 17];
+    let n = comm.sendrecv(&sbuf, me, Tag(1), &mut rbuf, me, Tag(1)).unwrap();
+    assert_eq!(n, 17);
+    assert_eq!(rbuf, sbuf, "self sendrecv must loop the payload back");
+
+    // --- zero-byte messages are real messages: they match, complete, and
+    // report length 0 (MPI semantics; used by barrier-style protocols).
+    let right = mpsim::ring_right(me, WORLD);
+    let left = mpsim::ring_left(me, WORLD);
+    let mut empty: [u8; 0] = [];
+    let n = comm.sendrecv(&[], right, Tag(2), &mut empty, left, Tag(2)).unwrap();
+    assert_eq!(n, 0, "zero-byte message must deliver zero bytes");
+
+    // --- zero-byte into a non-empty buffer leaves the buffer untouched.
+    // Self-messaging must go through sendrecv: a blocking send to self is
+    // a deadlock under rendezvous protocols (as in MPI without buffering).
+    let mut untouched = [0xEEu8; 4];
+    let n = comm.sendrecv(&[], me, Tag(3), &mut untouched, me, Tag(3)).unwrap();
+    assert_eq!(n, 0);
+    assert_eq!(untouched, [0xEE; 4]);
+
+    // --- truncation: a message larger than the receive buffer is an error
+    // at the receiver, and the error carries both sizes.
+    comm.barrier().unwrap();
+    if me == 0 {
+        // Eager backends complete this send; rendezvous backends surface the
+        // truncation at the sender too (it is still blocked at match time).
+        // Both are MPI-conformant, so only the receiver's error is pinned.
+        let _ = comm.send(&[7u8; 32], 1, Tag(4));
+    } else if me == 1 {
+        let mut small = [0u8; 8];
+        let err = comm.recv(&mut small, 0, Tag(4)).unwrap_err();
+        assert_eq!(err, CommError::Truncation { capacity: 8, incoming: 32 });
+    }
+    // The fabric may fail the (rendezvous) sender too; either way the world
+    // must keep working afterwards for everyone else.
+    comm.barrier().unwrap();
+
+    // --- out-of-order matching on tags: receives posted for all three tags,
+    // waited in a different order than the sends, still pair up by tag.
+    if me == 2 {
+        comm.send(&[10], 3, Tag(10)).unwrap();
+        comm.send(&[20], 3, Tag(20)).unwrap();
+        comm.send(&[30], 3, Tag(30)).unwrap();
+    } else if me == 3 {
+        let pending: Vec<_> =
+            [30u32, 10, 20].iter().map(|&t| comm.irecv(1, 2, Tag(t)).unwrap()).collect();
+        for (p, tag) in pending.into_iter().zip([30u32, 10, 20]) {
+            let mut buf = [0u8; 1];
+            comm.wait_recv(p, &mut buf).unwrap();
+            assert_eq!(u32::from(buf[0]), tag, "tag {tag} matched the wrong message");
+        }
+    }
+
+    // --- out-of-order matching on sources: a receiver can pick messages
+    // from distinct sources in any order it likes.
+    if me == 4 {
+        let mut buf = [0u8; 1];
+        // post receives in descending source order; sends arrive ascending
+        for src in [3usize, 2, 1, 0] {
+            comm.recv(&mut buf, src, Tag(5)).unwrap();
+            assert_eq!(buf[0] as usize, src, "source {src} matched the wrong message");
+        }
+    } else if me < 4 {
+        comm.send(&[me as u8], 4, Tag(5)).unwrap();
+    }
+
+    // --- per-(source, tag) FIFO survives interleaving with another tag.
+    if me == 5 {
+        comm.send(&[1], 0, Tag(7)).unwrap();
+        comm.send(&[99], 0, Tag(8)).unwrap();
+        comm.send(&[2], 0, Tag(7)).unwrap();
+    } else if me == 0 {
+        let a = comm.irecv(1, 5, Tag(7)).unwrap();
+        let b = comm.irecv(1, 5, Tag(7)).unwrap();
+        let c = comm.irecv(1, 5, Tag(8)).unwrap();
+        let mut buf = [0u8; 1];
+        comm.wait_recv(a, &mut buf).unwrap();
+        assert_eq!(buf[0], 1);
+        comm.wait_recv(b, &mut buf).unwrap();
+        assert_eq!(buf[0], 2, "same-tag messages must stay FIFO");
+        comm.wait_recv(c, &mut buf).unwrap();
+        assert_eq!(buf[0], 99);
+    }
+
+    comm.barrier().unwrap();
+}
+
+#[test]
+fn threaded_backend_conforms() {
+    ThreadWorld::run(WORLD, conformance_battery);
+}
+
+#[test]
+fn simulated_backend_conforms_rendezvous() {
+    // uniform model: rendezvous everywhere
+    let model = NetworkModel::uniform(50.0, 1.0);
+    SimWorld::run(model, Placement::new(4), WORLD, conformance_battery);
+}
+
+#[test]
+fn simulated_backend_conforms_eager() {
+    let mut model = NetworkModel::uniform(50.0, 1.0);
+    model.eager_threshold = usize::MAX; // everything eager
+    SimWorld::run(model, Placement::new(2), WORLD, conformance_battery);
+}

@@ -1,0 +1,78 @@
+//! Steady-state allocation behaviour of the pooled message fabric.
+//!
+//! The zero-allocation claim: after a warm-up round has populated the
+//! world's buffer pool, further broadcast rounds ride entirely on recycled
+//! buffers — the pool's `misses` counter (each miss is one heap allocation)
+//! must not grow, and every rented buffer must be back in the pool once the
+//! collective completes.
+
+use bcast_core::verify::pattern;
+use bcast_core::{bcast_with, Algorithm};
+use mpsim::{Communicator, ThreadWorld};
+
+#[test]
+fn tuned_ring_broadcast_allocates_nothing_in_steady_state() {
+    const P: usize = 8;
+    const NBYTES: usize = 1 << 20; // 1 MiB, the paper's large-message regime
+    const ROUNDS: usize = 4;
+
+    let src = pattern(NBYTES, 11);
+    let out = ThreadWorld::run(P, |comm| {
+        let mut after_warmup = None;
+        for round in 0..ROUNDS {
+            let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; NBYTES] };
+            bcast_with(comm, &mut buf, 0, Algorithm::ScatterRingTuned).unwrap();
+            assert_eq!(buf, src, "round {round} delivered wrong payload");
+            // The barrier guarantees every rank's receives completed, so all
+            // of this round's envelopes have been dropped back into the pool.
+            comm.barrier().unwrap();
+            // Two warm-up rounds: the first populates the pool, the second
+            // absorbs scheduling jitter in the peak number of in-flight
+            // buffers before we pin the allocation count down.
+            if round == 1 {
+                after_warmup = Some(comm.pool_stats());
+            }
+        }
+        let warm = after_warmup.unwrap();
+        let end = comm.pool_stats();
+        // Rank 0 reads the shared counters after the last barrier; the other
+        // ranks' sends for the final round are all delivered by then.
+        if comm.rank() == 0 {
+            assert!(
+                end.misses <= warm.misses,
+                "steady state allocated: {} misses after warm-up, {} at end",
+                warm.misses,
+                end.misses
+            );
+            assert!(end.hits > warm.hits, "later rounds must hit the warm pool");
+        }
+    });
+
+    // Every rented buffer was returned: nothing outstanding after teardown.
+    assert_eq!(out.pool.outstanding, 0, "leaked pooled buffers: {:?}", out.pool);
+    assert!(out.pool.hit_rate() > 0.5, "pool barely used: {:?}", out.pool);
+}
+
+#[test]
+fn repeated_small_messages_reach_full_hit_rate() {
+    // 2 ranks ping-ponging the same size: after the first two rents the
+    // pool always has a warm buffer of the right class.
+    let out = ThreadWorld::run(2, |comm| {
+        let payload = [42u8; 256];
+        let mut buf = [0u8; 256];
+        for _ in 0..100 {
+            if comm.rank() == 0 {
+                comm.send(&payload, 1, mpsim::Tag(0)).unwrap();
+                comm.recv(&mut buf, 1, mpsim::Tag(1)).unwrap();
+            } else {
+                comm.recv(&mut buf, 0, mpsim::Tag(0)).unwrap();
+                comm.send(&buf, 0, mpsim::Tag(1)).unwrap();
+            }
+        }
+    });
+    assert_eq!(out.pool.outstanding, 0);
+    // 200 sends total (100 each way); at most a handful of cold misses.
+    let rents = out.pool.hits + out.pool.misses;
+    assert_eq!(rents, 200);
+    assert!(out.pool.misses <= 4, "too many allocations: {:?}", out.pool);
+}
