@@ -9,9 +9,9 @@ use bcast_core::ring::ring_step_chunks;
 use bcast_core::ring_tuned::{receives_at, sends_at, step_flag};
 use bcast_core::scatter::binomial_scatter;
 use bcast_core::verify::pattern;
+use mpsim::sync::Mutex;
 use mpsim::{ring_left, ring_right, split_send_recv, Communicator, Tag};
 use netsim::{presets, SimWorld};
-use std::sync::Mutex;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -68,13 +68,13 @@ fn main() {
                 (false, false) => {}
             }
             if watch.contains(&rank) {
-                traces.lock().unwrap().push((rank, i, comm.vtime() / 1000.0));
+                traces.lock().push((rank, i, comm.vtime() / 1000.0));
             }
         }
         assert_eq!(buf, src);
     });
 
-    let mut t = traces.into_inner().unwrap();
+    let mut t = traces.into_inner();
     t.sort_by_key(|a| (a.0, a.1));
     let mut last_rank = usize::MAX;
     let mut last_t = 0.0;

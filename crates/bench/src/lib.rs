@@ -14,6 +14,7 @@
 //! * `src/bin/traffic_table.rs` — §IV transfer counts (56→44, 90→75, scaling);
 //! * `benches/` — micro-benchmarks on the in-tree `testkit::bench` harness (real threaded backend).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod predict;

@@ -25,6 +25,7 @@ use mpsim::{
 };
 
 use crate::chunks::ChunkLayout;
+use crate::schedule::{Loc, Schedule, ScheduleSource};
 
 /// MPICH's allgather switching thresholds, in *total* gathered bytes
 /// (`MPIR_CVAR_ALLGATHER_*`).
@@ -222,6 +223,141 @@ pub fn allgather_auto(
         AllgatherAlgorithm::Bruck => allgather_bruck(comm, sendbuf, recvbuf),
         AllgatherAlgorithm::Ring => allgather_ring(comm, sendbuf, recvbuf),
     }
+}
+
+/// Emit the symbolic schedule of [`allgather_ring`] for `block` bytes per
+/// rank. The local copy of the own block becomes initial validity.
+pub fn allgather_ring_schedule(p: usize, block: usize) -> Schedule {
+    let layout = ChunkLayout::new(block * p, p);
+    let mut s = Schedule::new("allgather/ring", p, block * p);
+    for rank in 0..p {
+        s.ranks[rank].mark_valid(layout.range(rank));
+        s.ranks[rank].require(0..block * p);
+    }
+    if p == 1 {
+        return s;
+    }
+    for rank in 0..p {
+        let left = ring_left(rank, p);
+        let right = ring_right(rank, p);
+        let mut j = rank;
+        let mut jnext = left;
+        for _ in 1..p {
+            s.ranks[rank].sendrecv(
+                "ring",
+                right,
+                Tag::ALLGATHER,
+                Loc::Buf(layout.range(j)),
+                left,
+                Tag::ALLGATHER,
+                Loc::Buf(layout.range(jnext)),
+            );
+            j = jnext;
+            jnext = ring_left(jnext, p);
+        }
+    }
+    s
+}
+
+/// Emit the symbolic schedule of [`allgather_rd`] (power-of-two worlds).
+pub fn allgather_rd_schedule(p: usize, block: usize) -> Schedule {
+    assert!(is_pof2(p), "recursive-doubling allgather requires a power-of-two world");
+    let layout = ChunkLayout::new(block * p, p);
+    let mut s = Schedule::new("allgather/rd", p, block * p);
+    for rank in 0..p {
+        s.ranks[rank].mark_valid(layout.range(rank));
+        s.ranks[rank].require(0..block * p);
+    }
+    for rank in 0..p {
+        let mut mask = 1usize;
+        let mut round = 0u32;
+        while mask < p {
+            let partner = rank ^ mask;
+            let my_block = (rank >> round) << round;
+            let partner_block = (partner >> round) << round;
+            s.ranks[rank].sendrecv(
+                "rd",
+                partner,
+                Tag::ALLGATHER,
+                Loc::Buf(layout.span(my_block..my_block + mask)),
+                partner,
+                Tag::ALLGATHER,
+                Loc::Buf(layout.span(partner_block..partner_block + mask)),
+            );
+            mask <<= 1;
+            round += 1;
+        }
+    }
+    s
+}
+
+/// Emit the symbolic schedule of [`allgather_bruck`], tracked in the
+/// *rotated* staging space (slot `k` = block of rank `(rank + k) % P`): the
+/// staging buffer is written once per slot, so coverage analysis applies;
+/// the final local rotation back into rank order moves no messages.
+pub fn allgather_bruck_schedule(p: usize, block: usize) -> Schedule {
+    let mut s = Schedule::new("allgather/bruck", p, block * p);
+    for rank in 0..p {
+        s.ranks[rank].mark_valid(0..block);
+        s.ranks[rank].require(0..block * p);
+    }
+    let rounds = if p > 1 { ceil_log2(p) } else { 0 };
+    for rank in 0..p {
+        let mut have = 1usize;
+        for k in 0..rounds {
+            let dist = 1usize << k;
+            let send_to = (rank + p - dist) % p;
+            let recv_from = (rank + dist) % p;
+            let count = have.min(p - have);
+            let tag = Tag(Tag::ALLGATHER.0 + 1 + k);
+            s.ranks[rank].sendrecv(
+                "bruck",
+                send_to,
+                tag,
+                Loc::Buf(0..count * block),
+                recv_from,
+                tag,
+                Loc::Buf(have * block..(have + count) * block),
+            );
+            have += count;
+            if have == p {
+                break;
+            }
+        }
+    }
+    s
+}
+
+struct AllgatherSource(AllgatherAlgorithm);
+
+impl ScheduleSource for AllgatherSource {
+    fn name(&self) -> &'static str {
+        match self.0 {
+            AllgatherAlgorithm::Ring => "allgather/ring",
+            AllgatherAlgorithm::RecursiveDoubling => "allgather/rd",
+            AllgatherAlgorithm::Bruck => "allgather/bruck",
+        }
+    }
+
+    fn supports(&self, p: usize) -> bool {
+        self.0 != AllgatherAlgorithm::RecursiveDoubling || is_pof2(p)
+    }
+
+    fn schedule(&self, p: usize, nbytes: usize, _root: usize) -> Schedule {
+        match self.0 {
+            AllgatherAlgorithm::Ring => allgather_ring_schedule(p, nbytes),
+            AllgatherAlgorithm::RecursiveDoubling => allgather_rd_schedule(p, nbytes),
+            AllgatherAlgorithm::Bruck => allgather_bruck_schedule(p, nbytes),
+        }
+    }
+}
+
+pub(crate) fn schedule_sources() -> Vec<Box<dyn ScheduleSource>> {
+    vec![
+        Box::new(AllgatherSource(AllgatherAlgorithm::Ring)),
+        Box::new(AllgatherSource(AllgatherAlgorithm::RecursiveDoubling)),
+        Box::new(AllgatherSource(AllgatherAlgorithm::Bruck)),
+    ]
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@
 
 use mpsim::{is_pof2, Communicator, Result, Tag};
 
+use crate::schedule::{Loc, Schedule, ScheduleSource};
+
 /// MPICH's alltoall threshold: below this many bytes *per block*, use Bruck.
 pub const ALLTOALL_SHORT_BLOCK: usize = 256;
 
@@ -130,6 +132,102 @@ pub fn alltoall_auto(
     } else {
         alltoall_pairwise(comm, sendbuf, recvbuf)
     }
+}
+
+/// Emit the symbolic schedule of [`alltoall_pairwise`] for `block` bytes per
+/// destination. The tracked buffer is `recvbuf`; sends come out of the
+/// caller's `sendbuf` and are modeled as [`Loc::Private`].
+pub fn alltoall_pairwise_schedule(p: usize, block: usize) -> Schedule {
+    let mut s = Schedule::new("alltoall/pairwise", p, block * p);
+    for rank in 0..p {
+        s.ranks[rank].mark_valid(rank * block..(rank + 1) * block);
+        s.ranks[rank].require(0..block * p);
+    }
+    for rank in 0..p {
+        for i in 1..p {
+            let (send_to, recv_from) = if is_pof2(p) {
+                (rank ^ i, rank ^ i)
+            } else {
+                ((rank + i) % p, (rank + p - i) % p)
+            };
+            s.ranks[rank].sendrecv(
+                "pairwise",
+                send_to,
+                A2A,
+                Loc::Private(block),
+                recv_from,
+                A2A,
+                Loc::Buf(recv_from * block..(recv_from + 1) * block),
+            );
+        }
+    }
+    s
+}
+
+/// Emit the symbolic schedule of [`alltoall_bruck`].
+///
+/// The Bruck staging buffer is overwritten in place each round, so its bytes
+/// are not write-once trackable; both halves of every exchange are modeled as
+/// [`Loc::Private`] (send length, receive capacity) — the matching, deadlock
+/// and traffic analyses still apply in full.
+pub fn alltoall_bruck_schedule(p: usize, block: usize) -> Schedule {
+    let mut s = Schedule::new("alltoall/bruck", p, 0);
+    if p == 1 {
+        return s;
+    }
+    let recv_capacity = p.div_ceil(2) * block;
+    for rank in 0..p {
+        let mut bit = 1usize;
+        let mut round = 0u32;
+        while bit < p {
+            let slots = (0..p).filter(|k| k & bit != 0).count();
+            let to = (rank + bit) % p;
+            let from = (rank + p - bit) % p;
+            let tag = Tag(A2A.0 + 1 + round);
+            s.ranks[rank].sendrecv(
+                "bruck",
+                to,
+                tag,
+                Loc::Private(slots * block),
+                from,
+                tag,
+                Loc::Private(recv_capacity),
+            );
+            bit <<= 1;
+            round += 1;
+        }
+    }
+    s
+}
+
+struct AlltoallSource {
+    bruck: bool,
+}
+
+impl ScheduleSource for AlltoallSource {
+    fn name(&self) -> &'static str {
+        if self.bruck {
+            "alltoall/bruck"
+        } else {
+            "alltoall/pairwise"
+        }
+    }
+
+    fn supports(&self, _p: usize) -> bool {
+        true
+    }
+
+    fn schedule(&self, p: usize, nbytes: usize, _root: usize) -> Schedule {
+        if self.bruck {
+            alltoall_bruck_schedule(p, nbytes)
+        } else {
+            alltoall_pairwise_schedule(p, nbytes)
+        }
+    }
+}
+
+pub(crate) fn schedule_sources() -> Vec<Box<dyn ScheduleSource>> {
+    vec![Box::new(AlltoallSource { bruck: false }), Box::new(AlltoallSource { bruck: true })]
 }
 
 #[cfg(test)]

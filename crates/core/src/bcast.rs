@@ -13,11 +13,14 @@
 
 use mpsim::{is_pof2, Communicator, Rank, Result};
 
-use crate::binomial::bcast_binomial;
-use crate::rd_allgather::rd_allgather;
-use crate::ring::ring_allgather_native;
-use crate::ring_tuned::ring_allgather_tuned;
-use crate::scatter::binomial_scatter;
+use crate::binomial::{append_binomial_ops, bcast_binomial};
+use crate::rd_allgather::{append_rd_ops, rd_allgather};
+use crate::ring::{append_native_ring_ops, ring_allgather_native};
+use crate::ring_tuned::{
+    append_tuned_ring_ops, append_tuned_ring_ops_with, ring_allgather_tuned, Endpoint,
+};
+use crate::scatter::{append_scatter_ops, binomial_scatter};
+use crate::schedule::{Schedule, ScheduleSource};
 
 /// MPICH3's broadcast switching thresholds (`MPIR_CVAR_BCAST_*`), in bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +163,94 @@ pub fn bcast_auto(
     bcast_with(comm, buf, root, algorithm)
 }
 
+impl Algorithm {
+    /// Stable schedule-source name of this algorithm.
+    pub fn schedule_name(self) -> &'static str {
+        match self {
+            Algorithm::Binomial => "bcast/binomial",
+            Algorithm::ScatterRdAllgather => "bcast/scatter_rd",
+            Algorithm::ScatterRingNative => "bcast/scatter_ring_native",
+            Algorithm::ScatterRingTuned => "bcast/scatter_ring_tuned",
+        }
+    }
+}
+
+/// Append the phases of `algorithm` to an existing schedule (used directly by
+/// [`bcast_schedule`] and, on sub-worlds, by the SMP composite).
+pub(crate) fn append_bcast_ops(s: &mut Schedule, root: Rank, algorithm: Algorithm) {
+    match algorithm {
+        Algorithm::Binomial => append_binomial_ops(s, root),
+        Algorithm::ScatterRdAllgather => {
+            append_scatter_ops(s, root);
+            append_rd_ops(s, root);
+        }
+        Algorithm::ScatterRingNative => {
+            append_scatter_ops(s, root);
+            append_native_ring_ops(s, root);
+        }
+        Algorithm::ScatterRingTuned => {
+            append_scatter_ops(s, root);
+            append_tuned_ring_ops(s, root);
+        }
+    }
+}
+
+/// Emit the full symbolic schedule of [`bcast_with`]: the phases of the
+/// chosen algorithm concatenated per rank, over one shared `nbytes` buffer.
+pub fn bcast_schedule(algorithm: Algorithm, p: usize, nbytes: usize, root: Rank) -> Schedule {
+    let mut s = Schedule::new(algorithm.schedule_name(), p, nbytes);
+    s.ranks[root].mark_valid(0..nbytes);
+    for rank in 0..p {
+        s.ranks[rank].require(0..nbytes);
+    }
+    append_bcast_ops(&mut s, root, algorithm);
+    s
+}
+
+/// [`bcast_schedule`] for the tuned ring with an injectable `(step, flag)`
+/// function — the `schedcheck` mutation hook (see
+/// [`crate::ring_tuned::append_tuned_ring_ops_with`]).
+pub fn bcast_tuned_schedule_with(
+    p: usize,
+    nbytes: usize,
+    root: Rank,
+    step_flag_fn: impl Fn(Rank, usize) -> (usize, Endpoint),
+) -> Schedule {
+    let mut s = Schedule::new("bcast/scatter_ring_tuned", p, nbytes);
+    s.ranks[root].mark_valid(0..nbytes);
+    for rank in 0..p {
+        s.ranks[rank].require(0..nbytes);
+    }
+    append_scatter_ops(&mut s, root);
+    append_tuned_ring_ops_with(&mut s, root, step_flag_fn);
+    s
+}
+
+struct BcastSource(Algorithm);
+
+impl ScheduleSource for BcastSource {
+    fn name(&self) -> &'static str {
+        self.0.schedule_name()
+    }
+
+    fn supports(&self, p: usize) -> bool {
+        self.0 != Algorithm::ScatterRdAllgather || is_pof2(p)
+    }
+
+    fn schedule(&self, p: usize, nbytes: usize, root: Rank) -> Schedule {
+        bcast_schedule(self.0, p, nbytes, root)
+    }
+}
+
+pub(crate) fn schedule_sources() -> Vec<Box<dyn ScheduleSource>> {
+    vec![
+        Box::new(BcastSource(Algorithm::Binomial)),
+        Box::new(BcastSource(Algorithm::ScatterRdAllgather)),
+        Box::new(BcastSource(Algorithm::ScatterRingNative)),
+        Box::new(BcastSource(Algorithm::ScatterRingTuned)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +258,39 @@ mod tests {
 
     fn pattern(n: usize) -> Vec<u8> {
         (0..n).map(|i| (i * 41 + 29) as u8).collect()
+    }
+
+    #[test]
+    fn schedule_volume_matches_traffic_model() {
+        use crate::traffic::bcast_volume;
+        for &algorithm in &[
+            Algorithm::Binomial,
+            Algorithm::ScatterRingNative,
+            Algorithm::ScatterRingTuned,
+            Algorithm::ScatterRdAllgather,
+        ] {
+            for &(p, nbytes) in &[(8usize, 800usize), (8, 97), (16, 4096), (4, 3), (2, 1)] {
+                let sched = bcast_schedule(algorithm, p, nbytes, 0);
+                let (msgs, bytes) = sched.planned_volume();
+                let v = bcast_volume(algorithm, nbytes, p);
+                assert_eq!((msgs, bytes), (v.msgs, v.bytes), "{algorithm:?} p={p} n={nbytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_volume_matches_model_npof2() {
+        use crate::traffic::bcast_volume;
+        for &algorithm in
+            &[Algorithm::Binomial, Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned]
+        {
+            for &(p, nbytes, root) in &[(10usize, 100usize, 7usize), (9, 55, 4), (13, 7, 12)] {
+                let sched = bcast_schedule(algorithm, p, nbytes, root);
+                let (msgs, bytes) = sched.planned_volume();
+                let v = bcast_volume(algorithm, nbytes, p);
+                assert_eq!((msgs, bytes), (v.msgs, v.bytes), "{algorithm:?} p={p} n={nbytes}");
+            }
+        }
     }
 
     #[test]

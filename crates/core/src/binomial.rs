@@ -8,6 +8,8 @@
 
 use mpsim::{absolute_rank, relative_rank, Communicator, Rank, Result, Tag};
 
+use crate::schedule::{Loc, Schedule};
+
 /// Broadcast `buf` from `root` to every rank via a binomial tree.
 pub fn bcast_binomial(
     comm: &(impl Communicator + ?Sized),
@@ -43,6 +45,37 @@ pub fn bcast_binomial(
         mask >>= 1;
     }
     Ok(())
+}
+
+/// Append the symbolic ops of [`bcast_binomial`] to `sched` — a line-by-line
+/// mirror of the executed tree walk (same masks, same guards), with the whole
+/// tracked buffer as payload of every hop.
+pub(crate) fn append_binomial_ops(sched: &mut Schedule, root: Rank) {
+    let size = sched.p;
+    if size == 1 {
+        return;
+    }
+    let nbytes = sched.ranks[0].buf_len;
+    for rank in 0..size {
+        let relative = relative_rank(rank, root, size);
+        let mut mask = 1usize;
+        while mask < size {
+            if relative & mask != 0 {
+                let src = absolute_rank(relative - mask, root, size);
+                sched.ranks[rank].recv("binomial", src, Tag::BCAST, Loc::Buf(0..nbytes));
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < size {
+                let dst = absolute_rank(relative + mask, root, size);
+                sched.ranks[rank].send("binomial", dst, Tag::BCAST, Loc::Buf(0..nbytes));
+            }
+            mask >>= 1;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ macro_rules! impl_dtype {
                 out[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
             }
             fn read(b: &[u8]) -> Self {
+                // lint: allow(panic) — slice length fixed to SIZE on the previous line
                 <$t>::from_le_bytes(b[..Self::SIZE].try_into().unwrap())
             }
         }

@@ -51,6 +51,7 @@
 //! assert_eq!(out.traffic.total_msgs(), 51);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -67,6 +68,7 @@ pub mod ring;
 pub mod ring_tuned;
 pub mod scatter;
 pub mod scatter_gather;
+pub mod schedule;
 pub mod smp;
 pub mod traffic;
 pub mod varcount;
@@ -79,4 +81,5 @@ pub use bcast::{
 pub use chunks::ChunkLayout;
 pub use ring_tuned::{step_flag, Endpoint};
 pub use scatter::owned_chunks;
+pub use schedule::{all_sources, Loc, RankSchedule, SchedOp, Schedule, ScheduleSource};
 pub use smp::{bcast_smp, NodeMap};

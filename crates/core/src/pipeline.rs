@@ -11,6 +11,8 @@
 
 use mpsim::{absolute_rank, relative_rank, NonBlocking, Rank, Result, Tag};
 
+use crate::schedule::{Loc, Schedule, ScheduleSource};
+
 /// Pipeline broadcast of `buf` from `root` with the given `segment` size.
 ///
 /// `segment == 0` is treated as "one segment" (plain chain). Message count is
@@ -64,6 +66,59 @@ pub fn pipeline_msgs(nbytes: usize, segment: usize, p: usize) -> u64 {
     }
     let segment = if segment == 0 { nbytes } else { segment };
     (p as u64 - 1) * (nbytes.div_ceil(segment) as u64)
+}
+
+/// Emit the symbolic schedule of [`bcast_pipeline`]. The forward of each
+/// segment is a *nonblocking* send ([`Loc`] unchanged, `isend` op), mirroring
+/// the executed overlap of forwarding segment `s` with receiving `s+1`.
+pub fn pipeline_schedule(p: usize, nbytes: usize, root: Rank, segment: usize) -> Schedule {
+    let mut s = Schedule::new("bcast/pipeline", p, nbytes);
+    s.ranks[root].mark_valid(0..nbytes);
+    for rank in 0..p {
+        s.ranks[rank].require(0..nbytes);
+    }
+    if p == 1 || nbytes == 0 {
+        return s;
+    }
+    let segment = if segment == 0 { nbytes } else { segment };
+    for rank in 0..p {
+        let relative = relative_rank(rank, root, p);
+        let prev = (relative > 0).then(|| absolute_rank(relative - 1, root, p));
+        let next = (relative + 1 < p).then(|| absolute_rank(relative + 1, root, p));
+        let mut offset = 0usize;
+        while offset < nbytes {
+            let end = (offset + segment).min(nbytes);
+            if let Some(pr) = prev {
+                s.ranks[rank].recv("pipeline", pr, Tag::BCAST, Loc::Buf(offset..end));
+            }
+            if let Some(nx) = next {
+                s.ranks[rank].isend("pipeline", nx, Tag::BCAST, Loc::Buf(offset..end));
+            }
+            offset = end;
+        }
+    }
+    s
+}
+
+struct PipelineSource;
+
+impl ScheduleSource for PipelineSource {
+    fn name(&self) -> &'static str {
+        "bcast/pipeline"
+    }
+
+    fn supports(&self, _p: usize) -> bool {
+        true
+    }
+
+    fn schedule(&self, p: usize, nbytes: usize, root: Rank) -> Schedule {
+        // A ragged multi-segment cut so the sweep exercises the overlap path.
+        pipeline_schedule(p, nbytes, root, nbytes.div_ceil(3).max(1))
+    }
+}
+
+pub(crate) fn schedule_sources() -> Vec<Box<dyn ScheduleSource>> {
+    vec![Box::new(PipelineSource)]
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ use mpsim::{
 };
 
 use crate::chunks::ChunkLayout;
+use crate::schedule::{Loc, Schedule};
 
 /// Run the recursive-doubling allgather over a buffer that has been
 /// binomial-scattered from `root`.
@@ -61,6 +62,48 @@ pub fn rd_allgather(comm: &(impl Communicator + ?Sized), buf: &mut [u8], root: R
         round += 1;
     }
     Ok(())
+}
+
+/// Append the symbolic ops of [`rd_allgather`] to `sched`.
+///
+/// The executed code learns each round's received length from `recv()`; the
+/// emitter replays all ranks in lockstep instead, carrying the cross-rank
+/// accumulation table `curr[rel]` forward one round at a time
+/// (`curr' [rel] = curr[rel] + curr[rel ^ mask]`).
+pub(crate) fn append_rd_ops(sched: &mut Schedule, root: Rank) {
+    let size = sched.p;
+    assert!(is_pof2(size), "recursive-doubling allgather requires a power-of-two world");
+    if size == 1 {
+        return;
+    }
+    let layout = ChunkLayout::new(sched.ranks[0].buf_len, size);
+    let mut curr: Vec<usize> = (0..size).map(|rel| layout.count(rel)).collect();
+    let mut mask = 1usize;
+    let mut round = 0u32;
+    while mask < size {
+        for rank in 0..size {
+            let rel = relative_rank(rank, root, size);
+            let partner_rel = rel ^ mask;
+            let partner = absolute_rank(partner_rel, root, size);
+            let send_block = (rel >> round) << round;
+            let recv_block = (partner_rel >> round) << round;
+            let send_start = layout.span(send_block..size).start;
+            let recv_start = layout.span(recv_block..size).start;
+            let recv_capacity = layout.span_bytes(recv_block..(recv_block + mask).min(size));
+            sched.ranks[rank].sendrecv(
+                "rd",
+                partner,
+                Tag::ALLGATHER,
+                Loc::Buf(send_start..send_start + curr[rel]),
+                partner,
+                Tag::ALLGATHER,
+                Loc::Buf(recv_start..recv_start + recv_capacity),
+            );
+        }
+        curr = (0..size).map(|rel| curr[rel] + curr[rel ^ mask]).collect();
+        mask <<= 1;
+        round += 1;
+    }
 }
 
 #[cfg(test)]

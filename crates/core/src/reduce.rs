@@ -22,6 +22,7 @@
 use mpsim::{absolute_rank, is_pof2, relative_rank, Communicator, Rank, Result, Tag};
 
 use crate::dtype::{combine_into, decode, encode, Dtype};
+use crate::schedule::{Loc, Schedule, ScheduleSource};
 
 /// Tag block reserved for reductions.
 const REDUCE: Tag = Tag(0xE0);
@@ -241,6 +242,216 @@ pub fn allreduce_rabenseifner<T: Dtype>(
     }
     buf.copy_from_slice(&decode::<T>(&bytes));
     Ok(())
+}
+
+/// Emit the symbolic schedule of [`reduce_binomial`] for an encoded payload
+/// of `nbytes` bytes per rank.
+///
+/// Reductions accumulate in place (every message is combined into a private
+/// accumulator, not stored at a buffer offset), so the whole family is
+/// modeled with [`Loc::Private`]: matching, deadlock and traffic analyses
+/// apply in full; byte-coverage tracking does not.
+pub fn reduce_binomial_schedule(p: usize, nbytes: usize, root: Rank) -> Schedule {
+    let mut s = Schedule::new("reduce/binomial", p, 0);
+    for rank in 0..p {
+        let relative = relative_rank(rank, root, p);
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask != 0 {
+                let parent = absolute_rank(relative - mask, root, p);
+                s.ranks[rank].send("reduce", parent, REDUCE, Loc::Private(nbytes));
+                break;
+            }
+            let child_rel = relative + mask;
+            if child_rel < p {
+                let child = absolute_rank(child_rel, root, p);
+                s.ranks[rank].recv("reduce", child, REDUCE, Loc::Private(nbytes));
+            }
+            mask <<= 1;
+        }
+    }
+    s
+}
+
+/// Append the per-rank ops of [`allreduce_rd`] (fold-in, recursive doubling,
+/// fold-out) for an encoded payload of `nbytes` bytes.
+fn append_allreduce_rd_ops(s: &mut Schedule, nbytes: usize) {
+    let p = s.p;
+    if p == 1 {
+        return;
+    }
+    let pof2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+    let rem = p - pof2;
+    for rank in 0..p {
+        let newrank = if rank < 2 * rem {
+            if rank.is_multiple_of(2) {
+                s.ranks[rank].send("fold_in", rank + 1, ALLREDUCE, Loc::Private(nbytes));
+                None
+            } else {
+                s.ranks[rank].recv("fold_in", rank - 1, ALLREDUCE, Loc::Private(nbytes));
+                Some(rank / 2)
+            }
+        } else {
+            Some(rank - rem)
+        };
+        if let Some(nr) = newrank {
+            let mut mask = 1usize;
+            while mask < pof2 {
+                let partner = unfold(nr ^ mask, rem);
+                s.ranks[rank].sendrecv(
+                    "rd",
+                    partner,
+                    ALLREDUCE,
+                    Loc::Private(nbytes),
+                    partner,
+                    ALLREDUCE,
+                    Loc::Private(nbytes),
+                );
+                mask <<= 1;
+            }
+        }
+        if rank < 2 * rem {
+            if rank.is_multiple_of(2) {
+                s.ranks[rank].recv("fold_out", rank + 1, ALLREDUCE, Loc::Private(nbytes));
+            } else {
+                s.ranks[rank].send("fold_out", rank - 1, ALLREDUCE, Loc::Private(nbytes));
+            }
+        }
+    }
+}
+
+/// Emit the symbolic schedule of [`allreduce_rd`] for `nbytes` encoded bytes.
+pub fn allreduce_rd_schedule(p: usize, nbytes: usize) -> Schedule {
+    let mut s = Schedule::new("reduce/allreduce_rd", p, 0);
+    append_allreduce_rd_ops(&mut s, nbytes);
+    s
+}
+
+/// Append the per-rank ops of [`reduce_scatter_block_rh`] for `block_bytes`
+/// encoded bytes per block (`P` blocks total).
+fn append_reduce_scatter_rh_ops(s: &mut Schedule, block_bytes: usize) {
+    let p = s.p;
+    assert!(is_pof2(p), "recursive halving requires a power-of-two world");
+    for rank in 0..p {
+        let mut lo = 0usize;
+        let mut hi = p;
+        let mut mask = p >> 1;
+        while mask >= 1 {
+            let partner = rank ^ mask;
+            let mid = lo + (hi - lo) / 2;
+            let (keep, give) =
+                if rank & mask == 0 { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
+            let give_bytes = (give.1 - give.0) * block_bytes;
+            let keep_bytes = (keep.1 - keep.0) * block_bytes;
+            s.ranks[rank].sendrecv(
+                "rs",
+                partner,
+                RS,
+                Loc::Private(give_bytes),
+                partner,
+                RS,
+                Loc::Private(keep_bytes),
+            );
+            lo = keep.0;
+            hi = keep.1;
+            mask >>= 1;
+        }
+    }
+}
+
+/// Emit the symbolic schedule of [`reduce_scatter_block_rh`] for
+/// `block_bytes` encoded bytes per block (power-of-two worlds only).
+pub fn reduce_scatter_rh_schedule(p: usize, block_bytes: usize) -> Schedule {
+    let mut s = Schedule::new("reduce/reduce_scatter_rh", p, 0);
+    if p > 1 {
+        append_reduce_scatter_rh_ops(&mut s, block_bytes);
+    }
+    s
+}
+
+/// Emit the symbolic schedule of [`allreduce_rabenseifner`] for `nbytes`
+/// encoded bytes, including its fallbacks: non-power-of-two worlds or uneven
+/// splits emit the [`allreduce_rd`] ops, a zero-length block emits nothing.
+pub fn allreduce_rabenseifner_schedule(p: usize, nbytes: usize) -> Schedule {
+    let mut s = Schedule::new("reduce/allreduce_rabenseifner", p, 0);
+    if p == 1 {
+        return s;
+    }
+    if !is_pof2(p) || !nbytes.is_multiple_of(p) {
+        append_allreduce_rd_ops(&mut s, nbytes);
+        return s;
+    }
+    let block = nbytes / p;
+    if block == 0 {
+        return s;
+    }
+    append_reduce_scatter_rh_ops(&mut s, block);
+    // Recursive-doubling allgather of the reduced blocks (over bytes).
+    for rank in 0..p {
+        let mut mask = 1usize;
+        while mask < p {
+            let partner = rank ^ mask;
+            // Each side ships its aligned group of `mask` reduced blocks.
+            s.ranks[rank].sendrecv(
+                "ag",
+                partner,
+                RS,
+                Loc::Private(mask * block),
+                partner,
+                RS,
+                Loc::Private(mask * block),
+            );
+            mask <<= 1;
+        }
+    }
+    s
+}
+
+/// Which reduction algorithm a [`ReduceSource`] emits.
+#[derive(Clone, Copy)]
+enum ReduceKind {
+    Binomial,
+    AllreduceRd,
+    ReduceScatterRh,
+    Rabenseifner,
+}
+
+struct ReduceSource(ReduceKind);
+
+impl ScheduleSource for ReduceSource {
+    fn name(&self) -> &'static str {
+        match self.0 {
+            ReduceKind::Binomial => "reduce/binomial",
+            ReduceKind::AllreduceRd => "reduce/allreduce_rd",
+            ReduceKind::ReduceScatterRh => "reduce/reduce_scatter_rh",
+            ReduceKind::Rabenseifner => "reduce/allreduce_rabenseifner",
+        }
+    }
+
+    fn supports(&self, p: usize) -> bool {
+        match self.0 {
+            ReduceKind::ReduceScatterRh => is_pof2(p),
+            _ => true,
+        }
+    }
+
+    fn schedule(&self, p: usize, nbytes: usize, root: Rank) -> Schedule {
+        match self.0 {
+            ReduceKind::Binomial => reduce_binomial_schedule(p, nbytes, root),
+            ReduceKind::AllreduceRd => allreduce_rd_schedule(p, nbytes),
+            ReduceKind::ReduceScatterRh => reduce_scatter_rh_schedule(p, nbytes),
+            ReduceKind::Rabenseifner => allreduce_rabenseifner_schedule(p, nbytes),
+        }
+    }
+}
+
+pub(crate) fn schedule_sources() -> Vec<Box<dyn ScheduleSource>> {
+    vec![
+        Box::new(ReduceSource(ReduceKind::Binomial)),
+        Box::new(ReduceSource(ReduceKind::AllreduceRd)),
+        Box::new(ReduceSource(ReduceKind::ReduceScatterRh)),
+        Box::new(ReduceSource(ReduceKind::Rabenseifner)),
+    ]
 }
 
 #[cfg(test)]

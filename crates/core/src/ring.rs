@@ -15,6 +15,7 @@ use mpsim::{
 };
 
 use crate::chunks::ChunkLayout;
+use crate::schedule::{Loc, Schedule};
 
 /// One step of the ring walk: which chunk is sent right and which is
 /// received from the left at step `i` (1-based), for a rank at root-relative
@@ -67,6 +68,34 @@ pub fn ring_allgather_native(
         comm.sendrecv(sbuf, right, Tag::ALLGATHER, rbuf, left, Tag::ALLGATHER)?;
     }
     Ok(())
+}
+
+/// Append the symbolic ops of [`ring_allgather_native`] to `sched`: every
+/// rank performs the full `P − 1` enclosed-ring sendrecvs, chunk ranges from
+/// the same [`ring_step_chunks`] walk as the executed code.
+pub(crate) fn append_native_ring_ops(sched: &mut Schedule, root: Rank) {
+    let size = sched.p;
+    if size == 1 {
+        return;
+    }
+    let layout = ChunkLayout::new(sched.ranks[0].buf_len, size);
+    for rank in 0..size {
+        let left = ring_left(rank, size);
+        let right = ring_right(rank, size);
+        let rel = relative_rank(rank, root, size);
+        for i in 1..size {
+            let (send_chunk, recv_chunk) = ring_step_chunks(rel, size, i);
+            sched.ranks[rank].sendrecv(
+                "ring",
+                right,
+                Tag::ALLGATHER,
+                Loc::Buf(layout.range(send_chunk)),
+                left,
+                Tag::ALLGATHER,
+                Loc::Buf(layout.range(recv_chunk)),
+            );
+        }
+    }
 }
 
 #[cfg(test)]

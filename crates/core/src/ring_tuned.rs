@@ -27,6 +27,7 @@ use mpsim::{
 
 use crate::chunks::ChunkLayout;
 use crate::ring::ring_step_chunks;
+use crate::schedule::{Loc, Schedule};
 
 /// What a rank degrades to once the redundant phase of the ring is reached.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +124,68 @@ pub fn ring_allgather_tuned(
         }
     }
     Ok(())
+}
+
+/// Append the symbolic ops of [`ring_allgather_tuned`] to `sched`.
+pub(crate) fn append_tuned_ring_ops(sched: &mut Schedule, root: Rank) {
+    append_tuned_ring_ops_with(sched, root, step_flag);
+}
+
+/// Like [`append_tuned_ring_ops`] but with an injectable `(step, flag)`
+/// function. This is the mutation hook for the `schedcheck` negative suite:
+/// feeding a corrupted `step_flag` (e.g. off by one) must produce a schedule
+/// the static analyses reject.
+pub fn append_tuned_ring_ops_with(
+    sched: &mut Schedule,
+    root: Rank,
+    step_flag_fn: impl Fn(Rank, usize) -> (usize, Endpoint),
+) {
+    let size = sched.p;
+    if size == 1 {
+        return;
+    }
+    let layout = ChunkLayout::new(sched.ranks[0].buf_len, size);
+    for rank in 0..size {
+        let left = ring_left(rank, size);
+        let right = ring_right(rank, size);
+        let rel = relative_rank(rank, root, size);
+        let (step, flag) = step_flag_fn(rel, size);
+        for i in 1..size {
+            let (send_chunk, recv_chunk) = ring_step_chunks(rel, size, i);
+            let send_range = layout.range(send_chunk);
+            let recv_range = layout.range(recv_chunk);
+            if step <= size - i {
+                sched.ranks[rank].sendrecv(
+                    "ring_tuned",
+                    right,
+                    Tag::ALLGATHER,
+                    Loc::Buf(send_range),
+                    left,
+                    Tag::ALLGATHER,
+                    Loc::Buf(recv_range),
+                );
+            } else {
+                match flag {
+                    Endpoint::RecvOnly => {
+                        sched.ranks[rank].recv(
+                            "ring_tuned",
+                            left,
+                            Tag::ALLGATHER,
+                            Loc::Buf(recv_range),
+                        );
+                    }
+                    Endpoint::SendOnly => {
+                        sched.ranks[rank].send(
+                            "ring_tuned",
+                            right,
+                            Tag::ALLGATHER,
+                            Loc::Buf(send_range),
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

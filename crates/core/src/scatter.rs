@@ -15,6 +15,7 @@
 use mpsim::{absolute_rank, relative_rank, Communicator, Rank, Result, Tag};
 
 use crate::chunks::ChunkLayout;
+use crate::schedule::{Loc, Schedule};
 
 /// Number of chunks rank `relative` (root-relative) holds after the scatter:
 /// `min(2^trailing_zeros(relative), P − relative)`, with the root holding all
@@ -96,6 +97,60 @@ pub fn binomial_scatter(
         mask >>= 1;
     }
     Ok(owned_bytes)
+}
+
+/// Append the symbolic ops of [`binomial_scatter`] to `sched`, mirroring the
+/// executed code's guards exactly (no receive posted when the rank's
+/// displacement already exhausts the buffer; no send for an empty subtree).
+///
+/// The received length of each rank is the closed-form subtree span
+/// `span(rel .. rel + own(rel))` — the property the executed scatter's tests
+/// pin down — which lets every rank's `curr_size` bookkeeping be replayed
+/// without cross-rank message lengths.
+pub(crate) fn append_scatter_ops(sched: &mut Schedule, root: Rank) {
+    let size = sched.p;
+    let nbytes = sched.ranks[0].buf_len;
+    let layout = ChunkLayout::new(nbytes, size);
+    let scatter_size = layout.scatter_size();
+    for rank in 0..size {
+        let relative = relative_rank(rank, root, size);
+        let mut curr_size = if rank == root { nbytes } else { 0 };
+        let mut mask = 1usize;
+        while mask < size {
+            if relative & mask != 0 {
+                let src = absolute_rank(relative - mask, root, size);
+                let disp = (relative * scatter_size).min(nbytes);
+                let capacity = nbytes - disp;
+                if capacity == 0 {
+                    curr_size = 0;
+                } else {
+                    sched.ranks[rank].recv("scatter", src, Tag::SCATTER, Loc::Buf(disp..nbytes));
+                    let own = owned_chunks(relative, size);
+                    curr_size = layout.span_bytes(relative..(relative + own).min(size));
+                }
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < size {
+                let send_size = curr_size.saturating_sub(scatter_size * mask);
+                if send_size > 0 {
+                    let dst = absolute_rank(relative + mask, root, size);
+                    let disp = ((relative + mask) * scatter_size).min(nbytes);
+                    sched.ranks[rank].send(
+                        "scatter",
+                        dst,
+                        Tag::SCATTER,
+                        Loc::Buf(disp..disp + send_size),
+                    );
+                    curr_size -= send_size;
+                }
+            }
+            mask >>= 1;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,8 @@
 
 use mpsim::{absolute_rank, relative_rank, Communicator, Rank, Result, Tag};
 
+use crate::schedule::{Loc, Schedule, ScheduleSource};
+
 /// `MPI_Scatter`: the root's `sendbuf` (length `block × P`, rank order) is
 /// split into `P` blocks; rank `r` receives block `r` into `recvbuf`.
 ///
@@ -135,6 +137,137 @@ pub fn gather_binomial(
         }
     }
     Ok(())
+}
+
+/// Emit the symbolic schedule of [`scatter_binomial`] in the *relative-order
+/// staging* coordinates the executed code uses (slot `rel` = block of the
+/// rank at relative position `rel`): the root holds all `P` slots initially
+/// and every rank requires exactly its own slot at the end.
+pub fn scatter_binomial_schedule(p: usize, block: usize, root: Rank) -> Schedule {
+    let mut s = Schedule::new("scatter/binomial", p, block * p);
+    s.ranks[root].mark_valid(0..block * p);
+    for rank in 0..p {
+        let relative = relative_rank(rank, root, p);
+        s.ranks[rank].require(relative * block..(relative + 1) * block);
+    }
+    for rank in 0..p {
+        let relative = relative_rank(rank, root, p);
+        let mut have = if rank == root { p } else { 0 };
+
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask != 0 {
+                let src = absolute_rank(relative - mask, root, p);
+                let subtree = mask.min(p - relative);
+                s.ranks[rank].recv(
+                    "scatter",
+                    src,
+                    Tag::SCATTER,
+                    Loc::Buf(relative * block..(relative + subtree) * block),
+                );
+                have = subtree;
+                break;
+            }
+            mask <<= 1;
+        }
+
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < p {
+                let child_rel = relative + mask;
+                let child_blocks = have.saturating_sub(mask).min(mask.min(p - child_rel));
+                if child_blocks > 0 {
+                    let dst = absolute_rank(child_rel, root, p);
+                    s.ranks[rank].send(
+                        "scatter",
+                        dst,
+                        Tag::SCATTER,
+                        Loc::Buf(child_rel * block..(child_rel + child_blocks) * block),
+                    );
+                    have -= child_blocks;
+                }
+            }
+            mask >>= 1;
+        }
+    }
+    s
+}
+
+/// Emit the symbolic schedule of [`gather_binomial`] in the same relative
+/// staging coordinates: every rank's own slot starts valid and only the root
+/// requires the full staging buffer at the end.
+pub fn gather_binomial_schedule(p: usize, block: usize, root: Rank) -> Schedule {
+    let mut s = Schedule::new("gather/binomial", p, block * p);
+    for rank in 0..p {
+        let relative = relative_rank(rank, root, p);
+        s.ranks[rank].mark_valid(relative * block..(relative + 1) * block);
+    }
+    s.ranks[root].require(0..block * p);
+    for rank in 0..p {
+        let relative = relative_rank(rank, root, p);
+        let mut have = 1usize;
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask != 0 {
+                let dst = absolute_rank(relative - mask, root, p);
+                s.ranks[rank].send(
+                    "gather",
+                    dst,
+                    Tag::GATHER,
+                    Loc::Buf(relative * block..(relative + have) * block),
+                );
+                break;
+            }
+            let child_rel = relative + mask;
+            if child_rel < p {
+                let child_blocks = mask.min(p - child_rel);
+                s.ranks[rank].recv(
+                    "gather",
+                    absolute_rank(child_rel, root, p),
+                    Tag::GATHER,
+                    Loc::Buf(child_rel * block..(child_rel + child_blocks) * block),
+                );
+                have += child_blocks;
+            }
+            mask <<= 1;
+        }
+    }
+    s
+}
+
+struct ScatterSource;
+struct GatherSource;
+
+impl ScheduleSource for ScatterSource {
+    fn name(&self) -> &'static str {
+        "scatter/binomial"
+    }
+
+    fn supports(&self, _p: usize) -> bool {
+        true
+    }
+
+    fn schedule(&self, p: usize, nbytes: usize, root: Rank) -> Schedule {
+        scatter_binomial_schedule(p, nbytes, root)
+    }
+}
+
+impl ScheduleSource for GatherSource {
+    fn name(&self) -> &'static str {
+        "gather/binomial"
+    }
+
+    fn supports(&self, _p: usize) -> bool {
+        true
+    }
+
+    fn schedule(&self, p: usize, nbytes: usize, root: Rank) -> Schedule {
+        gather_binomial_schedule(p, nbytes, root)
+    }
+}
+
+pub(crate) fn schedule_sources() -> Vec<Box<dyn ScheduleSource>> {
+    vec![Box::new(ScatterSource), Box::new(GatherSource)]
 }
 
 #[cfg(test)]

@@ -1,0 +1,364 @@
+//! Symbolic communication-schedule IR.
+//!
+//! Every collective in this crate can *emit* the exact sequence of sends and
+//! receives it would perform — per rank, in program order, with peer, tag and
+//! byte ranges — without moving a single byte. The emitters mirror the
+//! executed code line by line (same guards, same skip conditions, same chunk
+//! arithmetic), so the IR is a faithful twin of the runtime behaviour and can
+//! be checked statically by the `schedcheck` crate:
+//!
+//! * send/recv matching (no orphaned or duplicated operations),
+//! * deadlock freedom under eager and rendezvous semantics,
+//! * buffer coverage (every required byte written, redundancy counted —
+//!   the paper's bandwidth saving *is* the redundancy of the native ring),
+//! * traffic reconciliation against [`crate::traffic`] closed forms and
+//!   against instrumented `ThreadWorld`/`netsim` runs.
+//!
+//! ## Shape
+//!
+//! A [`Schedule`] holds one [`RankSchedule`] per rank. A rank's schedule is a
+//! list of [`SchedOp`]s executed in order; each op carries an optional
+//! [`SendHalf`] and an optional [`RecvHalf`] — both present models a
+//! `sendrecv` (the two halves are posted concurrently, which is what makes
+//! the ring deadlock-free under rendezvous). Byte locations are [`Loc`]s:
+//! either a tracked range of the rank's destination buffer, or `Private`
+//! untracked storage (send-only source buffers, reduction accumulators,
+//! Bruck staging space that is overwritten between rounds).
+
+use std::ops::Range;
+
+use mpsim::{Rank, Tag};
+
+/// Where the bytes of a transfer live on a rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Loc {
+    /// A range of the rank's tracked destination buffer. For a send, these
+    /// bytes must be valid when the send is posted; for a receive, the
+    /// matched message is written at `range.start` and must fit in
+    /// `range.len()` (the capacity).
+    Buf(Range<usize>),
+    /// `len` bytes of private, untracked storage (source buffers,
+    /// accumulators, staging space). Match-only: no coverage bookkeeping.
+    Private(usize),
+}
+
+impl Loc {
+    /// Payload length for a send; capacity for a receive.
+    pub fn len(&self) -> usize {
+        match self {
+            Loc::Buf(r) => r.len(),
+            Loc::Private(n) => *n,
+        }
+    }
+
+    /// Whether the location spans zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The send half of a schedule op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendHalf {
+    /// Destination rank.
+    pub peer: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload source (length = bytes on the wire).
+    pub loc: Loc,
+    /// `true` for a nonblocking send (`isend`): posting it never blocks the
+    /// rank, even under rendezvous semantics.
+    pub nonblocking: bool,
+}
+
+/// The receive half of a schedule op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvHalf {
+    /// Source rank.
+    pub peer: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Destination location. `Buf(range)` receives at `range.start` with
+    /// capacity `range.len()`; the *actual* written extent is the matched
+    /// message's length (MPI allows shorter-than-capacity messages).
+    pub dst: Loc,
+}
+
+/// One program-order slot of a rank's schedule.
+///
+/// `send` and `recv` both present models `sendrecv`: the two halves are
+/// posted concurrently and the op completes when both have completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedOp {
+    /// Human-readable phase label (`"scatter"`, `"ring"`, …) for diagnostics.
+    pub phase: &'static str,
+    /// Optional send half.
+    pub send: Option<SendHalf>,
+    /// Optional receive half.
+    pub recv: Option<RecvHalf>,
+}
+
+impl SchedOp {
+    /// One-line description for diagnostics.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(s) = &self.send {
+            let kind = if s.nonblocking { "isend" } else { "send" };
+            parts.push(format!("{kind} {}B -> rank {} tag {:#x}", s.loc.len(), s.peer, s.tag.0));
+        }
+        if let Some(r) = &self.recv {
+            parts.push(format!("recv cap {}B <- rank {} tag {:#x}", r.dst.len(), r.peer, r.tag.0));
+        }
+        if parts.is_empty() {
+            parts.push("nop".into());
+        }
+        format!("[{}] {}", self.phase, parts.join(" / "))
+    }
+}
+
+/// The schedule of a single rank: ops in program order plus buffer-coverage
+/// metadata.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RankSchedule {
+    /// Length of the tracked destination buffer (0 = nothing tracked).
+    pub buf_len: usize,
+    /// Byte ranges valid before the first op (initial data: the root's
+    /// payload, a locally copied own block, …).
+    pub valid: Vec<Range<usize>>,
+    /// Byte ranges that must be valid after the last op for the collective
+    /// to be correct on this rank.
+    pub required: Vec<Range<usize>>,
+    /// Operations in program order; the index is the rank's *step* number
+    /// used in diagnostics.
+    pub ops: Vec<SchedOp>,
+}
+
+impl RankSchedule {
+    /// Empty schedule over a tracked buffer of `buf_len` bytes.
+    pub fn new(buf_len: usize) -> Self {
+        Self { buf_len, ..Self::default() }
+    }
+
+    /// Append a blocking send.
+    pub fn send(&mut self, phase: &'static str, peer: Rank, tag: Tag, loc: Loc) {
+        self.ops.push(SchedOp {
+            phase,
+            send: Some(SendHalf { peer, tag, loc, nonblocking: false }),
+            recv: None,
+        });
+    }
+
+    /// Append a nonblocking send (`isend`).
+    pub fn isend(&mut self, phase: &'static str, peer: Rank, tag: Tag, loc: Loc) {
+        self.ops.push(SchedOp {
+            phase,
+            send: Some(SendHalf { peer, tag, loc, nonblocking: true }),
+            recv: None,
+        });
+    }
+
+    /// Append a blocking receive.
+    pub fn recv(&mut self, phase: &'static str, peer: Rank, tag: Tag, dst: Loc) {
+        self.ops.push(SchedOp { phase, send: None, recv: Some(RecvHalf { peer, tag, dst }) });
+    }
+
+    /// Append a combined `sendrecv` (both halves posted concurrently).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &mut self,
+        phase: &'static str,
+        to: Rank,
+        stag: Tag,
+        sloc: Loc,
+        from: Rank,
+        rtag: Tag,
+        rdst: Loc,
+    ) {
+        self.ops.push(SchedOp {
+            phase,
+            send: Some(SendHalf { peer: to, tag: stag, loc: sloc, nonblocking: false }),
+            recv: Some(RecvHalf { peer: from, tag: rtag, dst: rdst }),
+        });
+    }
+
+    /// Mark `range` valid before the run (initial payload / local copy).
+    pub fn mark_valid(&mut self, range: Range<usize>) {
+        if !range.is_empty() {
+            self.valid.push(range);
+        }
+    }
+
+    /// Require `range` to be valid after the run.
+    pub fn require(&mut self, range: Range<usize>) {
+        if !range.is_empty() {
+            self.required.push(range);
+        }
+    }
+
+    /// Planned outgoing traffic of this rank: `(messages, bytes)`, counting
+    /// every send half once at the sender (the convention of
+    /// [`mpsim::TrafficStats`] and [`crate::traffic`]).
+    pub fn planned_sends(&self) -> (u64, u64) {
+        let mut msgs = 0u64;
+        let mut bytes = 0u64;
+        for op in &self.ops {
+            if let Some(s) = &op.send {
+                msgs += 1;
+                bytes += s.loc.len() as u64;
+            }
+        }
+        (msgs, bytes)
+    }
+
+    /// Planned incoming message count of this rank (capacities are upper
+    /// bounds, so received *bytes* are only known after matching).
+    pub fn planned_recvs(&self) -> u64 {
+        self.ops.iter().filter(|op| op.recv.is_some()).count() as u64
+    }
+}
+
+/// A full symbolic schedule: one [`RankSchedule`] per rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Algorithm name (diagnostics and CLI listings).
+    pub name: String,
+    /// World size.
+    pub p: usize,
+    /// Per-rank schedules, indexed by rank.
+    pub ranks: Vec<RankSchedule>,
+}
+
+impl Schedule {
+    /// New empty schedule of `p` ranks, each tracking a `buf_len`-byte buffer.
+    pub fn new(name: impl Into<String>, p: usize, buf_len: usize) -> Self {
+        Self { name: name.into(), p, ranks: (0..p).map(|_| RankSchedule::new(buf_len)).collect() }
+    }
+
+    /// Splice a sub-communicator schedule into this one: local rank `i` of
+    /// `sub` becomes parent rank `members[i]`, and every peer reference is
+    /// translated the same way. Only ops are spliced; validity/requirement
+    /// metadata stays the caller's responsibility (phases of a composite
+    /// share one buffer).
+    pub fn splice(&mut self, sub: &Schedule, members: &[Rank]) {
+        assert_eq!(sub.p, members.len(), "member list must cover the sub-world");
+        for (local, rs) in sub.ranks.iter().enumerate() {
+            let parent = members[local];
+            for op in &rs.ops {
+                let mut op = op.clone();
+                if let Some(s) = &mut op.send {
+                    s.peer = members[s.peer];
+                }
+                if let Some(r) = &mut op.recv {
+                    r.peer = members[r.peer];
+                }
+                self.ranks[parent].ops.push(op);
+            }
+        }
+    }
+
+    /// Planned total traffic `(messages, bytes)` summed over all send halves.
+    pub fn planned_volume(&self) -> (u64, u64) {
+        let mut msgs = 0u64;
+        let mut bytes = 0u64;
+        for rs in &self.ranks {
+            let (m, b) = rs.planned_sends();
+            msgs += m;
+            bytes += b;
+        }
+        (msgs, bytes)
+    }
+
+    /// Total op count across ranks (sweep statistics).
+    pub fn total_ops(&self) -> usize {
+        self.ranks.iter().map(|r| r.ops.len()).sum()
+    }
+}
+
+/// A named family of schedules: one collective algorithm, parameterized by
+/// world size, payload size and root.
+///
+/// `nbytes` is the *total tracked buffer* for rooted broadcast-family
+/// collectives and the *per-rank block* for symmetric collectives
+/// (allgather/alltoall/reduce); each implementation documents its reading.
+/// Sources ignore `root` when the collective has none.
+pub trait ScheduleSource {
+    /// Stable algorithm name, `family/variant` (e.g. `"bcast/scatter_ring_tuned"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the algorithm is defined for a world of `p` ranks
+    /// (e.g. recursive doubling requires a power of two).
+    fn supports(&self, p: usize) -> bool;
+
+    /// Emit the full symbolic schedule.
+    fn schedule(&self, p: usize, nbytes: usize, root: Rank) -> Schedule;
+}
+
+/// All schedule sources in the crate — the sweep surface of the `schedcheck`
+/// CLI. Every collective family is represented.
+pub fn all_sources() -> Vec<Box<dyn ScheduleSource>> {
+    let mut v: Vec<Box<dyn ScheduleSource>> = Vec::new();
+    v.extend(crate::bcast::schedule_sources());
+    v.extend(crate::pipeline::schedule_sources());
+    v.extend(crate::smp::schedule_sources());
+    v.extend(crate::allgather::schedule_sources());
+    v.extend(crate::alltoall::schedule_sources());
+    v.extend(crate::scatter_gather::schedule_sources());
+    v.extend(crate::reduce::schedule_sources());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_volume() {
+        let mut s = Schedule::new("toy", 2, 8);
+        s.ranks[0].mark_valid(0..8);
+        s.ranks[0].send("x", 1, Tag(1), Loc::Buf(0..8));
+        s.ranks[1].recv("x", 0, Tag(1), Loc::Buf(0..8));
+        s.ranks[1].require(0..8);
+        assert_eq!(s.planned_volume(), (1, 8));
+        assert_eq!(s.ranks[0].planned_sends(), (1, 8));
+        assert_eq!(s.ranks[1].planned_recvs(), 1);
+        assert_eq!(s.total_ops(), 2);
+    }
+
+    #[test]
+    fn splice_translates_peers() {
+        let mut sub = Schedule::new("sub", 2, 4);
+        sub.ranks[0].send("x", 1, Tag(9), Loc::Private(4));
+        sub.ranks[1].recv("x", 0, Tag(9), Loc::Private(4));
+        let mut top = Schedule::new("top", 6, 4);
+        top.splice(&sub, &[2, 5]);
+        let s = top.ranks[2].ops[0].send.as_ref().unwrap();
+        assert_eq!(s.peer, 5);
+        let r = top.ranks[5].ops[0].recv.as_ref().unwrap();
+        assert_eq!(r.peer, 2);
+        assert!(top.ranks[0].ops.is_empty());
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let op = SchedOp {
+            phase: "ring",
+            send: Some(SendHalf {
+                peer: 3,
+                tag: Tag(0xB1),
+                loc: Loc::Buf(0..5),
+                nonblocking: false,
+            }),
+            recv: Some(RecvHalf { peer: 1, tag: Tag(0xB1), dst: Loc::Buf(5..10) }),
+        };
+        let d = op.describe();
+        assert!(d.contains("ring") && d.contains("rank 3") && d.contains("rank 1"), "{d}");
+    }
+
+    #[test]
+    fn all_sources_cover_every_family() {
+        let names: Vec<&str> = all_sources().iter().map(|s| s.name()).collect();
+        for family in ["bcast/", "allgather/", "alltoall/", "scatter/", "gather/", "reduce"] {
+            assert!(names.iter().any(|n| n.starts_with(family)), "missing {family}: {names:?}");
+        }
+    }
+}

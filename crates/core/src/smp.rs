@@ -13,8 +13,9 @@
 
 use mpsim::{Communicator, Rank, Result, SubComm};
 
-use crate::bcast::{bcast_with, Algorithm};
-use crate::binomial::bcast_binomial;
+use crate::bcast::{append_bcast_ops, bcast_with, Algorithm};
+use crate::binomial::{append_binomial_ops, bcast_binomial};
+use crate::schedule::{Schedule, ScheduleSource};
 
 /// Block placement of ranks onto nodes with a fixed number of cores per node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +88,9 @@ pub fn bcast_smp(
         let members = nodes.ranks_of(root_node, size);
         if members.len() > 1 {
             let sub = SubComm::new(comm, members)
+                // lint: allow(panic) — NodeMap invariant: this rank is on the root node
                 .expect("rank is on the root node but missing from member list");
+            // lint: allow(panic) — NodeMap invariant: root is a member of its own node
             let local_root = sub.from_parent(root).expect("root missing from its own node");
             bcast_binomial(&sub, buf, local_root)?;
         }
@@ -98,6 +101,7 @@ pub fn bcast_smp(
     if leaders.len() > 1 {
         if let Some(sub) = SubComm::new(comm, leaders) {
             let local_root =
+                // lint: allow(panic) — NodeMap invariant: leaders list is built from leader_of
                 sub.from_parent(nodes.leader_of(root_node)).expect("root node has no leader");
             bcast_with(&sub, buf, local_root, inter_algorithm)?;
         }
@@ -108,14 +112,103 @@ pub fn bcast_smp(
         let members = nodes.ranks_of(my_node, size);
         if members.len() > 1 {
             let sub =
+                // lint: allow(panic) — NodeMap invariant: ranks_of(my_node) contains this rank
                 SubComm::new(comm, members).expect("rank missing from its own node's member list");
             let local_root = sub
                 .from_parent(nodes.leader_of(my_node))
+                // lint: allow(panic) — NodeMap invariant: a node always contains its leader
                 .expect("node leader missing from node members");
             bcast_binomial(&sub, buf, local_root)?;
         }
     }
     Ok(())
+}
+
+/// Emit the symbolic schedule of [`bcast_smp`]: each phase is emitted on its
+/// sub-world and spliced into the full-world schedule with rank translation,
+/// reproducing the per-rank program order of the executed three-phase code
+/// (root-node intra, leader inter, other-node intra).
+pub fn bcast_smp_schedule(
+    p: usize,
+    nbytes: usize,
+    root: Rank,
+    nodes: &NodeMap,
+    inter_algorithm: Algorithm,
+) -> Schedule {
+    let name = match inter_algorithm {
+        Algorithm::ScatterRingTuned => "bcast/smp_tuned",
+        Algorithm::ScatterRingNative => "bcast/smp_native",
+        Algorithm::Binomial => "bcast/smp_binomial",
+        Algorithm::ScatterRdAllgather => "bcast/smp_scatter_rd",
+    };
+    let mut s = Schedule::new(name, p, nbytes);
+    s.ranks[root].mark_valid(0..nbytes);
+    for rank in 0..p {
+        s.ranks[rank].require(0..nbytes);
+    }
+    if p == 1 {
+        return s;
+    }
+    let root_node = nodes.node_of(root);
+
+    // Phase 1: intra-node broadcast on the root's node.
+    let members = nodes.ranks_of(root_node, p);
+    if members.len() > 1 {
+        let local_root = members.iter().position(|&m| m == root).unwrap_or(0);
+        let mut sub = Schedule::new("smp/phase1", members.len(), nbytes);
+        append_binomial_ops(&mut sub, local_root);
+        s.splice(&sub, &members);
+    }
+
+    // Phase 2: inter-node broadcast among node leaders.
+    let leaders: Vec<Rank> = (0..nodes.node_count(p)).map(|n| nodes.leader_of(n)).collect();
+    if leaders.len() > 1 {
+        let mut sub = Schedule::new("smp/phase2", leaders.len(), nbytes);
+        append_bcast_ops(&mut sub, root_node, inter_algorithm);
+        s.splice(&sub, &leaders);
+    }
+
+    // Phase 3: intra-node broadcast on every other node, rooted at its leader.
+    for node in 0..nodes.node_count(p) {
+        if node == root_node {
+            continue;
+        }
+        let members = nodes.ranks_of(node, p);
+        if members.len() > 1 {
+            let mut sub = Schedule::new("smp/phase3", members.len(), nbytes);
+            append_binomial_ops(&mut sub, 0);
+            s.splice(&sub, &members);
+        }
+    }
+    s
+}
+
+struct SmpSource {
+    inter: Algorithm,
+}
+
+impl ScheduleSource for SmpSource {
+    fn name(&self) -> &'static str {
+        match self.inter {
+            Algorithm::ScatterRingTuned => "bcast/smp_tuned",
+            _ => "bcast/smp_native",
+        }
+    }
+
+    fn supports(&self, _p: usize) -> bool {
+        true
+    }
+
+    fn schedule(&self, p: usize, nbytes: usize, root: Rank) -> Schedule {
+        bcast_smp_schedule(p, nbytes, root, &NodeMap::new(4), self.inter)
+    }
+}
+
+pub(crate) fn schedule_sources() -> Vec<Box<dyn ScheduleSource>> {
+    vec![
+        Box::new(SmpSource { inter: Algorithm::ScatterRingNative }),
+        Box::new(SmpSource { inter: Algorithm::ScatterRingTuned }),
+    ]
 }
 
 #[cfg(test)]

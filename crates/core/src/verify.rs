@@ -34,6 +34,7 @@ pub fn run_threaded(algorithm: Algorithm, size: usize, nbytes: usize, root: Rank
     let src = pattern(nbytes, 0xBCA5_7000 + root as u64);
     let out = ThreadWorld::run(size, |comm| {
         let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+        // lint: allow(panic) — test harness: a failed broadcast must abort the check
         bcast_with(comm, &mut buf, root, algorithm).unwrap();
         buf == src
     });
@@ -49,6 +50,7 @@ where
     let src = pattern(nbytes, 42);
     let out = ThreadWorld::run(size, |comm| {
         let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+        // lint: allow(panic) — test harness: a failed broadcast must abort the check
         bcast(comm, &mut buf, root).unwrap();
         assert_eq!(buf, src, "rank {} has wrong data", comm.rank());
     });

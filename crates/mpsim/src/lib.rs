@@ -59,6 +59,7 @@ pub mod error;
 pub mod mailbox;
 pub mod nonblocking;
 pub mod pool;
+pub mod proto;
 pub mod rank;
 pub mod sub_comm;
 pub mod sync;

@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::counters::WakeupStats;
 use crate::pool::PooledBuf;
+use crate::proto::push_should_notify;
 use crate::sync::{Condvar, Mutex};
 
 use crate::error::{CommError, Result};
@@ -85,8 +86,9 @@ impl Default for Mailbox {
 }
 
 /// Slot index for a `(src, tag)` pair: direct for small sources, hashed
-/// beyond. Both sides of a pair compute the same index.
-fn slot_index(src: Rank, tag: Tag) -> usize {
+/// beyond. Both sides of a pair compute the same index — public so the
+/// schedule verifier can reason about slot sharing.
+pub fn slot_index(src: Rank, tag: Tag) -> usize {
     if src < SHARDS {
         src
     } else {
@@ -120,7 +122,7 @@ impl Mailbox {
         // the owning rank may be waiting on a *different* (src, tag) that
         // shares this slot (spurious but benign — it rechecks and sleeps
         // again); with zero waiters the notify would be pure overhead.
-        let wake = st.waiters > 0;
+        let wake = push_should_notify(st.waiters);
         drop(st);
         self.pushes.fetch_add(1, Ordering::Relaxed);
         if wake {

@@ -1,0 +1,74 @@
+//! Pure decision logic of the sync-layer protocols, factored out of
+//! [`crate::mailbox`] and the `fast-sync` lock backend so that an external
+//! model checker can explore exactly the predicates the runtime executes.
+//!
+//! Everything here is a total function over plain integers — no atomics, no
+//! blocking, no I/O. The runtime calls these at its decision points
+//! (annotated in `sync_fast.rs` / `mailbox.rs`); `schedcheck`'s interleaving
+//! explorer drives the same functions from abstract states, so a checked
+//! property ("the swap-release protocol never loses a waiter") speaks about
+//! the deployed code, not a hand-copied transcription of it.
+
+/// Lock word: free.
+pub const UNLOCKED: u32 = 0;
+/// Lock word: held, no contention observed.
+pub const LOCKED: u32 = 1;
+/// Lock word: held with waiters possible — the next release must wake one.
+pub const CONTENDED: u32 = 2;
+
+/// Did a slow-path `swap(CONTENDED)` acquire the lock? The swap observes the
+/// previous word: finding [`UNLOCKED`] means we took the lock (conservatively
+/// leaving it marked contended — at worst one spurious unpark later); any
+/// other value means the holder is still inside.
+#[inline]
+#[must_use]
+pub fn slow_path_acquired(prev: u32) -> bool {
+    prev == UNLOCKED
+}
+
+/// Must a release (`swap(UNLOCKED)`) wake a parked waiter? Only when the
+/// word it replaced said contention was observed: an uncontended unlock
+/// performs no wakeup at all.
+#[inline]
+#[must_use]
+pub fn release_needs_wake(prev: u32) -> bool {
+    prev == CONTENDED
+}
+
+/// Must a mailbox push notify the slot's condvar? Only when a receiver is
+/// actually blocked on the slot — the notify-skip optimization that makes
+/// the uncontended send path syscall-free. The waiter count is read under
+/// the slot lock, so a receiver that has started blocking is either already
+/// counted (we notify) or has not yet released the lock (it will observe our
+/// queued message before sleeping).
+#[inline]
+#[must_use]
+pub fn push_should_notify(waiters: usize) -> bool {
+    waiters > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_path_acquires_only_from_unlocked() {
+        assert!(slow_path_acquired(UNLOCKED));
+        assert!(!slow_path_acquired(LOCKED));
+        assert!(!slow_path_acquired(CONTENDED));
+    }
+
+    #[test]
+    fn release_wakes_only_on_contention() {
+        assert!(!release_needs_wake(UNLOCKED));
+        assert!(!release_needs_wake(LOCKED));
+        assert!(release_needs_wake(CONTENDED));
+    }
+
+    #[test]
+    fn push_notifies_only_with_waiters() {
+        assert!(!push_should_notify(0));
+        assert!(push_should_notify(1));
+        assert!(push_should_notify(7));
+    }
+}

@@ -38,6 +38,8 @@ use std::sync::Arc;
 use std::thread::{self, Thread};
 use std::time::Duration;
 
+use crate::proto::{release_needs_wake, slow_path_acquired, CONTENDED, LOCKED, UNLOCKED};
+
 /// Spin iterations before a lock acquisition parks (multicore only).
 const LOCK_SPINS: u32 = 128;
 /// Spin iterations a condvar waiter burns on its flag before parking
@@ -137,10 +139,6 @@ impl<T> SpinList<T> {
     }
 }
 
-const UNLOCKED: u32 = 0;
-const LOCKED: u32 = 1;
-const CONTENDED: u32 = 2;
-
 /// Spin-then-park mutual-exclusion lock; `lock` returns the guard directly.
 pub struct Mutex<T: ?Sized> {
     state: AtomicU32,
@@ -211,7 +209,7 @@ impl<T: ?Sized> Mutex<T> {
             // Announce contention; a swap that finds UNLOCKED acquires the
             // lock (conservatively leaving it marked contended, which at
             // worst costs one extra unpark at the next unlock).
-            if self.state.swap(CONTENDED, Ordering::Acquire) == UNLOCKED {
+            if slow_path_acquired(self.state.swap(CONTENDED, Ordering::Acquire)) {
                 return;
             }
             // Critical sections are sub-microsecond, so donating a
@@ -226,7 +224,7 @@ impl<T: ?Sized> Mutex<T> {
             // Recheck after registering: an unlock that raced us may have
             // missed the registration. A stale registry entry only yields a
             // spurious unpark later, which every park loop tolerates.
-            if self.state.swap(CONTENDED, Ordering::Acquire) == UNLOCKED {
+            if slow_path_acquired(self.state.swap(CONTENDED, Ordering::Acquire)) {
                 return;
             }
             thread::park_timeout(PARK_TIMEOUT);
@@ -234,7 +232,7 @@ impl<T: ?Sized> Mutex<T> {
     }
 
     fn unlock(&self) {
-        if self.state.swap(UNLOCKED, Ordering::Release) == CONTENDED {
+        if release_needs_wake(self.state.swap(UNLOCKED, Ordering::Release)) {
             if let Some(t) = self.parked.with(Vec::pop) {
                 t.unpark();
             }

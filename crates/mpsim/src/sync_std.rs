@@ -50,12 +50,14 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // lint: allow(panic) — guard invariant: inner is present outside wait
         self.0.as_ref().expect("guard invariant: present outside Condvar::wait")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        // lint: allow(panic) — guard invariant: inner is present outside wait
         self.0.as_mut().expect("guard invariant: present outside Condvar::wait")
     }
 }
@@ -74,6 +76,7 @@ impl Condvar {
     /// lock is re-acquired before returning. Spurious wakeups are possible,
     /// so callers loop on their predicate.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // lint: allow(panic) — guard invariant: inner is present outside wait
         let inner = guard.0.take().expect("guard invariant: present on entry to wait");
         guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
     }

@@ -108,6 +108,7 @@ impl ThreadWorld {
                 }));
             }
             for h in handles {
+                // lint: allow(panic) — a panicking rank must abort the whole world
                 if let Some(payload) = h.join().expect("rank thread poisoned the scope") {
                     panicked.get_or_insert(payload);
                 }
@@ -123,6 +124,7 @@ impl ThreadWorld {
         let mut results = Vec::with_capacity(n);
         let mut traffic = Vec::with_capacity(n);
         for slot in slots {
+            // lint: allow(panic) — a rank panic was already re-thrown by join above
             let (r, t) = slot.expect("rank finished without result despite no panic");
             results.push(r);
             traffic.push(t);

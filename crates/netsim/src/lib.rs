@@ -44,6 +44,7 @@
 //! assert_eq!(out.results[1], 0); // uninvolved ranks never move
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -158,6 +158,7 @@ impl SimWorld {
                 }));
             }
             for h in handles {
+                // lint: allow(panic) — a panicking rank must abort the whole world
                 if let Some(payload) = h.join().expect("rank thread poisoned the scope") {
                     panicked.get_or_insert(payload);
                 }
@@ -173,6 +174,7 @@ impl SimWorld {
         let mut finish_ns = Vec::with_capacity(n);
         let mut breakdown = Vec::with_capacity(n);
         for slot in slots {
+            // lint: allow(panic) — a rank panic was already re-thrown by join above
             let (r, t, v, b) = slot.expect("rank finished without result despite no panic");
             results.push(r);
             traffic.push(t);

@@ -1,0 +1,586 @@
+//! Static analyses over the symbolic schedule IR.
+//!
+//! The centerpiece is an *abstract executor*: it runs a
+//! [`Schedule`](bcast_core::schedule::Schedule) without moving payload bytes,
+//! advancing every rank through its op list under a chosen message-passing
+//! semantics and recording what a real run would have done. On top of one
+//! abstract execution it derives every check the `schedcheck` CLI reports:
+//!
+//! * **Matching** — every send half is consumed by exactly one receive and
+//!   vice versa; leftovers are reported as orphans with rank/step.
+//! * **Deadlock freedom** — if the system reaches a state where unfinished
+//!   ranks exist but none can advance, a wait-for graph is built and the
+//!   blocking cycle (or the terminated peer a rank waits on) is reported.
+//! * **Coverage** — per-rank byte validity: sends of never-received bytes
+//!   are flagged, required bytes left invalid are flagged, and writes to
+//!   already-valid bytes are *counted* as redundancy (not an error — the
+//!   native ring's redundancy **is** the paper's bandwidth saving).
+//! * **Traffic** — per-rank delivered message/byte counters, reconciled by
+//!   callers against [`bcast_core::traffic`] closed forms and instrumented
+//!   `ThreadWorld`/`netsim` runs.
+//!
+//! ## Semantics
+//!
+//! Under [`Semantics::Eager`] a send half completes the moment it is posted
+//! (buffered by the transport); under [`Semantics::Rendezvous`] a blocking
+//! send half completes only when the matching receive consumes it — the
+//! stricter regime in which a ring exchange written as `send; recv` instead
+//! of `sendrecv` deadlocks. Nonblocking sends (`isend`) never gate progress
+//! in either mode. Matching is FIFO per `(src, dst, tag)` channel, MPI's
+//! non-overtaking rule, exactly like [`mpsim`]'s mailbox.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use bcast_core::schedule::{Loc, Schedule};
+use mpsim::{Rank, Tag};
+
+/// Message-progress semantics for the abstract execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semantics {
+    /// Sends complete immediately (transport buffers the payload).
+    Eager,
+    /// Blocking sends complete only when the matching receive arrives.
+    Rendezvous,
+}
+
+impl Semantics {
+    /// Both semantics, in checking order.
+    pub const ALL: [Semantics; 2] = [Semantics::Eager, Semantics::Rendezvous];
+}
+
+impl std::fmt::Display for Semantics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Semantics::Eager => "eager",
+            Semantics::Rendezvous => "rendezvous",
+        })
+    }
+}
+
+/// Per-rank delivered traffic observed by the abstract executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankTraffic {
+    /// Messages sent (every posted send half, including zero-byte ones).
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received (matched receive halves).
+    pub msgs_recvd: u64,
+    /// Payload bytes received.
+    pub bytes_recvd: u64,
+}
+
+/// Result of checking one schedule under one semantics.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedule name.
+    pub name: String,
+    /// World size.
+    pub p: usize,
+    /// Semantics the schedule was executed under.
+    pub semantics: Semantics,
+    /// Violations, each naming the offending rank and step.
+    pub errors: Vec<String>,
+    /// Per-rank delivered traffic.
+    pub traffic: Vec<RankTraffic>,
+    /// Receives whose (non-empty) written extent was entirely valid already —
+    /// for the native scatter-ring broadcast this equals the closed-form
+    /// message saving of the paper's tuned ring.
+    pub redundant_msgs: u64,
+    /// Bytes written over already-valid bytes.
+    pub redundant_bytes: u64,
+}
+
+impl Report {
+    /// No violations found.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Total delivered `(messages, bytes)` summed at the senders.
+    pub fn sent_volume(&self) -> (u64, u64) {
+        let msgs = self.traffic.iter().map(|t| t.msgs_sent).sum();
+        let bytes = self.traffic.iter().map(|t| t.bytes_sent).sum();
+        (msgs, bytes)
+    }
+}
+
+/// An in-flight (posted) send half.
+struct PostedSend {
+    id: u64,
+    src: Rank,
+    src_step: usize,
+    len: usize,
+    /// Completes the sender's op immediately (eager or `isend`).
+    fire_and_forget: bool,
+}
+
+/// Mutable per-rank execution state.
+struct RankState {
+    pc: usize,
+    /// Current op's send half has been posted.
+    posted: bool,
+    /// Current op's send half has completed (or there is none).
+    send_done: bool,
+    /// Current op's recv half has completed (or there is none).
+    recv_done: bool,
+    /// Id of the posted rendezvous send awaiting consumption.
+    pending_send: Option<u64>,
+    /// Byte validity of the tracked destination buffer.
+    valid: Vec<bool>,
+    traffic: RankTraffic,
+}
+
+impl RankState {
+    fn reset_op(&mut self) {
+        self.posted = false;
+        self.send_done = false;
+        self.recv_done = false;
+        self.pending_send = None;
+    }
+}
+
+/// Execute `schedule` abstractly under `semantics` and report every violation.
+pub fn check(schedule: &Schedule, semantics: Semantics) -> Report {
+    let p = schedule.p;
+    let mut report = Report {
+        name: schedule.name.clone(),
+        p,
+        semantics,
+        errors: Vec::new(),
+        traffic: vec![RankTraffic::default(); p],
+        redundant_msgs: 0,
+        redundant_bytes: 0,
+    };
+
+    static_matching(schedule, &mut report.errors);
+
+    let mut ranks: Vec<RankState> = schedule
+        .ranks
+        .iter()
+        .map(|rs| {
+            let mut valid = vec![false; rs.buf_len];
+            for r in &rs.valid {
+                valid[r.clone()].fill(true);
+            }
+            RankState {
+                pc: 0,
+                posted: false,
+                send_done: false,
+                recv_done: false,
+                pending_send: None,
+                valid,
+                traffic: RankTraffic::default(),
+            }
+        })
+        .collect();
+
+    // FIFO channels of posted sends per (src, dst, tag); `consumed` marks
+    // rendezvous sends whose receiver has taken them.
+    let mut channels: HashMap<(Rank, Rank, Tag), VecDeque<PostedSend>> = HashMap::new();
+    let mut consumed: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut next_id = 0u64;
+
+    // Round-robin to fixpoint: each pass tries to advance every rank as far
+    // as it can; stop when a full pass makes no progress.
+    loop {
+        let mut progressed = false;
+        for rank in 0..p {
+            while advance(
+                schedule,
+                rank,
+                semantics,
+                &mut ranks,
+                &mut channels,
+                &mut consumed,
+                &mut next_id,
+                &mut report,
+            ) {
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Deadlock: unfinished ranks that can no longer advance.
+    let stuck: Vec<Rank> = (0..p).filter(|&r| ranks[r].pc < schedule.ranks[r].ops.len()).collect();
+    if !stuck.is_empty() {
+        report.errors.push(describe_deadlock(schedule, &ranks, &stuck, &consumed));
+    }
+
+    // Orphans: posted sends nobody consumed.
+    let mut orphans: Vec<&PostedSend> = channels.values().flatten().collect();
+    orphans.sort_by_key(|o| (o.src, o.src_step));
+    for o in orphans {
+        report.errors.push(format!(
+            "orphaned send: rank {} step {} ({}) was never received",
+            o.src,
+            o.src_step,
+            schedule.ranks[o.src].ops[o.src_step].describe()
+        ));
+    }
+
+    // Coverage: every required byte must be valid at the end.
+    for (rank, state) in ranks.iter().enumerate() {
+        for req in &schedule.ranks[rank].required {
+            let mut missing: Option<(usize, usize)> = None;
+            for b in req.clone() {
+                if !state.valid[b] {
+                    missing = Some(match missing {
+                        None => (b, b + 1),
+                        Some((s, _)) => (s, b + 1),
+                    });
+                }
+            }
+            if let Some((s, e)) = missing {
+                report
+                    .errors
+                    .push(format!("coverage: rank {rank} required bytes {s}..{e} never written"));
+            }
+        }
+    }
+
+    for (slot, state) in report.traffic.iter_mut().zip(&ranks) {
+        *slot = state.traffic;
+    }
+    report
+}
+
+/// Order-free matching census: per `(src, dst, tag)` channel the number of
+/// send halves must equal the number of receive halves.
+fn static_matching(schedule: &Schedule, errors: &mut Vec<String>) {
+    let mut sends: BTreeMap<(Rank, Rank, u32), u64> = BTreeMap::new();
+    let mut recvs: BTreeMap<(Rank, Rank, u32), u64> = BTreeMap::new();
+    for (rank, rs) in schedule.ranks.iter().enumerate() {
+        for op in &rs.ops {
+            if let Some(s) = &op.send {
+                *sends.entry((rank, s.peer, s.tag.0)).or_default() += 1;
+            }
+            if let Some(r) = &op.recv {
+                *recvs.entry((r.peer, rank, r.tag.0)).or_default() += 1;
+            }
+        }
+    }
+    let keys: std::collections::BTreeSet<_> = sends.keys().chain(recvs.keys()).copied().collect();
+    for key in keys {
+        let (s, r) = (sends.get(&key).copied().unwrap_or(0), recvs.get(&key).copied().unwrap_or(0));
+        if s != r {
+            let (src, dst, tag) = key;
+            errors.push(format!(
+                "matching: channel rank {src} -> rank {dst} tag {tag:#x} has {s} send(s) but {r} recv(s)"
+            ));
+        }
+    }
+}
+
+/// Try to make one step of progress on `rank`; returns whether anything moved.
+#[allow(clippy::too_many_arguments)]
+fn advance(
+    schedule: &Schedule,
+    rank: Rank,
+    semantics: Semantics,
+    ranks: &mut [RankState],
+    channels: &mut HashMap<(Rank, Rank, Tag), VecDeque<PostedSend>>,
+    consumed: &mut std::collections::HashSet<u64>,
+    next_id: &mut u64,
+    report: &mut Report,
+) -> bool {
+    let rs = &schedule.ranks[rank];
+    if ranks[rank].pc >= rs.ops.len() {
+        return false;
+    }
+    let step = ranks[rank].pc;
+    let op = &rs.ops[step];
+    let mut moved = false;
+
+    // Post the send half (once), checking source validity.
+    if !ranks[rank].posted {
+        ranks[rank].posted = true;
+        moved = true;
+        match &op.send {
+            None => ranks[rank].send_done = true,
+            Some(s) => {
+                if let Loc::Buf(range) = &s.loc {
+                    if let Some(b) = range.clone().find(|&b| !ranks[rank].valid[b]) {
+                        report.errors.push(format!(
+                            "invalid-send: rank {rank} step {step} sends byte {b} before it is valid ({})",
+                            op.describe()
+                        ));
+                    }
+                }
+                let id = *next_id;
+                *next_id += 1;
+                let fire_and_forget = s.nonblocking || semantics == Semantics::Eager;
+                channels.entry((rank, s.peer, s.tag)).or_default().push_back(PostedSend {
+                    id,
+                    src: rank,
+                    src_step: step,
+                    len: s.loc.len(),
+                    fire_and_forget,
+                });
+                ranks[rank].traffic.msgs_sent += 1;
+                ranks[rank].traffic.bytes_sent += s.loc.len() as u64;
+                if fire_and_forget {
+                    ranks[rank].send_done = true;
+                } else {
+                    ranks[rank].pending_send = Some(id);
+                }
+            }
+        }
+        if op.recv.is_none() {
+            ranks[rank].recv_done = true;
+        }
+    }
+
+    // Try to complete the recv half.
+    if !ranks[rank].recv_done {
+        let r = op.recv.as_ref().expect("recv_done is false only with a recv half");
+        let key = (r.peer, rank, r.tag);
+        if let Some(queue) = channels.get_mut(&key) {
+            if let Some(msg) = queue.pop_front() {
+                if !msg.fire_and_forget {
+                    consumed.insert(msg.id);
+                }
+                if msg.len > r.dst.len() {
+                    report.errors.push(format!(
+                        "overflow: rank {rank} step {step} receives {}B into capacity {}B ({})",
+                        msg.len,
+                        r.dst.len(),
+                        op.describe()
+                    ));
+                }
+                if let Loc::Buf(range) = &r.dst {
+                    let end = (range.start + msg.len).min(range.end).min(ranks[rank].valid.len());
+                    let written = range.start..end;
+                    if !written.is_empty() && written.clone().all(|b| ranks[rank].valid[b]) {
+                        report.redundant_msgs += 1;
+                    }
+                    for b in written {
+                        if ranks[rank].valid[b] {
+                            report.redundant_bytes += 1;
+                        } else {
+                            ranks[rank].valid[b] = true;
+                        }
+                    }
+                }
+                ranks[rank].traffic.msgs_recvd += 1;
+                ranks[rank].traffic.bytes_recvd += msg.len as u64;
+                ranks[rank].recv_done = true;
+                moved = true;
+                if queue.is_empty() {
+                    channels.remove(&key);
+                }
+            }
+        }
+    }
+
+    // A rendezvous send completes when the receiver consumes it.
+    if !ranks[rank].send_done {
+        if let Some(id) = ranks[rank].pending_send {
+            if consumed.remove(&id) {
+                ranks[rank].send_done = true;
+                ranks[rank].pending_send = None;
+                moved = true;
+            }
+        }
+    }
+
+    if ranks[rank].send_done && ranks[rank].recv_done {
+        ranks[rank].pc += 1;
+        ranks[rank].reset_op();
+        return true;
+    }
+    moved
+}
+
+/// Describe the stuck state: walk the wait-for graph from the lowest stuck
+/// rank; either a cycle (true deadlock) or a chain ending at a terminated
+/// peer (unmatched operation).
+fn describe_deadlock(
+    schedule: &Schedule,
+    ranks: &[RankState],
+    stuck: &[Rank],
+    _consumed: &std::collections::HashSet<u64>,
+) -> String {
+    // Each stuck rank waits on exactly one peer per incomplete half; prefer
+    // the recv's peer (waiting for data), else the send's peer (waiting for
+    // a rendezvous consumer).
+    let waits_on = |r: Rank| -> Option<(Rank, String)> {
+        let st = &ranks[r];
+        let op = &schedule.ranks[r].ops[st.pc];
+        let desc = format!("rank {} step {} {}", r, st.pc, op.describe());
+        if !st.recv_done {
+            if let Some(recv) = &op.recv {
+                return Some((recv.peer, desc));
+            }
+        }
+        if !st.send_done {
+            if let Some(send) = &op.send {
+                return Some((send.peer, desc));
+            }
+        }
+        None
+    };
+
+    let is_stuck = |r: Rank| stuck.contains(&r);
+    let start = stuck[0];
+    let mut chain: Vec<Rank> = vec![start];
+    let mut lines: Vec<String> = Vec::new();
+    let mut cur = start;
+    loop {
+        let Some((peer, desc)) = waits_on(cur) else {
+            lines.push(format!("rank {cur} stuck with no pending half (internal error)"));
+            break;
+        };
+        lines.push(format!("{desc} waits on rank {peer}"));
+        if !is_stuck(peer) {
+            lines.push(format!(
+                "rank {peer} has terminated: the operation above can never complete"
+            ));
+            break;
+        }
+        if let Some(pos) = chain.iter().position(|&c| c == peer) {
+            let cycle: Vec<String> = chain[pos..].iter().map(|c| format!("rank {c}")).collect();
+            lines.push(format!("cycle: {} -> rank {peer}", cycle.join(" -> ")));
+            break;
+        }
+        chain.push(peer);
+        cur = peer;
+    }
+    format!("deadlock ({} of {} ranks stuck): {}", stuck.len(), schedule.p, lines.join("; "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcast_core::schedule::Loc;
+    use mpsim::Tag;
+
+    fn two_rank_ping() -> Schedule {
+        let mut s = Schedule::new("ping", 2, 4);
+        s.ranks[0].mark_valid(0..4);
+        s.ranks[0].send("x", 1, Tag(1), Loc::Buf(0..4));
+        s.ranks[1].recv("x", 0, Tag(1), Loc::Buf(0..4));
+        s.ranks[1].require(0..4);
+        s
+    }
+
+    #[test]
+    fn clean_ping_passes_both_semantics() {
+        for sem in Semantics::ALL {
+            let r = check(&two_rank_ping(), sem);
+            assert!(r.is_clean(), "{sem}: {:?}", r.errors);
+            assert_eq!(r.sent_volume(), (1, 4));
+            assert_eq!(r.traffic[1].bytes_recvd, 4);
+        }
+    }
+
+    #[test]
+    fn head_to_head_blocking_sends_deadlock_only_under_rendezvous() {
+        // rank 0: send then recv; rank 1: send then recv — classic unsafe
+        // exchange: fine if the transport buffers, deadlock if not.
+        let mut s = Schedule::new("unsafe-exchange", 2, 1);
+        s.ranks[0].mark_valid(0..1);
+        s.ranks[1].mark_valid(0..1);
+        s.ranks[0].send("x", 1, Tag(1), Loc::Private(1));
+        s.ranks[0].recv("x", 1, Tag(1), Loc::Private(1));
+        s.ranks[1].send("x", 0, Tag(1), Loc::Private(1));
+        s.ranks[1].recv("x", 0, Tag(1), Loc::Private(1));
+        assert!(check(&s, Semantics::Eager).is_clean());
+        let r = check(&s, Semantics::Rendezvous);
+        assert!(!r.is_clean());
+        assert!(
+            r.errors[0].contains("deadlock") && r.errors[0].contains("cycle"),
+            "{:?}",
+            r.errors
+        );
+    }
+
+    #[test]
+    fn sendrecv_exchange_is_safe_under_rendezvous() {
+        let mut s = Schedule::new("exchange", 2, 1);
+        s.ranks[0].sendrecv("x", 1, Tag(1), Loc::Private(1), 1, Tag(1), Loc::Private(1));
+        s.ranks[1].sendrecv("x", 0, Tag(1), Loc::Private(1), 0, Tag(1), Loc::Private(1));
+        assert!(check(&s, Semantics::Rendezvous).is_clean());
+    }
+
+    #[test]
+    fn orphaned_send_is_reported_with_rank_and_step() {
+        let mut s = Schedule::new("orphan", 2, 0);
+        s.ranks[0].send("x", 1, Tag(1), Loc::Private(8));
+        let r = check(&s, Semantics::Eager);
+        assert!(r.errors.iter().any(|e| e.contains("matching")), "{:?}", r.errors);
+        assert!(
+            r.errors.iter().any(|e| e.contains("orphaned send") && e.contains("rank 0 step 0")),
+            "{:?}",
+            r.errors
+        );
+    }
+
+    #[test]
+    fn unmatched_recv_names_the_terminated_peer() {
+        let mut s = Schedule::new("norecv", 2, 0);
+        s.ranks[1].recv("x", 0, Tag(1), Loc::Private(8));
+        let r = check(&s, Semantics::Eager);
+        assert!(
+            r.errors.iter().any(|e| e.contains("deadlock") && e.contains("terminated")),
+            "{:?}",
+            r.errors
+        );
+    }
+
+    #[test]
+    fn overflow_and_invalid_send_are_reported() {
+        let mut s = Schedule::new("bad", 2, 4);
+        // rank 0 sends 4 bytes it never received
+        s.ranks[0].send("x", 1, Tag(1), Loc::Buf(0..4));
+        s.ranks[1].recv("x", 0, Tag(1), Loc::Buf(0..2)); // capacity 2 < 4
+        let r = check(&s, Semantics::Eager);
+        assert!(r.errors.iter().any(|e| e.contains("invalid-send") && e.contains("rank 0 step 0")));
+        assert!(r.errors.iter().any(|e| e.contains("overflow") && e.contains("rank 1 step 0")));
+    }
+
+    #[test]
+    fn missing_coverage_is_reported() {
+        let mut s = Schedule::new("gap", 2, 8);
+        s.ranks[0].mark_valid(0..8);
+        s.ranks[0].send("x", 1, Tag(1), Loc::Buf(0..4));
+        s.ranks[1].recv("x", 0, Tag(1), Loc::Buf(0..4));
+        s.ranks[1].require(0..8); // bytes 4..8 never arrive
+        let r = check(&s, Semantics::Eager);
+        assert!(
+            r.errors.iter().any(|e| e.contains("coverage") && e.contains("rank 1")),
+            "{:?}",
+            r.errors
+        );
+    }
+
+    #[test]
+    fn redundant_rewrites_are_counted_not_flagged() {
+        let mut s = Schedule::new("dup", 2, 4);
+        s.ranks[0].mark_valid(0..4);
+        s.ranks[1].mark_valid(0..4); // receiver already has the bytes
+        s.ranks[0].send("x", 1, Tag(1), Loc::Buf(0..4));
+        s.ranks[1].recv("x", 0, Tag(1), Loc::Buf(0..4));
+        let r = check(&s, Semantics::Eager);
+        assert!(r.is_clean(), "{:?}", r.errors);
+        assert_eq!(r.redundant_msgs, 1);
+        assert_eq!(r.redundant_bytes, 4);
+    }
+
+    #[test]
+    fn fifo_per_channel_is_respected() {
+        // Two messages on one channel; capacities distinguish them: if the
+        // second overtook the first, the 8B message would overflow cap 4.
+        let mut s = Schedule::new("fifo", 2, 0);
+        s.ranks[0].send("x", 1, Tag(1), Loc::Private(4));
+        s.ranks[0].send("x", 1, Tag(1), Loc::Private(8));
+        s.ranks[1].recv("x", 0, Tag(1), Loc::Private(4));
+        s.ranks[1].recv("x", 0, Tag(1), Loc::Private(8));
+        for sem in Semantics::ALL {
+            assert!(check(&s, sem).is_clean());
+        }
+    }
+}

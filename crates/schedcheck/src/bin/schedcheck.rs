@@ -1,0 +1,192 @@
+//! Static schedule sweep: every registered collective × P ∈ {2..32} ×
+//! payload sizes × roots × both send semantics, plus the paper's ring
+//! theorems and a mutation drill proving the checker has teeth.
+//!
+//! Exits nonzero (with per-instance diagnostics) on any failure. `--quick`
+//! restricts the world-size grid for local smoke runs; CI runs the full
+//! sweep.
+
+use bcast_core::bcast::{bcast_schedule, bcast_tuned_schedule_with};
+use bcast_core::{all_sources, step_flag, traffic, Algorithm};
+use schedcheck::{check, Semantics};
+
+/// One failed instance, for the final report.
+struct Failure {
+    what: String,
+    details: Vec<String>,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ps: Vec<usize> = if quick { vec![2, 3, 4, 8, 13, 16, 32] } else { (2..=32).collect() };
+
+    let mut checks = 0usize;
+    let mut failures: Vec<Failure> = Vec::new();
+
+    // ---- Phase 1: full matrix of static analyses -------------------------
+    let sources = all_sources();
+    for &p in &ps {
+        for src in &sources {
+            if !src.supports(p) {
+                continue;
+            }
+            for nbytes in [1usize, 17, 64 * p] {
+                for root in [0, p - 1] {
+                    let sched = src.schedule(p, nbytes, root);
+                    for sem in Semantics::ALL {
+                        checks += 1;
+                        let rep = check(&sched, sem);
+                        if !rep.is_clean() {
+                            failures.push(Failure {
+                                what: format!(
+                                    "{} p={p} nbytes={nbytes} root={root} {sem}",
+                                    src.name()
+                                ),
+                                details: rep.errors.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!("phase 1: {checks} schedule instances analysed");
+
+    // ---- Phase 2: traffic reconciliation against closed forms ------------
+    let algorithms = [
+        Algorithm::Binomial,
+        Algorithm::ScatterRdAllgather,
+        Algorithm::ScatterRingNative,
+        Algorithm::ScatterRingTuned,
+    ];
+    let mut reconciled = 0usize;
+    for &p in &ps {
+        for alg in algorithms {
+            if alg == Algorithm::ScatterRdAllgather && !mpsim::is_pof2(p) {
+                continue;
+            }
+            for nbytes in [1usize, 17, 64 * p] {
+                let sched = bcast_schedule(alg, p, nbytes, 0);
+                let (msgs, bytes) = sched.planned_volume();
+                let model = traffic::bcast_volume(alg, nbytes, p);
+                reconciled += 1;
+                if (msgs, bytes) != (model.msgs, model.bytes) {
+                    failures.push(Failure {
+                        what: format!("traffic {} p={p} nbytes={nbytes}", alg.schedule_name()),
+                        details: vec![format!(
+                            "IR volume ({msgs} msgs, {bytes} B) != closed form ({} msgs, {} B)",
+                            model.msgs, model.bytes
+                        )],
+                    });
+                }
+            }
+        }
+    }
+    println!("phase 2: {reconciled} IR volumes reconciled with traffic closed forms");
+
+    // ---- Phase 3: the paper's theorems as redundancy checks --------------
+    // The tuned ring must be redundancy-free at every size; the native
+    // ring's redundancy must equal the closed-form saving — byte-exact for
+    // every size, message-exact when every scatter chunk is non-empty.
+    let mut theorems = 0usize;
+    for &p in &ps {
+        for nbytes in [1usize, 17, 64 * p] {
+            let tuned = check(
+                &bcast_schedule(Algorithm::ScatterRingTuned, p, nbytes, 0),
+                Semantics::Rendezvous,
+            );
+            let native = check(
+                &bcast_schedule(Algorithm::ScatterRingNative, p, nbytes, 0),
+                Semantics::Rendezvous,
+            );
+            theorems += 1;
+            if tuned.redundant_msgs != 0 || tuned.redundant_bytes != 0 {
+                failures.push(Failure {
+                    what: format!("theorem tuned-redundancy-free p={p} nbytes={nbytes}"),
+                    details: vec![format!(
+                        "tuned ring has {} redundant msgs / {} redundant bytes",
+                        tuned.redundant_msgs, tuned.redundant_bytes
+                    )],
+                });
+            }
+            let byte_saving =
+                traffic::native_ring_bytes(nbytes, p) - traffic::tuned_ring_bytes(nbytes, p);
+            if native.redundant_bytes != byte_saving {
+                failures.push(Failure {
+                    what: format!("theorem byte-saving p={p} nbytes={nbytes}"),
+                    details: vec![format!(
+                        "native redundant bytes {} != closed-form saving {byte_saving}",
+                        native.redundant_bytes
+                    )],
+                });
+            }
+            // The message-count theorem needs every scatter chunk non-empty
+            // (zero-length ring hops carry no payload, so the executor does
+            // not count them as redundant *messages*); the byte theorem
+            // above is exact at every size.
+            let layout = bcast_core::ChunkLayout::new(nbytes, p);
+            let all_chunks_nonempty = (0..p).all(|r| layout.count(r) > 0);
+            if all_chunks_nonempty && native.redundant_msgs != traffic::ring_saving_msgs(p) {
+                failures.push(Failure {
+                    what: format!("theorem msg-saving p={p} nbytes={nbytes}"),
+                    details: vec![format!(
+                        "native redundant msgs {} != ring_saving_msgs {}",
+                        native.redundant_msgs,
+                        traffic::ring_saving_msgs(p)
+                    )],
+                });
+            }
+        }
+    }
+    println!("phase 3: {theorems} sizes checked against the paper's saving theorems");
+
+    // ---- Phase 4: mutation drill -----------------------------------------
+    // Seed an off-by-one into the tuned ring's (step, flag) pruning and
+    // demand the analyses reject every mutant with a rank-level diagnostic.
+    // A checker that passes mutants is vacuous.
+    let mut mutants = 0usize;
+    for &p in &ps {
+        if !quick && ![3, 4, 8, 9, 16, 32].contains(&p) {
+            continue;
+        }
+        let nbytes = 64 * p;
+        let correct = bcast_schedule(Algorithm::ScatterRingTuned, p, nbytes, 0);
+        for delta in [1usize, 2] {
+            let sched = bcast_tuned_schedule_with(p, nbytes, 0, |rel, size| {
+                let (step, flag) = step_flag(rel, size);
+                (step + delta, flag)
+            });
+            if sched == correct {
+                // Degenerate pruning window (e.g. p=2): the off-by-one
+                // changes nothing, so there is no mutant to catch.
+                continue;
+            }
+            mutants += 1;
+            let caught = Semantics::ALL.iter().any(|&sem| {
+                let rep = check(&sched, sem);
+                !rep.is_clean() && rep.errors.iter().any(|e| e.contains("rank"))
+            });
+            if !caught {
+                failures.push(Failure {
+                    what: format!("mutation step_flag+{delta} p={p}"),
+                    details: vec!["off-by-one in (step, flag) pruning was NOT detected".into()],
+                });
+            }
+        }
+    }
+    println!("phase 4: {mutants} seeded step_flag mutants drilled");
+
+    // ---- Verdict ---------------------------------------------------------
+    if failures.is_empty() {
+        println!("schedcheck: all clear ({} world sizes, {} sources)", ps.len(), sources.len());
+        return;
+    }
+    eprintln!("schedcheck: {} failure(s)", failures.len());
+    for f in &failures {
+        eprintln!("FAIL {}", f.what);
+        for d in &f.details {
+            eprintln!("     {d}");
+        }
+    }
+    std::process::exit(1);
+}

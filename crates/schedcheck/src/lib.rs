@@ -1,0 +1,47 @@
+//! # schedcheck — static verification of communication schedules and sync protocols
+//!
+//! Two verifiers over the repo's collective algorithms, both fully offline:
+//!
+//! 1. **Schedule checking** ([`analysis`]): every collective in `bcast-core`
+//!    emits its symbolic communication schedule ([`bcast_core::Schedule`])
+//!    via [`bcast_core::ScheduleSource`] — per rank, per step: peer,
+//!    direction, tag, byte ranges — without moving any data. An abstract
+//!    executor then proves, per `(algorithm, P, nbytes, root, semantics)`
+//!    instance: send/recv matching (no orphaned or duplicated operations),
+//!    deadlock freedom under both *eager* and *rendezvous* send semantics,
+//!    buffer coverage (every required byte written), and traffic totals that
+//!    reconcile with the closed-form models in `bcast_core::traffic` and
+//!    with instrumented runtime counters. Redundant transfers — writes to
+//!    already-valid bytes, the very quantity the paper's tuned ring
+//!    eliminates — are *counted*, so the saving is checked as a theorem
+//!    rather than observed in a benchmark.
+//! 2. **Interleaving exploration** ([`explore`], [`models`]): a
+//!    zero-dependency loom-style exhaustive model checker for the
+//!    `fast-sync` mutex/condvar and the sharded-mailbox notify-skip
+//!    protocol. The models call the deployed decision functions in
+//!    [`mpsim::proto`], and mutation knobs (skip the registration recheck,
+//!    break the notify-skip predicate) prove the explorer actually finds
+//!    the lost-wakeup deadlocks those code paths exist to prevent.
+//!
+//! [`mutate`] provides schedule-mutation helpers used by negative tests to
+//! prove the analyses reject corrupted schedules with actionable, rank/step
+//! diagnostics. [`lint`] hosts the repo-convention lint rules behind the
+//! `repolint` binary.
+//!
+//! The `schedcheck` binary sweeps P ∈ {2..32} × every registered algorithm ×
+//! both semantics in CI; `repolint` enforces source-level conventions
+//! (no raw `std::sync` primitives outside the sync layer, no
+//! `.unwrap()`/`.expect()` in library code, `// SAFETY:` on every `unsafe`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod explore;
+pub mod lint;
+pub mod models;
+pub mod mutate;
+
+pub use analysis::{check, Report, Semantics};
+pub use explore::{explore, Model, Stats, Step, DEFAULT_MAX_STATES};

@@ -1,0 +1,231 @@
+//! Repo-convention lint rules behind the `repolint` binary.
+//!
+//! Three rules, each a pure function over `(relative path, file content)` so
+//! they are unit-testable without touching the filesystem:
+//!
+//! 1. [`check_raw_sync`] — raw `std::sync::{Mutex, Condvar, RwLock}` are
+//!    allowed only inside `mpsim`'s sync layer (`crates/mpsim/src/sync*.rs`).
+//!    Everything else must go through `mpsim::sync` so the `fast-sync`
+//!    feature swap (and the schedcheck interleaving models) actually cover
+//!    the primitives in use. Atomics and `Arc` are fine.
+//! 2. [`check_panics`] — no `.unwrap(` / `.expect(` in *library* code of
+//!    `core`, `mpsim`, `netsim` (bins, tests and `#[cfg(test)]` modules are
+//!    exempt). Fallible paths must return [`mpsim::CommError`]-style errors.
+//!    Deliberate exceptions carry a `// lint: allow(panic)` marker on the
+//!    same or the preceding line.
+//! 3. [`check_unsafe`] — every `unsafe` block or fn in any crate must have a
+//!    `// SAFETY:` comment within the three preceding lines (or on the same
+//!    line). Crates without any unsafe carry `#![forbid(unsafe_code)]`.
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintHit {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Short rule name (`raw-sync`, `panic`, `unsafe-safety`).
+    pub rule: &'static str,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for LintHit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.excerpt)
+    }
+}
+
+/// Strip a line comment (`// …`) for matching purposes. Good enough for this
+/// codebase: no string literal here contains `//` followed by lint triggers.
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn hit(path: &str, idx: usize, rule: &'static str, line: &str) -> LintHit {
+    LintHit { file: path.to_string(), line: idx + 1, rule, excerpt: line.trim().to_string() }
+}
+
+/// Files allowed to name raw `std::sync` lock primitives: the sync layer
+/// itself (facade + both backends).
+fn is_sync_layer(path: &str) -> bool {
+    path.starts_with("crates/mpsim/src/sync") && path.ends_with(".rs")
+}
+
+/// Rule 1: raw `std::sync::{Mutex, Condvar, RwLock}` outside the sync layer.
+pub fn check_raw_sync(path: &str, content: &str) -> Vec<LintHit> {
+    if is_sync_layer(path) {
+        return Vec::new();
+    }
+    let mut hits = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let code = code_part(line);
+        // Match `std::sync::Mutex` directly and `std::sync::{…Mutex…}`
+        // import groups; `std::sync::atomic` / `Arc` / `mpsc` are fine.
+        for (start, _) in code.match_indices("std::sync::") {
+            let rest = &code[start + "std::sync::".len()..];
+            let names = ["Mutex", "Condvar", "RwLock"];
+            let direct = names.iter().any(|n| rest.starts_with(n));
+            let grouped = rest.starts_with('{') && {
+                let group = &rest[..rest.find('}').map_or(rest.len(), |e| e + 1)];
+                names.iter().any(|n| group.contains(n))
+            };
+            if direct || grouped {
+                hits.push(hit(path, i, "raw-sync", line));
+                break;
+            }
+        }
+    }
+    hits
+}
+
+/// Whether `path` is library (non-bin, non-test) source of a panic-free crate.
+fn is_panic_free_lib(path: &str) -> bool {
+    let lib = ["crates/core/src/", "crates/mpsim/src/", "crates/netsim/src/"];
+    lib.iter().any(|p| path.starts_with(p))
+        && path.ends_with(".rs")
+        && !path.contains("/bin/")
+        && !path.contains("/tests/")
+}
+
+/// Rule 2: `.unwrap(` / `.expect(` in library code. Content at or after the
+/// first `#[cfg(test)]` is exempt (test modules sit at the bottom of each
+/// file in this repo); `.unwrap_or(…)`, `.unwrap_or_else(…)`, `.expect_err(`
+/// do not match. A `// lint: allow(panic)` marker on the same or the
+/// preceding line waives a deliberate, documented panic.
+pub fn check_panics(path: &str, content: &str) -> Vec<LintHit> {
+    if !is_panic_free_lib(path) {
+        return Vec::new();
+    }
+    let body = match content.find("#[cfg(test)]") {
+        Some(i) => &content[..i],
+        None => content,
+    };
+    let mut hits = Vec::new();
+    let mut prev: &str = "";
+    for (i, line) in body.lines().enumerate() {
+        let code = code_part(line);
+        let bare = |needle: &str, follow_ok: &[&str]| {
+            code.match_indices(needle).any(|(at, _)| {
+                let rest = &code[at + needle.len()..];
+                !follow_ok.iter().any(|f| rest.starts_with(f))
+            })
+        };
+        // `.unwrap(` must not be `.unwrap_or(` etc. — the needle includes
+        // the open paren, so suffixed method names never match.
+        let panics = bare(".unwrap(", &[]) || bare(".expect(", &[]);
+        let allowed = line.contains("lint: allow(panic)") || prev.contains("lint: allow(panic)");
+        if panics && !allowed {
+            hits.push(hit(path, i, "panic", line));
+        }
+        prev = line;
+    }
+    hits
+}
+
+/// Rule 3: every `unsafe` keyword (block or fn) needs a `// SAFETY:` comment
+/// on the same line or within the three preceding lines. The forbid
+/// attribute's `unsafe_code` token does not match (the keyword must be
+/// followed by whitespace or `{`).
+pub fn check_unsafe(path: &str, content: &str) -> Vec<LintHit> {
+    if !path.starts_with("crates/") || !path.ends_with(".rs") {
+        return Vec::new();
+    }
+    let lines: Vec<&str> = content.lines().collect();
+    let mut hits = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let code = code_part(line);
+        let is_unsafe = code.match_indices("unsafe").any(|(at, _)| {
+            let boundary_before =
+                at == 0 || !code[..at].ends_with(|c: char| c.is_alphanumeric() || c == '_');
+            let rest = &code[at + "unsafe".len()..];
+            let keyword =
+                rest.starts_with(char::is_whitespace) || rest.starts_with('{') || rest.is_empty();
+            boundary_before && keyword
+        });
+        if !is_unsafe {
+            continue;
+        }
+        let lo = i.saturating_sub(3);
+        let documented =
+            line.contains("SAFETY:") || lines[lo..i].iter().any(|l| l.contains("SAFETY:"));
+        if !documented {
+            hits.push(hit(path, i, "unsafe-safety", line));
+        }
+    }
+    hits
+}
+
+/// Run every rule over one file.
+pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
+    // The linter's own source holds the trigger patterns as string
+    // literals and test fixtures; the rules are line-based, not parsed,
+    // so the one file that *defines* them is exempt.
+    if path == "crates/schedcheck/src/lint.rs" {
+        return Vec::new();
+    }
+    let mut hits = check_raw_sync(path, content);
+    hits.extend(check_panics(path, content));
+    hits.extend(check_unsafe(path, content));
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_sync_flagged_outside_sync_layer() {
+        let src = "use std::sync::Mutex;\n";
+        assert_eq!(check_raw_sync("crates/core/src/x.rs", src).len(), 1);
+        assert!(check_raw_sync("crates/mpsim/src/sync_fast.rs", src).is_empty());
+        assert!(check_raw_sync("crates/mpsim/src/sync_std.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_sync_matches_import_groups_only_for_locks() {
+        let grouped = "use std::sync::{Arc, Mutex};\n";
+        assert_eq!(check_raw_sync("crates/core/src/x.rs", grouped).len(), 1);
+        let fine = "use std::sync::Arc;\nuse std::sync::atomic::AtomicU32;\n\
+                    use std::sync::{Arc, mpsc};\n";
+        assert!(check_raw_sync("crates/core/src/x.rs", fine).is_empty());
+        let comment = "// std::sync::Mutex is banned here\n";
+        assert!(check_raw_sync("crates/core/src/x.rs", comment).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_scoping() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(check_panics("crates/core/src/x.rs", src).len(), 1);
+        assert!(check_panics("crates/bench/src/x.rs", src).is_empty());
+        assert!(check_panics("crates/core/src/bin/tool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_exemptions() {
+        let fallback = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.expect_err(\"e\"); }\n";
+        assert!(check_panics("crates/core/src/x.rs", fallback).is_empty());
+        let in_tests = "fn f() {}\n#[cfg(test)]\nmod t { fn g() { x.unwrap(); } }\n";
+        assert!(check_panics("crates/core/src/x.rs", in_tests).is_empty());
+        let marked = "// lint: allow(panic) — length checked above\nlet v = x.unwrap();\n";
+        assert!(check_panics("crates/core/src/x.rs", marked).is_empty());
+        let same_line = "let v = x.unwrap(); // lint: allow(panic) — infallible\n";
+        assert!(check_panics("crates/core/src/x.rs", same_line).is_empty());
+        let expect = "fn f() { x.expect(\"boom\"); }\n";
+        assert_eq!(check_panics("crates/core/src/x.rs", expect).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_rule() {
+        let bare = "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        assert_eq!(check_unsafe("crates/mpsim/src/x.rs", bare).len(), 1);
+        let documented = "// SAFETY: guarded by the bounds check above.\n\
+                          fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        assert!(check_unsafe("crates/mpsim/src/x.rs", documented).is_empty());
+        let forbid = "#![forbid(unsafe_code)]\n";
+        assert!(check_unsafe("crates/core/src/lib.rs", forbid).is_empty());
+    }
+}

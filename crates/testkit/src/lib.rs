@@ -20,6 +20,7 @@
 //!
 //! Everything here is plain `std`; the crate must keep compiling offline.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -32,6 +32,18 @@ done
 
 run cargo bench --workspace --offline -- --help >/dev/null
 run cargo fmt --all --check
+
+# Static verification: the schedule sweep proves every collective's symbolic
+# schedule deadlock-free, fully covering, and traffic-exact (and drills
+# seeded mutants); repolint enforces source conventions (sync facade,
+# panic-free libraries, documented unsafe).
+if [[ $quick -eq 1 ]]; then
+  run cargo run -q -p schedcheck --bin schedcheck --offline -- --quick
+else
+  run cargo run -q -p schedcheck --bin schedcheck --offline
+fi
+run cargo run -q -p schedcheck --bin repolint --offline
+
 if [[ $quick -eq 0 ]]; then
   run scripts/bench_compare.sh
 fi

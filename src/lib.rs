@@ -19,6 +19,7 @@
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results of every figure.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use bcast_core as core;

@@ -38,8 +38,15 @@ fn tuned_ring_broadcast_allocates_nothing_in_steady_state() {
         // Rank 0 reads the shared counters after the last barrier; the other
         // ranks' sends for the final round are all delivered by then.
         if comm.rank() == 0 {
+            // The pool only allocates when instantaneous in-flight demand
+            // tops every previous peak, and that peak is scheduling-dependent
+            // (send-only ranks of the tuned ring run ahead a variable number
+            // of steps), so a later round may legitimately exceed the warm-up
+            // peak by a buffer or two. Allow at most one extra buffer per
+            // rank; a recycling regression would instead add one miss per
+            // message, ~51 per round.
             assert!(
-                end.misses <= warm.misses,
+                end.misses <= warm.misses + P as u64,
                 "steady state allocated: {} misses after warm-up, {} at end",
                 warm.misses,
                 end.misses
