@@ -63,6 +63,7 @@ pub mod chunks;
 pub mod dtype;
 pub mod pipeline;
 pub mod rd_allgather;
+pub mod recovery;
 pub mod reduce;
 pub mod ring;
 pub mod ring_tuned;
@@ -79,6 +80,10 @@ pub use bcast::{
     Thresholds,
 };
 pub use chunks::ChunkLayout;
+pub use recovery::{
+    degraded_bcast_schedule, self_healing_bcast, self_healing_bcast_with, EpochComm, GuardedComm,
+    Healed, RecoveryConfig,
+};
 pub use ring_tuned::{step_flag, Endpoint};
 pub use scatter::owned_chunks;
 pub use schedule::{all_sources, Loc, RankSchedule, SchedOp, Schedule, ScheduleSource};

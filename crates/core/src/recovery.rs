@@ -1,0 +1,664 @@
+//! Self-healing broadcast: timeout-guarded execution, failure agreement,
+//! and degraded-ring recovery on the surviving ranks.
+//!
+//! The tuned scatter–ring broadcast, like every static-schedule collective,
+//! hangs if a participant dies mid-ring: its neighbors wait forever on a
+//! `sendrecv` that can never match. This module turns that hang into
+//! detection and recovery:
+//!
+//! 1. **Guarded attempt** — the broadcast runs over a [`GuardedComm`], which
+//!    bounds every receive with a deadline, and an [`EpochComm`], which
+//!    shifts all tags by the attempt number so retries can never match stale
+//!    messages from a failed attempt. A dead neighbor surfaces as
+//!    [`CommError::Timeout`] or — when the backend's exited-rank detector
+//!    fires first — [`CommError::PeerFailed`].
+//! 2. **Agreement round** — every surviving rank sends a one-byte report
+//!    (a "payload complete" bit) to every other current member, then
+//!    collects the peers' reports under a generous heartbeat deadline.
+//!    Membership is decided by this exchange *alone*: an attempt-time
+//!    timeout is only a stall symptom (a live neighbor of a dead rank
+//!    stalls too), but a rank that misses the heartbeat deadline — sized to
+//!    cover the worst-case attempt cascade — is dead under the fail-stop
+//!    assumption (below), so every live rank computes the same verdict.
+//! 3. **Degraded rerun** — the survivors form a [`SubComm`], the
+//!    binomial-scatter `(step, flag)` schedule is re-derived over the
+//!    shrunken world (simply by running the same algorithm at the smaller
+//!    size), and the broadcast reruns from the lowest-ranked survivor that
+//!    holds the full payload. The loop repeats until an attempt completes
+//!    on every survivor or the epoch budget is exhausted.
+//!
+//! The matching *symbolic* schedule of a degraded rerun is available from
+//! [`degraded_bcast_schedule`], so `schedcheck` verifies the regenerated
+//! ring exactly like the full-world one.
+//!
+//! ## Fault model
+//!
+//! Recovery assumes **fail-stop** processes and a **reliable timeout
+//! oracle**: a rank that fails stays silent forever (no Byzantine
+//! behavior), and the heartbeat deadline is long enough that a live rank is
+//! never mistaken for dead. A false suspicion does not corrupt data — the
+//! falsely-excluded rank returns [`CommError::PeerFailed`] naming itself
+//! and the survivors still complete — but it does shrink the world more
+//! than necessary. Message *loss* between live ranks is the job of
+//! [`mpsim::ReliableComm`], stacked underneath; this module only handles
+//! silence.
+//!
+//! Like everything timeout-based, [`GuardedComm`] decomposes `sendrecv`
+//! into an eager send followed by a bounded receive, so the transport must
+//! deliver eagerly (the threaded backend always does; simulated worlds
+//! need a model with a high `eager_threshold`).
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use mpsim::{CommError, Communicator, Rank, Result, SubComm, Tag};
+
+use crate::bcast::{bcast_with, Algorithm};
+use crate::schedule::Schedule;
+
+/// Tag offset between broadcast attempts: epoch `e` runs its collective on
+/// `Tag(t + e · EPOCH_TAG_STRIDE)`, so a retry can never match a stale
+/// message from an earlier, partially-failed attempt.
+pub const EPOCH_TAG_STRIDE: u32 = 0x100;
+
+/// Base tag of the per-epoch agreement (heartbeat/report) round.
+pub const AGREEMENT_TAG_BASE: u32 = 0xA100;
+
+/// Tuning knobs for [`self_healing_bcast`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Deadline for each receive inside a broadcast attempt — the failure
+    /// detector's resolution. Too short and slow ranks are suspected; too
+    /// long and recovery is sluggish.
+    pub step_timeout: Duration,
+    /// Maximum number of attempts (first try included) before giving up.
+    pub max_epochs: u32,
+    /// Set when the communicator's own `sendrecv` already returns
+    /// [`CommError::Timeout`] on its own (e.g. [`mpsim::ReliableComm`],
+    /// whose ack pump has a bounded attempt budget). [`GuardedComm`] then
+    /// delegates `sendrecv` instead of decomposing it — decomposition
+    /// would wedge the reliability layer's pump, because a blocking
+    /// acknowledged send cannot drain incoming data frames.
+    pub bounded_sendrecv: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            step_timeout: Duration::from_millis(250),
+            max_epochs: 4,
+            bounded_sendrecv: false,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// The agreement-round deadline. A live member may still be stuck in
+    /// the failed attempt when its peers start collecting heartbeats: with
+    /// every receive bounded by one step-timeout, a stalled attempt drains
+    /// in at most `scatter depth + ring steps` timeouts (< 2·members), so
+    /// twice that plus slack guarantees a live rank is never mistaken for
+    /// dead.
+    fn heartbeat_timeout(&self, members: usize) -> Duration {
+        self.step_timeout.saturating_mul(2 * members as u32 + 6)
+    }
+}
+
+/// What a successful [`self_healing_bcast`] reports back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Healed {
+    /// The ranks (world numbering) on which the broadcast completed.
+    pub survivors: Vec<Rank>,
+    /// Number of attempts performed; `1` means no fault was observed.
+    pub epochs: u32,
+}
+
+/// Tag-shifting decorator: runs an unmodified collective in a private tag
+/// epoch so concurrent or stale traffic on other epochs cannot interfere.
+pub struct EpochComm<'a, C: Communicator + ?Sized> {
+    inner: &'a C,
+    shift: u32,
+}
+
+impl<'a, C: Communicator + ?Sized> EpochComm<'a, C> {
+    /// Wrap `inner`, shifting every tag by `epoch · EPOCH_TAG_STRIDE`.
+    pub fn new(inner: &'a C, epoch: u32) -> Self {
+        EpochComm { inner, shift: epoch.wrapping_mul(EPOCH_TAG_STRIDE) }
+    }
+
+    fn shifted(&self, tag: Tag) -> Tag {
+        Tag(tag.0.wrapping_add(self.shift))
+    }
+}
+
+impl<C: Communicator + ?Sized> Communicator for EpochComm<'_, C> {
+    fn rank(&self) -> Rank {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
+        self.inner.send(buf, dest, self.shifted(tag))
+    }
+
+    fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
+        self.inner.recv(buf, src, self.shifted(tag))
+    }
+
+    fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<usize> {
+        self.inner.recv_timeout(buf, src, self.shifted(tag), timeout)
+    }
+
+    fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dest: Rank,
+        sendtag: Tag,
+        recvbuf: &mut [u8],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        self.inner.sendrecv(
+            sendbuf,
+            dest,
+            self.shifted(sendtag),
+            recvbuf,
+            src,
+            self.shifted(recvtag),
+        )
+    }
+
+    fn barrier(&self) -> Result<()> {
+        self.inner.barrier()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.now_ns()
+    }
+
+    fn check_rank(&self, rank: Rank) -> Result<()> {
+        self.inner.check_rank(rank)
+    }
+}
+
+/// Deadline-guarding decorator: every blocking receive becomes a
+/// [`Communicator::recv_timeout`] with a fixed step deadline, so a silent
+/// peer surfaces as [`CommError::Timeout`] instead of a hang.
+///
+/// `sendrecv` is decomposed into an eager send followed by a bounded
+/// receive — correct only on eagerly-delivering transports (see the
+/// [module docs](self)).
+pub struct GuardedComm<'a, C: Communicator + ?Sized> {
+    inner: &'a C,
+    step_timeout: Duration,
+    passthrough_sendrecv: bool,
+}
+
+impl<'a, C: Communicator + ?Sized> GuardedComm<'a, C> {
+    /// Wrap `inner` with a per-receive deadline of `step_timeout`.
+    pub fn new(inner: &'a C, step_timeout: Duration) -> Self {
+        GuardedComm { inner, step_timeout, passthrough_sendrecv: false }
+    }
+
+    /// Delegate `sendrecv` to the inner communicator instead of
+    /// decomposing it. Only sound when the inner `sendrecv` cannot block
+    /// forever on a dead peer — see
+    /// [`RecoveryConfig::bounded_sendrecv`].
+    pub fn passthrough_sendrecv(mut self) -> Self {
+        self.passthrough_sendrecv = true;
+        self
+    }
+}
+
+impl<C: Communicator + ?Sized> Communicator for GuardedComm<'_, C> {
+    fn rank(&self) -> Rank {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
+        self.inner.send(buf, dest, tag)
+    }
+
+    fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
+        self.inner.recv_timeout(buf, src, tag, self.step_timeout)
+    }
+
+    fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<usize> {
+        self.inner.recv_timeout(buf, src, tag, timeout.min(self.step_timeout))
+    }
+
+    fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dest: Rank,
+        sendtag: Tag,
+        recvbuf: &mut [u8],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        if self.passthrough_sendrecv {
+            return self.inner.sendrecv(sendbuf, dest, sendtag, recvbuf, src, recvtag);
+        }
+        self.inner.send(sendbuf, dest, sendtag)?;
+        self.inner.recv_timeout(recvbuf, src, recvtag, self.step_timeout)
+    }
+
+    fn barrier(&self) -> Result<()> {
+        self.inner.barrier()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.now_ns()
+    }
+
+    fn check_rank(&self, rank: Rank) -> Result<()> {
+        self.inner.check_rank(rank)
+    }
+}
+
+/// One rank's state after an attempt, exchanged in the agreement round.
+struct Report {
+    has_full: bool,
+}
+
+impl Report {
+    fn encode(&self) -> [u8; 1] {
+        [u8::from(self.has_full)]
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Report> {
+        match bytes {
+            [b @ (0 | 1)] => Some(Report { has_full: *b == 1 }),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of one agreement round, identical on every live member.
+struct Verdict {
+    dead: BTreeSet<Rank>,
+    have_full: BTreeSet<Rank>,
+}
+
+/// Exchange reports among `members` (world numbering) and fold them into a
+/// common verdict: a member is dead iff it fails this exchange. The
+/// fail-stop assumption plus the backends' definitive exited-rank
+/// detection make the outcome identical on every live member — a dead rank
+/// fails *everyone's* heartbeat, and the deadline is sized so a live rank
+/// never does.
+///
+/// The exchange visits peers in ascending member order, which is
+/// deadlock-free for pairwise exchanges: the globally smallest unfinished
+/// pair is always each other's current partner (each rank only moves past
+/// a peer once that pair is done), so someone always progresses. With
+/// [`RecoveryConfig::bounded_sendrecv`] the roundtrip uses the reliable
+/// layer's self-bounding `sendrecv` pump — an eager send followed by a
+/// bounded receive would wedge an acknowledged-send layer, whose `send`
+/// cannot complete until the peer actively receives.
+fn agree(
+    comm: &(impl Communicator + ?Sized),
+    members: &[Rank],
+    epoch: u32,
+    mine: &Report,
+    cfg: &RecoveryConfig,
+) -> Result<Verdict> {
+    let me = comm.rank();
+    let tag = Tag(AGREEMENT_TAG_BASE.wrapping_add(epoch.wrapping_mul(EPOCH_TAG_STRIDE)));
+    let encoded = mine.encode();
+    let hb = cfg.heartbeat_timeout(members.len());
+
+    let mut dead = BTreeSet::new();
+    let mut have_full = BTreeSet::new();
+    if mine.has_full {
+        have_full.insert(me);
+    }
+
+    let mut frame = [0u8; 1];
+    for &peer in members {
+        if peer == me {
+            continue;
+        }
+        let outcome = if cfg.bounded_sendrecv {
+            comm.sendrecv(&encoded, peer, tag, &mut frame, peer, tag)
+        } else {
+            // Plain backends deliver sends eagerly, so pushing the report
+            // first and then waiting (bounded) on the peer's cannot block.
+            match comm.send(&encoded, peer, tag) {
+                Ok(()) => comm.recv_timeout(&mut frame, peer, tag, hb),
+                Err(e) => Err(e),
+            }
+        };
+        match outcome {
+            Ok(n) => match Report::decode(&frame[..n]) {
+                Some(theirs) => {
+                    if theirs.has_full {
+                        have_full.insert(peer);
+                    }
+                }
+                // A garbled report from a live rank violates the fault
+                // model; treating the rank as failed keeps us moving.
+                None => {
+                    dead.insert(peer);
+                }
+            },
+            Err(CommError::Timeout { .. }) | Err(CommError::PeerFailed { .. }) => {
+                dead.insert(peer);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    have_full.retain(|r| !dead.contains(r));
+    Ok(Verdict { dead, have_full })
+}
+
+/// Fault-tolerant broadcast of `buf` from `root` using the paper's tuned
+/// scatter–ring algorithm, healing around fail-stop crashes.
+///
+/// On success every *surviving* rank holds the full payload and receives
+/// the same [`Healed`] summary. A rank that was declared dead — including
+/// one whose own communicator fail-stopped — gets
+/// `Err(CommError::PeerFailed)` naming itself. If the payload becomes
+/// unrecoverable (no survivor holds a complete copy) every survivor gets
+/// `Err(CommError::PeerFailed)` naming the root.
+pub fn self_healing_bcast(
+    comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+    cfg: &RecoveryConfig,
+) -> Result<Healed> {
+    self_healing_bcast_with(comm, buf, root, Algorithm::ScatterRingTuned, cfg)
+}
+
+/// [`self_healing_bcast`] with an explicit algorithm for the attempts.
+pub fn self_healing_bcast_with(
+    comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+    algorithm: Algorithm,
+    cfg: &RecoveryConfig,
+) -> Result<Healed> {
+    comm.check_rank(root)?;
+    assert!(cfg.max_epochs >= 1, "at least one attempt is required");
+    let me = comm.rank();
+    let mut members: Vec<Rank> = (0..comm.size()).collect();
+    let mut current_root = root;
+    let mut has_full = me == root;
+
+    for epoch in 0..cfg.max_epochs {
+        // lint: allow(panic) — `me` is always kept in `members` (checked below)
+        let sub = SubComm::new(comm, members.clone()).expect("member list lost this rank");
+        let local_root =
+            sub.from_parent(current_root).unwrap_or_else(|| unreachable!("root is a member"));
+        let epoch_comm = EpochComm::new(&sub, epoch);
+        let mut guarded = GuardedComm::new(&epoch_comm, cfg.step_timeout);
+        if cfg.bounded_sendrecv {
+            guarded = guarded.passthrough_sendrecv();
+        }
+
+        let attempt = bcast_with(&guarded, buf, local_root, algorithm);
+        match attempt {
+            Ok(()) => has_full = true,
+            // A timeout or peer failure only marks the attempt as failed;
+            // *who* is dead is decided by the agreement round — a neighbor
+            // of the actual crash stalls and times out too, and must not
+            // be mistaken for the crash itself.
+            Err(CommError::Timeout { peer }) | Err(CommError::PeerFailed { rank: peer }) => {
+                // Errors from the sub-world stack name *local* ranks.
+                if members[peer] == me {
+                    // Our own communicator fail-stopped: we are the crash.
+                    return Err(CommError::PeerFailed { rank: me });
+                }
+            }
+            Err(e) => return Err(e),
+        }
+
+        let verdict = agree(comm, &members, epoch, &Report { has_full }, cfg)?;
+
+        if verdict.dead.is_empty() && verdict.have_full.len() == members.len() {
+            return Ok(Healed { survivors: members, epochs: epoch + 1 });
+        }
+
+        members.retain(|r| !verdict.dead.contains(r));
+        match verdict.have_full.iter().next() {
+            Some(&lowest) => {
+                // The original root keeps the role while alive; otherwise
+                // the lowest-ranked survivor with a full copy takes over.
+                current_root =
+                    if verdict.have_full.contains(&current_root) { current_root } else { lowest };
+            }
+            // No complete copy survived anywhere: unrecoverable.
+            None => return Err(CommError::PeerFailed { rank: root }),
+        }
+        if members.len() == verdict.have_full.len()
+            && members.iter().all(|r| verdict.have_full.contains(r))
+        {
+            // Everyone still standing already holds the payload.
+            return Ok(Healed { survivors: members, epochs: epoch + 1 });
+        }
+    }
+    Err(CommError::Timeout { peer: current_root })
+}
+
+/// The symbolic schedule of a degraded rerun: the chosen algorithm emitted
+/// for the shrunken world of `members`, spliced back into full-world rank
+/// numbering. `root` is the *world* rank of the rerun's root and must be a
+/// member. `schedcheck` analyses (matching, deadlock-freedom, coverage of
+/// the survivors) apply to it unchanged.
+pub fn degraded_bcast_schedule(
+    algorithm: Algorithm,
+    p: usize,
+    nbytes: usize,
+    members: &[Rank],
+    root: Rank,
+) -> Schedule {
+    assert!(!members.is_empty(), "at least one survivor is required");
+    assert!(members.iter().all(|&m| m < p), "member outside the world");
+    let local_root = members
+        .iter()
+        .position(|&m| m == root)
+        .unwrap_or_else(|| panic!("root {root} is not among the survivors {members:?}"));
+    let sub = crate::bcast::bcast_schedule(algorithm, members.len(), nbytes, local_root);
+    let mut s = Schedule::new(format!("{}@degraded", sub.name), p, nbytes);
+    s.ranks[root].mark_valid(0..nbytes);
+    for &m in members {
+        s.ranks[m].require(0..nbytes);
+    }
+    s.splice(&sub, members);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::ThreadWorld;
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 37 + 11) as u8).collect()
+    }
+
+    fn quick_cfg() -> RecoveryConfig {
+        RecoveryConfig { step_timeout: Duration::from_millis(100), ..RecoveryConfig::default() }
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        assert!(Report::decode(&Report { has_full: true }.encode()).unwrap().has_full);
+        assert!(!Report::decode(&Report { has_full: false }.encode()).unwrap().has_full);
+        assert!(Report::decode(&[2]).is_none(), "garbled byte rejected");
+        assert!(Report::decode(&[]).is_none(), "empty frame rejected");
+        assert!(Report::decode(&[0, 0]).is_none(), "overlong frame rejected");
+    }
+
+    #[test]
+    fn fault_free_bcast_completes_in_one_epoch() {
+        let n = 777;
+        let src = pattern(n);
+        let out = ThreadWorld::run(8, |comm| {
+            let mut buf = if comm.rank() == 2 { src.clone() } else { vec![0u8; n] };
+            let healed = self_healing_bcast(comm, &mut buf, 2, &quick_cfg()).unwrap();
+            assert_eq!(buf, src);
+            healed
+        });
+        for h in &out.results {
+            assert_eq!(h.epochs, 1);
+            assert_eq!(h.survivors, (0..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn survivors_heal_around_a_rank_that_exits_mid_world() {
+        // Acceptance shape: P = 8, one non-root rank dies before taking part
+        // in the ring; the 7 survivors must all end up with the payload.
+        let n = 4096;
+        let src = pattern(n);
+        let out = ThreadWorld::run(8, |comm| {
+            if comm.rank() == 5 {
+                // fail-stop: return without ever participating
+                return None;
+            }
+            let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; n] };
+            let healed = self_healing_bcast(comm, &mut buf, 0, &quick_cfg()).unwrap();
+            assert_eq!(buf, src);
+            Some(healed)
+        });
+        let expected: Vec<Rank> = vec![0, 1, 2, 3, 4, 6, 7];
+        for (rank, h) in out.results.iter().enumerate() {
+            if rank == 5 {
+                assert!(h.is_none());
+            } else {
+                let h = h.as_ref().unwrap();
+                assert_eq!(h.survivors, expected, "rank {rank} saw a different survivor set");
+                assert!(h.epochs >= 2, "a healing epoch must have run");
+            }
+        }
+    }
+
+    #[test]
+    fn non_root_crash_with_non_default_root_recovers() {
+        let n = 1000;
+        let src = pattern(n);
+        let out = ThreadWorld::run(8, |comm| {
+            if comm.rank() == 1 {
+                return None;
+            }
+            let mut buf = if comm.rank() == 3 { src.clone() } else { vec![0u8; n] };
+            let healed = self_healing_bcast(comm, &mut buf, 3, &quick_cfg()).unwrap();
+            assert_eq!(buf, src);
+            Some(healed)
+        });
+        let expected: Vec<Rank> = vec![0, 2, 3, 4, 5, 6, 7];
+        for (rank, h) in out.results.iter().enumerate() {
+            if rank != 1 {
+                assert_eq!(h.as_ref().unwrap().survivors, expected, "rank {rank} disagreed");
+            }
+        }
+    }
+
+    #[test]
+    fn root_crash_is_unrecoverable_when_no_one_has_the_payload() {
+        let n = 512;
+        let out = ThreadWorld::run(4, |comm| {
+            if comm.rank() == 0 {
+                return None; // the root dies before sending anything
+            }
+            let mut buf = vec![0u8; n];
+            self_healing_bcast(comm, &mut buf, 0, &quick_cfg()).err()
+        });
+        for (rank, e) in out.results.iter().enumerate() {
+            if rank != 0 {
+                assert_eq!(
+                    *e,
+                    Some(CommError::PeerFailed { rank: 0 }),
+                    "rank {rank} must learn the payload is lost"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_comm_shifts_tags() {
+        let out = ThreadWorld::run(2, |comm| {
+            let e0 = EpochComm::new(comm, 0);
+            let e1 = EpochComm::new(comm, 1);
+            if comm.rank() == 0 {
+                e1.send(&[1], 1, Tag(5)).unwrap();
+                e0.send(&[0], 1, Tag(5)).unwrap();
+                0
+            } else {
+                let mut buf = [0u8; 1];
+                // epoch-0 recv must match the epoch-0 send, not the earlier
+                // epoch-1 message on the same user tag
+                e0.recv(&mut buf, 0, Tag(5)).unwrap();
+                buf[0]
+            }
+        });
+        assert_eq!(out.results[1], 0);
+    }
+
+    #[test]
+    fn guarded_comm_times_out_on_silence() {
+        let out = ThreadWorld::run(2, |comm| {
+            let g = GuardedComm::new(comm, Duration::from_millis(30));
+            if comm.rank() == 0 {
+                let mut buf = [0u8; 1];
+                let err = g.recv(&mut buf, 1, Tag(0)).unwrap_err();
+                comm.send(&[0], 1, Tag(9)).unwrap();
+                Some(err)
+            } else {
+                let mut buf = [0u8; 1];
+                comm.recv(&mut buf, 0, Tag(9)).unwrap();
+                None
+            }
+        });
+        assert_eq!(out.results[0], Some(CommError::Timeout { peer: 1 }));
+    }
+
+    #[test]
+    fn degraded_schedule_covers_survivors_only() {
+        let members = [0usize, 1, 3, 4, 5, 6, 7]; // rank 2 died
+        let s = degraded_bcast_schedule(Algorithm::ScatterRingTuned, 8, 800, &members, 0);
+        assert_eq!(s.p, 8);
+        assert!(s.ranks[2].ops.is_empty(), "dead rank must have no ops");
+        assert!(s.ranks[2].required.is_empty(), "dead rank owes nothing");
+        for &m in &members {
+            assert_eq!(s.ranks[m].required, vec![0..800]);
+            assert!(!s.ranks[m].ops.is_empty());
+        }
+        // all peers referenced must be survivors
+        for rs in &s.ranks {
+            for op in &rs.ops {
+                if let Some(send) = &op.send {
+                    assert!(members.contains(&send.peer));
+                }
+                if let Some(recv) = &op.recv {
+                    assert!(members.contains(&recv.peer));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not among the survivors")]
+    fn degraded_schedule_rejects_dead_root() {
+        let _ = degraded_bcast_schedule(Algorithm::ScatterRingTuned, 8, 64, &[0, 1, 3], 2);
+    }
+}

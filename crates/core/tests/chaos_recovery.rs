@@ -1,0 +1,191 @@
+//! Chaos sweep: the self-healing broadcast under seeded drop, duplication,
+//! and crash faults, at P ∈ {4, 8, 10, 16}, plus the cross-executor
+//! acceptance scenario (one non-root rank crashing mid-ring at P = 8 must
+//! leave all 7 survivors with the payload, identically on the threaded
+//! runtime and the simulator).
+//!
+//! Every fault decision comes from a [`FaultPlan`] seeded via
+//! `TESTKIT_SEED` (or a fixed default), so a failing run replays
+//! bit-identically: same seed → same drops, same crash point, same
+//! survivor set.
+//!
+//! Stacking follows the fault model's division of labor: message loss and
+//! duplication between *live* ranks are masked by [`ReliableComm`]
+//! (`bounded_sendrecv` tells the recovery layer the pump self-bounds);
+//! crashes are healed by `self_healing_bcast` directly over the faulty
+//! communicator.
+
+use std::time::Duration;
+
+use bcast_core::{self_healing_bcast, RecoveryConfig};
+use mpsim::{CommError, Communicator, Rank, ReliableComm, RetryConfig, ThreadWorld};
+use netsim::{FaultPlan, FaultyComm, LinkFaults, NetworkModel, Placement, SimWorld};
+
+const PS: [usize; 4] = [4, 8, 10, 16];
+
+/// `TESTKIT_SEED` (decimal or 0x-hex) when set, a fixed default otherwise.
+fn battery_seed() -> u64 {
+    let Ok(raw) = std::env::var("TESTKIT_SEED") else {
+        return 0xC4A0_5BAD_5EED_0002;
+    };
+    let raw = raw.trim();
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    parsed.unwrap_or_else(|_| panic!("TESTKIT_SEED={raw:?} is not a decimal or 0x-hex u64"))
+}
+
+fn pattern(n: usize, salt: u64) -> Vec<u8> {
+    (0..n).map(|i| (i as u64).wrapping_mul(131).wrapping_add(salt) as u8).collect()
+}
+
+fn quick_retry() -> RetryConfig {
+    RetryConfig {
+        base_timeout: Duration::from_millis(5),
+        max_timeout: Duration::from_millis(40),
+        max_attempts: 12,
+    }
+}
+
+fn recovery_cfg(bounded_sendrecv: bool) -> RecoveryConfig {
+    RecoveryConfig { step_timeout: Duration::from_millis(60), max_epochs: 4, bounded_sendrecv }
+}
+
+/// Drop / duplication sweep: `ReliableComm` over `FaultyComm`, healed
+/// broadcast on top. No rank dies, so every rank must finish in agreement
+/// with the full world as survivors and the exact payload.
+fn lossy_sweep(faults: LinkFaults, seed_salt: u64) {
+    let seed = battery_seed() ^ seed_salt;
+    for p in PS {
+        let n = 64 * p + 13;
+        let src = pattern(n, seed);
+        let root = p / 3;
+        let out = ThreadWorld::run(p, {
+            let src = src.clone();
+            move |comm| {
+                let plan = FaultPlan::new(seed ^ p as u64).with_default(faults);
+                let faulty = FaultyComm::new(comm, plan);
+                let rel = ReliableComm::with_config(&faulty, quick_retry());
+                let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; n] };
+                let healed = self_healing_bcast(&rel, &mut buf, root, &recovery_cfg(true))
+                    .unwrap_or_else(|e| panic!("p={p} rank {}: {e:?}", comm.rank()));
+                assert_eq!(buf, src, "p={p} rank {} got a corrupted payload", comm.rank());
+                healed
+            }
+        });
+        for h in &out.results {
+            assert_eq!(h.survivors, (0..p).collect::<Vec<_>>(), "p={p}: no rank died here");
+        }
+    }
+}
+
+#[test]
+fn dropped_messages_are_masked_at_every_world_size() {
+    lossy_sweep(LinkFaults { drop_ppm: 100_000, dup_ppm: 0, delay_ppm: 0 }, 0xD809);
+}
+
+#[test]
+fn duplicated_messages_are_masked_at_every_world_size() {
+    lossy_sweep(LinkFaults { drop_ppm: 0, dup_ppm: 400_000, delay_ppm: 0 }, 0xD0B1);
+}
+
+#[test]
+fn mixed_link_chaos_is_masked_at_every_world_size() {
+    lossy_sweep(LinkFaults { drop_ppm: 60_000, dup_ppm: 150_000, delay_ppm: 150_000 }, 0x3417);
+}
+
+/// Crash sweep: a planned fail-stop of one non-root rank mid-broadcast at
+/// every world size. The victim must learn it is the casualty; every
+/// survivor must finish with the payload and the same survivor set.
+#[test]
+fn one_rank_crash_heals_at_every_world_size() {
+    let seed = battery_seed() ^ 0xC8A5;
+    for p in PS {
+        let n = 48 * p + 7;
+        let src = pattern(n, seed);
+        let victim = p - 2; // never the root (root is 0 here)
+        let out = ThreadWorld::run(p, {
+            let src = src.clone();
+            move |comm| {
+                let plan = FaultPlan::new(seed ^ p as u64).with_crash(victim, 5);
+                let faulty = FaultyComm::new(comm, plan);
+                let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; n] };
+                match self_healing_bcast(&faulty, &mut buf, 0, &recovery_cfg(false)) {
+                    Ok(healed) => {
+                        assert_eq!(buf, src, "p={p} rank {} corrupted", comm.rank());
+                        Some(healed.survivors)
+                    }
+                    Err(CommError::PeerFailed { rank }) if rank == comm.rank() => None,
+                    Err(e) => panic!("p={p} rank {}: unexpected {e:?}", comm.rank()),
+                }
+            }
+        });
+        let expected: Vec<Rank> = (0..p).filter(|&r| r != victim).collect();
+        for (rank, res) in out.results.iter().enumerate() {
+            if rank == victim {
+                assert!(res.is_none(), "p={p}: the victim must see itself fail");
+            } else {
+                assert_eq!(
+                    res.as_deref(),
+                    Some(&expected[..]),
+                    "p={p} rank {rank}: wrong survivor set"
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance scenario: P = 8, the same seeded plan crashes one
+/// non-root rank mid-ring on *both* executors. Both worlds must converge
+/// to the identical 7-rank survivor set with correct payloads.
+#[test]
+fn p8_crash_replays_identically_on_both_executors() {
+    const P: usize = 8;
+    const VICTIM: usize = 3;
+    let seed = battery_seed() ^ 0xACCE;
+    let n = 1024;
+    let src = pattern(n, seed);
+    // crash after 5 communicator ops: past the scatter recv, inside the ring
+    let plan = FaultPlan::new(seed).with_crash(VICTIM, 5);
+
+    fn run<C: Communicator>(comm: &C, src: &[u8], plan: &FaultPlan) -> Option<Vec<Rank>> {
+        let faulty = FaultyComm::new(comm, plan.clone());
+        let mut buf = if comm.rank() == 0 { src.to_vec() } else { vec![0u8; src.len()] };
+        match self_healing_bcast(&faulty, &mut buf, 0, &recovery_cfg(false)) {
+            Ok(healed) => {
+                assert_eq!(buf, src, "rank {} corrupted", comm.rank());
+                Some(healed.survivors)
+            }
+            Err(CommError::PeerFailed { rank }) if rank == comm.rank() => None,
+            Err(e) => panic!("rank {}: unexpected {e:?}", comm.rank()),
+        }
+    }
+
+    let threaded = ThreadWorld::run(P, {
+        let src = src.clone();
+        let plan = plan.clone();
+        move |comm| run(comm, &src, &plan)
+    });
+
+    let mut model = NetworkModel::uniform(50.0, 1.0);
+    model.eager_threshold = usize::MAX; // GuardedComm decomposition needs eager sends
+    let simulated = SimWorld::run(model, Placement::new(4), P, {
+        let src = src.clone();
+        let plan = plan.clone();
+        move |comm| run(comm, &src, &plan)
+    });
+
+    let expected: Vec<Rank> = (0..P).filter(|&r| r != VICTIM).collect();
+    for (label, results) in [("threaded", &threaded.results), ("simulated", &simulated.results)] {
+        for (rank, res) in results.iter().enumerate() {
+            if rank == VICTIM {
+                assert!(res.is_none(), "{label}: victim must see itself fail");
+            } else {
+                assert_eq!(res.as_deref(), Some(&expected[..]), "{label} rank {rank}");
+            }
+        }
+    }
+    // identical failure + recovery outcome on both executors, same seed
+    assert_eq!(threaded.results, simulated.results);
+}

@@ -16,6 +16,10 @@ struct State {
     generation: u64,
     /// Set on teardown; all waiters return `WorldStopped`.
     stopped: bool,
+    /// First party that left the world for good (exited or crashed). A
+    /// fixed-size barrier can never complete again, so all current and
+    /// future waiters fail with `PeerFailed` instead of blocking forever.
+    departed: Option<usize>,
 }
 
 /// Reusable barrier for a fixed number of participants.
@@ -31,16 +35,20 @@ impl StopBarrier {
         assert!(parties >= 1, "barrier needs at least one party");
         Self {
             parties,
-            state: Mutex::new(State { waiting: 0, generation: 0, stopped: false }),
+            state: Mutex::new(State { waiting: 0, generation: 0, stopped: false, departed: None }),
             cv: Condvar::new(),
         }
     }
 
-    /// Block until all parties arrive (or the barrier is stopped).
+    /// Block until all parties arrive (or the barrier is stopped / a party
+    /// departed for good).
     pub fn wait(&self) -> Result<()> {
         let mut st = self.state.lock();
         if st.stopped {
             return Err(CommError::WorldStopped);
+        }
+        if let Some(rank) = st.departed {
+            return Err(CommError::PeerFailed { rank });
         }
         st.waiting += 1;
         if st.waiting == self.parties {
@@ -50,19 +58,36 @@ impl StopBarrier {
             return Ok(());
         }
         let gen = st.generation;
-        while st.generation == gen && !st.stopped {
+        while st.generation == gen && !st.stopped && st.departed.is_none() {
             self.cv.wait(&mut st);
         }
-        if st.stopped && st.generation == gen {
-            return Err(CommError::WorldStopped);
+        if st.generation != gen {
+            // Released normally; a concurrent stop/departure affects the
+            // *next* generation, not this completed one.
+            return Ok(());
         }
-        Ok(())
+        if let Some(rank) = st.departed {
+            return Err(CommError::PeerFailed { rank });
+        }
+        Err(CommError::WorldStopped)
     }
 
     /// Fail all current and future waiters.
     pub fn stop(&self) {
         let mut st = self.state.lock();
         st.stopped = true;
+        self.cv.notify_all();
+    }
+
+    /// Record that `party` has left the world permanently (exited its rank
+    /// closure or crashed). The barrier can never be completed by the
+    /// remaining parties, so all current and future waiters fail with
+    /// [`CommError::PeerFailed`] naming the first departed party.
+    pub fn depart(&self, party: usize) {
+        let mut st = self.state.lock();
+        if st.departed.is_none() {
+            st.departed = Some(party);
+        }
         self.cv.notify_all();
     }
 }
@@ -118,6 +143,29 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn depart_unblocks_waiters_with_peer_failed() {
+        let b = Arc::new(StopBarrier::new(3));
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || b2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        b.depart(2);
+        assert_eq!(h.join().unwrap().unwrap_err(), CommError::PeerFailed { rank: 2 });
+        // the barrier is permanently failed for later arrivals too
+        assert_eq!(b.wait().unwrap_err(), CommError::PeerFailed { rank: 2 });
+    }
+
+    #[test]
+    fn depart_after_release_does_not_disturb_completed_generation() {
+        let b = Arc::new(StopBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || b2.wait());
+        b.wait().unwrap();
+        h.join().unwrap().unwrap();
+        b.depart(0);
+        assert_eq!(b.wait().unwrap_err(), CommError::PeerFailed { rank: 0 });
     }
 
     #[test]

@@ -37,6 +37,24 @@ pub trait Communicator {
     /// `buf.len()`, like an MPI receive with a larger count).
     fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize>;
 
+    /// Deadline-bounded receive: like [`recv`](Communicator::recv), but
+    /// failing with [`CommError::Timeout`] if no matching message arrives
+    /// within `timeout`.
+    ///
+    /// On expiry nothing has been consumed: a message that arrives later
+    /// stays queued for the next matching receive. Backends that know the
+    /// peer can no longer send (it exited or crashed) may fail early with
+    /// [`CommError::PeerFailed`] instead of waiting out the deadline — this
+    /// is the failure detector the self-healing collectives in `bcast-core`
+    /// are built on.
+    fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> Result<usize>;
+
     /// Combined concurrent send+receive (MPI_Sendrecv).
     ///
     /// The default implementation is only correct for backends whose `send`

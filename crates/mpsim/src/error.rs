@@ -35,6 +35,21 @@ pub enum CommError {
     /// The world was torn down (a peer panicked or exited) while this rank
     /// was blocked in a call.
     WorldStopped,
+    /// A deadline-bounded operation (e.g.
+    /// [`recv_timeout`](crate::Communicator::recv_timeout)) expired before a
+    /// matching message arrived.
+    Timeout {
+        /// The peer the operation was waiting on.
+        peer: Rank,
+    },
+    /// The peer a blocking operation depended on is known to have failed or
+    /// exited the world while the operation could still match it. Unlike
+    /// [`WorldStopped`](CommError::WorldStopped), the rest of the world is
+    /// still running; callers may recover (see `bcast-core`'s `recovery`).
+    PeerFailed {
+        /// The failed rank.
+        rank: Rank,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -52,6 +67,12 @@ impl std::fmt::Display for CommError {
                 "region [{disp}, {disp}+{count}) out of bounds for buffer of length {len}"
             ),
             CommError::WorldStopped => write!(f, "world stopped while operation was in flight"),
+            CommError::Timeout { peer } => {
+                write!(f, "operation timed out waiting on peer rank {peer}")
+            }
+            CommError::PeerFailed { rank } => {
+                write!(f, "peer rank {rank} failed while operation was in flight")
+            }
         }
     }
 }
@@ -78,6 +99,12 @@ mod tests {
         assert!(e.to_string().contains("16"));
 
         assert!(CommError::WorldStopped.to_string().contains("stopped"));
+
+        let e = CommError::Timeout { peer: 3 };
+        assert!(e.to_string().contains("timed out") && e.to_string().contains('3'));
+
+        let e = CommError::PeerFailed { rank: 5 };
+        assert!(e.to_string().contains("failed") && e.to_string().contains('5'));
     }
 
     #[test]

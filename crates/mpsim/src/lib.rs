@@ -61,6 +61,7 @@ pub mod nonblocking;
 pub mod pool;
 pub mod proto;
 pub mod rank;
+pub mod reliable;
 pub mod sub_comm;
 pub mod sync;
 #[cfg_attr(not(feature = "fast-sync"), allow(dead_code))]
@@ -79,5 +80,6 @@ pub use rank::{
     absolute_rank, ceil_div, ceil_log2, ceil_pof2, is_pof2, relative_rank, ring_left, ring_right,
     Rank, Tag,
 };
+pub use reliable::{ReliableComm, RetryConfig};
 pub use sub_comm::SubComm;
 pub use thread_comm::{ThreadComm, ThreadWorld, WorldOutcome};

@@ -133,6 +133,28 @@ impl Mailbox {
 
     /// Block until a message from `src` with `tag` is available and return it.
     pub fn pop_blocking(&self, src: Rank, tag: Tag) -> Result<Envelope> {
+        self.pop_watch(src, tag, None, || None)
+    }
+
+    /// Blocking pop with an optional deadline and a liveness watch.
+    ///
+    /// The `watch` closure is evaluated (under the slot lock) whenever the
+    /// queue for `(src, tag)` is empty; returning `Some(err)` fails the pop
+    /// with that error — the hook [`ThreadComm`](crate::ThreadComm) uses to
+    /// turn "blocked on a rank that already exited" into
+    /// [`CommError::PeerFailed`] instead of a silent hang. Queued messages
+    /// are always drained first, so data sent before a peer exited is still
+    /// delivered.
+    ///
+    /// With `deadline: Some(d)`, the pop fails with [`CommError::Timeout`]
+    /// once `d` passes without a matching message.
+    pub fn pop_watch(
+        &self,
+        src: Rank,
+        tag: Tag,
+        deadline: Option<std::time::Instant>,
+        watch: impl Fn() -> Option<CommError>,
+    ) -> Result<Envelope> {
         let slot = self.slot(src, tag);
         let mut st = slot.state.lock();
         loop {
@@ -144,8 +166,28 @@ impl Mailbox {
             if st.stopped {
                 return Err(CommError::WorldStopped);
             }
+            if let Some(err) = watch() {
+                return Err(err);
+            }
+            let wait_bound = match deadline {
+                Some(d) => {
+                    let now = std::time::Instant::now();
+                    if now >= d {
+                        return Err(CommError::Timeout { peer: src });
+                    }
+                    Some(d - now)
+                }
+                None => None,
+            };
             st.waiters += 1;
-            slot.available.wait(&mut st);
+            match wait_bound {
+                // Expiry is re-checked at the top of the loop, so the
+                // timed-out flag itself is not needed here.
+                Some(remaining) => {
+                    slot.available.wait_timeout(&mut st, remaining);
+                }
+                None => slot.available.wait(&mut st),
+            }
             st.waiters -= 1;
         }
     }
@@ -189,6 +231,23 @@ impl Mailbox {
             st.stopped = true;
             drop(st);
             slot.available.notify_all();
+        }
+    }
+
+    /// Wake every blocked receiver so it re-evaluates its `watch` predicate
+    /// (see [`pop_watch`](Self::pop_watch)). State is unchanged; receivers
+    /// whose condition still holds simply go back to sleep.
+    ///
+    /// Taking each slot lock before notifying orders the caller's preceding
+    /// writes (e.g. an exited-rank flag) before any waiter's re-check.
+    pub fn wake_all(&self) {
+        for slot in &self.slots {
+            let st = slot.state.lock();
+            let wake = st.waiters > 0;
+            drop(st);
+            if wake {
+                slot.available.notify_all();
+            }
         }
     }
 }
@@ -277,6 +336,62 @@ mod tests {
         assert_eq!(h.join().unwrap().unwrap_err(), CommError::WorldStopped);
         // and future receives fail immediately
         assert_eq!(mb.pop_blocking(0, Tag(0)).unwrap_err(), CommError::WorldStopped);
+    }
+
+    #[test]
+    fn pop_deadline_times_out() {
+        let mb = Mailbox::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(20);
+        let err = mb.pop_watch(0, Tag(0), Some(deadline), || None).unwrap_err();
+        assert_eq!(err, CommError::Timeout { peer: 0 });
+    }
+
+    #[test]
+    fn pop_deadline_delivers_message_arriving_in_time() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let h = std::thread::spawn(move || {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            mb2.pop_watch(1, Tag(0), Some(deadline), || None)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        mb.push(1, Tag(0), vec![7].into());
+        assert_eq!(&*h.join().unwrap().unwrap().data, &[7]);
+    }
+
+    #[test]
+    fn pop_watch_fails_when_watch_fires() {
+        let mb = Mailbox::new();
+        let err =
+            mb.pop_watch(4, Tag(0), None, || Some(CommError::PeerFailed { rank: 4 })).unwrap_err();
+        assert_eq!(err, CommError::PeerFailed { rank: 4 });
+    }
+
+    #[test]
+    fn pop_watch_drains_queued_messages_before_consulting_watch() {
+        // A message sent before the peer exited must still be delivered.
+        let mb = Mailbox::new();
+        mb.push(4, Tag(0), vec![1].into());
+        let env =
+            mb.pop_watch(4, Tag(0), None, || Some(CommError::PeerFailed { rank: 4 })).unwrap();
+        assert_eq!(&*env.data, &[1]);
+    }
+
+    #[test]
+    fn wake_all_forces_watch_reevaluation() {
+        use std::sync::atomic::AtomicBool;
+        let mb = Arc::new(Mailbox::new());
+        let gone = Arc::new(AtomicBool::new(false));
+        let (mb2, gone2) = (Arc::clone(&mb), Arc::clone(&gone));
+        let h = std::thread::spawn(move || {
+            mb2.pop_watch(3, Tag(0), None, || {
+                gone2.load(Ordering::SeqCst).then_some(CommError::PeerFailed { rank: 3 })
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        gone.store(true, Ordering::SeqCst);
+        mb.wake_all();
+        assert_eq!(h.join().unwrap().unwrap_err(), CommError::PeerFailed { rank: 3 });
     }
 
     #[test]

@@ -1,0 +1,569 @@
+//! Reliable delivery over a lossy communicator.
+//!
+//! [`ReliableComm`] wraps any [`Communicator`] with a stop-and-wait
+//! acknowledgement protocol: every payload is framed with a per-`(peer,
+//! tag)` sequence number, the receiver acknowledges each frame, and the
+//! sender retransmits on an exponential backoff until acknowledged or out
+//! of attempts. Duplicates (retransmissions whose original did arrive, or
+//! messages duplicated by the link itself) are detected by their stale
+//! sequence number, re-acknowledged, and discarded, so the application sees
+//! exactly-once delivery in order — over a link that drops, duplicates, or
+//! reorders (boundedly) its messages.
+//!
+//! The protocol runs on shifted tags: a user message on `Tag(t)` travels as
+//! a data frame on `Tag(DATA_TAG_BASE + t)` and is acknowledged on
+//! `Tag(ACK_TAG_BASE + t)`, leaving the user's own tag space untouched.
+//! Collectives can therefore run *unmodified* over `ReliableComm`.
+//!
+//! ## Transport requirements
+//!
+//! The wrapped transport must deliver eagerly (sends complete without the
+//! receiver participating): a retransmission only helps if the original
+//! send itself could not block forever. The threaded backend is always
+//! eager; simulated worlds need a model with a sufficiently high
+//! `eager_threshold`. Messages must also arrive *uncorrupted* — the
+//! protocol handles loss, duplication, and bounded reordering, not bit rot.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crate::comm::Communicator;
+use crate::error::{CommError, Result};
+use crate::rank::{Rank, Tag};
+
+/// Base of the tag range carrying acknowledged data frames.
+pub const DATA_TAG_BASE: u32 = 0xE000_0000;
+/// Base of the tag range carrying acknowledgements.
+pub const ACK_TAG_BASE: u32 = 0xF000_0000;
+
+/// Retransmission policy for [`ReliableComm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// How long to wait for an acknowledgement before retransmitting.
+    pub base_timeout: Duration,
+    /// Backoff cap: the per-attempt timeout doubles up to this value.
+    pub max_timeout: Duration,
+    /// Total transmission attempts (first try included) before giving up
+    /// with [`CommError::Timeout`].
+    pub max_attempts: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            base_timeout: Duration::from_millis(25),
+            max_timeout: Duration::from_millis(200),
+            max_attempts: 10,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// The ack-wait timeout for 0-based attempt `i`: doubling, capped.
+    fn timeout_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(16);
+        self.base_timeout.saturating_mul(factor).min(self.max_timeout)
+    }
+}
+
+/// Per-`(peer, tag)` sequence counters.
+#[derive(Default)]
+struct ChannelSeq {
+    /// Next sequence number to assign to an outgoing frame.
+    tx_next: u32,
+    /// Sequence number the receiver expects next.
+    rx_expected: u32,
+    /// Largest payload delivered on this channel so far. A stale
+    /// retransmitted duplicate can be a copy of *any* already-delivered
+    /// frame, so receive-side frame buffers must accommodate the largest
+    /// one regardless of the size of the currently posted receive —
+    /// otherwise the inner transport reports a truncation before
+    /// `accept_frame` can read the sequence number and discard the dup.
+    rx_high_water: usize,
+}
+
+/// Acknowledged, deduplicated delivery over a lossy [`Communicator`].
+///
+/// See the [module docs](self) for the protocol and its requirements.
+pub struct ReliableComm<'a, C: Communicator> {
+    inner: &'a C,
+    cfg: RetryConfig,
+    seq: RefCell<HashMap<(Rank, u32), ChannelSeq>>,
+}
+
+impl<'a, C: Communicator> ReliableComm<'a, C> {
+    /// Wrap `inner` with the default [`RetryConfig`].
+    pub fn new(inner: &'a C) -> Self {
+        Self::with_config(inner, RetryConfig::default())
+    }
+
+    /// Wrap `inner` with an explicit retransmission policy.
+    pub fn with_config(inner: &'a C, cfg: RetryConfig) -> Self {
+        assert!(cfg.max_attempts >= 1, "at least one attempt is required");
+        ReliableComm { inner, cfg, seq: RefCell::new(HashMap::new()) }
+    }
+
+    /// The wrapped communicator.
+    pub fn inner(&self) -> &C {
+        self.inner
+    }
+
+    fn data_tag(tag: Tag) -> Tag {
+        debug_assert!(tag.0 < DATA_TAG_BASE, "user tag collides with the reliable-protocol range");
+        Tag(DATA_TAG_BASE.wrapping_add(tag.0))
+    }
+
+    fn ack_tag(tag: Tag) -> Tag {
+        Tag(ACK_TAG_BASE.wrapping_add(tag.0))
+    }
+
+    fn next_tx_seq(&self, peer: Rank, tag: Tag) -> u32 {
+        let mut seqs = self.seq.borrow_mut();
+        let ch = seqs.entry((peer, tag.0)).or_default();
+        let s = ch.tx_next;
+        ch.tx_next += 1;
+        s
+    }
+
+    fn rx_expected(&self, peer: Rank, tag: Tag) -> u32 {
+        self.seq.borrow_mut().entry((peer, tag.0)).or_default().rx_expected
+    }
+
+    fn advance_rx(&self, peer: Rank, tag: Tag, payload_len: usize) {
+        let mut seqs = self.seq.borrow_mut();
+        let ch = seqs.entry((peer, tag.0)).or_default();
+        ch.rx_expected += 1;
+        ch.rx_high_water = ch.rx_high_water.max(payload_len);
+    }
+
+    /// Frame-buffer size for a receive posting `buf_len` payload bytes:
+    /// large enough for the expected frame *and* for a stale duplicate of
+    /// any frame already delivered on this channel (see
+    /// [`ChannelSeq::rx_high_water`]).
+    fn rx_frame_len(&self, peer: Rank, tag: Tag, buf_len: usize) -> usize {
+        let hw = self.seq.borrow_mut().entry((peer, tag.0)).or_default().rx_high_water;
+        buf_len.max(hw) + 4
+    }
+
+    fn send_ack(&self, peer: Rank, tag: Tag, seq: u32) -> Result<()> {
+        match self.inner.send(&seq.to_le_bytes(), peer, Self::ack_tag(tag)) {
+            // A dead peer cannot retransmit, so the lost ack is moot; the
+            // delivered payload is still good.
+            Err(CommError::PeerFailed { .. }) => Ok(()),
+            r => r,
+        }
+    }
+
+    /// Rewrite an inner-transport truncation on a *framed* channel into the
+    /// user's payload terms: the 4-byte sequence header is protocol, not
+    /// payload, and the frame buffer may be larger than the posted receive
+    /// (it also accommodates stale oversized duplicates), so the reported
+    /// capacity is the caller's, not the frame buffer's.
+    fn unframe_truncation(e: CommError, user_capacity: usize) -> CommError {
+        match e {
+            CommError::Truncation { incoming, .. } if incoming >= 4 => {
+                CommError::Truncation { capacity: user_capacity, incoming: incoming - 4 }
+            }
+            other => other,
+        }
+    }
+
+    /// Handle one received data frame: deliver it if it is the expected
+    /// sequence number, re-acknowledge and discard stale duplicates.
+    /// Returns the payload length when the frame was the expected one.
+    fn accept_frame(
+        &self,
+        frame: &[u8],
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+    ) -> Result<Option<usize>> {
+        if frame.len() < 4 {
+            // Not a protocol frame; nothing sane to do but drop it.
+            return Ok(None);
+        }
+        let mut seq_bytes = [0u8; 4];
+        seq_bytes.copy_from_slice(&frame[..4]);
+        let seq = u32::from_le_bytes(seq_bytes);
+        let expected = self.rx_expected(src, tag);
+        if seq == expected {
+            let payload = &frame[4..];
+            if payload.len() > buf.len() {
+                return Err(CommError::Truncation { capacity: buf.len(), incoming: payload.len() });
+            }
+            self.advance_rx(src, tag, payload.len());
+            self.send_ack(src, tag, seq)?;
+            buf[..payload.len()].copy_from_slice(payload);
+            Ok(Some(payload.len()))
+        } else if seq < expected {
+            // Duplicate of an already-delivered frame: the first ack was
+            // lost (or the link duplicated the frame). Re-ack so the sender
+            // stops retransmitting, and drop the payload.
+            self.send_ack(src, tag, seq)?;
+            Ok(None)
+        } else {
+            // Ahead of the expected sequence. Stop-and-wait never legally
+            // produces this; it can only be a reordered duplicate. Drop it
+            // without acking — the sender will retransmit in order.
+            Ok(None)
+        }
+    }
+
+    /// Wait up to `timeout` for an acknowledgement of `seq` from `peer`.
+    fn await_ack(&self, peer: Rank, tag: Tag, seq: u32, timeout: Duration) -> Result<bool> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(false);
+            }
+            let mut ack = [0u8; 4];
+            match self.inner.recv_timeout(&mut ack, peer, Self::ack_tag(tag), deadline - now) {
+                Ok(4) => {
+                    // Acks for older frames may arrive late; only the ack
+                    // for this frame (or beyond, defensively) completes the
+                    // send.
+                    if u32::from_le_bytes(ack) >= seq {
+                        return Ok(true);
+                    }
+                }
+                Ok(_) => {} // malformed ack: ignore
+                Err(CommError::Timeout { .. }) => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl<C: Communicator> Communicator for ReliableComm<'_, C> {
+    fn rank(&self) -> Rank {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
+        self.check_rank(dest)?;
+        if dest == self.rank() {
+            // Loopback cannot lose messages; skip the protocol.
+            return self.inner.send(buf, dest, tag);
+        }
+        let seq = self.next_tx_seq(dest, tag);
+        let mut frame = Vec::with_capacity(buf.len() + 4);
+        frame.extend_from_slice(&seq.to_le_bytes());
+        frame.extend_from_slice(buf);
+        for attempt in 0..self.cfg.max_attempts {
+            self.inner.send(&frame, dest, Self::data_tag(tag))?;
+            if self.await_ack(dest, tag, seq, self.cfg.timeout_for(attempt))? {
+                return Ok(());
+            }
+        }
+        Err(CommError::Timeout { peer: dest })
+    }
+
+    fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
+        self.check_rank(src)?;
+        if src == self.rank() {
+            return self.inner.recv(buf, src, tag);
+        }
+        let mut frame = vec![0u8; self.rx_frame_len(src, tag, buf.len())];
+        loop {
+            // Blocking is fine: as long as the sender retries, some copy of
+            // the expected frame eventually arrives; if the sender died the
+            // backend's failure detector surfaces `PeerFailed` here.
+            let n = self
+                .inner
+                .recv(&mut frame, src, Self::data_tag(tag))
+                .map_err(|e| Self::unframe_truncation(e, buf.len()))?;
+            if let Some(len) = self.accept_frame(&frame[..n], buf, src, tag)? {
+                return Ok(len);
+            }
+        }
+    }
+
+    fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<usize> {
+        self.check_rank(src)?;
+        if src == self.rank() {
+            return self.inner.recv_timeout(buf, src, tag, timeout);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut frame = vec![0u8; self.rx_frame_len(src, tag, buf.len())];
+        loop {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout { peer: src });
+            }
+            let n = self
+                .inner
+                .recv_timeout(&mut frame, src, Self::data_tag(tag), deadline - now)
+                .map_err(|e| Self::unframe_truncation(e, buf.len()))?;
+            if let Some(len) = self.accept_frame(&frame[..n], buf, src, tag)? {
+                return Ok(len);
+            }
+        }
+    }
+
+    /// Concurrent send+receive over the reliable protocol.
+    ///
+    /// A naive send-then-receive deadlocks when two ranks `sendrecv` each
+    /// other: both would block awaiting an ack that only the other side's
+    /// *receive* produces. This implementation pumps both directions — it
+    /// transmits its frame, then alternates between draining the incoming
+    /// data channel and watching for its ack, retransmitting on backoff.
+    fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dest: Rank,
+        sendtag: Tag,
+        recvbuf: &mut [u8],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        self.check_rank(dest)?;
+        self.check_rank(src)?;
+        if dest == self.rank() && src == self.rank() {
+            return self.inner.sendrecv(sendbuf, dest, sendtag, recvbuf, src, recvtag);
+        }
+
+        let seq = self.next_tx_seq(dest, sendtag);
+        let mut frame = Vec::with_capacity(sendbuf.len() + 4);
+        frame.extend_from_slice(&seq.to_le_bytes());
+        frame.extend_from_slice(sendbuf);
+        let mut in_frame = vec![0u8; self.rx_frame_len(src, recvtag, recvbuf.len())];
+
+        // Short slices keep the pump responsive in both directions.
+        let slice = (self.cfg.base_timeout / 4).max(Duration::from_millis(1));
+        let mut acked = dest == self.rank();
+        let mut received: Option<usize> = None;
+        if dest != self.rank() {
+            self.inner.send(&frame, dest, Self::data_tag(sendtag))?;
+        } else {
+            self.inner.send(sendbuf, dest, sendtag)?;
+        }
+        let mut attempt = 0u32;
+        let mut next_retransmit = std::time::Instant::now() + self.cfg.timeout_for(0);
+        loop {
+            if acked {
+                if let Some(len) = received {
+                    return Ok(len);
+                }
+            }
+            if received.is_none() {
+                if src == self.rank() {
+                    // Loopback receive: the message is already queued.
+                    received = Some(self.inner.recv(recvbuf, src, recvtag)?);
+                } else {
+                    match self
+                        .inner
+                        .recv_timeout(&mut in_frame, src, Self::data_tag(recvtag), slice)
+                        .map_err(|e| Self::unframe_truncation(e, recvbuf.len()))
+                    {
+                        Ok(n) => {
+                            if let Some(len) =
+                                self.accept_frame(&in_frame[..n], recvbuf, src, recvtag)?
+                            {
+                                received = Some(len);
+                            }
+                        }
+                        Err(CommError::Timeout { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            if !acked {
+                match self.inner.recv_timeout(
+                    &mut in_frame[..4],
+                    dest,
+                    Self::ack_tag(sendtag),
+                    slice,
+                ) {
+                    Ok(4) => {
+                        let mut b = [0u8; 4];
+                        b.copy_from_slice(&in_frame[..4]);
+                        if u32::from_le_bytes(b) >= seq {
+                            acked = true;
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(CommError::Timeout { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+                if !acked && std::time::Instant::now() >= next_retransmit {
+                    attempt += 1;
+                    if attempt >= self.cfg.max_attempts {
+                        return Err(CommError::Timeout { peer: dest });
+                    }
+                    self.inner.send(&frame, dest, Self::data_tag(sendtag))?;
+                    next_retransmit = std::time::Instant::now() + self.cfg.timeout_for(attempt);
+                }
+            }
+        }
+    }
+
+    fn barrier(&self) -> Result<()> {
+        self.inner.barrier()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.now_ns()
+    }
+
+    fn check_rank(&self, rank: Rank) -> Result<()> {
+        self.inner.check_rank(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread_comm::ThreadWorld;
+
+    fn fast_cfg() -> RetryConfig {
+        RetryConfig {
+            base_timeout: Duration::from_millis(10),
+            max_timeout: Duration::from_millis(80),
+            max_attempts: 6,
+        }
+    }
+
+    #[test]
+    fn plain_send_recv_roundtrip() {
+        let out = ThreadWorld::run(2, |comm| {
+            let rc = ReliableComm::new(comm);
+            if comm.rank() == 0 {
+                rc.send(&[7u8; 100], 1, Tag(3)).unwrap();
+                0
+            } else {
+                let mut buf = [0u8; 100];
+                let n = rc.recv(&mut buf, 0, Tag(3)).unwrap();
+                assert_eq!(&buf[..n], &[7u8; 100]);
+                n
+            }
+        });
+        assert_eq!(out.results, vec![0, 100]);
+    }
+
+    #[test]
+    fn many_messages_stay_in_order() {
+        let out = ThreadWorld::run(2, |comm| {
+            let rc = ReliableComm::new(comm);
+            if comm.rank() == 0 {
+                for i in 0..50u8 {
+                    rc.send(&[i], 1, Tag(0)).unwrap();
+                }
+                vec![]
+            } else {
+                let mut got = vec![];
+                let mut buf = [0u8; 1];
+                for _ in 0..50 {
+                    rc.recv(&mut buf, 0, Tag(0)).unwrap();
+                    got.push(buf[0]);
+                }
+                got
+            }
+        });
+        assert_eq!(out.results[1], (0..50).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn sendrecv_exchange_does_not_deadlock() {
+        let out = ThreadWorld::run(2, |comm| {
+            let rc = ReliableComm::with_config(comm, fast_cfg());
+            let me = comm.rank();
+            let peer = 1 - me;
+            let sbuf = [me as u8 + 10; 16];
+            let mut rbuf = [0u8; 16];
+            let n = rc.sendrecv(&sbuf, peer, Tag(1), &mut rbuf, peer, Tag(1)).unwrap();
+            (n, rbuf[0])
+        });
+        assert_eq!(out.results[0], (16, 11));
+        assert_eq!(out.results[1], (16, 10));
+    }
+
+    #[test]
+    fn send_times_out_when_never_acked() {
+        let out = ThreadWorld::run(2, |comm| {
+            if comm.rank() == 0 {
+                let rc = ReliableComm::with_config(
+                    comm,
+                    RetryConfig {
+                        base_timeout: Duration::from_millis(5),
+                        max_timeout: Duration::from_millis(10),
+                        max_attempts: 3,
+                    },
+                );
+                // rank 1 never runs the protocol, so no ack ever comes
+                let err = rc.send(&[1u8; 8], 1, Tag(0)).unwrap_err();
+                // release rank 1
+                comm.send(&[0], 1, Tag(9)).unwrap();
+                Some(err)
+            } else {
+                let mut buf = [0u8; 1];
+                comm.recv(&mut buf, 0, Tag(9)).unwrap();
+                None
+            }
+        });
+        assert_eq!(out.results[0], Some(CommError::Timeout { peer: 1 }));
+    }
+
+    #[test]
+    fn loopback_skips_protocol() {
+        let out = ThreadWorld::run(1, |comm| {
+            let rc = ReliableComm::new(comm);
+            rc.send(&[9u8; 4], 0, Tag(0)).unwrap();
+            let mut buf = [0u8; 4];
+            rc.recv(&mut buf, 0, Tag(0)).unwrap();
+            buf[0]
+        });
+        assert_eq!(out.results[0], 9);
+    }
+
+    #[test]
+    fn recv_timeout_passes_through() {
+        let out = ThreadWorld::run(2, |comm| {
+            let rc = ReliableComm::with_config(comm, fast_cfg());
+            if comm.rank() == 0 {
+                let mut buf = [0u8; 4];
+                let err =
+                    rc.recv_timeout(&mut buf, 1, Tag(5), Duration::from_millis(30)).unwrap_err();
+                comm.send(&[0], 1, Tag(9)).unwrap();
+                Some(err)
+            } else {
+                let mut buf = [0u8; 1];
+                comm.recv(&mut buf, 0, Tag(9)).unwrap();
+                None
+            }
+        });
+        assert_eq!(out.results[0], Some(CommError::Timeout { peer: 1 }));
+    }
+
+    #[test]
+    fn truncation_surfaces_like_plain_recv() {
+        let out = ThreadWorld::run(2, |comm| {
+            let rc = ReliableComm::with_config(comm, fast_cfg());
+            if comm.rank() == 0 {
+                // the ack never comes back (receiver errors out first), so
+                // tolerate either outcome of the send
+                let _ = rc.send(&[1u8; 64], 1, Tag(0));
+                let mut buf = [0u8; 1];
+                comm.recv(&mut buf, 1, Tag(9)).unwrap();
+                None
+            } else {
+                let mut small = [0u8; 8];
+                let err = rc.recv(&mut small, 0, Tag(0)).unwrap_err();
+                comm.send(&[0], 0, Tag(9)).unwrap();
+                Some(err)
+            }
+        });
+        assert_eq!(out.results[1], Some(CommError::Truncation { capacity: 8, incoming: 64 }));
+    }
+}

@@ -57,6 +57,23 @@ impl<'a, C: Communicator + ?Sized> SubComm<'a, C> {
         &self.members
     }
 
+    /// Translate failure-detector errors back into local rank space so
+    /// recovery layers stacked on a SubComm reason in their own world.
+    /// Non-member ranks are left untranslated (the caller can only act on
+    /// them through the parent anyway).
+    fn localize_err(&self, e: crate::error::CommError) -> crate::error::CommError {
+        use crate::error::CommError;
+        match e {
+            CommError::Timeout { peer } => {
+                CommError::Timeout { peer: self.from_parent(peer).unwrap_or(peer) }
+            }
+            CommError::PeerFailed { rank } => {
+                CommError::PeerFailed { rank: self.from_parent(rank).unwrap_or(rank) }
+            }
+            other => other,
+        }
+    }
+
     /// Collective split, the moral equivalent of `MPI_Comm_split`: every
     /// rank of the parent must call this with its `(color, key)`; ranks
     /// sharing a color form one sub-communicator, with local ranks ordered
@@ -140,7 +157,20 @@ impl<C: Communicator + ?Sized> Communicator for SubComm<'_, C> {
 
     fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
         self.check_rank(src)?;
-        self.parent.recv(buf, self.members[src], tag)
+        self.parent.recv(buf, self.members[src], tag).map_err(|e| self.localize_err(e))
+    }
+
+    fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> Result<usize> {
+        self.check_rank(src)?;
+        self.parent
+            .recv_timeout(buf, self.members[src], tag, timeout)
+            .map_err(|e| self.localize_err(e))
     }
 
     fn sendrecv(

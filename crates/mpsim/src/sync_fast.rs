@@ -360,6 +360,65 @@ impl Condvar {
         }
     }
 
+    /// Like [`wait`](Self::wait) but with an upper bound on blocking time.
+    ///
+    /// Returns `true` when the wait ended because `timeout` elapsed (the
+    /// lock is re-acquired either way). A notify that races the expiry is
+    /// honored as a normal wakeup: the waiter deregisters itself and then
+    /// re-checks its flag, so a consumed `notify_one` token is never lost.
+    pub fn wait_timeout<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let waiter = current_waiter();
+        self.waiters.with(|v| v.push(Arc::clone(&waiter)));
+        guard.mutex.unlock();
+        let max_spins = wait_spins();
+        let mut spins = 0;
+        let mut yields = 0;
+        let mut timed_out = false;
+        while !waiter.notified.load(Ordering::Acquire) {
+            if spins < max_spins {
+                spins += 1;
+                // Amortize the clock read over the spin window; the deadline
+                // only needs PARK_TIMEOUT-grained accuracy anyway.
+                if spins % 256 == 0 && std::time::Instant::now() >= deadline {
+                    timed_out = true;
+                    break;
+                }
+                std::hint::spin_loop();
+            } else {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    timed_out = true;
+                    break;
+                }
+                if yields < WAIT_YIELDS {
+                    yields += 1;
+                    thread::yield_now();
+                } else {
+                    thread::park_timeout(PARK_TIMEOUT.min(deadline - now));
+                }
+            }
+        }
+        if timed_out {
+            // Deregister so the registry holds no dangling reference (and the
+            // thread-local waiter cache can be reused). A notifier that
+            // already popped our entry set the flag; treat that as a wakeup.
+            self.waiters.with(|v| v.retain(|w| !Arc::ptr_eq(w, &waiter)));
+            if waiter.notified.load(Ordering::Acquire) {
+                timed_out = false;
+            }
+        }
+        if guard
+            .mutex
+            .state
+            .compare_exchange_weak(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            guard.mutex.lock_slow();
+        }
+        timed_out
+    }
+
     /// Wake a single waiting thread.
     pub fn notify_one(&self) {
         if let Some(w) = self.waiters.with(Vec::pop) {
@@ -472,6 +531,62 @@ mod tests {
             cv.notify_all();
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn wait_timeout_expires_without_notify() {
+        let pair = (Mutex::new(false), Condvar::new());
+        let mut g = pair.0.lock();
+        let start = std::time::Instant::now();
+        let timed_out = pair.1.wait_timeout(&mut g, Duration::from_millis(30));
+        assert!(timed_out);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        *g = true; // lock is re-held
+    }
+
+    #[test]
+    fn wait_timeout_returns_early_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            let mut timed_out = false;
+            while !*ready && !timed_out {
+                timed_out = cv.wait_timeout(&mut ready, Duration::from_secs(10));
+            }
+            timed_out
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        assert!(!h.join().unwrap());
+    }
+
+    #[test]
+    fn wait_timeout_deregisters_expired_waiter() {
+        // After an expiry, the registry must not keep a stale entry: a later
+        // notify_one must wake the *new* waiter, not burn its token on the
+        // expired registration.
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        {
+            let mut g = pair.0.lock();
+            assert!(pair.1.wait_timeout(&mut g, Duration::from_millis(5)));
+        }
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            while *g == 0 {
+                cv.wait(&mut g);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = 1;
+        cv.notify_one();
+        h.join().unwrap();
     }
 
     #[test]

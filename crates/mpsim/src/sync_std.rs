@@ -81,6 +81,24 @@ impl Condvar {
         guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
     }
 
+    /// Like [`wait`](Self::wait) but with an upper bound on blocking time.
+    ///
+    /// Returns `true` when the wait ended because `timeout` elapsed (the
+    /// lock is re-acquired either way). Spurious wakeups are possible, so
+    /// callers loop on their predicate *and* recompute the remaining time.
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        // lint: allow(panic) — guard invariant: inner is present outside wait
+        let inner = guard.0.take().expect("guard invariant: present on entry to wait");
+        let (inner, result) =
+            self.0.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        result.timed_out()
+    }
+
     /// Wake a single waiting thread.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -125,6 +143,37 @@ mod tests {
         *m.lock() = true;
         cv.notify_all();
         assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn wait_timeout_expires_without_notify() {
+        let pair = (Mutex::new(false), Condvar::new());
+        let mut g = pair.0.lock();
+        let start = std::time::Instant::now();
+        let timed_out = pair.1.wait_timeout(&mut g, std::time::Duration::from_millis(30));
+        assert!(timed_out);
+        assert!(start.elapsed() >= std::time::Duration::from_millis(20));
+        *g = true; // lock is re-held
+    }
+
+    #[test]
+    fn wait_timeout_returns_early_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            let mut timed_out = false;
+            while !*ready && !timed_out {
+                timed_out = cv.wait_timeout(&mut ready, std::time::Duration::from_secs(10));
+            }
+            timed_out
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        assert!(!h.join().unwrap());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! [`Communicator::sendrecv`] (send then receive) deadlock-free.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -45,6 +46,11 @@ struct Shared {
     barrier: StopBarrier,
     pool: Arc<BufferPool>,
     start: Instant,
+    /// Per-rank "left the world for good" flags, set when a rank's closure
+    /// returns. A peer blocked receiving from an exited rank can never be
+    /// satisfied (messages sent before the exit are still drained first), so
+    /// it is failed with [`CommError::PeerFailed`] instead of hanging.
+    exited: Vec<AtomicBool>,
 }
 
 impl Shared {
@@ -53,6 +59,17 @@ impl Shared {
             mb.stop();
         }
         self.barrier.stop();
+    }
+
+    /// Record a normal (non-panic) departure of `rank` and wake any peer
+    /// blocked on it — in a receive (re-checks the exited flag via its
+    /// watch) or in the world barrier (can never complete again).
+    fn rank_exited(&self, rank: Rank) {
+        self.exited[rank].store(true, Ordering::SeqCst);
+        self.barrier.depart(rank);
+        for mb in &self.mailboxes {
+            mb.wake_all();
+        }
     }
 }
 
@@ -78,6 +95,7 @@ impl ThreadWorld {
             barrier: StopBarrier::new(n),
             pool: BufferPool::new(),
             start: Instant::now(),
+            exited: (0..n).map(|_| AtomicBool::new(false)).collect(),
         });
 
         let mut slots: Vec<Option<(R, TrafficStats)>> = (0..n).map(|_| None).collect();
@@ -98,6 +116,7 @@ impl ThreadWorld {
                     match out {
                         Ok(r) => {
                             *slot = Some((r, comm.counters.take()));
+                            shared.rank_exited(rank);
                             None
                         }
                         Err(payload) => {
@@ -157,6 +176,35 @@ impl ThreadComm {
     pub fn pool_stats(&self) -> PoolStats {
         self.shared.pool.stats()
     }
+
+    /// Common receive path: blocking, deadline-bounded, and exited-peer-aware.
+    ///
+    /// The watch predicate fails the pop with [`CommError::PeerFailed`] when
+    /// `src` has left the world (its closure returned) and its queued
+    /// messages are exhausted — the fast failure-detection path the
+    /// self-healing collectives rely on. Self-receives skip the watch: this
+    /// rank is trivially alive.
+    fn recv_inner(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        deadline: Option<Instant>,
+    ) -> Result<usize> {
+        self.check_rank(src)?;
+        let shared = &self.shared;
+        let me = self.rank;
+        let env = shared.mailboxes[me].pop_watch(src, tag, deadline, || {
+            (src != me && shared.exited[src].load(Ordering::SeqCst))
+                .then_some(CommError::PeerFailed { rank: src })
+        })?;
+        if env.data.len() > buf.len() {
+            return Err(CommError::Truncation { capacity: buf.len(), incoming: env.data.len() });
+        }
+        buf[..env.data.len()].copy_from_slice(&env.data);
+        self.counters.record_recv(src, env.data.len());
+        Ok(env.data.len())
+    }
 }
 
 impl Communicator for ThreadComm {
@@ -179,14 +227,17 @@ impl Communicator for ThreadComm {
     }
 
     fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
-        self.check_rank(src)?;
-        let env = self.shared.mailboxes[self.rank].pop_blocking(src, tag)?;
-        if env.data.len() > buf.len() {
-            return Err(CommError::Truncation { capacity: buf.len(), incoming: env.data.len() });
-        }
-        buf[..env.data.len()].copy_from_slice(&env.data);
-        self.counters.record_recv(src, env.data.len());
-        Ok(env.data.len())
+        self.recv_inner(buf, src, tag, None)
+    }
+
+    fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<usize> {
+        self.recv_inner(buf, src, tag, Some(Instant::now() + timeout))
     }
 
     fn barrier(&self) -> Result<()> {
@@ -386,6 +437,101 @@ mod tests {
             })
         }));
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn recv_timeout_expires_when_no_message_comes() {
+        let out = ThreadWorld::run(2, |comm| {
+            let mut buf = [0u8; 1];
+            if comm.rank() == 0 {
+                let t0 = Instant::now();
+                let err =
+                    comm.recv_timeout(&mut buf, 1, Tag(0), Duration::from_millis(40)).unwrap_err();
+                // rank 1 is still alive (blocked in its own receive below),
+                // so this must be a genuine deadline expiry, not PeerFailed.
+                assert!(t0.elapsed() >= Duration::from_millis(30));
+                comm.send(&[0], 1, Tag(1)).unwrap();
+                err
+            } else {
+                // Stay alive until rank 0's deadline has expired.
+                comm.recv(&mut buf, 0, Tag(1)).unwrap();
+                CommError::Timeout { peer: 99 } // placeholder
+            }
+        });
+        assert_eq!(out.results[0], CommError::Timeout { peer: 1 });
+    }
+
+    #[test]
+    fn recv_timeout_delivers_message_arriving_in_time() {
+        let out = ThreadWorld::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&[42], 1, Tag(7)).unwrap();
+                0
+            } else {
+                let mut buf = [0u8; 1];
+                comm.recv_timeout(&mut buf, 0, Tag(7), Duration::from_secs(10)).unwrap();
+                buf[0]
+            }
+        });
+        assert_eq!(out.results[1], 42);
+    }
+
+    #[test]
+    fn recv_from_exited_rank_fails_instead_of_hanging() {
+        // Regression: a rank that returns early (e.g. an error path bailing
+        // with `?`) used to leave peers blocked in `recv` until process
+        // teardown. It must now surface as PeerFailed.
+        let out = ThreadWorld::run(3, |comm| {
+            if comm.rank() == 1 {
+                return Ok(0); // exits immediately, sends nothing
+            }
+            let mut buf = [0u8; 1];
+            comm.recv(&mut buf, 1, Tag(0)).map(|_| 1)
+        });
+        assert_eq!(out.results[0], Err(CommError::PeerFailed { rank: 1 }));
+        assert_eq!(out.results[2], Err(CommError::PeerFailed { rank: 1 }));
+    }
+
+    #[test]
+    fn messages_sent_before_exit_are_still_delivered() {
+        // Draining semantics: data queued before the peer left must not be
+        // discarded by the failure detector.
+        let out = ThreadWorld::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&[1], 1, Tag(0)).unwrap();
+                comm.send(&[2], 1, Tag(0)).unwrap();
+                vec![]
+            } else {
+                // Let rank 0 exit first so both deliveries race its flag.
+                std::thread::sleep(Duration::from_millis(20));
+                let mut buf = [0u8; 1];
+                let mut got = Vec::new();
+                for _ in 0..2 {
+                    comm.recv(&mut buf, 0, Tag(0)).unwrap();
+                    got.push(buf[0]);
+                }
+                // ...but a third receive can never be satisfied.
+                assert_eq!(
+                    comm.recv(&mut buf, 0, Tag(0)).unwrap_err(),
+                    CommError::PeerFailed { rank: 0 }
+                );
+                got
+            }
+        });
+        assert_eq!(out.results[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn barrier_after_peer_exit_fails_instead_of_hanging() {
+        let out = ThreadWorld::run(3, |comm| {
+            if comm.rank() == 2 {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            comm.barrier()
+        });
+        assert_eq!(out.results[0], Err(CommError::PeerFailed { rank: 2 }));
+        assert_eq!(out.results[1], Err(CommError::PeerFailed { rank: 2 }));
     }
 
     #[test]

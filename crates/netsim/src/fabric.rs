@@ -74,6 +74,22 @@ impl<T> Cell<T> {
             self.cv.wait(&mut st);
         }
     }
+
+    /// Wait until the cell fills or `deadline` (wall clock) passes; `None`
+    /// means the deadline expired with the cell still empty.
+    fn wait_deadline(&self, deadline: std::time::Instant) -> Option<Result<T>> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(v) = st.take() {
+                return Some(v);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cv.wait_timeout(&mut st, deadline - now);
+        }
+    }
 }
 
 /// Handle a rank waits on for a posted send; yields the sender's new virtual time.
@@ -129,6 +145,10 @@ struct State {
     outstanding: HashMap<(Rank, Rank), usize>,
     /// Eager sends stalled on credits, FIFO per directed channel.
     deferred: HashMap<(Rank, Rank), VecDeque<DeferredSend>>,
+    /// Ranks whose closures have returned: they will never post again.
+    /// Operations that can only complete with their participation fail with
+    /// [`CommError::PeerFailed`] instead of blocking forever.
+    done: Vec<bool>,
     stopped: bool,
 }
 
@@ -171,6 +191,7 @@ impl Fabric {
                 backbone: Timeline::new(),
                 outstanding: HashMap::new(),
                 deferred: HashMap::new(),
+                done: vec![false; size],
                 stopped: false,
             }),
         }
@@ -229,6 +250,11 @@ impl Fabric {
         let mut st = self.state.lock();
         if st.stopped {
             return Err(CommError::WorldStopped);
+        }
+        if dst != src && st.done[dst] {
+            // The receiver is gone for good: no one will ever consume this
+            // message, so fail fast instead of blocking a rendezvous forever.
+            return Err(CommError::PeerFailed { rank: dst });
         }
 
         let offer = if self.model.protocol(data.len()) == Protocol::Eager {
@@ -312,9 +338,79 @@ impl Fabric {
                 send,
                 offer,
             ),
-            None => st.chan.entry((src, dst, tag)).or_default().recvs.push_back(offer),
+            None => {
+                // Messages the done rank sent before returning were matched
+                // above; with no send queued, this one can never arrive.
+                if src != dst && st.done[src] {
+                    return Err(CommError::PeerFailed { rank: src });
+                }
+                st.chan.entry((src, dst, tag)).or_default().recvs.push_back(offer);
+            }
         }
         Ok(RecvHandle { cell })
+    }
+
+    /// Record that `rank`'s closure returned: it will never post again.
+    ///
+    /// Pending receives waiting on a message from `rank` and pending
+    /// rendezvous sends blocked on `rank` receiving can no longer complete;
+    /// both fail with [`CommError::PeerFailed`], as do future such posts.
+    /// Messages `rank` sent before returning stay queued and deliverable.
+    pub fn rank_done(&self, rank: Rank) {
+        let mut st = self.state.lock();
+        st.done[rank] = true;
+        let err = CommError::PeerFailed { rank };
+        let State { chan, deferred, .. } = &mut *st;
+        for (&(src, dst, _tag), q) in chan.iter_mut() {
+            if src == rank {
+                for r in q.recvs.drain(..) {
+                    r.done.fill_if_empty(Err(err.clone()));
+                }
+            }
+            if dst == rank {
+                // Eager offers already completed at post time; only blocked
+                // rendezvous senders observe the failure.
+                for s in q.sends.drain(..) {
+                    s.done.fill_if_empty(Err(err.clone()));
+                }
+            }
+        }
+        for (&(_, dst), q) in deferred.iter_mut() {
+            if dst == rank {
+                for d in q.drain(..) {
+                    d.done.fill_if_empty(Err(err.clone()));
+                }
+            }
+        }
+    }
+
+    /// Bounded wait on a posted receive: `None` means nothing completed the
+    /// receive within `timeout` of wall-clock time — the offer may still be
+    /// pending and must be withdrawn with [`cancel_recv`](Self::cancel_recv)
+    /// before the handle is abandoned.
+    pub fn wait_recv_timeout(
+        &self,
+        handle: &RecvHandle,
+        timeout: std::time::Duration,
+    ) -> Option<Result<(PooledBuf, SimTime)>> {
+        handle.cell.wait_deadline(std::time::Instant::now() + timeout)
+    }
+
+    /// Withdraw a pending receive offer after a timed-out wait.
+    ///
+    /// Returns `true` if the offer was still queued (now removed — nothing
+    /// was consumed; a message arriving later stays queued for the next
+    /// matching receive). Returns `false` if a send matched the offer
+    /// concurrently: the caller must [`wait_recv`](Self::wait_recv) for the
+    /// committed result instead of dropping it.
+    pub fn cancel_recv(&self, src: Rank, dst: Rank, tag: Tag, handle: &RecvHandle) -> bool {
+        let mut st = self.state.lock();
+        let Some(q) = st.chan.get_mut(&(src, dst, tag)) else {
+            return false;
+        };
+        let before = q.recvs.len();
+        q.recvs.retain(|r| !Arc::ptr_eq(&r.done, &handle.cell));
+        q.recvs.len() != before
     }
 
     /// Block until a posted send completes; returns the sender's new virtual time.
@@ -810,6 +906,88 @@ mod tests {
         let r2 = f.post_recv(2, 3, Tag(0), 100, 0.0).unwrap();
         assert_eq!(f.wait_recv(&r1).unwrap().1, 100.0);
         assert_eq!(f.wait_recv(&r2).unwrap().1, 100.0);
+    }
+
+    #[test]
+    fn cancel_recv_withdraws_pending_offer() {
+        let f = fabric(NetworkModel::uniform(0.0, 0.0), 4, 4);
+        let r = f.post_recv(0, 1, Tag(0), 10, 0.0).unwrap();
+        assert!(f.wait_recv_timeout(&r, std::time::Duration::from_millis(5)).is_none());
+        assert!(f.cancel_recv(0, 1, Tag(0), &r));
+        // the withdrawn offer must not steal a later send: a fresh receive
+        // still gets the message
+        let _s = f.post_send(0, 1, Tag(0), &[9u8; 4], 0.0).unwrap();
+        let r2 = f.post_recv(0, 1, Tag(0), 10, 0.0).unwrap();
+        assert_eq!(&*f.wait_recv(&r2).unwrap().0, &[9u8; 4]);
+    }
+
+    #[test]
+    fn cancel_recv_after_match_returns_false() {
+        let f = fabric(NetworkModel::uniform(0.0, 0.0), 4, 4);
+        let r = f.post_recv(0, 1, Tag(0), 10, 0.0).unwrap();
+        let _s = f.post_send(0, 1, Tag(0), &[1u8; 4], 0.0).unwrap();
+        assert!(!f.cancel_recv(0, 1, Tag(0), &r));
+        assert_eq!(f.wait_recv(&r).unwrap().0.len(), 4);
+    }
+
+    #[test]
+    fn wait_recv_timeout_returns_result_when_available() {
+        let f = fabric(NetworkModel::uniform(0.0, 0.0), 4, 4);
+        let _s = f.post_send(0, 1, Tag(0), &[1u8; 4], 0.0).unwrap();
+        let r = f.post_recv(0, 1, Tag(0), 10, 0.0).unwrap();
+        let got = f.wait_recv_timeout(&r, std::time::Duration::from_secs(5));
+        assert_eq!(got.unwrap().unwrap().0.len(), 4);
+    }
+
+    #[test]
+    fn rank_done_fails_pending_recv_from_that_rank() {
+        let f = Arc::new(fabric(NetworkModel::uniform(0.0, 0.0), 4, 4));
+        let f2 = Arc::clone(&f);
+        let h = std::thread::spawn(move || {
+            let r = f2.post_recv(2, 1, Tag(0), 10, 0.0).unwrap();
+            f2.wait_recv(&r)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        f.rank_done(2);
+        assert!(matches!(h.join().unwrap(), Err(CommError::PeerFailed { rank: 2 })));
+        // future receives from the done rank fail fast
+        assert!(matches!(
+            f.post_recv(2, 1, Tag(0), 10, 0.0),
+            Err(CommError::PeerFailed { rank: 2 })
+        ));
+    }
+
+    #[test]
+    fn rank_done_fails_rendezvous_send_to_that_rank() {
+        let f = Arc::new(fabric(NetworkModel::uniform(0.0, 1.0), 4, 4));
+        let f2 = Arc::clone(&f);
+        let h = std::thread::spawn(move || {
+            let s = f2.post_send(0, 2, Tag(0), &[0u8; 64], 0.0).unwrap();
+            f2.wait_send(&s)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        f.rank_done(2);
+        assert!(matches!(h.join().unwrap(), Err(CommError::PeerFailed { rank: 2 })));
+        assert!(matches!(
+            f.post_send(0, 2, Tag(0), &[0u8; 64], 0.0),
+            Err(CommError::PeerFailed { rank: 2 })
+        ));
+    }
+
+    #[test]
+    fn messages_queued_before_rank_done_stay_deliverable() {
+        let mut m = NetworkModel::uniform(0.0, 1.0);
+        m.eager_threshold = usize::MAX;
+        let f = fabric(m, 4, 4);
+        let _s = f.post_send(2, 1, Tag(0), &[7u8; 4], 0.0).unwrap();
+        f.rank_done(2);
+        let r = f.post_recv(2, 1, Tag(0), 10, 0.0).unwrap();
+        assert_eq!(&*f.wait_recv(&r).unwrap().0, &[7u8; 4]);
+        // once drained, further receives observe the failure
+        assert!(matches!(
+            f.post_recv(2, 1, Tag(0), 10, 0.0),
+            Err(CommError::PeerFailed { rank: 2 })
+        ));
     }
 
     #[test]

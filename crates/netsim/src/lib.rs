@@ -50,6 +50,7 @@
 
 pub mod events;
 pub mod fabric;
+pub mod fault;
 pub mod model;
 pub mod presets;
 pub mod resources;
@@ -58,6 +59,7 @@ pub mod topology;
 
 pub use events::{summarize, TraceSummary, TransferEvent};
 pub use fabric::{Fabric, SimTime};
+pub use fault::{FaultAction, FaultPlan, FaultyComm, LinkFaults};
 pub use model::{LevelCosts, NetworkModel, Protocol};
 pub use presets::MachinePreset;
 pub use resources::Timeline;

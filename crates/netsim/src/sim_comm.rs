@@ -146,6 +146,13 @@ impl SimWorld {
                                 comm.clock.get(),
                                 comm.breakdown.get(),
                             ));
+                            // This rank will never communicate again: fail
+                            // operations that need it instead of letting
+                            // peers block forever (the failure detector the
+                            // self-healing collectives rely on).
+                            shared.fabric.rank_done(rank);
+                            shared.enter.depart(rank);
+                            shared.leave.depart(rank);
                             None
                         }
                         Err(payload) => {
@@ -342,6 +349,45 @@ impl Communicator for SimComm {
         let ready = from + self.shared.fabric.model().o_recv_ns;
         let h = self.shared.fabric.post_recv(src, self.rank, tag, buf.len(), ready)?;
         let (data, done) = self.shared.fabric.wait_recv(&h)?;
+        buf[..data.len()].copy_from_slice(&data);
+        self.advance_to(done.max(ready));
+        self.charge_comm(from);
+        self.counters.record_recv(src, data.len());
+        Ok(data.len())
+    }
+
+    /// Deadline-bounded receive. The bound is on *wall-clock* waiting — the
+    /// simulator has no virtual-time event for "no message by T", so the
+    /// timeout fires only when no matching send materializes in real time
+    /// (in fault scenarios, because the sender crashed or the fault plan
+    /// dropped the message). On expiry the receive offer is withdrawn,
+    /// nothing is consumed, and this rank's virtual clock advances by the
+    /// timeout so the wait remains visible in the simulated timeline.
+    fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> Result<usize> {
+        self.check_rank(src)?;
+        let from = self.vtime();
+        let ready = from + self.shared.fabric.model().o_recv_ns;
+        let h = self.shared.fabric.post_recv(src, self.rank, tag, buf.len(), ready)?;
+        let result = match self.shared.fabric.wait_recv_timeout(&h, timeout) {
+            Some(r) => r,
+            None => {
+                if self.shared.fabric.cancel_recv(src, self.rank, tag, &h) {
+                    self.advance_to(ready + timeout.as_secs_f64() * 1e9);
+                    self.charge_comm(from);
+                    return Err(CommError::Timeout { peer: src });
+                }
+                // A send matched while we were timing out: the transfer is
+                // committed, so take its result rather than dropping data.
+                self.shared.fabric.wait_recv(&h)
+            }
+        };
+        let (data, done) = result?;
         buf[..data.len()].copy_from_slice(&data);
         self.advance_to(done.max(ready));
         self.charge_comm(from);
@@ -635,6 +681,108 @@ mod tests {
             })
         }));
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn recv_timeout_expires_when_no_message_comes() {
+        let (m, p) = uniform_world(0.0, 0.0, 4, 2);
+        let out = SimWorld::run(m, p, 2, |comm| {
+            let mut buf = [0u8; 8];
+            if comm.rank() == 1 {
+                // nothing is ever sent on Tag(7); rank 0 stays alive blocked
+                // on Tag(1), so this must be a genuine timeout, not PeerFailed
+                let got =
+                    comm.recv_timeout(&mut buf, 0, Tag(7), std::time::Duration::from_millis(50));
+                comm.send(&[1], 0, Tag(1)).unwrap();
+                got.unwrap_err()
+            } else {
+                comm.recv(&mut buf, 1, Tag(1)).unwrap();
+                CommError::WorldStopped // placeholder, unchecked
+            }
+        });
+        assert_eq!(out.results[1], CommError::Timeout { peer: 0 });
+    }
+
+    #[test]
+    fn recv_timeout_delivers_message_arriving_in_time() {
+        let (m, p) = uniform_world(10.0, 1.0, 4, 2);
+        let out = SimWorld::run(m, p, 2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&[42u8; 16], 1, Tag(0)).unwrap();
+                0
+            } else {
+                let mut buf = [0u8; 16];
+                let n = comm
+                    .recv_timeout(&mut buf, 0, Tag(0), std::time::Duration::from_secs(30))
+                    .unwrap();
+                assert_eq!(&buf[..n], &[42u8; 16]);
+                n
+            }
+        });
+        assert_eq!(out.results[1], 16);
+        assert_eq!(out.traffic.total_bytes(), 16);
+    }
+
+    #[test]
+    fn recv_from_done_rank_fails_instead_of_hanging() {
+        let (m, p) = uniform_world(0.0, 0.0, 4, 2);
+        let out = SimWorld::run(m, p, 2, |comm| {
+            if comm.rank() == 1 {
+                return None; // exits immediately without sending
+            }
+            let mut buf = [0u8; 8];
+            Some(comm.recv(&mut buf, 1, Tag(0)).unwrap_err())
+        });
+        assert_eq!(out.results[0], Some(CommError::PeerFailed { rank: 1 }));
+    }
+
+    #[test]
+    fn messages_sent_before_exit_are_still_delivered() {
+        let mut m = NetworkModel::uniform(0.0, 1.0);
+        m.eager_threshold = usize::MAX; // sender completes without the receiver
+        let out = SimWorld::run(m, Placement::new(4), 2, |comm| {
+            if comm.rank() == 1 {
+                comm.send(&[1u8; 4], 0, Tag(0)).unwrap();
+                comm.send(&[2u8; 4], 0, Tag(0)).unwrap();
+                return (0, None);
+            }
+            let mut buf = [0u8; 4];
+            comm.recv(&mut buf, 1, Tag(0)).unwrap();
+            let first = buf[0];
+            comm.recv(&mut buf, 1, Tag(0)).unwrap();
+            assert_eq!((first, buf[0]), (1, 2));
+            // queue drained: the third receive observes the exit
+            ((first + buf[0]) as usize, Some(comm.recv(&mut buf, 1, Tag(0)).unwrap_err()))
+        });
+        assert_eq!(out.results[0], (3, Some(CommError::PeerFailed { rank: 1 })));
+    }
+
+    #[test]
+    fn barrier_after_peer_exit_fails_instead_of_hanging() {
+        let (m, p) = uniform_world(0.0, 0.0, 4, 3);
+        let out = SimWorld::run(m, p, 3, |comm| {
+            if comm.rank() == 2 {
+                return None;
+            }
+            // rank 2 never arrives; without departure tracking this would
+            // deadlock the world
+            Some(comm.barrier().unwrap_err())
+        });
+        assert_eq!(out.results[0], Some(CommError::PeerFailed { rank: 2 }));
+        assert_eq!(out.results[1], Some(CommError::PeerFailed { rank: 2 }));
+        assert_eq!(out.results[2], None);
+    }
+
+    #[test]
+    fn rendezvous_send_to_exited_rank_fails_instead_of_hanging() {
+        let (m, p) = uniform_world(0.0, 1.0, 4, 2); // uniform → rendezvous
+        let out = SimWorld::run(m, p, 2, |comm| {
+            if comm.rank() == 1 {
+                return None;
+            }
+            Some(comm.send(&[0u8; 64], 1, Tag(0)).unwrap_err())
+        });
+        assert_eq!(out.results[0], Some(CommError::PeerFailed { rank: 1 }));
     }
 
     #[test]

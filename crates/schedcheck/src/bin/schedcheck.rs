@@ -1,13 +1,15 @@
 //! Static schedule sweep: every registered collective × P ∈ {2..32} ×
 //! payload sizes × roots × both send semantics, plus the paper's ring
-//! theorems and a mutation drill proving the checker has teeth.
+//! theorems, a mutation drill proving the checker has teeth, and the
+//! degraded schedules the self-healing broadcast re-derives over survivor
+//! subsets after a crash.
 //!
 //! Exits nonzero (with per-instance diagnostics) on any failure. `--quick`
 //! restricts the world-size grid for local smoke runs; CI runs the full
 //! sweep.
 
 use bcast_core::bcast::{bcast_schedule, bcast_tuned_schedule_with};
-use bcast_core::{all_sources, step_flag, traffic, Algorithm};
+use bcast_core::{all_sources, degraded_bcast_schedule, step_flag, traffic, Algorithm};
 use schedcheck::{check, Semantics};
 
 /// One failed instance, for the final report.
@@ -175,6 +177,80 @@ fn main() {
         }
     }
     println!("phase 4: {mutants} seeded step_flag mutants drilled");
+
+    // ---- Phase 5: degraded (post-crash) schedules ------------------------
+    // The self-healing broadcast re-derives its schedule over the survivor
+    // subset after a crash. Prove the regenerated ring is still sound:
+    // matched, deadlock-free under both semantics, full coverage on every
+    // survivor, no ops or obligations on the dead ranks, and traffic equal
+    // to the closed form at the shrunken world size.
+    let degraded_algorithms =
+        [Algorithm::Binomial, Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned];
+    let mut degraded = 0usize;
+    for &p in &ps {
+        if p < 3 {
+            continue; // need at least 2 survivors
+        }
+        // One dead rank (first / middle / last) and, when possible, a pair.
+        let mut casualty_sets: Vec<Vec<usize>> = vec![vec![1 % p], vec![p / 2], vec![p - 1]];
+        if p >= 4 {
+            casualty_sets.push(vec![1, p - 1]);
+        }
+        for dead in &casualty_sets {
+            let members: Vec<usize> = (0..p).filter(|r| !dead.contains(r)).collect();
+            let root = members[0];
+            for alg in degraded_algorithms {
+                for nbytes in [17usize, 64 * p] {
+                    let sched = degraded_bcast_schedule(alg, p, nbytes, &members, root);
+                    let (msgs, bytes) = sched.planned_volume();
+                    let model = traffic::bcast_volume(alg, nbytes, members.len());
+                    if (msgs, bytes) != (model.msgs, model.bytes) {
+                        failures.push(Failure {
+                            what: format!(
+                                "degraded traffic {} p={p} dead={dead:?} nbytes={nbytes}",
+                                alg.schedule_name()
+                            ),
+                            details: vec![format!(
+                                "IR volume ({msgs} msgs, {bytes} B) != closed form at P'={} ({} msgs, {} B)",
+                                members.len(),
+                                model.msgs,
+                                model.bytes
+                            )],
+                        });
+                    }
+                    for sem in Semantics::ALL {
+                        degraded += 1;
+                        let rep = check(&sched, sem);
+                        if !rep.is_clean() {
+                            failures.push(Failure {
+                                what: format!(
+                                    "degraded {} p={p} dead={dead:?} nbytes={nbytes} {sem}",
+                                    alg.schedule_name()
+                                ),
+                                details: rep.errors.clone(),
+                            });
+                        }
+                    }
+                    for &d in dead {
+                        if !sched.ranks[d].ops.is_empty() || !sched.ranks[d].required.is_empty() {
+                            failures.push(Failure {
+                                what: format!(
+                                    "degraded {} p={p} dead={dead:?}",
+                                    alg.schedule_name()
+                                ),
+                                details: vec![format!(
+                                    "dead rank {d} still has {} op(s) / {} requirement(s)",
+                                    sched.ranks[d].ops.len(),
+                                    sched.ranks[d].required.len()
+                                )],
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!("phase 5: {degraded} degraded survivor-subset schedules analysed");
 
     // ---- Verdict ---------------------------------------------------------
     if failures.is_empty() {

@@ -29,9 +29,12 @@
 //! `repolint` binary.
 //!
 //! The `schedcheck` binary sweeps P ∈ {2..32} × every registered algorithm ×
-//! both semantics in CI; `repolint` enforces source-level conventions
-//! (no raw `std::sync` primitives outside the sync layer, no
-//! `.unwrap()`/`.expect()` in library code, `// SAFETY:` on every `unsafe`).
+//! both semantics in CI — including the degraded broadcast schedules that
+//! `bcast_core::recovery` re-derives over survivor subsets after a crash;
+//! `repolint` enforces source-level conventions (no raw `std::sync`
+//! primitives outside the sync layer, no `.unwrap()`/`.expect()` in library
+//! code, `// SAFETY:` on every `unsafe`, no `let _ =` on the `Result` of a
+//! communication call).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

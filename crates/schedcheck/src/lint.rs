@@ -16,6 +16,13 @@
 //! 3. [`check_unsafe`] — every `unsafe` block or fn in any crate must have a
 //!    `// SAFETY:` comment within the three preceding lines (or on the same
 //!    line). Crates without any unsafe carry `#![forbid(unsafe_code)]`.
+//! 4. [`check_ignored_comm_result`] — library code must never discard the
+//!    `Result` of a communication call with `let _ = …send/recv/…`. Since
+//!    the fault layer landed, those results carry timeout and peer-failure
+//!    signals; dropping one silently turns a detectable crash back into a
+//!    hang. Deliberate exceptions (e.g. best-effort acks to a dead peer)
+//!    must match on the error instead, or carry a
+//!    `// lint: allow(ignored-comm-result)` marker.
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -159,6 +166,38 @@ pub fn check_unsafe(path: &str, content: &str) -> Vec<LintHit> {
     hits
 }
 
+/// Rule 4: `let _ = …` discarding the `Result` of a communication call
+/// (`send`, `recv`, `sendrecv`, `recv_timeout`, `barrier`) in library code.
+/// Test modules are exempt (same scoping as [`check_panics`]); a deliberate
+/// best-effort call carries `// lint: allow(ignored-comm-result)` on the
+/// same or the preceding line.
+pub fn check_ignored_comm_result(path: &str, content: &str) -> Vec<LintHit> {
+    if !is_panic_free_lib(path) {
+        return Vec::new();
+    }
+    let body = match content.find("#[cfg(test)]") {
+        Some(i) => &content[..i],
+        None => content,
+    };
+    const CALLS: [&str; 5] = [".send(", ".recv(", ".sendrecv(", ".recv_timeout(", ".barrier("];
+    let mut hits = Vec::new();
+    let mut prev: &str = "";
+    for (i, line) in body.lines().enumerate() {
+        let code = code_part(line);
+        let discarded = code
+            .find("let _ =")
+            .map(|at| &code[at..])
+            .is_some_and(|rest| CALLS.iter().any(|c| rest.contains(c)));
+        let allowed = line.contains("lint: allow(ignored-comm-result)")
+            || prev.contains("lint: allow(ignored-comm-result)");
+        if discarded && !allowed {
+            hits.push(hit(path, i, "ignored-comm-result", line));
+        }
+        prev = line;
+    }
+    hits
+}
+
 /// Run every rule over one file.
 pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     // The linter's own source holds the trigger patterns as string
@@ -170,6 +209,7 @@ pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     let mut hits = check_raw_sync(path, content);
     hits.extend(check_panics(path, content));
     hits.extend(check_unsafe(path, content));
+    hits.extend(check_ignored_comm_result(path, content));
     hits
 }
 
@@ -216,6 +256,26 @@ mod tests {
         assert!(check_panics("crates/core/src/x.rs", same_line).is_empty());
         let expect = "fn f() { x.expect(\"boom\"); }\n";
         assert_eq!(check_panics("crates/core/src/x.rs", expect).len(), 1);
+    }
+
+    #[test]
+    fn ignored_comm_result_rule() {
+        let bad = "fn f() { let _ = comm.send(&buf, 1, Tag(0)); }\n";
+        assert_eq!(check_ignored_comm_result("crates/core/src/x.rs", bad).len(), 1);
+        let bad_recv = "let _ = comm.recv_timeout(&mut b, 0, Tag(1), t);\n";
+        assert_eq!(check_ignored_comm_result("crates/mpsim/src/x.rs", bad_recv).len(), 1);
+        // explicit handling, bench/bin code and test modules are fine
+        let handled = "match comm.send(&buf, 1, Tag(0)) { Ok(()) | Err(_) => {} }\n";
+        assert!(check_ignored_comm_result("crates/core/src/x.rs", handled).is_empty());
+        assert!(check_ignored_comm_result("crates/bench/src/x.rs", bad).is_empty());
+        let in_tests = "fn f() {}\n#[cfg(test)]\nmod t { fn g() { let _ = c.recv(b, 0, t); } }\n";
+        assert!(check_ignored_comm_result("crates/core/src/x.rs", in_tests).is_empty());
+        // unrelated discards don't match
+        let unrelated = "let _ = guard.lock();\n";
+        assert!(check_ignored_comm_result("crates/core/src/x.rs", unrelated).is_empty());
+        let waived = "// lint: allow(ignored-comm-result) — best-effort wakeup\n\
+                      let _ = comm.send(&[], 1, Tag(0));\n";
+        assert!(check_ignored_comm_result("crates/core/src/x.rs", waived).is_empty());
     }
 
     #[test]

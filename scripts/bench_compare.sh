@@ -4,8 +4,12 @@
 # medians are stable even under --quick) and fail if any median regressed
 # by more than the threshold against the checked-in baseline.
 #
-# Usage: scripts/bench_compare.sh [--update-baseline]
+# Usage: scripts/bench_compare.sh [--update-baseline] [--allow-missing]
 #   --update-baseline   re-measure and overwrite results/bench_baseline.json
+#   --allow-missing     benchmarks present in the baseline but absent from
+#                       this run are reported but do not fail the gate
+#                       (use while renaming/retiring a bench; refresh the
+#                       baseline afterwards)
 #
 # Environment:
 #   BENCH_COMPARE_THRESHOLD   allowed median regression in percent (default 30)
@@ -18,8 +22,24 @@ BASELINE=results/bench_baseline.json
 CURRENT=${BENCH_COMPARE_OUT:-target/bench_current.json}
 THRESHOLD=${BENCH_COMPARE_THRESHOLD:-30}
 
+usage() {
+  sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'
+}
+
 update=0
-[[ "${1:-}" == "--update-baseline" ]] && update=1
+allow_missing=0
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) update=1 ;;
+    --allow-missing) allow_missing=1 ;;
+    -h|--help) usage; exit 0 ;;
+    *)
+      echo "error: unknown argument '$arg'" >&2
+      usage >&2
+      exit 2
+      ;;
+  esac
+done
 
 export CARGO_NET_OFFLINE=true
 mkdir -p "$(dirname "$CURRENT")"
@@ -27,36 +47,60 @@ mkdir -p "$(dirname "$CURRENT")"
 cargo bench -p bcast-bench --bench traffic_counts --offline -- \
   --quick --json "$PWD/$CURRENT" step_flag timeline >/dev/null
 
+if [[ ! -s $CURRENT ]]; then
+  echo "error: bench run produced no measurements at $CURRENT" >&2
+  exit 1
+fi
+
 if [[ $update -eq 1 ]]; then
+  mkdir -p "$(dirname "$BASELINE")"
   cp "$CURRENT" "$BASELINE"
   echo "baseline updated: $BASELINE"
   exit 0
 fi
 
 if [[ ! -f $BASELINE ]]; then
-  echo "error: no baseline at $BASELINE — run scripts/bench_compare.sh --update-baseline" >&2
+  echo "error: no baseline at $BASELINE" >&2
+  echo "hint: create one with: scripts/bench_compare.sh --update-baseline" >&2
   exit 1
 fi
 
-python3 - "$BASELINE" "$CURRENT" "$THRESHOLD" <<'PY'
+python3 - "$BASELINE" "$CURRENT" "$THRESHOLD" "$allow_missing" <<'PY'
 import json, sys
 
 base_path, cur_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+allow_missing = sys.argv[4] == "1"
 GATED_GROUPS = {"step_flag", "timeline"}
 
-def load(path):
-    with open(path) as f:
-        doc = json.load(f)
-    return {f"{r['group']}/{r['id']}": r["median_ns"] for r in doc["benchmarks"]}
+def load(path, role):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        rows = doc["benchmarks"]
+        return {f"{r['group']}/{r['id']}": r["median_ns"] for r in rows}
+    except (OSError, ValueError, KeyError, TypeError) as e:
+        print(f"error: {role} file {path} is not a bench report: {e}", file=sys.stderr)
+        print("hint: regenerate it with scripts/bench_compare.sh --update-baseline",
+              file=sys.stderr)
+        sys.exit(2)
 
-base, cur = load(base_path), load(cur_path)
+base, cur = load(base_path, "baseline"), load(cur_path, "current")
+gated = {n for n in base if n.split("/", 1)[0] in GATED_GROUPS}
+if not gated:
+    print(f"error: baseline {base_path} has no benchmarks in gated groups "
+          f"({', '.join(sorted(GATED_GROUPS))}) — wrong or stale baseline?",
+          file=sys.stderr)
+    sys.exit(2)
 failed = False
-for name in sorted(base):
-    if name.split("/", 1)[0] not in GATED_GROUPS:
-        continue
+for name in sorted(gated):
     if name not in cur:
-        print(f"MISSING   {name} (in baseline, absent from this run)")
-        failed = True
+        if allow_missing:
+            print(f"SKIPPED   {name} (in baseline, absent from this run; --allow-missing)")
+        else:
+            print(f"MISSING   {name} (in baseline, absent from this run)")
+            print(f"hint: pass --allow-missing if '{name}' was renamed or retired, "
+                  "then refresh the baseline", file=sys.stderr)
+            failed = True
         continue
     b, c = base[name], cur[name]
     delta = 100.0 * (c - b) / b if b > 0 else 0.0
@@ -64,6 +108,9 @@ for name in sorted(base):
     if delta > threshold:
         status, failed = "REGRESSED", True
     print(f"{status:9s} {name}: {b:.0f} ns -> {c:.0f} ns ({delta:+.1f}%)")
+for name in sorted(cur):
+    if name.split("/", 1)[0] in GATED_GROUPS and name not in base:
+        print(f"NEW       {name} (not in baseline; refresh with --update-baseline)")
 if failed:
     print(f"bench gate FAILED (threshold {threshold:.0f}% on median)", file=sys.stderr)
 sys.exit(1 if failed else 0)

@@ -44,6 +44,15 @@ else
 fi
 run cargo run -q -p schedcheck --bin repolint --offline
 
+# Chaos gate: replay the seeded fault-injection batteries (P ∈ {4,8,10,16}
+# × drop/dup/mixed link faults and one-rank crashes, both executors) under
+# a second fixed seed, so CI exercises a different fault pattern than the
+# developer-default seed baked into the tests. Any failure replays
+# bit-identically with the printed TESTKIT_SEED.
+chaos_seed=0xC4A05C1A05150002
+run env TESTKIT_SEED=$chaos_seed cargo test -q -p bcast-core --offline --test chaos_recovery
+run env TESTKIT_SEED=$chaos_seed cargo test -q -p bcast-opt --offline --test comm_conformance
+
 if [[ $quick -eq 0 ]]; then
   run scripts/bench_compare.sh
 fi

@@ -6,11 +6,33 @@
 //! the threaded runtime and the virtual-time simulator. The CI feature
 //! matrix re-runs this binary with `--features mpsim/fast-sync`, so the
 //! same battery also covers the spin-then-park lock backend.
+//!
+//! A second battery covers the fault layer: `recv_timeout` expiry
+//! semantics, and `ReliableComm` masking seeded drop / duplication / delay
+//! faults injected by `netsim::FaultyComm` — again on both executors. The
+//! fault plan is seeded from `TESTKIT_SEED` when set, so a failing run
+//! replays bit-identically.
 
-use mpsim::{CommError, Communicator, NonBlocking, Tag, ThreadWorld};
-use netsim::{NetworkModel, Placement, SimWorld};
+use std::time::Duration;
+
+use mpsim::{CommError, Communicator, NonBlocking, ReliableComm, RetryConfig, Tag, ThreadWorld};
+use netsim::{FaultPlan, FaultyComm, LinkFaults, NetworkModel, Placement, SimWorld};
 
 const WORLD: usize = 6;
+
+/// Seed for the fault battery: `TESTKIT_SEED` (decimal or 0x-hex) when set,
+/// a fixed default otherwise — either way the whole run is deterministic.
+fn battery_seed() -> u64 {
+    let Ok(raw) = std::env::var("TESTKIT_SEED") else {
+        return 0xB0A7_CAFE_5EED_0001;
+    };
+    let raw = raw.trim();
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    parsed.unwrap_or_else(|_| panic!("TESTKIT_SEED={raw:?} is not a decimal or 0x-hex u64"))
+}
 
 /// The conformance battery. Runs on every rank of a `WORLD`-sized world;
 /// panics (failing the hosting test) on any semantic violation.
@@ -114,9 +136,102 @@ fn conformance_battery<C: Communicator + NonBlocking>(comm: &C) {
     comm.barrier().unwrap();
 }
 
+/// The fault battery: timeout semantics on the bare communicator, then
+/// `ReliableComm` over `FaultyComm` under seeded drop, duplication, and
+/// delay faults. Requires an eagerly-delivering transport (`FaultyComm`'s
+/// send-side injection and `ReliableComm`'s sendrecv pump both document
+/// this), so the simulator runs it on an all-eager model only.
+fn fault_battery<C: Communicator>(comm: &C, seed: u64) {
+    assert_eq!(comm.size(), WORLD);
+    let me = comm.rank();
+    let right = mpsim::ring_right(me, WORLD);
+    let left = mpsim::ring_left(me, WORLD);
+
+    // --- recv_timeout expiry is an error that consumes nothing: the same
+    // receive succeeds once the message actually exists.
+    if me == 0 {
+        let mut buf = [0u8; 4];
+        let err = comm.recv_timeout(&mut buf, 1, Tag(40), Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, CommError::Timeout { peer: 1 });
+    }
+    comm.barrier().unwrap();
+    if me == 1 {
+        comm.send(&[9, 9, 9, 9], 0, Tag(40)).unwrap();
+    } else if me == 0 {
+        let mut buf = [0u8; 4];
+        let n = comm.recv_timeout(&mut buf, 1, Tag(40), Duration::from_secs(5)).unwrap();
+        assert_eq!((n, buf), (4, [9, 9, 9, 9]), "late message must still arrive intact");
+    }
+    comm.barrier().unwrap();
+
+    // Short timeouts keep retransmission cheap; the attempt budget makes a
+    // permanent failure under these loss rates astronomically unlikely.
+    let retry = RetryConfig {
+        base_timeout: Duration::from_millis(5),
+        max_timeout: Duration::from_millis(40),
+        max_attempts: 12,
+    };
+    let scenarios: [(&str, u32, LinkFaults); 3] = [
+        ("drop", 41, LinkFaults { drop_ppm: 150_000, dup_ppm: 0, delay_ppm: 0 }),
+        ("dup", 42, LinkFaults { drop_ppm: 0, dup_ppm: 1_000_000, delay_ppm: 0 }),
+        ("mixed", 43, LinkFaults { drop_ppm: 100_000, dup_ppm: 200_000, delay_ppm: 200_000 }),
+    ];
+    for (label, tag, faults) in scenarios {
+        let plan = FaultPlan::new(seed ^ u64::from(tag)).with_default(faults);
+        let faulty = FaultyComm::new(comm, plan);
+        let rc = ReliableComm::with_config(&faulty, retry);
+        // Ring exchange with per-round payloads: delivery, ordering, and
+        // duplicate suppression are all visible in the asserted bytes.
+        for round in 0..8u8 {
+            let out = [me as u8, round];
+            let mut inb = [0u8; 2];
+            let n = rc
+                .sendrecv(&out, right, Tag(tag), &mut inb, left, Tag(tag))
+                .unwrap_or_else(|e| panic!("{label}: rank {me} round {round} sendrecv: {e:?}"));
+            assert_eq!(
+                (n, inb),
+                (2, [left as u8, round]),
+                "{label}: round {round} payload corrupted or out of order"
+            );
+        }
+        comm.barrier().unwrap();
+        // Fan-in to rank 0 on a fresh tag: cross-source interleaving under
+        // the same faults must still deliver one intact stream per source.
+        let fan = Tag(tag + 100);
+        if me == 0 {
+            let mut buf = [0u8; 2];
+            for src in 1..WORLD {
+                for round in 0..4u8 {
+                    rc.recv(&mut buf, src, fan).unwrap();
+                    assert_eq!(buf, [src as u8, round], "{label}: fan-in stream broke");
+                }
+            }
+        } else {
+            for round in 0..4u8 {
+                rc.send(&[me as u8, round], 0, fan).unwrap();
+            }
+        }
+        comm.barrier().unwrap();
+    }
+}
+
 #[test]
 fn threaded_backend_conforms() {
     ThreadWorld::run(WORLD, conformance_battery);
+}
+
+#[test]
+fn threaded_backend_masks_seeded_faults() {
+    let seed = battery_seed();
+    ThreadWorld::run(WORLD, move |comm| fault_battery(comm, seed));
+}
+
+#[test]
+fn simulated_backend_masks_seeded_faults() {
+    let seed = battery_seed();
+    let mut model = NetworkModel::uniform(50.0, 1.0);
+    model.eager_threshold = usize::MAX; // fault battery needs eager delivery
+    SimWorld::run(model, Placement::new(2), WORLD, move |comm| fault_battery(comm, seed));
 }
 
 #[test]
