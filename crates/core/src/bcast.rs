@@ -112,6 +112,16 @@ pub fn bcast_opt(comm: &(impl Communicator + ?Sized), buf: &mut [u8], root: Rank
     ring_allgather_tuned(comm, buf, root)
 }
 
+/// Root-side [`bcast_opt`] over an **immutable** source: the root only ever
+/// reads its buffer in both phases (it never receives in the binomial
+/// scatter and is `SendOnly` from step one of the tuned ring), so it can
+/// broadcast straight from a shared slice instead of a defensive clone.
+/// Non-root ranks keep calling [`bcast_opt`].
+pub fn bcast_opt_root(comm: &(impl Communicator + ?Sized), src: &[u8], root: Rank) -> Result<()> {
+    crate::scatter::binomial_scatter_root(comm, src, root)?;
+    crate::ring_tuned::ring_allgather_tuned_root(comm, src, root)
+}
+
 /// Binomial-tree broadcast (MPICH3's short-message path).
 pub fn bcast_binomial_tree(
     comm: &(impl Communicator + ?Sized),

@@ -60,6 +60,7 @@ pub mod alltoall;
 pub mod bcast;
 pub mod binomial;
 pub mod chunks;
+pub mod coalesce;
 pub mod dtype;
 pub mod pipeline;
 pub mod rd_allgather;
@@ -76,15 +77,19 @@ pub mod varcount;
 pub mod verify;
 
 pub use bcast::{
-    bcast_auto, bcast_native, bcast_opt, bcast_with, select_algorithm, Algorithm, Regime,
-    Thresholds,
+    bcast_auto, bcast_native, bcast_opt, bcast_opt_root, bcast_with, select_algorithm, Algorithm,
+    Regime, Thresholds,
 };
 pub use chunks::ChunkLayout;
+pub use coalesce::{
+    bcast_opt_coalesced, bcast_opt_coalesced_root, coalesced_envelope_count,
+    ring_allgather_tuned_coalesced, CoalescePolicy,
+};
 pub use recovery::{
     degraded_bcast_schedule, self_healing_bcast, self_healing_bcast_with, EpochComm, GuardedComm,
     Healed, RecoveryConfig,
 };
-pub use ring_tuned::{step_flag, Endpoint};
-pub use scatter::owned_chunks;
+pub use ring_tuned::{ring_allgather_tuned_root, step_flag, Endpoint};
+pub use scatter::{binomial_scatter_root, owned_chunks};
 pub use schedule::{all_sources, Loc, RankSchedule, SchedOp, Schedule, ScheduleSource};
 pub use smp::{bcast_smp, NodeMap};

@@ -118,10 +118,42 @@ pub fn ring_allgather_tuned(
                     comm.recv(&mut buf[recv_range], left, Tag::ALLGATHER)?;
                 }
                 Endpoint::SendOnly => {
+                    // This *is* the uncoalesced baseline; the merged-tail
+                    // variant lives in `coalesce`. lint: allow(per-chunk-send)
                     comm.send(&buf[send_range], right, Tag::ALLGATHER)?;
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// Root-side [`ring_allgather_tuned`] over an **immutable** source buffer.
+///
+/// The root sits at root-relative position 0, which [`step_flag`] classifies
+/// as `(P, SendOnly)`: it degrades immediately, never posts a receive, and
+/// every one of its `P − 1` lone sends only *reads* a chunk it already owns.
+/// Together with [`crate::scatter::binomial_scatter_root`] this lets the
+/// root run the whole broadcast from a shared `&[u8]` with no defensive
+/// clone.
+pub fn ring_allgather_tuned_root(
+    comm: &(impl Communicator + ?Sized),
+    src: &[u8],
+    root: Rank,
+) -> Result<()> {
+    comm.check_rank(root)?;
+    assert_eq!(comm.rank(), root, "ring_allgather_tuned_root must run on the root rank");
+    let size = comm.size();
+    if size == 1 {
+        return Ok(());
+    }
+    let layout = ChunkLayout::new(src.len(), size);
+    let right = ring_right(root, size);
+    for i in 1..size {
+        let (send_chunk, _) = ring_step_chunks(0, size, i);
+        // Per-step pacing mirrors the mutable tuned ring;
+        // `bcast_opt_coalesced_root` is the one-envelope form. lint: allow(per-chunk-send)
+        comm.send(&src[layout.range(send_chunk)], right, Tag::ALLGATHER)?;
     }
     Ok(())
 }
@@ -191,7 +223,7 @@ pub fn append_tuned_ring_ops_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scatter::{binomial_scatter, owned_chunks};
+    use crate::scatter::{binomial_scatter, binomial_scatter_root, owned_chunks};
     use mpsim::{ThreadWorld, WorldTraffic};
 
     fn pattern(n: usize) -> Vec<u8> {
@@ -201,10 +233,17 @@ mod tests {
     fn run(size: usize, nbytes: usize, root: Rank) -> WorldTraffic {
         let src = pattern(nbytes);
         let out = ThreadWorld::run(size, |comm| {
-            let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
-            binomial_scatter(comm, &mut buf, root).unwrap();
-            ring_allgather_tuned(comm, &mut buf, root).unwrap();
-            assert_eq!(buf, src, "rank {} incomplete", comm.rank());
+            if comm.rank() == root {
+                // The root broadcasts straight from the shared source: no
+                // defensive clone, both phases are read-only on the root.
+                binomial_scatter_root(comm, &src, root).unwrap();
+                ring_allgather_tuned_root(comm, &src, root).unwrap();
+            } else {
+                let mut buf = vec![0u8; nbytes];
+                binomial_scatter(comm, &mut buf, root).unwrap();
+                ring_allgather_tuned(comm, &mut buf, root).unwrap();
+                assert_eq!(buf, src, "rank {} incomplete", comm.rank());
+            }
         });
         out.traffic
     }

@@ -90,6 +90,8 @@ pub fn binomial_scatter(
             if send_size > 0 {
                 let dst = absolute_rank(relative + mask, root, size);
                 let disp = ((relative + mask) * scatter_size).min(nbytes);
+                // Each iteration targets a *different* child of the
+                // binomial tree; nothing to coalesce. lint: allow(per-chunk-send)
                 comm.send(&buf[disp..disp + send_size], dst, Tag::SCATTER)?;
                 curr_size -= send_size;
             }
@@ -97,6 +99,47 @@ pub fn binomial_scatter(
         mask >>= 1;
     }
     Ok(owned_bytes)
+}
+
+/// Root-side [`binomial_scatter`] over an **immutable** source buffer.
+///
+/// The root never receives in the binomial tree (the mask walk never matches
+/// `relative = 0`) and its send phase only reads chunk ranges, so forcing
+/// callers to hand over a `&mut` clone of the payload is pure waste — this
+/// entry point broadcasts straight from a shared slice. Non-root ranks keep
+/// using [`binomial_scatter`]. Returns `src.len()`, the root's retained
+/// bytes, matching the mutable variant.
+pub fn binomial_scatter_root(
+    comm: &(impl Communicator + ?Sized),
+    src: &[u8],
+    root: Rank,
+) -> Result<usize> {
+    comm.check_rank(root)?;
+    assert_eq!(comm.rank(), root, "binomial_scatter_root must run on the root rank");
+    let size = comm.size();
+    let nbytes = src.len();
+    let layout = ChunkLayout::new(nbytes, size);
+    let scatter_size = layout.scatter_size();
+
+    // Same send phase as `binomial_scatter` with `relative = 0`: peel off
+    // the upper half of the held chunks for each child, highest first.
+    let mut curr_size = nbytes;
+    let mut mask = mpsim::ceil_pof2(size);
+    while mask > 0 {
+        if mask < size {
+            let send_size = curr_size.saturating_sub(scatter_size * mask);
+            if send_size > 0 {
+                let dst = absolute_rank(mask, root, size);
+                let disp = (mask * scatter_size).min(nbytes);
+                // Each iteration targets a *different* child of the
+                // binomial tree; nothing to coalesce. lint: allow(per-chunk-send)
+                comm.send(&src[disp..disp + send_size], dst, Tag::SCATTER)?;
+                curr_size -= send_size;
+            }
+        }
+        mask >>= 1;
+    }
+    Ok(nbytes)
 }
 
 /// Append the symbolic ops of [`binomial_scatter`] to `sched`, mirroring the
@@ -168,12 +211,44 @@ mod tests {
     fn run_scatter(size: usize, nbytes: usize, root: Rank) -> (Vec<Vec<u8>>, Vec<usize>) {
         let src = pattern(nbytes);
         let out = ThreadWorld::run(size, |comm| {
-            let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
-            let kept = binomial_scatter(comm, &mut buf, root).unwrap();
-            (buf, kept)
+            if comm.rank() == root {
+                // Read-only on the root: scatter straight from the shared
+                // source (the clone below is only for the test's result
+                // shape, after all communication is done).
+                let kept = binomial_scatter_root(comm, &src, root).unwrap();
+                (src.clone(), kept)
+            } else {
+                let mut buf = vec![0u8; nbytes];
+                let kept = binomial_scatter(comm, &mut buf, root).unwrap();
+                (buf, kept)
+            }
         });
         let (bufs, kept) = out.results.into_iter().unzip();
         (bufs, kept)
+    }
+
+    #[test]
+    fn root_variant_traffic_matches_mutable_scatter() {
+        for &(size, nbytes, root) in &[(8usize, 64usize, 0usize), (10, 97, 7), (13, 77, 3)] {
+            let src = pattern(nbytes);
+            let immutably = ThreadWorld::run(size, |comm| {
+                if comm.rank() == root {
+                    binomial_scatter_root(comm, &src, root).unwrap();
+                } else {
+                    let mut buf = vec![0u8; nbytes];
+                    binomial_scatter(comm, &mut buf, root).unwrap();
+                }
+            })
+            .traffic;
+            let mutably = ThreadWorld::run(size, |comm| {
+                let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+                binomial_scatter(comm, &mut buf, root).unwrap();
+            })
+            .traffic;
+            assert_eq!(immutably.total_msgs(), mutably.total_msgs(), "size={size}");
+            assert_eq!(immutably.total_bytes(), mutably.total_bytes(), "size={size}");
+            assert_eq!(immutably.total_envelopes(), mutably.total_envelopes(), "size={size}");
+        }
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub struct TrafficStats {
     pub msgs_recvd: u64,
     /// Total payload bytes received by this rank.
     pub bytes_recvd: u64,
+    /// Physical transmissions issued by this rank: a plain send is one
+    /// envelope carrying one message, a k-span vectored send is one envelope
+    /// carrying k messages. `envelopes_sent ≤ msgs_sent` always; the gap is
+    /// exactly what coalescing saved.
+    pub envelopes_sent: u64,
+    /// Physical transmissions absorbed by this rank (see
+    /// [`envelopes_sent`](TrafficStats::envelopes_sent)).
+    pub envelopes_recvd: u64,
     /// Breakdown by peer rank.
     pub by_peer: BTreeMap<Rank, PeerTraffic>,
 }
@@ -47,19 +55,33 @@ pub struct TrafficStats {
 impl TrafficStats {
     /// Record one outgoing message of `bytes` payload to `dest`.
     pub fn record_send(&mut self, dest: Rank, bytes: usize) {
-        self.msgs_sent += 1;
-        self.bytes_sent += bytes as u64;
-        let p = self.by_peer.entry(dest).or_default();
-        p.msgs_sent += 1;
-        p.bytes_sent += bytes as u64;
+        self.record_send_vectored(dest, bytes, 1);
     }
 
     /// Record one incoming message of `bytes` payload from `src`.
     pub fn record_recv(&mut self, src: Rank, bytes: usize) {
-        self.msgs_recvd += 1;
+        self.record_recv_vectored(src, bytes, 1);
+    }
+
+    /// Record one outgoing envelope carrying `msgs` logical messages of
+    /// `bytes` total payload to `dest` — the vectored-send accounting.
+    pub fn record_send_vectored(&mut self, dest: Rank, bytes: usize, msgs: u64) {
+        self.msgs_sent += msgs;
+        self.bytes_sent += bytes as u64;
+        self.envelopes_sent += 1;
+        let p = self.by_peer.entry(dest).or_default();
+        p.msgs_sent += msgs;
+        p.bytes_sent += bytes as u64;
+    }
+
+    /// Record one incoming envelope carrying `msgs` logical messages of
+    /// `bytes` total payload from `src`.
+    pub fn record_recv_vectored(&mut self, src: Rank, bytes: usize, msgs: u64) {
+        self.msgs_recvd += msgs;
         self.bytes_recvd += bytes as u64;
+        self.envelopes_recvd += 1;
         let p = self.by_peer.entry(src).or_default();
-        p.msgs_recvd += 1;
+        p.msgs_recvd += msgs;
         p.bytes_recvd += bytes as u64;
     }
 
@@ -69,6 +91,8 @@ impl TrafficStats {
         self.bytes_sent += other.bytes_sent;
         self.msgs_recvd += other.msgs_recvd;
         self.bytes_recvd += other.bytes_recvd;
+        self.envelopes_sent += other.envelopes_sent;
+        self.envelopes_recvd += other.envelopes_recvd;
         for (&peer, pt) in &other.by_peer {
             let p = self.by_peer.entry(peer).or_default();
             p.msgs_sent += pt.msgs_sent;
@@ -103,13 +127,24 @@ impl WorldTraffic {
         self.per_rank.iter().map(|s| s.bytes_sent).sum()
     }
 
+    /// Total physical envelopes sent across all ranks — what the fabric
+    /// actually pays for (pool rentals, mailbox pushes), as opposed to
+    /// [`total_msgs`](WorldTraffic::total_msgs), the paper's logical
+    /// transfer count. Coalescing lowers this without touching
+    /// [`total_bytes`](WorldTraffic::total_bytes) or `total_msgs`.
+    pub fn total_envelopes(&self) -> u64 {
+        self.per_rank.iter().map(|s| s.envelopes_sent).sum()
+    }
+
     /// Sanity: globally, every send must have been received.
     pub fn is_balanced(&self) -> bool {
         let sent: u64 = self.per_rank.iter().map(|s| s.msgs_sent).sum();
         let recvd: u64 = self.per_rank.iter().map(|s| s.msgs_recvd).sum();
         let bsent: u64 = self.per_rank.iter().map(|s| s.bytes_sent).sum();
         let brecvd: u64 = self.per_rank.iter().map(|s| s.bytes_recvd).sum();
-        sent == recvd && bsent == brecvd
+        let esent: u64 = self.per_rank.iter().map(|s| s.envelopes_sent).sum();
+        let erecvd: u64 = self.per_rank.iter().map(|s| s.envelopes_recvd).sum();
+        sent == recvd && bsent == brecvd && esent == erecvd
     }
 
     /// Split total messages by a peer classifier (e.g. intra-node vs
@@ -174,6 +209,16 @@ impl CounterCell {
         self.inner.borrow_mut().record_recv(src, bytes);
     }
 
+    /// Record one outgoing envelope carrying `msgs` logical messages.
+    pub fn record_send_vectored(&self, dest: Rank, bytes: usize, msgs: u64) {
+        self.inner.borrow_mut().record_send_vectored(dest, bytes, msgs);
+    }
+
+    /// Record one incoming envelope carrying `msgs` logical messages.
+    pub fn record_recv_vectored(&self, src: Rank, bytes: usize, msgs: u64) {
+        self.inner.borrow_mut().record_recv_vectored(src, bytes, msgs);
+    }
+
     /// Snapshot the current statistics.
     pub fn snapshot(&self) -> TrafficStats {
         self.inner.borrow().clone()
@@ -230,6 +275,39 @@ mod tests {
         assert!(w.is_balanced());
         assert_eq!(w.total_msgs(), 1);
         assert_eq!(w.total_bytes(), 8);
+    }
+
+    #[test]
+    fn vectored_records_split_msgs_from_envelopes() {
+        let mut s0 = TrafficStats::default();
+        s0.record_send_vectored(1, 24, 3); // one envelope, three chunk spans
+        s0.record_send(1, 8); // plain send: one of each
+        assert_eq!(s0.msgs_sent, 4);
+        assert_eq!(s0.envelopes_sent, 2);
+        assert_eq!(s0.bytes_sent, 32);
+        assert_eq!(s0.by_peer[&1].msgs_sent, 4);
+
+        let mut s1 = TrafficStats::default();
+        s1.record_recv_vectored(0, 24, 3);
+        s1.record_recv(0, 8);
+        let w = WorldTraffic::new(vec![s0, s1]);
+        assert!(w.is_balanced());
+        assert_eq!(w.total_msgs(), 4);
+        assert_eq!(w.total_envelopes(), 2);
+        assert_eq!(w.total_bytes(), 32);
+    }
+
+    #[test]
+    fn merge_accumulates_envelopes() {
+        let mut a = TrafficStats::default();
+        a.record_send_vectored(1, 10, 2);
+        let mut b = TrafficStats::default();
+        b.record_send_vectored(1, 6, 4);
+        b.record_recv(0, 7);
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 6);
+        assert_eq!(a.envelopes_sent, 2);
+        assert_eq!(a.envelopes_recvd, 1);
     }
 
     #[test]

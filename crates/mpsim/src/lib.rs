@@ -71,7 +71,10 @@ pub(crate) mod sync_std;
 pub mod thread_comm;
 
 pub use barrier::StopBarrier;
-pub use comm::{split_send_recv, Communicator};
+pub use comm::{
+    disjoint_span_lists, scatter_spans, spans_len, split_send_recv, validate_spans, Communicator,
+    IoSpan,
+};
 pub use counters::{PeerTraffic, TrafficStats, WakeupStats, WorldTraffic};
 pub use error::{CommError, Result};
 pub use nonblocking::NonBlocking;

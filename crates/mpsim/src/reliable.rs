@@ -28,7 +28,9 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::time::Duration;
 
-use crate::comm::Communicator;
+use crate::comm::{
+    disjoint_span_lists, scatter_spans, spans_len, validate_spans, Communicator, IoSpan,
+};
 use crate::error::{CommError, Result};
 use crate::rank::{Rank, Tag};
 
@@ -179,6 +181,23 @@ impl<'a, C: Communicator> ReliableComm<'a, C> {
         src: Rank,
         tag: Tag,
     ) -> Result<Option<usize>> {
+        self.accept_frame_with(frame, buf.len(), src, tag, |payload| {
+            buf[..payload.len()].copy_from_slice(payload);
+        })
+    }
+
+    /// [`accept_frame`](Self::accept_frame) with the delivery copy abstracted
+    /// out, so the scattered receive can fan the payload into spans instead
+    /// of a contiguous buffer. `deliver` runs only for the expected frame,
+    /// after the truncation check against `capacity`.
+    fn accept_frame_with(
+        &self,
+        frame: &[u8],
+        capacity: usize,
+        src: Rank,
+        tag: Tag,
+        deliver: impl FnOnce(&[u8]),
+    ) -> Result<Option<usize>> {
         if frame.len() < 4 {
             // Not a protocol frame; nothing sane to do but drop it.
             return Ok(None);
@@ -189,12 +208,12 @@ impl<'a, C: Communicator> ReliableComm<'a, C> {
         let expected = self.rx_expected(src, tag);
         if seq == expected {
             let payload = &frame[4..];
-            if payload.len() > buf.len() {
-                return Err(CommError::Truncation { capacity: buf.len(), incoming: payload.len() });
+            if payload.len() > capacity {
+                return Err(CommError::Truncation { capacity, incoming: payload.len() });
             }
             self.advance_rx(src, tag, payload.len());
             self.send_ack(src, tag, seq)?;
-            buf[..payload.len()].copy_from_slice(payload);
+            deliver(payload);
             Ok(Some(payload.len()))
         } else if seq < expected {
             // Duplicate of an already-delivered frame: the first ack was
@@ -208,6 +227,18 @@ impl<'a, C: Communicator> ReliableComm<'a, C> {
             // without acking — the sender will retransmit in order.
             Ok(None)
         }
+    }
+
+    /// Transmit an assembled frame with retry-until-acked (the shared tail
+    /// of the plain and vectored send paths).
+    fn send_framed(&self, frame: &[u8], dest: Rank, tag: Tag, seq: u32) -> Result<()> {
+        for attempt in 0..self.cfg.max_attempts {
+            self.inner.send(frame, dest, Self::data_tag(tag))?;
+            if self.await_ack(dest, tag, seq, self.cfg.timeout_for(attempt))? {
+                return Ok(());
+            }
+        }
+        Err(CommError::Timeout { peer: dest })
     }
 
     /// Wait up to `timeout` for an acknowledgement of `seq` from `peer`.
@@ -255,13 +286,7 @@ impl<C: Communicator> Communicator for ReliableComm<'_, C> {
         let mut frame = Vec::with_capacity(buf.len() + 4);
         frame.extend_from_slice(&seq.to_le_bytes());
         frame.extend_from_slice(buf);
-        for attempt in 0..self.cfg.max_attempts {
-            self.inner.send(&frame, dest, Self::data_tag(tag))?;
-            if self.await_ack(dest, tag, seq, self.cfg.timeout_for(attempt))? {
-                return Ok(());
-            }
-        }
-        Err(CommError::Timeout { peer: dest })
+        self.send_framed(&frame, dest, tag, seq)
     }
 
     fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
@@ -419,6 +444,83 @@ impl<C: Communicator> Communicator for ReliableComm<'_, C> {
 
     fn check_rank(&self, rank: Rank) -> Result<()> {
         self.inner.check_rank(rank)
+    }
+
+    /// Vectored send over the reliable protocol: the segments are gathered
+    /// directly behind the 4-byte sequence header, so the protocol frame
+    /// doubles as the staging buffer and the whole payload still travels —
+    /// and is retransmitted — as one frame.
+    fn send_vectored(&self, buf: &[u8], spans: &[IoSpan], dest: Rank, tag: Tag) -> Result<()> {
+        self.check_rank(dest)?;
+        let total = validate_spans(buf.len(), spans)?;
+        if dest == self.rank() {
+            // Loopback cannot lose messages; skip the protocol.
+            return self.inner.send_vectored(buf, spans, dest, tag);
+        }
+        let seq = self.next_tx_seq(dest, tag);
+        let mut frame = Vec::with_capacity(total + 4);
+        frame.extend_from_slice(&seq.to_le_bytes());
+        for s in spans {
+            frame.extend_from_slice(&buf[s.range()]);
+        }
+        self.send_framed(&frame, dest, tag, seq)
+    }
+
+    /// Scattered receive over the reliable protocol: the expected frame's
+    /// payload is fanned out into the spans straight from the frame buffer;
+    /// stale duplicates are re-acked and dropped without touching `buf`.
+    fn recv_scattered(
+        &self,
+        buf: &mut [u8],
+        spans: &[IoSpan],
+        src: Rank,
+        tag: Tag,
+    ) -> Result<usize> {
+        self.check_rank(src)?;
+        let total = validate_spans(buf.len(), spans)?;
+        if src == self.rank() {
+            return self.inner.recv_scattered(buf, spans, src, tag);
+        }
+        let mut frame = vec![0u8; self.rx_frame_len(src, tag, total)];
+        loop {
+            let n = self
+                .inner
+                .recv(&mut frame, src, Self::data_tag(tag))
+                .map_err(|e| Self::unframe_truncation(e, total))?;
+            let accepted = self.accept_frame_with(&frame[..n], total, src, tag, |payload| {
+                scatter_spans(buf, spans, payload);
+            })?;
+            if let Some(len) = accepted {
+                return Ok(len);
+            }
+        }
+    }
+
+    /// Combined vectored exchange over the reliable protocol.
+    ///
+    /// Stages both directions contiguously and delegates to the pumping
+    /// [`sendrecv`](Self::sendrecv) — a naive vectored-send-then-receive
+    /// would deadlock for mutual exchanges exactly like the plain one.
+    fn sendrecv_vectored(
+        &self,
+        buf: &mut [u8],
+        send_spans: &[IoSpan],
+        dest: Rank,
+        sendtag: Tag,
+        recv_spans: &[IoSpan],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        validate_spans(buf.len(), send_spans)?;
+        let rtotal = validate_spans(buf.len(), recv_spans)?;
+        disjoint_span_lists(send_spans, recv_spans)?;
+        let mut sendbuf = Vec::with_capacity(spans_len(send_spans));
+        for s in send_spans {
+            sendbuf.extend_from_slice(&buf[s.range()]);
+        }
+        let mut recvbuf = vec![0u8; rtotal];
+        let n = self.sendrecv(&sendbuf, dest, sendtag, &mut recvbuf, src, recvtag)?;
+        Ok(scatter_spans(buf, recv_spans, &recvbuf[..n]))
     }
 }
 

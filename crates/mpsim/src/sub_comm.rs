@@ -8,7 +8,7 @@
 //! point-to-point messages so that a barrier over a *subset* of the world
 //! never involves non-members.
 
-use crate::comm::Communicator;
+use crate::comm::{Communicator, IoSpan};
 use crate::error::Result;
 use crate::rank::{ceil_log2, Rank, Tag};
 
@@ -219,6 +219,53 @@ impl<C: Communicator + ?Sized> Communicator for SubComm<'_, C> {
 
     fn now_ns(&self) -> u64 {
         self.parent.now_ns()
+    }
+
+    // The vectored operations forward with rank translation only, keeping
+    // the parent backend's single-envelope fast path (and its logical-
+    // message accounting) intact through sub-communicators.
+
+    fn send_vectored(&self, buf: &[u8], spans: &[IoSpan], dest: Rank, tag: Tag) -> Result<()> {
+        self.check_rank(dest)?;
+        self.parent.send_vectored(buf, spans, self.members[dest], tag)
+    }
+
+    fn recv_scattered(
+        &self,
+        buf: &mut [u8],
+        spans: &[IoSpan],
+        src: Rank,
+        tag: Tag,
+    ) -> Result<usize> {
+        self.check_rank(src)?;
+        self.parent
+            .recv_scattered(buf, spans, self.members[src], tag)
+            .map_err(|e| self.localize_err(e))
+    }
+
+    fn sendrecv_vectored(
+        &self,
+        buf: &mut [u8],
+        send_spans: &[IoSpan],
+        dest: Rank,
+        sendtag: Tag,
+        recv_spans: &[IoSpan],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        self.check_rank(dest)?;
+        self.check_rank(src)?;
+        self.parent
+            .sendrecv_vectored(
+                buf,
+                send_spans,
+                self.members[dest],
+                sendtag,
+                recv_spans,
+                self.members[src],
+                recvtag,
+            )
+            .map_err(|e| self.localize_err(e))
     }
 }
 

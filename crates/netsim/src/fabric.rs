@@ -245,8 +245,31 @@ impl Fabric {
         data: &[u8],
         now: SimTime,
     ) -> Result<SendHandle> {
+        self.post_send_buf(src, dst, tag, self.pool.rent_copy(data), now)
+    }
+
+    /// Assemble a multi-segment payload into one pooled envelope, gathered
+    /// straight from the caller's segments (the vectored-send front half of
+    /// [`post_send_buf`](Self::post_send_buf)).
+    pub fn gather_payload<'a, I>(&self, total: usize, parts: I) -> PooledBuf
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        self.pool.rent_gather(total, parts)
+    }
+
+    /// Post a send whose payload envelope the caller already assembled
+    /// (via [`gather_payload`](Self::gather_payload) or any
+    /// [`PooledBuf`]) — the vectored path's single-envelope injection.
+    pub fn post_send_buf(
+        &self,
+        src: Rank,
+        dst: Rank,
+        tag: Tag,
+        payload: PooledBuf,
+        now: SimTime,
+    ) -> Result<SendHandle> {
         let cell = Cell::new();
-        let payload = self.pool.rent_copy(data);
         let mut st = self.state.lock();
         if st.stopped {
             return Err(CommError::WorldStopped);
@@ -257,7 +280,7 @@ impl Fabric {
             return Err(CommError::PeerFailed { rank: dst });
         }
 
-        let offer = if self.model.protocol(data.len()) == Protocol::Eager {
+        let offer = if self.model.protocol(payload.len()) == Protocol::Eager {
             // Flow control: stall behind earlier deferred sends (to preserve
             // non-overtaking order) or when the channel's credits are spent.
             let key = (src, dst);

@@ -25,7 +25,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use mpsim::{CommError, Communicator, Rank, Result, Tag};
+use mpsim::{validate_spans, CommError, Communicator, IoSpan, Rank, Result, Tag};
 use testkit::rng::{Rng, SplitMix64};
 
 /// What happens to one message offered on a link.
@@ -291,6 +291,78 @@ impl<C: Communicator> Communicator for FaultyComm<'_, C> {
         }
     }
 
+    /// A vectored send is ONE message on the wire, so it consumes exactly one
+    /// link ordinal and its fate is decided once — coalescing changes which
+    /// transfers a fault plan hits, never how many decisions are drawn per
+    /// envelope.
+    fn send_vectored(&self, buf: &[u8], spans: &[IoSpan], dest: Rank, tag: Tag) -> Result<()> {
+        self.tick()?;
+        validate_spans(buf.len(), spans)?;
+        if tag.0 >= mpsim::reliable::ACK_TAG_BASE {
+            return self.inner.send_vectored(buf, spans, dest, tag);
+        }
+        let k = self.next_link_seq(dest);
+        match self.plan.decide(self.rank(), dest, k) {
+            FaultAction::Deliver => {
+                self.inner.send_vectored(buf, spans, dest, tag)?;
+                self.flush_holdback(dest, tag)
+            }
+            FaultAction::Drop => self.flush_holdback(dest, tag),
+            FaultAction::Duplicate => {
+                self.inner.send_vectored(buf, spans, dest, tag)?;
+                self.inner.send_vectored(buf, spans, dest, tag)?;
+                self.flush_holdback(dest, tag)
+            }
+            FaultAction::Delay => {
+                // Holdback stores the gathered wire image; re-sending it as a
+                // plain contiguous message is indistinguishable to the
+                // receiver because the wire format is bare concatenation.
+                let mut gathered = Vec::with_capacity(spans.iter().map(|s| s.count).sum());
+                for s in spans {
+                    gathered.extend_from_slice(&buf[s.range()]);
+                }
+                let prev = self.holdback.borrow_mut().insert((dest, tag.0), gathered);
+                match prev {
+                    Some(data) => self.inner.send(&data, dest, tag),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    fn recv_scattered(
+        &self,
+        buf: &mut [u8],
+        spans: &[IoSpan],
+        src: Rank,
+        tag: Tag,
+    ) -> Result<usize> {
+        self.tick()?;
+        self.inner.recv_scattered(buf, spans, src, tag)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sendrecv_vectored(
+        &self,
+        buf: &mut [u8],
+        send_spans: &[IoSpan],
+        dest: Rank,
+        sendtag: Tag,
+        recv_spans: &[IoSpan],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        // Counted and fault-injected as one vectored send plus one scattered
+        // receive, mirroring `sendrecv`. Splitting the fused call is safe
+        // here for the same reason it is in `sendrecv`: the decorator
+        // assumes an eager-ish transport (see the module docs).
+        validate_spans(buf.len(), send_spans)?;
+        validate_spans(buf.len(), recv_spans)?;
+        mpsim::disjoint_span_lists(send_spans, recv_spans)?;
+        self.send_vectored(buf, send_spans, dest, sendtag)?;
+        self.recv_scattered(buf, recv_spans, src, recvtag)
+    }
+
     fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
         self.tick()?;
         self.inner.recv(buf, src, tag)
@@ -489,6 +561,59 @@ mod tests {
             }
         });
         assert_eq!(out.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn vectored_send_draws_one_decision_per_envelope() {
+        // Link 0→1 drops every message. A 3-span vectored send is one
+        // envelope: it consumes ONE link ordinal and vanishes whole; the
+        // next (plain) send is ordinal 1, also dropped — never partially.
+        let plan = FaultPlan::new(9).with_link(
+            0,
+            1,
+            LinkFaults { drop_ppm: 1_000_000, dup_ppm: 0, delay_ppm: 0 },
+        );
+        let out = ThreadWorld::run(2, |comm| {
+            let faulty = FaultyComm::new(comm, plan.clone());
+            if comm.rank() == 0 {
+                let src: Vec<u8> = (0..12).collect();
+                let spans = [IoSpan::new(0, 2), IoSpan::new(4, 2), IoSpan::new(8, 2)];
+                faulty.send_vectored(&src, &spans, 1, Tag(0)).unwrap(); // dropped whole
+                comm.send(&[99u8; 6], 1, Tag(0)).unwrap(); // bypasses the plan
+                0
+            } else {
+                let mut buf = [0u8; 6];
+                comm.recv(&mut buf, 0, Tag(0)).unwrap();
+                buf[0] as usize
+            }
+        });
+        assert_eq!(out.results[1], 99);
+    }
+
+    #[test]
+    fn vectored_passthrough_delivers_and_scatters() {
+        // No faults: the decorator must be fully transparent to the
+        // vectored path, including the fused exchange.
+        let plan = FaultPlan::new(5);
+        let out = ThreadWorld::run(2, |comm| {
+            let faulty = FaultyComm::new(comm, plan.clone());
+            let mut buf = vec![0u8; 8];
+            buf[..4].fill(comm.rank() as u8 + 1);
+            let peer = 1 - comm.rank();
+            faulty
+                .sendrecv_vectored(
+                    &mut buf,
+                    &[IoSpan::new(0, 4)],
+                    peer,
+                    Tag(0),
+                    &[IoSpan::new(4, 4)],
+                    peer,
+                    Tag(0),
+                )
+                .unwrap();
+            buf[4]
+        });
+        assert_eq!(out.results, vec![2, 1]);
     }
 
     #[test]

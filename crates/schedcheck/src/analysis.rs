@@ -105,6 +105,106 @@ impl Report {
     }
 }
 
+/// Reconciliation of an instrumented run against the planned volume of the
+/// schedule IR it claims to implement.
+///
+/// The schedule plans *logical* transfers: one send half per chunk movement.
+/// A runtime may refine those (sub-chunk spans raise the logical message
+/// count) and may coalesce several of them into one physical envelope — but
+/// it must move **exactly** the planned bytes. The checked contract:
+///
+/// * `executed_bytes == planned_bytes` — coalescing saves envelopes, never
+///   payload; any deviation means the run and the IR disagree on the
+///   algorithm.
+/// * `executed_msgs >= planned_msgs` — splitting a chunk into sub-spans only
+///   refines the plan; a run can never do *fewer* logical transfers than it
+///   planned.
+/// * `executed_envelopes <= planned_msgs` — an envelope carries at least one
+///   planned transfer, so coalescing can only lower the transmission count.
+/// * `executed_envelopes <= executed_msgs` and globally balanced counters —
+///   invariants of the [`mpsim`] accounting layer.
+#[derive(Debug, Clone)]
+pub struct Reconciliation {
+    /// Send halves in the schedule IR.
+    pub planned_msgs: u64,
+    /// Payload bytes summed over the IR's send halves.
+    pub planned_bytes: u64,
+    /// Logical messages the run recorded (spans count individually).
+    pub executed_msgs: u64,
+    /// Payload bytes the run moved.
+    pub executed_bytes: u64,
+    /// Physical transmissions the run paid for.
+    pub executed_envelopes: u64,
+    /// Violations of the contract above, human-readable.
+    pub errors: Vec<String>,
+}
+
+impl Reconciliation {
+    /// No violations found.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Envelopes saved relative to the plan — the coalescing win.
+    pub fn envelopes_saved(&self) -> u64 {
+        self.planned_msgs.saturating_sub(self.executed_envelopes)
+    }
+}
+
+/// Reconcile an instrumented (possibly coalesced) execution against
+/// `schedule`'s planned volume. See [`Reconciliation`] for the contract.
+pub fn reconcile_traffic(schedule: &Schedule, traffic: &mpsim::WorldTraffic) -> Reconciliation {
+    let (planned_msgs, planned_bytes) = schedule.planned_volume();
+    let executed_msgs = traffic.total_msgs();
+    let executed_bytes = traffic.total_bytes();
+    let executed_envelopes = traffic.total_envelopes();
+    let mut errors = Vec::new();
+
+    if traffic.per_rank.len() != schedule.p {
+        errors.push(format!(
+            "world-size: schedule plans {} ranks but the run recorded {}",
+            schedule.p,
+            traffic.per_rank.len()
+        ));
+    }
+    if executed_bytes != planned_bytes {
+        errors.push(format!(
+            "bytes: schedule plans exactly {planned_bytes}B but the run moved {executed_bytes}B \
+             (coalescing may drop envelopes, never bytes)"
+        ));
+    }
+    if executed_msgs < planned_msgs {
+        errors.push(format!(
+            "messages: run recorded {executed_msgs} logical messages, fewer than the {planned_msgs} \
+             planned (sub-chunk splitting may only refine the plan)"
+        ));
+    }
+    if executed_envelopes > planned_msgs {
+        errors.push(format!(
+            "envelopes: run paid {executed_envelopes} transmissions, more than the {planned_msgs} \
+             planned sends (coalescing may only lower the envelope count)"
+        ));
+    }
+    if executed_envelopes > executed_msgs {
+        errors.push(format!(
+            "envelopes: {executed_envelopes} envelopes exceed {executed_msgs} logical messages \
+             (accounting invariant violated)"
+        ));
+    }
+    if !traffic.is_balanced() {
+        errors.push("balance: global sent/received counters disagree".to_string());
+    }
+
+    Reconciliation {
+        planned_msgs,
+        planned_bytes,
+        executed_msgs,
+        executed_bytes,
+        executed_envelopes,
+        errors,
+    }
+}
+
 /// An in-flight (posted) send half.
 struct PostedSend {
     id: u64,
@@ -568,6 +668,81 @@ mod tests {
         assert!(r.is_clean(), "{:?}", r.errors);
         assert_eq!(r.redundant_msgs, 1);
         assert_eq!(r.redundant_bytes, 4);
+    }
+
+    #[test]
+    fn reconcile_coalesced_run_against_tuned_schedule() {
+        use bcast_core::bcast::bcast_schedule;
+        use bcast_core::{bcast_opt_coalesced, traffic, Algorithm, CoalescePolicy};
+        use mpsim::{Communicator, ThreadWorld};
+
+        for (p, scatter_msgs) in [(8usize, 7u64), (10, 9)] {
+            let nbytes = 16 * p;
+            let sched = bcast_schedule(Algorithm::ScatterRingTuned, p, nbytes, 0);
+            // The IR plans the paper's closed-form transfer counts exactly:
+            // 44 + 7 at P = 8, 75 + 9 at P = 10.
+            let (planned_msgs, _) = sched.planned_volume();
+            assert_eq!(planned_msgs, traffic::tuned_ring_msgs(p) + scatter_msgs);
+
+            let src: Vec<u8> = (0..nbytes).map(|i| (i % 251) as u8).collect();
+            let msg = src.clone();
+            let out = ThreadWorld::run(p, move |comm| {
+                let mut buf = if comm.rank() == 0 { msg.clone() } else { vec![0u8; msg.len()] };
+                bcast_opt_coalesced(comm, &mut buf, 0, &CoalescePolicy::unlimited()).unwrap();
+                buf
+            });
+            assert!(out.results.iter().all(|b| b == &src));
+
+            let rec = reconcile_traffic(&sched, &out.traffic);
+            assert!(rec.is_clean(), "P={p}: {:?}", rec.errors);
+            // Whole-chunk coalescing keeps the logical plan intact…
+            assert_eq!(rec.executed_msgs, planned_msgs);
+            assert_eq!(rec.executed_bytes, rec.planned_bytes);
+            // …and only the envelope count drops (44 → 36, 75 → 65).
+            assert_eq!(
+                rec.executed_envelopes,
+                bcast_core::coalesced_envelope_count(p) + scatter_msgs
+            );
+            assert!(rec.envelopes_saved() > 0);
+        }
+    }
+
+    #[test]
+    fn reconcile_rejects_mismatched_algorithm_and_refuses_extra_envelopes() {
+        use bcast_core::bcast::bcast_schedule;
+        use bcast_core::{bcast_native, Algorithm};
+        use mpsim::{Communicator, ThreadWorld};
+
+        let p = 8;
+        let nbytes = 16 * p;
+        let tuned = bcast_schedule(Algorithm::ScatterRingTuned, p, nbytes, 0);
+        let src: Vec<u8> = (0..nbytes).map(|i| (i % 13) as u8).collect();
+        let msg = src.clone();
+        let out = ThreadWorld::run(p, move |comm| {
+            let mut buf = if comm.rank() == 0 { msg.clone() } else { vec![0u8; msg.len()] };
+            bcast_native(comm, &mut buf, 0).unwrap();
+            buf
+        });
+        // The native (enclosed) ring moves more bytes and more envelopes than
+        // the tuned IR plans — both violations must surface.
+        let rec = reconcile_traffic(&tuned, &out.traffic);
+        assert!(!rec.is_clean());
+        assert!(rec.errors.iter().any(|e| e.starts_with("bytes:")), "{:?}", rec.errors);
+        assert!(rec.errors.iter().any(|e| e.starts_with("envelopes:")), "{:?}", rec.errors);
+
+        // Against its own IR the native run reconciles cleanly.
+        let native = bcast_schedule(Algorithm::ScatterRingNative, p, nbytes, 0);
+        let rec = reconcile_traffic(&native, &out.traffic);
+        assert!(rec.is_clean(), "{:?}", rec.errors);
+        assert_eq!(rec.envelopes_saved(), 0);
+    }
+
+    #[test]
+    fn reconcile_flags_world_size_mismatch() {
+        let sched = two_rank_ping();
+        let traffic = mpsim::WorldTraffic::new(vec![Default::default(); 3]);
+        let rec = reconcile_traffic(&sched, &traffic);
+        assert!(rec.errors.iter().any(|e| e.starts_with("world-size:")), "{:?}", rec.errors);
     }
 
     #[test]

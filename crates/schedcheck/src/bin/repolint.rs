@@ -1,8 +1,9 @@
 //! Repo-convention linter: walks `crates/**/*.rs` and applies the rules in
 //! [`schedcheck::lint`] — raw `std::sync` lock primitives outside the sync
 //! layer, `.unwrap()`/`.expect()` in library code, undocumented `unsafe`,
-//! and `let _ =` discarding a communication call's `Result`. Prints every
-//! hit and exits nonzero if any are found.
+//! `let _ =` discarding a communication call's `Result`, and per-chunk
+//! `comm.send(` loops in broadcast hot-path files. Prints every hit and
+//! exits nonzero if any are found.
 //!
 //! Run from the repository root (the directory containing `crates/`).
 

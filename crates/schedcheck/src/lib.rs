@@ -34,7 +34,8 @@
 //! `repolint` enforces source-level conventions (no raw `std::sync`
 //! primitives outside the sync layer, no `.unwrap()`/`.expect()` in library
 //! code, `// SAFETY:` on every `unsafe`, no `let _ =` on the `Result` of a
-//! communication call).
+//! communication call, no per-chunk `comm.send(` loops in the broadcast hot
+//! path now that the vectored fabric coalesces them).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,5 +47,5 @@ pub mod lint;
 pub mod models;
 pub mod mutate;
 
-pub use analysis::{check, Report, Semantics};
+pub use analysis::{check, reconcile_traffic, Reconciliation, Report, Semantics};
 pub use explore::{explore, Model, Stats, Step, DEFAULT_MAX_STATES};

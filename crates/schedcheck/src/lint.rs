@@ -23,6 +23,13 @@
 //!    hang. Deliberate exceptions (e.g. best-effort acks to a dead peer)
 //!    must match on the error instead, or carry a
 //!    `// lint: allow(ignored-comm-result)` marker.
+//! 5. [`check_per_chunk_send`] — broadcast hot-path files in `crates/core`
+//!    must not issue plain `comm.send(` calls inside a loop: since the
+//!    vectored fabric landed, per-chunk send loops to one destination pay an
+//!    envelope per iteration that `send_vectored` would coalesce into one.
+//!    Deliberate loops (the binomial scatter fans out to a *different* child
+//!    per iteration; the plain tuned ring is the uncoalesced baseline by
+//!    definition) carry a `// lint: allow(per-chunk-send)` marker.
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -198,6 +205,63 @@ pub fn check_ignored_comm_result(path: &str, content: &str) -> Vec<LintHit> {
     hits
 }
 
+/// Broadcast hot-path files: the scatter-ring pipeline the paper tunes and
+/// its coalescing layer. Everything here is on the envelope-count critical
+/// path, so per-chunk send loops are held to the vectored-fabric standard.
+fn is_bcast_hot_path(path: &str) -> bool {
+    const HOT: [&str; 5] = [
+        "crates/core/src/scatter.rs",
+        "crates/core/src/ring.rs",
+        "crates/core/src/ring_tuned.rs",
+        "crates/core/src/coalesce.rs",
+        "crates/core/src/bcast.rs",
+    ];
+    HOT.contains(&path)
+}
+
+/// Rule 5: a plain `comm.send(` inside any loop body of a broadcast hot-path
+/// file. Tracks brace depth line-by-line (rustfmt puts the loop's `{` on the
+/// header line everywhere in this repo); test modules are exempt (same
+/// scoping as [`check_panics`]). A `// lint: allow(per-chunk-send)` marker
+/// on the same or the preceding line waives a documented, deliberate loop.
+pub fn check_per_chunk_send(path: &str, content: &str) -> Vec<LintHit> {
+    if !is_bcast_hot_path(path) {
+        return Vec::new();
+    }
+    let body = match content.find("#[cfg(test)]") {
+        Some(i) => &content[..i],
+        None => content,
+    };
+    let mut hits = Vec::new();
+    let mut depth = 0isize;
+    // Brace depths at which a loop body opened; non-empty ⇒ inside a loop.
+    let mut loop_depths: Vec<isize> = Vec::new();
+    let mut prev: &str = "";
+    for (i, line) in body.lines().enumerate() {
+        let code = code_part(line);
+        let trimmed = code.trim_start();
+        let header = trimmed.starts_with("for ")
+            || trimmed.starts_with("while ")
+            || trimmed.starts_with("loop ")
+            || trimmed == "loop";
+        if header && code.contains('{') {
+            loop_depths.push(depth + 1);
+        }
+        let in_loop = !loop_depths.is_empty();
+        let allowed = line.contains("lint: allow(per-chunk-send)")
+            || prev.contains("lint: allow(per-chunk-send)");
+        if in_loop && code.contains("comm.send(") && !allowed {
+            hits.push(hit(path, i, "per-chunk-send", line));
+        }
+        depth += code.matches('{').count() as isize - code.matches('}').count() as isize;
+        while loop_depths.last().is_some_and(|&d| depth < d) {
+            loop_depths.pop();
+        }
+        prev = line;
+    }
+    hits
+}
+
 /// Run every rule over one file.
 pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     // The linter's own source holds the trigger patterns as string
@@ -210,6 +274,7 @@ pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     hits.extend(check_panics(path, content));
     hits.extend(check_unsafe(path, content));
     hits.extend(check_ignored_comm_result(path, content));
+    hits.extend(check_per_chunk_send(path, content));
     hits
 }
 
@@ -276,6 +341,38 @@ mod tests {
         let waived = "// lint: allow(ignored-comm-result) — best-effort wakeup\n\
                       let _ = comm.send(&[], 1, Tag(0));\n";
         assert!(check_ignored_comm_result("crates/core/src/x.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn per_chunk_send_rule_scoping_and_waiver() {
+        let looped =
+            "fn f() {\n    for i in 1..size {\n        comm.send(&buf[r], right, T)?;\n    }\n}\n";
+        assert_eq!(check_per_chunk_send("crates/core/src/ring_tuned.rs", looped).len(), 1);
+        // Only the broadcast hot path is held to the vectored standard.
+        assert!(check_per_chunk_send("crates/core/src/reduce.rs", looped).is_empty());
+        assert!(check_per_chunk_send("crates/mpsim/src/thread_comm.rs", looped).is_empty());
+        let waived = "fn f() {\n    while mask > 0 {\n        \
+                      // lint: allow(per-chunk-send) — distinct child per step\n        \
+                      comm.send(&buf[r], dst, T)?;\n    }\n}\n";
+        assert!(check_per_chunk_send("crates/core/src/scatter.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn per_chunk_send_outside_loops_and_in_tests_is_fine() {
+        let straight = "fn f() {\n    comm.send(&buf, right, T)?;\n}\n";
+        assert!(check_per_chunk_send("crates/core/src/ring_tuned.rs", straight).is_empty());
+        // After a loop closes, a send at function depth no longer matches.
+        let after = "fn f() {\n    for i in 0..n {\n        work();\n    }\n    \
+                     comm.send(&buf, right, T)?;\n}\n";
+        assert!(check_per_chunk_send("crates/core/src/ring_tuned.rs", after).is_empty());
+        let in_tests =
+            "fn f() {}\n#[cfg(test)]\nmod t {\n    fn g() {\n        for i in 0..2 {\n            \
+             comm.send(&b, 1, T).unwrap();\n        }\n    }\n}\n";
+        assert!(check_per_chunk_send("crates/core/src/ring_tuned.rs", in_tests).is_empty());
+        // Vectored calls are the fix, not a violation.
+        let vectored = "fn f() {\n    for u in units {\n        \
+                        comm.send_vectored(buf, &u, right, T)?;\n    }\n}\n";
+        assert!(check_per_chunk_send("crates/core/src/coalesce.rs", vectored).is_empty());
     }
 
     #[test]

@@ -28,6 +28,12 @@ for features in "${feature_legs[@]}"; do
   run cargo test -q --workspace --offline $features
   # shellcheck disable=SC2086
   run cargo clippy --workspace --all-targets --offline $features -- -D warnings
+  # Envelope-coalescing smoke: the bench itself asserts byte- and
+  # message-identical traffic between the per-chunk and coalesced
+  # policies, so running it is a correctness gate for the vectored
+  # fabric under every lock backend.
+  # shellcheck disable=SC2086
+  run cargo bench -q -p bcast-bench --bench ring_coalesce --offline $features -- --quick
 done
 
 run cargo bench --workspace --offline -- --help >/dev/null

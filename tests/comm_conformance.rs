@@ -12,10 +12,20 @@
 //! faults injected by `netsim::FaultyComm` — again on both executors. The
 //! fault plan is seeded from `TESTKIT_SEED` when set, so a failing run
 //! replays bit-identically.
+//!
+//! A third battery pins the vectored-I/O surface: wire-format equivalence
+//! between plain and vectored transfers (a single-span `send_vectored` is
+//! indistinguishable from `send`; either side may be plain while the other
+//! is vectored), empty segment lists as zero-byte messages, fail-fast
+//! rejection of overlapping spans, and full-duplex `sendrecv_vectored`
+//! exchange — on both executors and under the simulator's rendezvous
+//! regime, where the combined call is the only deadlock-free shape.
 
 use std::time::Duration;
 
-use mpsim::{CommError, Communicator, NonBlocking, ReliableComm, RetryConfig, Tag, ThreadWorld};
+use mpsim::{
+    CommError, Communicator, IoSpan, NonBlocking, ReliableComm, RetryConfig, Tag, ThreadWorld,
+};
 use netsim::{FaultPlan, FaultyComm, LinkFaults, NetworkModel, Placement, SimWorld};
 
 const WORLD: usize = 6;
@@ -136,6 +146,105 @@ fn conformance_battery<C: Communicator + NonBlocking>(comm: &C) {
     comm.barrier().unwrap();
 }
 
+/// The vectored-I/O battery. Every exchange is either pairwise one-way
+/// (`me ^ 1` — `WORLD` is even) or a combined `sendrecv_vectored`, so the
+/// battery is rendezvous-safe and runs verbatim under every regime.
+fn vectored_battery<C: Communicator>(comm: &C) {
+    assert_eq!(comm.size(), WORLD);
+    let me = comm.rank();
+    let partner = me ^ 1;
+
+    // --- wire format: a k-span envelope is the concatenation of its
+    // segments in list order, with no framing — so plain and vectored calls
+    // are freely mixable per direction.
+    let src: Vec<u8> = (0..32u8).collect();
+    if me.is_multiple_of(2) {
+        comm.send_vectored(&src, &[IoSpan::new(24, 4), IoSpan::new(4, 3)], partner, Tag(60))
+            .unwrap();
+        // single segment ≡ plain send: the receiver uses plain recv…
+        comm.send_vectored(&src, &[IoSpan::new(3, 5)], partner, Tag(61)).unwrap();
+        // …and a plain send scatters fine at the receiver.
+        comm.send(&src[10..16], partner, Tag(62)).unwrap();
+        // empty segment list = a real zero-byte message.
+        comm.send_vectored(&src, &[], partner, Tag(63)).unwrap();
+    } else {
+        let mut buf = [0u8; 7];
+        assert_eq!(comm.recv(&mut buf, partner, Tag(60)).unwrap(), 7);
+        assert_eq!(buf[..4], src[24..28]);
+        assert_eq!(buf[4..], src[4..7]);
+        let mut plain = [0u8; 5];
+        assert_eq!(comm.recv(&mut plain, partner, Tag(61)).unwrap(), 5);
+        assert_eq!(plain[..], src[3..8]);
+        let mut scat = [0xEEu8; 12];
+        let n = comm
+            .recv_scattered(&mut scat, &[IoSpan::new(9, 3), IoSpan::new(0, 3)], partner, Tag(62))
+            .unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(scat[9..12], src[10..13]);
+        assert_eq!(scat[..3], src[13..16]);
+        assert_eq!(scat[3..9], [0xEE; 6], "bytes outside the spans must stay untouched");
+        let mut keep = [0xAAu8; 4];
+        assert_eq!(comm.recv_scattered(&mut keep, &[], partner, Tag(63)).unwrap(), 0);
+        assert_eq!(keep, [0xAA; 4], "zero-byte scatter must write nothing");
+    }
+    comm.barrier().unwrap();
+
+    // --- span validation fails fast, before any traffic moves (no peer is
+    // listening on Tag(64); reaching the barrier proves nothing was sent).
+    let mut buf = [0u8; 16];
+    let overlap = [IoSpan::new(0, 4), IoSpan::new(2, 4)];
+    assert!(matches!(
+        comm.send_vectored(&buf, &overlap, partner, Tag(64)).unwrap_err(),
+        CommError::SpanOverlap { .. }
+    ));
+    assert!(matches!(
+        comm.recv_scattered(&mut buf, &overlap, partner, Tag(64)).unwrap_err(),
+        CommError::SpanOverlap { .. }
+    ));
+    // The send and receive lists of one combined call must also be
+    // mutually disjoint — they alias the same buffer.
+    assert!(matches!(
+        comm.sendrecv_vectored(
+            &mut buf,
+            &[IoSpan::new(0, 8)],
+            partner,
+            Tag(64),
+            &[IoSpan::new(4, 8)],
+            partner,
+            Tag(64),
+        )
+        .unwrap_err(),
+        CommError::SpanOverlap { .. }
+    ));
+    assert!(matches!(
+        comm.send_vectored(&buf, &[IoSpan::new(12, 8)], partner, Tag(64)).unwrap_err(),
+        CommError::OutOfBounds { .. }
+    ));
+    comm.barrier().unwrap();
+
+    // --- full-duplex vectored exchange around the ring: each rank forwards
+    // two quarters of its buffer while absorbing the left neighbor's —
+    // the coalescing ring's inner step, safe under rendezvous.
+    let right = mpsim::ring_right(me, WORLD);
+    let left = mpsim::ring_left(me, WORLD);
+    let mut ring = [0u8; 16];
+    ring[..8].fill(me as u8);
+    let n = comm
+        .sendrecv_vectored(
+            &mut ring,
+            &[IoSpan::new(0, 4), IoSpan::new(4, 4)],
+            right,
+            Tag(65),
+            &[IoSpan::new(8, 4), IoSpan::new(12, 4)],
+            left,
+            Tag(65),
+        )
+        .unwrap();
+    assert_eq!(n, 8);
+    assert!(ring[8..].iter().all(|&b| b == left as u8), "ring exchange delivered wrong payload");
+    comm.barrier().unwrap();
+}
+
 /// The fault battery: timeout semantics on the bare communicator, then
 /// `ReliableComm` over `FaultyComm` under seeded drop, duplication, and
 /// delay faults. Requires an eagerly-delivering transport (`FaultyComm`'s
@@ -213,11 +322,59 @@ fn fault_battery<C: Communicator>(comm: &C, seed: u64) {
         }
         comm.barrier().unwrap();
     }
+
+    // --- vectored passthrough: the retry protocol frames a k-span envelope
+    // exactly like a plain payload (one sequence number, one fault decision,
+    // one ACK), so seeded faults are masked for vectored traffic too.
+    let plan = FaultPlan::new(seed ^ 0x5EED_10C4).with_default(LinkFaults {
+        drop_ppm: 120_000,
+        dup_ppm: 150_000,
+        delay_ppm: 150_000,
+    });
+    let faulty = FaultyComm::new(comm, plan);
+    let rc = ReliableComm::with_config(&faulty, retry);
+    let vtag = Tag(144);
+    let mut ring = [0u8; 8];
+    for round in 0..6u8 {
+        ring[..4].copy_from_slice(&[me as u8, round, 0x55, 0xAA]);
+        let n = rc
+            .sendrecv_vectored(
+                &mut ring,
+                &[IoSpan::new(0, 2), IoSpan::new(2, 2)],
+                right,
+                vtag,
+                &[IoSpan::new(4, 2), IoSpan::new(6, 2)],
+                left,
+                vtag,
+            )
+            .unwrap_or_else(|e| panic!("vectored: rank {me} round {round}: {e:?}"));
+        assert_eq!(n, 4);
+        assert_eq!(ring[4..], [left as u8, round, 0x55, 0xAA], "vectored stream corrupted");
+    }
+    comm.barrier().unwrap();
 }
 
 #[test]
 fn threaded_backend_conforms() {
     ThreadWorld::run(WORLD, conformance_battery);
+}
+
+#[test]
+fn threaded_backend_vectored_conforms() {
+    ThreadWorld::run(WORLD, vectored_battery);
+}
+
+#[test]
+fn simulated_backend_vectored_conforms_rendezvous() {
+    let model = NetworkModel::uniform(50.0, 1.0);
+    SimWorld::run(model, Placement::new(4), WORLD, vectored_battery);
+}
+
+#[test]
+fn simulated_backend_vectored_conforms_eager() {
+    let mut model = NetworkModel::uniform(50.0, 1.0);
+    model.eager_threshold = usize::MAX;
+    SimWorld::run(model, Placement::new(2), WORLD, vectored_battery);
 }
 
 #[test]
