@@ -1,9 +1,12 @@
 //! Micro-benchmarks of the pure algorithmic kernels: the tuned ring's
-//! (step, flag) computation, the analytic traffic model, and the simulator's
-//! reservation timeline — the hot non-communication paths of the library.
+//! (step, flag) computation, the analytic traffic model, the simulator's
+//! reservation timeline, and the discrete-event executor's broadcast hot
+//! path — all single-threaded, so their medians are stable under --quick.
 
 use bcast_core::traffic::{bcast_volume, tuned_ring_msgs};
-use bcast_core::{step_flag, Algorithm};
+use bcast_core::{
+    bcast_coalesced_event_world, bcast_event_world, step_flag, Algorithm, CoalescePolicy,
+};
 use netsim::Timeline;
 use std::hint::black_box;
 use testkit::bench::Harness;
@@ -57,4 +60,33 @@ fn bench_timeline(h: &mut Harness) {
     });
 }
 
-testkit::bench_main!(bench_step_flag, bench_traffic_model, bench_timeline);
+fn bench_event_world_hotpath(h: &mut Harness) {
+    // A full broadcast on the event executor: reactor scheduling, mailbox
+    // traffic, and pooled envelopes, but zero thread spawns — one measured
+    // world is one complete collective, so the median tracks the per-message
+    // overhead of the event loop itself.
+    let mut group = h.group("event_world_hotpath");
+    for &p in &[8usize, 32] {
+        group.bench(&format!("tuned_bcast/{p}"), |b| {
+            b.iter(|| {
+                bcast_event_world(black_box(p), 2048, 0, Algorithm::ScatterRingTuned)
+                    .traffic
+                    .total_msgs()
+            })
+        });
+    }
+    group.bench("coalesced_bcast/32", |b| {
+        b.iter(|| {
+            bcast_coalesced_event_world(black_box(32), 2048, 0, CoalescePolicy::unlimited())
+                .traffic
+                .total_envelopes()
+        })
+    });
+}
+
+testkit::bench_main!(
+    bench_step_flag,
+    bench_traffic_model,
+    bench_timeline,
+    bench_event_world_hotpath
+);

@@ -1,4 +1,4 @@
-//! Model-level ablation study (DESIGN.md §7): which mechanisms turn the
+//! Model-level ablation study (DESIGN.md §8): which mechanisms turn the
 //! tuned ring's *message* savings into *time* savings?
 //!
 //! For a fixed workload (np=16 intra-node and np=48 two-node, 1 MiB), toggle

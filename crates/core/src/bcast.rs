@@ -11,15 +11,16 @@
 //!   process-count thresholds ([`Thresholds`]), optionally substituting the
 //!   tuned ring wherever the native ring would run.
 
-use mpsim::{is_pof2, Communicator, Rank, Result};
+use mpsim::{complete_now, is_pof2, AsyncCommunicator, Communicator, Rank, Result, SyncComm};
 
-use crate::binomial::{append_binomial_ops, bcast_binomial};
-use crate::rd_allgather::{append_rd_ops, rd_allgather};
-use crate::ring::{append_native_ring_ops, ring_allgather_native};
+use crate::binomial::{append_binomial_ops, bcast_binomial_async};
+use crate::rd_allgather::{append_rd_ops, rd_allgather_async};
+use crate::ring::{append_native_ring_ops, ring_allgather_native_async};
 use crate::ring_tuned::{
-    append_tuned_ring_ops, append_tuned_ring_ops_with, ring_allgather_tuned, Endpoint,
+    append_tuned_ring_ops, append_tuned_ring_ops_with, ring_allgather_tuned_async,
+    ring_allgather_tuned_root_async, Endpoint,
 };
-use crate::scatter::{append_scatter_ops, binomial_scatter};
+use crate::scatter::{append_scatter_ops, binomial_scatter_async, binomial_scatter_root_async};
 use crate::schedule::{Schedule, ScheduleSource};
 
 /// MPICH3's broadcast switching thresholds (`MPIR_CVAR_BCAST_*`), in bytes.
@@ -101,15 +102,33 @@ pub fn select_algorithm(nbytes: usize, size: usize, th: &Thresholds, tuned: bool
 /// `MPI_Bcast_native`: binomial scatter followed by the enclosed ring
 /// allgather — MPICH3's long-message / medium-npof2 broadcast.
 pub fn bcast_native(comm: &(impl Communicator + ?Sized), buf: &mut [u8], root: Rank) -> Result<()> {
-    binomial_scatter(comm, buf, root)?;
-    ring_allgather_native(comm, buf, root)
+    complete_now(bcast_native_async(&SyncComm::new(comm), buf, root))
+}
+
+/// Async core of [`bcast_native`] over any [`AsyncCommunicator`].
+pub async fn bcast_native_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
+    binomial_scatter_async(comm, buf, root).await?;
+    ring_allgather_native_async(comm, buf, root).await
 }
 
 /// `MPI_Bcast_opt`: binomial scatter followed by the **tuned** ring
 /// allgather — the paper's bandwidth-saving broadcast.
 pub fn bcast_opt(comm: &(impl Communicator + ?Sized), buf: &mut [u8], root: Rank) -> Result<()> {
-    binomial_scatter(comm, buf, root)?;
-    ring_allgather_tuned(comm, buf, root)
+    complete_now(bcast_opt_async(&SyncComm::new(comm), buf, root))
+}
+
+/// Async core of [`bcast_opt`] over any [`AsyncCommunicator`].
+pub async fn bcast_opt_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
+    binomial_scatter_async(comm, buf, root).await?;
+    ring_allgather_tuned_async(comm, buf, root).await
 }
 
 /// Root-side [`bcast_opt`] over an **immutable** source: the root only ever
@@ -118,8 +137,17 @@ pub fn bcast_opt(comm: &(impl Communicator + ?Sized), buf: &mut [u8], root: Rank
 /// broadcast straight from a shared slice instead of a defensive clone.
 /// Non-root ranks keep calling [`bcast_opt`].
 pub fn bcast_opt_root(comm: &(impl Communicator + ?Sized), src: &[u8], root: Rank) -> Result<()> {
-    crate::scatter::binomial_scatter_root(comm, src, root)?;
-    crate::ring_tuned::ring_allgather_tuned_root(comm, src, root)
+    complete_now(bcast_opt_root_async(&SyncComm::new(comm), src, root))
+}
+
+/// Async core of [`bcast_opt_root`] over any [`AsyncCommunicator`].
+pub async fn bcast_opt_root_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    src: &[u8],
+    root: Rank,
+) -> Result<()> {
+    binomial_scatter_root_async(comm, src, root).await?;
+    ring_allgather_tuned_root_async(comm, src, root).await
 }
 
 /// Binomial-tree broadcast (MPICH3's short-message path).
@@ -128,7 +156,7 @@ pub fn bcast_binomial_tree(
     buf: &mut [u8],
     root: Rank,
 ) -> Result<()> {
-    bcast_binomial(comm, buf, root)
+    complete_now(bcast_binomial_async(&SyncComm::new(comm), buf, root))
 }
 
 /// Binomial scatter + recursive-doubling allgather (MPICH3's medium-message
@@ -138,8 +166,17 @@ pub fn bcast_scatter_rd(
     buf: &mut [u8],
     root: Rank,
 ) -> Result<()> {
-    binomial_scatter(comm, buf, root)?;
-    rd_allgather(comm, buf, root)
+    complete_now(bcast_scatter_rd_async(&SyncComm::new(comm), buf, root))
+}
+
+/// Async core of [`bcast_scatter_rd`] over any [`AsyncCommunicator`].
+pub async fn bcast_scatter_rd_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
+    binomial_scatter_async(comm, buf, root).await?;
+    rd_allgather_async(comm, buf, root).await
 }
 
 /// Run one specific [`Algorithm`].
@@ -149,11 +186,22 @@ pub fn bcast_with(
     root: Rank,
     algorithm: Algorithm,
 ) -> Result<()> {
+    complete_now(bcast_with_async(&SyncComm::new(comm), buf, root, algorithm))
+}
+
+/// Async core of [`bcast_with`]: dispatch one [`Algorithm`] over any
+/// [`AsyncCommunicator`] — the entry point event-world launches use.
+pub async fn bcast_with_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+    algorithm: Algorithm,
+) -> Result<()> {
     match algorithm {
-        Algorithm::Binomial => bcast_binomial_tree(comm, buf, root),
-        Algorithm::ScatterRdAllgather => bcast_scatter_rd(comm, buf, root),
-        Algorithm::ScatterRingNative => bcast_native(comm, buf, root),
-        Algorithm::ScatterRingTuned => bcast_opt(comm, buf, root),
+        Algorithm::Binomial => bcast_binomial_async(comm, buf, root).await,
+        Algorithm::ScatterRdAllgather => bcast_scatter_rd_async(comm, buf, root).await,
+        Algorithm::ScatterRingNative => bcast_native_async(comm, buf, root).await,
+        Algorithm::ScatterRingTuned => bcast_opt_async(comm, buf, root).await,
     }
 }
 
@@ -169,8 +217,19 @@ pub fn bcast_auto(
     th: &Thresholds,
     tuned: bool,
 ) -> Result<()> {
+    complete_now(bcast_auto_async(&SyncComm::new(comm), buf, root, th, tuned))
+}
+
+/// Async core of [`bcast_auto`] over any [`AsyncCommunicator`].
+pub async fn bcast_auto_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+    th: &Thresholds,
+    tuned: bool,
+) -> Result<()> {
     let algorithm = select_algorithm(buf.len(), comm.size(), th, tuned);
-    bcast_with(comm, buf, root, algorithm)
+    bcast_with_async(comm, buf, root, algorithm).await
 }
 
 impl Algorithm {

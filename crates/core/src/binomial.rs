@@ -6,13 +6,27 @@
 //! bandwidth for large ones (every transfer carries all `nbytes`), which is
 //! why MPICH switches to scatter-based algorithms past 12 KiB.
 
-use mpsim::{absolute_rank, relative_rank, Communicator, Rank, Result, Tag};
+use mpsim::{
+    absolute_rank, complete_now, relative_rank, AsyncCommunicator, Communicator, Rank, Result,
+    SyncComm, Tag,
+};
 
 use crate::schedule::{Loc, Schedule};
 
 /// Broadcast `buf` from `root` to every rank via a binomial tree.
 pub fn bcast_binomial(
     comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
+    complete_now(bcast_binomial_async(&SyncComm::new(comm), buf, root))
+}
+
+/// Async core of [`bcast_binomial`]: the same tree walk over any
+/// [`AsyncCommunicator`] — run natively by the event executor, driven
+/// through [`SyncComm`] by the blocking backends.
+pub async fn bcast_binomial_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
     buf: &mut [u8],
     root: Rank,
 ) -> Result<()> {
@@ -29,7 +43,7 @@ pub fn bcast_binomial(
     while mask < size {
         if relative & mask != 0 {
             let src = absolute_rank(relative - mask, root, size);
-            comm.recv(buf, src, Tag::BCAST)?;
+            comm.recv(buf, src, Tag::BCAST).await?;
             break;
         }
         mask <<= 1;
@@ -40,7 +54,7 @@ pub fn bcast_binomial(
     while mask > 0 {
         if relative + mask < size {
             let dst = absolute_rank(relative + mask, root, size);
-            comm.send(buf, dst, Tag::BCAST)?;
+            comm.send(buf, dst, Tag::BCAST).await?;
         }
         mask >>= 1;
     }

@@ -33,12 +33,15 @@
 //! degenerates to one envelope per sub-chunk — the per-chunk baseline the
 //! `ring_coalesce` benchmark compares against.
 
-use mpsim::{relative_rank, ring_left, ring_right, Communicator, IoSpan, Rank, Result, Tag};
+use mpsim::{
+    complete_now, relative_rank, ring_left, ring_right, AsyncCommunicator, Communicator, IoSpan,
+    Rank, Result, SyncComm, Tag,
+};
 
 use crate::chunks::ChunkLayout;
 use crate::ring::ring_step_chunks;
 use crate::ring_tuned::{step_flag, Endpoint};
-use crate::scatter::{binomial_scatter, binomial_scatter_root};
+use crate::scatter::{binomial_scatter_async, binomial_scatter_root_async};
 
 /// Tuning knobs of the coalescing ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,13 +142,13 @@ fn tail_merge(
 }
 
 /// Receive one envelope's spans from `src`.
-fn recv_unit(
-    comm: &(impl Communicator + ?Sized),
+async fn recv_unit<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
     buf: &mut [u8],
     unit: &[IoSpan],
     src: Rank,
 ) -> Result<()> {
-    comm.recv_scattered(buf, unit, src, Tag::ALLGATHER)?;
+    comm.recv_scattered(buf, unit, src, Tag::ALLGATHER).await?;
     Ok(())
 }
 
@@ -160,6 +163,18 @@ fn recv_unit(
 /// `max_envelope` at 0 or `usize::MAX` so every step stays fully paired).
 pub fn ring_allgather_tuned_coalesced(
     comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+    policy: &CoalescePolicy,
+) -> Result<()> {
+    complete_now(ring_allgather_tuned_coalesced_async(&SyncComm::new(comm), buf, root, policy))
+}
+
+/// Async core of [`ring_allgather_tuned_coalesced`]: the identical
+/// envelope-planning walk over any [`AsyncCommunicator`] — run natively by
+/// the event executor, driven through [`SyncComm`] by the blocking backends.
+pub async fn ring_allgather_tuned_coalesced_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
     buf: &mut [u8],
     root: Rank,
     policy: &CoalescePolicy,
@@ -221,23 +236,24 @@ pub fn ring_allgather_tuned_coalesced(
                         &ru[j],
                         left,
                         Tag::ALLGATHER,
-                    )?;
+                    )
+                    .await?;
                 }
                 for unit in &su[paired..] {
-                    comm.send_vectored(buf, unit, right, Tag::ALLGATHER)?;
+                    comm.send_vectored(buf, unit, right, Tag::ALLGATHER).await?;
                 }
                 for unit in &ru[paired..] {
-                    recv_unit(comm, buf, unit, left)?;
+                    recv_unit(comm, buf, unit, left).await?;
                 }
             }
             (Some(su), None) => {
                 for unit in &su {
-                    comm.send_vectored(buf, unit, right, Tag::ALLGATHER)?;
+                    comm.send_vectored(buf, unit, right, Tag::ALLGATHER).await?;
                 }
             }
             (None, Some(ru)) => {
                 for unit in &ru {
-                    recv_unit(comm, buf, unit, left)?;
+                    recv_unit(comm, buf, unit, left).await?;
                 }
             }
             (None, None) => {}
@@ -254,8 +270,19 @@ pub fn bcast_opt_coalesced(
     root: Rank,
     policy: &CoalescePolicy,
 ) -> Result<()> {
-    binomial_scatter(comm, buf, root)?;
-    ring_allgather_tuned_coalesced(comm, buf, root, policy)
+    complete_now(bcast_opt_coalesced_async(&SyncComm::new(comm), buf, root, policy))
+}
+
+/// Async core of [`bcast_opt_coalesced`] — see
+/// [`ring_allgather_tuned_coalesced_async`].
+pub async fn bcast_opt_coalesced_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+    policy: &CoalescePolicy,
+) -> Result<()> {
+    binomial_scatter_async(comm, buf, root).await?;
+    ring_allgather_tuned_coalesced_async(comm, buf, root, policy).await
 }
 
 /// Root-side [`bcast_opt_coalesced`]: the root only ever *reads* its buffer
@@ -266,7 +293,18 @@ pub fn bcast_opt_coalesced_root(
     root: Rank,
     policy: &CoalescePolicy,
 ) -> Result<()> {
-    binomial_scatter_root(comm, src, root)?;
+    complete_now(bcast_opt_coalesced_root_async(&SyncComm::new(comm), src, root, policy))
+}
+
+/// Async core of [`bcast_opt_coalesced_root`] — see
+/// [`ring_allgather_tuned_coalesced_async`].
+pub async fn bcast_opt_coalesced_root_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    src: &[u8],
+    root: Rank,
+    policy: &CoalescePolicy,
+) -> Result<()> {
+    binomial_scatter_root_async(comm, src, root).await?;
     let size = comm.size();
     if size == 1 {
         return Ok(());
@@ -275,12 +313,14 @@ pub fn bcast_opt_coalesced_root(
     // The root is rel 0 → (size, SendOnly): it degrades immediately and
     // every outbound chunk is already in `src`.
     match tail_merge(&layout, 0, size, size, Endpoint::SendOnly, policy) {
-        Some((_, spans)) => comm.send_vectored(src, &spans, ring_right(root, size), Tag::ALLGATHER),
+        Some((_, spans)) => {
+            comm.send_vectored(src, &spans, ring_right(root, size), Tag::ALLGATHER).await
+        }
         None => {
             for i in 1..size {
                 let (send_chunk, _) = ring_step_chunks(0, size, i);
                 for unit in chunk_units(&layout, send_chunk, policy) {
-                    comm.send_vectored(src, &unit, ring_right(root, size), Tag::ALLGATHER)?;
+                    comm.send_vectored(src, &unit, ring_right(root, size), Tag::ALLGATHER).await?;
                 }
             }
             Ok(())
@@ -314,6 +354,7 @@ pub fn coalesced_envelope_count(size: usize) -> u64 {
 mod tests {
     use super::*;
     use crate::ring_tuned::ring_allgather_tuned;
+    use crate::scatter::binomial_scatter;
     use mpsim::{ThreadWorld, WorldTraffic};
 
     fn pattern(n: usize) -> Vec<u8> {

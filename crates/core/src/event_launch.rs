@@ -1,0 +1,103 @@
+//! World-launch entry points for the discrete-event executor: build an
+//! [`EventWorld`] of `p` cooperative rank tasks, run one broadcast across it
+//! and hand back the [`WorldOutcome`] with its traffic counters.
+//!
+//! The thread-per-rank executors top out at a few dozen ranks (OS threads,
+//! stacks, context switches); the event executor schedules ranks as
+//! hand-rolled futures on one thread, which is what makes the paper's
+//! asymptotic claims checkable at cluster scale — `P = 256`, `1024`, `4096` —
+//! inside an ordinary CI job. Every launch verifies the delivered payload on
+//! every rank against the generator pattern before returning, so a returned
+//! outcome is already a correctness witness; callers then compare the
+//! counters against the closed forms in [`crate::traffic`].
+
+use mpsim::{AsyncCommunicator, EventWorld, Rank, WorldOutcome};
+
+use crate::bcast::{bcast_with_async, Algorithm};
+use crate::coalesce::{bcast_opt_coalesced_async, CoalescePolicy};
+use crate::verify::pattern;
+
+/// Payload generator seed of every event-world launch — the outcome is
+/// deterministic, so pinning the seed keeps repeated sweeps comparable.
+pub const EVENT_LAUNCH_SEED: u64 = 0xE7E1;
+
+/// Run one [`Algorithm`] as a full broadcast from `root` on an event world
+/// of `p` ranks over an `nbytes` payload.
+///
+/// Every rank's delivered buffer is asserted equal to the source pattern
+/// before its task exits; the returned outcome carries the measured traffic
+/// and the virtual-clock elapsed time.
+pub fn bcast_event_world(
+    p: usize,
+    nbytes: usize,
+    root: Rank,
+    algorithm: Algorithm,
+) -> WorldOutcome<()> {
+    let src = pattern(nbytes, EVENT_LAUNCH_SEED);
+    EventWorld::run(p, |comm| {
+        let src = src.clone();
+        async move {
+            let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+            // A failed broadcast must fail the launch loudly: the whole
+            // point of the sweep is the completed run. lint: allow(panic)
+            bcast_with_async(&comm, &mut buf, root, algorithm).await.expect("broadcast failed");
+            assert_eq!(buf, src, "rank {} diverged", comm.rank());
+        }
+    })
+}
+
+/// Run the coalescing `MPI_Bcast_opt` from `root` on an event world of `p`
+/// ranks over an `nbytes` payload — the envelope-count companion of
+/// [`bcast_event_world`].
+pub fn bcast_coalesced_event_world(
+    p: usize,
+    nbytes: usize,
+    root: Rank,
+    policy: CoalescePolicy,
+) -> WorldOutcome<()> {
+    let src = pattern(nbytes, EVENT_LAUNCH_SEED);
+    EventWorld::run(p, |comm| {
+        let src = src.clone();
+        async move {
+            let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+            bcast_opt_coalesced_async(&comm, &mut buf, root, &policy)
+                .await
+                // Same contract as `bcast_event_world`. lint: allow(panic)
+                .expect("coalesced broadcast failed");
+            assert_eq!(buf, src, "rank {} diverged", comm.rank());
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{bcast_volume, scatter_msgs};
+
+    #[test]
+    fn event_launch_matches_closed_forms_small() {
+        for &(p, nbytes) in &[(8usize, 4096usize), (10, 4096)] {
+            for algorithm in [Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned] {
+                let out = bcast_event_world(p, nbytes, 0, algorithm);
+                let vol = bcast_volume(algorithm, nbytes, p);
+                assert_eq!(out.traffic.total_msgs(), vol.msgs, "{algorithm:?} P={p}");
+                assert_eq!(out.traffic.total_bytes(), vol.bytes, "{algorithm:?} P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_event_launch_envelopes() {
+        for &p in &[8usize, 10] {
+            let out = bcast_coalesced_event_world(p, 4096, 0, CoalescePolicy::unlimited());
+            let expect = crate::coalesce::coalesced_envelope_count(p) + scatter_msgs(4096, p);
+            assert_eq!(out.traffic.total_envelopes(), expect, "P={p}");
+        }
+    }
+
+    #[test]
+    fn event_launch_nonzero_root() {
+        let out = bcast_event_world(10, 1000, 7, Algorithm::ScatterRingTuned);
+        assert_eq!(out.traffic.total_msgs(), 75 + 9);
+    }
+}

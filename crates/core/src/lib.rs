@@ -62,6 +62,7 @@ pub mod binomial;
 pub mod chunks;
 pub mod coalesce;
 pub mod dtype;
+pub mod event_launch;
 pub mod pipeline;
 pub mod rd_allgather;
 pub mod recovery;
@@ -77,14 +78,16 @@ pub mod varcount;
 pub mod verify;
 
 pub use bcast::{
-    bcast_auto, bcast_native, bcast_opt, bcast_opt_root, bcast_with, select_algorithm, Algorithm,
-    Regime, Thresholds,
+    bcast_auto, bcast_auto_async, bcast_native, bcast_native_async, bcast_opt, bcast_opt_async,
+    bcast_opt_root, bcast_opt_root_async, bcast_with, bcast_with_async, select_algorithm,
+    Algorithm, Regime, Thresholds,
 };
 pub use chunks::ChunkLayout;
 pub use coalesce::{
-    bcast_opt_coalesced, bcast_opt_coalesced_root, coalesced_envelope_count,
-    ring_allgather_tuned_coalesced, CoalescePolicy,
+    bcast_opt_coalesced, bcast_opt_coalesced_async, bcast_opt_coalesced_root,
+    coalesced_envelope_count, ring_allgather_tuned_coalesced, CoalescePolicy,
 };
+pub use event_launch::{bcast_coalesced_event_world, bcast_event_world, EVENT_LAUNCH_SEED};
 pub use recovery::{
     degraded_bcast_schedule, self_healing_bcast, self_healing_bcast_with, EpochComm, GuardedComm,
     Healed, RecoveryConfig,

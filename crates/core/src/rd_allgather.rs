@@ -12,7 +12,8 @@
 //! falls back to the ring); we mirror that contract and require `is_pof2(P)`.
 
 use mpsim::{
-    absolute_rank, is_pof2, relative_rank, split_send_recv, Communicator, Rank, Result, Tag,
+    absolute_rank, complete_now, is_pof2, relative_rank, split_send_recv, AsyncCommunicator,
+    Communicator, Rank, Result, SyncComm, Tag,
 };
 
 use crate::chunks::ChunkLayout;
@@ -26,6 +27,21 @@ use crate::schedule::{Loc, Schedule};
 /// Panics if `comm.size()` is not a power of two — callers (the broadcast
 /// selection logic) must route non-power-of-two worlds to the ring variants.
 pub fn rd_allgather(comm: &(impl Communicator + ?Sized), buf: &mut [u8], root: Rank) -> Result<()> {
+    complete_now(rd_allgather_async(&SyncComm::new(comm), buf, root))
+}
+
+/// Async core of [`rd_allgather`]: the identical mask walk over any
+/// [`AsyncCommunicator`] — run natively by the event executor, driven
+/// through [`SyncComm`] by the blocking backends.
+///
+/// # Panics
+///
+/// Panics if `comm.size()` is not a power of two, like the sync wrapper.
+pub async fn rd_allgather_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
     comm.check_rank(root)?;
     let size = comm.size();
     assert!(is_pof2(size), "recursive-doubling allgather requires a power-of-two world");
@@ -55,7 +71,7 @@ pub fn rd_allgather(comm: &(impl Communicator + ?Sized), buf: &mut [u8], root: R
 
         let (sbuf, rbuf) = split_send_recv(buf, send_start, curr_size, recv_start, recv_capacity)?;
         let received =
-            comm.sendrecv(sbuf, partner, Tag::ALLGATHER, rbuf, partner, Tag::ALLGATHER)?;
+            comm.sendrecv(sbuf, partner, Tag::ALLGATHER, rbuf, partner, Tag::ALLGATHER).await?;
         curr_size += received;
 
         mask <<= 1;

@@ -11,7 +11,8 @@
 //! total, the paper's "verbose data transmissions".
 
 use mpsim::{
-    relative_rank, ring_left, ring_right, split_send_recv, Communicator, Rank, Result, Tag,
+    complete_now, relative_rank, ring_left, ring_right, split_send_recv, AsyncCommunicator,
+    Communicator, Rank, Result, SyncComm, Tag,
 };
 
 use crate::chunks::ChunkLayout;
@@ -43,6 +44,17 @@ pub fn ring_allgather_native(
     buf: &mut [u8],
     root: Rank,
 ) -> Result<()> {
+    complete_now(ring_allgather_native_async(&SyncComm::new(comm), buf, root))
+}
+
+/// Async core of [`ring_allgather_native`]: the identical enclosed-ring walk
+/// over any [`AsyncCommunicator`] — run natively by the event executor,
+/// driven through [`SyncComm`] by the blocking backends.
+pub async fn ring_allgather_native_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
     comm.check_rank(root)?;
     let size = comm.size();
     if size == 1 {
@@ -65,7 +77,7 @@ pub fn ring_allgather_native(
             recv_range.start,
             recv_range.len(),
         )?;
-        comm.sendrecv(sbuf, right, Tag::ALLGATHER, rbuf, left, Tag::ALLGATHER)?;
+        comm.sendrecv(sbuf, right, Tag::ALLGATHER, rbuf, left, Tag::ALLGATHER).await?;
     }
     Ok(())
 }

@@ -21,8 +21,8 @@
 //! 90 → 75 for `P = 10`).
 
 use mpsim::{
-    ceil_pof2, relative_rank, ring_left, ring_right, split_send_recv, Communicator, Rank, Result,
-    Tag,
+    ceil_pof2, complete_now, relative_rank, ring_left, ring_right, split_send_recv,
+    AsyncCommunicator, Communicator, Rank, Result, SyncComm, Tag,
 };
 
 use crate::chunks::ChunkLayout;
@@ -86,6 +86,17 @@ pub fn ring_allgather_tuned(
     buf: &mut [u8],
     root: Rank,
 ) -> Result<()> {
+    complete_now(ring_allgather_tuned_async(&SyncComm::new(comm), buf, root))
+}
+
+/// Async core of [`ring_allgather_tuned`]: the identical `(step, flag)` walk
+/// over any [`AsyncCommunicator`] — run natively by the event executor,
+/// driven through [`SyncComm`] by the blocking backends.
+pub async fn ring_allgather_tuned_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
     comm.check_rank(root)?;
     let size = comm.size();
     if size == 1 {
@@ -111,16 +122,16 @@ pub fn ring_allgather_tuned(
                 recv_range.start,
                 recv_range.len(),
             )?;
-            comm.sendrecv(sbuf, right, Tag::ALLGATHER, rbuf, left, Tag::ALLGATHER)?;
+            comm.sendrecv(sbuf, right, Tag::ALLGATHER, rbuf, left, Tag::ALLGATHER).await?;
         } else {
             match flag {
                 Endpoint::RecvOnly => {
-                    comm.recv(&mut buf[recv_range], left, Tag::ALLGATHER)?;
+                    comm.recv(&mut buf[recv_range], left, Tag::ALLGATHER).await?;
                 }
                 Endpoint::SendOnly => {
                     // This *is* the uncoalesced baseline; the merged-tail
                     // variant lives in `coalesce`. lint: allow(per-chunk-send)
-                    comm.send(&buf[send_range], right, Tag::ALLGATHER)?;
+                    comm.send(&buf[send_range], right, Tag::ALLGATHER).await?;
                 }
             }
         }
@@ -141,6 +152,16 @@ pub fn ring_allgather_tuned_root(
     src: &[u8],
     root: Rank,
 ) -> Result<()> {
+    complete_now(ring_allgather_tuned_root_async(&SyncComm::new(comm), src, root))
+}
+
+/// Async core of [`ring_allgather_tuned_root`] — see
+/// [`ring_allgather_tuned_async`].
+pub async fn ring_allgather_tuned_root_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    src: &[u8],
+    root: Rank,
+) -> Result<()> {
     comm.check_rank(root)?;
     assert_eq!(comm.rank(), root, "ring_allgather_tuned_root must run on the root rank");
     let size = comm.size();
@@ -153,7 +174,7 @@ pub fn ring_allgather_tuned_root(
         let (send_chunk, _) = ring_step_chunks(0, size, i);
         // Per-step pacing mirrors the mutable tuned ring;
         // `bcast_opt_coalesced_root` is the one-envelope form. lint: allow(per-chunk-send)
-        comm.send(&src[layout.range(send_chunk)], right, Tag::ALLGATHER)?;
+        comm.send(&src[layout.range(send_chunk)], right, Tag::ALLGATHER).await?;
     }
     Ok(())
 }

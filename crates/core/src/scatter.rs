@@ -12,7 +12,10 @@
 //! That ownership interval is exactly what the tuned ring allgather's
 //! `(step, flag)` computation relies on — see [`crate::ring_tuned`].
 
-use mpsim::{absolute_rank, relative_rank, Communicator, Rank, Result, Tag};
+use mpsim::{
+    absolute_rank, complete_now, relative_rank, AsyncCommunicator, Communicator, Rank, Result,
+    SyncComm, Tag,
+};
 
 use crate::chunks::ChunkLayout;
 use crate::schedule::{Loc, Schedule};
@@ -48,6 +51,17 @@ pub fn binomial_scatter(
     buf: &mut [u8],
     root: Rank,
 ) -> Result<usize> {
+    complete_now(binomial_scatter_async(&SyncComm::new(comm), buf, root))
+}
+
+/// Async core of [`binomial_scatter`]: the identical tree walk over any
+/// [`AsyncCommunicator`] — the event executor polls it natively, while the
+/// blocking backends drive it to completion through [`SyncComm`].
+pub async fn binomial_scatter_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<usize> {
     comm.check_rank(root)?;
     let size = comm.size();
     let rank = comm.rank();
@@ -69,7 +83,7 @@ pub fn binomial_scatter(
                 // Message shorter than P chunks: nothing addressed to us.
                 curr_size = 0;
             } else {
-                curr_size = comm.recv(&mut buf[disp..], src, Tag::SCATTER)?;
+                curr_size = comm.recv(&mut buf[disp..], src, Tag::SCATTER).await?;
             }
             break;
         }
@@ -92,7 +106,7 @@ pub fn binomial_scatter(
                 let disp = ((relative + mask) * scatter_size).min(nbytes);
                 // Each iteration targets a *different* child of the
                 // binomial tree; nothing to coalesce. lint: allow(per-chunk-send)
-                comm.send(&buf[disp..disp + send_size], dst, Tag::SCATTER)?;
+                comm.send(&buf[disp..disp + send_size], dst, Tag::SCATTER).await?;
                 curr_size -= send_size;
             }
         }
@@ -111,6 +125,15 @@ pub fn binomial_scatter(
 /// bytes, matching the mutable variant.
 pub fn binomial_scatter_root(
     comm: &(impl Communicator + ?Sized),
+    src: &[u8],
+    root: Rank,
+) -> Result<usize> {
+    complete_now(binomial_scatter_root_async(&SyncComm::new(comm), src, root))
+}
+
+/// Async core of [`binomial_scatter_root`] — see [`binomial_scatter_async`].
+pub async fn binomial_scatter_root_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
     src: &[u8],
     root: Rank,
 ) -> Result<usize> {
@@ -133,7 +156,7 @@ pub fn binomial_scatter_root(
                 let disp = (mask * scatter_size).min(nbytes);
                 // Each iteration targets a *different* child of the
                 // binomial tree; nothing to coalesce. lint: allow(per-chunk-send)
-                comm.send(&src[disp..disp + send_size], dst, Tag::SCATTER)?;
+                comm.send(&src[disp..disp + send_size], dst, Tag::SCATTER).await?;
                 curr_size -= send_size;
             }
         }

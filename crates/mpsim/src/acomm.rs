@@ -1,0 +1,412 @@
+//! Async mirror of the [`Communicator`] surface — the narrow waist between
+//! collective algorithms and the *event-loop* executor.
+//!
+//! The collectives in `bcast-core` are written once as `async` cores against
+//! [`AsyncCommunicator`]. On the cooperative single-threaded executor
+//! ([`EventWorld`](crate::event_comm::EventWorld)) the futures genuinely
+//! suspend; on the blocking backends ([`ThreadWorld`](crate::ThreadWorld),
+//! `netsim::SimWorld`) the same cores run through the [`SyncComm`] bridge,
+//! whose async methods complete on first poll because they forward to
+//! blocking calls. [`complete_now`] drives such a never-pending future to
+//! completion without any runtime, so the public blocking entry points keep
+//! their exact historical signatures and behaviour.
+//!
+//! No external async runtime is involved anywhere: the only machinery is
+//! `std::task` plus a no-op waker. See DESIGN.md §6 for why.
+
+use std::future::Future;
+use std::sync::{Arc, OnceLock};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use crate::comm::{Communicator, IoSpan};
+use crate::error::{CommError, Result};
+use crate::nonblocking::NonBlocking;
+use crate::rank::{Rank, Tag};
+
+/// Async counterpart of [`Communicator`]: identical contract (tag matching,
+/// non-overtaking per `(source, tag)`, truncation, exited-peer detection),
+/// with the blocking operations expressed as futures.
+///
+/// The trait is consumed only by this workspace's executors, all of which
+/// are either single-threaded or drive the future on the calling thread, so
+/// no `Send` bound is imposed on the returned futures.
+#[allow(async_fn_in_trait)]
+pub trait AsyncCommunicator {
+    /// This process's rank, in `0..size()`.
+    fn rank(&self) -> Rank;
+
+    /// Number of ranks in the world.
+    fn size(&self) -> usize;
+
+    /// Current time in nanoseconds on this backend's clock (virtual on the
+    /// event executor, wall-clock elapsed on the threaded one).
+    fn now_ns(&self) -> u64;
+
+    /// Validate that `rank` names a member of this world.
+    fn check_rank(&self, rank: Rank) -> Result<()> {
+        if rank < self.size() {
+            Ok(())
+        } else {
+            Err(CommError::InvalidRank { rank, size: self.size() })
+        }
+    }
+
+    /// Tagged send of `buf` to `dest` (may complete eagerly).
+    async fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()>;
+
+    /// Tagged receive from `src` into `buf`; resolves to the payload length.
+    async fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize>;
+
+    /// Deadline-bounded receive; fails with [`CommError::Timeout`] if no
+    /// matching message arrives within `timeout` on this backend's clock.
+    async fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<usize>;
+
+    /// Combined concurrent send+receive (MPI_Sendrecv). The default
+    /// send-then-receive chain is correct only for eager backends;
+    /// synchronous backends override it (see [`SyncComm`]).
+    async fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dest: Rank,
+        sendtag: Tag,
+        recvbuf: &mut [u8],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        self.send(sendbuf, dest, sendtag).await?;
+        self.recv(recvbuf, src, recvtag).await
+    }
+
+    /// Resolve once every rank in the world has entered the barrier.
+    async fn barrier(&self) -> Result<()>;
+
+    /// Gathering send of `spans` of `buf` as **one** envelope (see
+    /// [`Communicator::send_vectored`] for the wire contract).
+    async fn send_vectored(
+        &self,
+        buf: &[u8],
+        spans: &[IoSpan],
+        dest: Rank,
+        tag: Tag,
+    ) -> Result<()> {
+        let total = crate::comm::validate_spans(buf.len(), spans)?;
+        let mut tmp = Vec::with_capacity(total);
+        for s in spans {
+            tmp.extend_from_slice(&buf[s.range()]);
+        }
+        self.send(&tmp, dest, tag).await
+    }
+
+    /// Scattering receive of one envelope into `spans` of `buf` (see
+    /// [`Communicator::recv_scattered`] for the wire contract).
+    async fn recv_scattered(
+        &self,
+        buf: &mut [u8],
+        spans: &[IoSpan],
+        src: Rank,
+        tag: Tag,
+    ) -> Result<usize> {
+        let total = crate::comm::validate_spans(buf.len(), spans)?;
+        let mut tmp = vec![0u8; total];
+        let n = self.recv(&mut tmp, src, tag).await?;
+        Ok(crate::comm::scatter_spans(buf, spans, &tmp[..n]))
+    }
+
+    /// Combined concurrent vectored send + scattering receive over disjoint
+    /// span lists of the same buffer (see
+    /// [`Communicator::sendrecv_vectored`]).
+    #[allow(clippy::too_many_arguments)]
+    async fn sendrecv_vectored(
+        &self,
+        buf: &mut [u8],
+        send_spans: &[IoSpan],
+        dest: Rank,
+        sendtag: Tag,
+        recv_spans: &[IoSpan],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        crate::comm::validate_spans(buf.len(), send_spans)?;
+        crate::comm::validate_spans(buf.len(), recv_spans)?;
+        crate::comm::disjoint_span_lists(send_spans, recv_spans)?;
+        self.send_vectored(buf, send_spans, dest, sendtag).await?;
+        self.recv_scattered(buf, recv_spans, src, recvtag).await
+    }
+}
+
+/// Async counterpart of [`NonBlocking`]: the post half stays synchronous
+/// (posting never waits on any backend), only the wait half is a future.
+#[allow(async_fn_in_trait)]
+pub trait AsyncNonBlocking: AsyncCommunicator {
+    /// In-flight send handle.
+    type SendPending;
+    /// In-flight receive handle.
+    type RecvPending;
+
+    /// Start a send; the payload is captured immediately.
+    fn isend(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<Self::SendPending>;
+
+    /// Post a receive for up to `capacity` bytes from `src` with `tag`.
+    fn irecv(&self, capacity: usize, src: Rank, tag: Tag) -> Result<Self::RecvPending>;
+
+    /// Complete a send.
+    async fn wait_send(&self, pending: Self::SendPending) -> Result<()>;
+
+    /// Complete a receive, copying the payload into `buf` (at least the
+    /// posted capacity long) and resolving to its length.
+    async fn wait_recv(&self, pending: Self::RecvPending, buf: &mut [u8]) -> Result<usize>;
+}
+
+/// Bridge from the blocking [`Communicator`] world into the async trait:
+/// wraps a borrowed sync communicator and forwards every async method to the
+/// corresponding blocking call, which means every future it returns is ready
+/// on its first poll. Drive such futures with [`complete_now`].
+///
+/// Crucially, `sendrecv`/`sendrecv_vectored` forward to the sync trait's own
+/// implementations (not the async defaults), so rendezvous backends keep
+/// their genuinely concurrent exchange.
+pub struct SyncComm<'a, C: ?Sized>(&'a C);
+
+impl<'a, C: ?Sized> SyncComm<'a, C> {
+    /// Wrap a borrowed blocking communicator.
+    pub fn new(inner: &'a C) -> Self {
+        Self(inner)
+    }
+
+    /// The wrapped communicator.
+    pub fn inner(&self) -> &'a C {
+        self.0
+    }
+}
+
+impl<C: Communicator + ?Sized> AsyncCommunicator for SyncComm<'_, C> {
+    fn rank(&self) -> Rank {
+        self.0.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.0.size()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.0.now_ns()
+    }
+
+    fn check_rank(&self, rank: Rank) -> Result<()> {
+        self.0.check_rank(rank)
+    }
+
+    async fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
+        self.0.send(buf, dest, tag)
+    }
+
+    async fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
+        self.0.recv(buf, src, tag)
+    }
+
+    async fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<usize> {
+        self.0.recv_timeout(buf, src, tag, timeout)
+    }
+
+    async fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dest: Rank,
+        sendtag: Tag,
+        recvbuf: &mut [u8],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        self.0.sendrecv(sendbuf, dest, sendtag, recvbuf, src, recvtag)
+    }
+
+    async fn barrier(&self) -> Result<()> {
+        self.0.barrier()
+    }
+
+    async fn send_vectored(
+        &self,
+        buf: &[u8],
+        spans: &[IoSpan],
+        dest: Rank,
+        tag: Tag,
+    ) -> Result<()> {
+        self.0.send_vectored(buf, spans, dest, tag)
+    }
+
+    async fn recv_scattered(
+        &self,
+        buf: &mut [u8],
+        spans: &[IoSpan],
+        src: Rank,
+        tag: Tag,
+    ) -> Result<usize> {
+        self.0.recv_scattered(buf, spans, src, tag)
+    }
+
+    async fn sendrecv_vectored(
+        &self,
+        buf: &mut [u8],
+        send_spans: &[IoSpan],
+        dest: Rank,
+        sendtag: Tag,
+        recv_spans: &[IoSpan],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        self.0.sendrecv_vectored(buf, send_spans, dest, sendtag, recv_spans, src, recvtag)
+    }
+}
+
+impl<C: NonBlocking + ?Sized> AsyncNonBlocking for SyncComm<'_, C> {
+    type SendPending = C::SendPending;
+    type RecvPending = C::RecvPending;
+
+    fn isend(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<Self::SendPending> {
+        self.0.isend(buf, dest, tag)
+    }
+
+    fn irecv(&self, capacity: usize, src: Rank, tag: Tag) -> Result<Self::RecvPending> {
+        self.0.irecv(capacity, src, tag)
+    }
+
+    async fn wait_send(&self, pending: Self::SendPending) -> Result<()> {
+        self.0.wait_send(pending)
+    }
+
+    async fn wait_recv(&self, pending: Self::RecvPending, buf: &mut [u8]) -> Result<usize> {
+        self.0.wait_recv(pending, buf)
+    }
+}
+
+struct NoopWake;
+
+impl Wake for NoopWake {
+    fn wake(self: Arc<Self>) {}
+    fn wake_by_ref(self: &Arc<Self>) {}
+}
+
+/// A waker that does nothing, for polling futures that never park
+/// (`Waker::noop` needs a newer toolchain than this workspace pins).
+fn noop_waker() -> &'static Waker {
+    static NOOP: OnceLock<Waker> = OnceLock::new();
+    NOOP.get_or_init(|| Waker::from(Arc::new(NoopWake)))
+}
+
+/// Drive a future that completes without ever suspending — the composition
+/// of an async collective core with the [`SyncComm`] bridge, whose await
+/// points all resolve on first poll.
+///
+/// # Panics
+///
+/// Panics if the future returns `Pending`, which would mean a genuinely
+/// asynchronous future was driven without an executor — a wiring bug, not a
+/// runtime condition.
+pub fn complete_now<F: Future>(fut: F) -> F::Output {
+    let mut fut = std::pin::pin!(fut);
+    let mut cx = Context::from_waker(noop_waker());
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(out) => out,
+        // lint: allow(panic) — a parked future on a blocking backend is a
+        // wiring bug; there is no executor to ever resume it.
+        Poll::Pending => panic!("complete_now: future suspended on a blocking backend"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread_comm::ThreadWorld;
+
+    #[test]
+    fn complete_now_drives_ready_chains() {
+        let v = complete_now(async { 1 + 2 });
+        assert_eq!(v, 3);
+        let v = complete_now(async {
+            let a = async { 10 }.await;
+            let b = async { 32 }.await;
+            a + b
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "suspended")]
+    fn complete_now_rejects_parking_futures() {
+        // A future that is pending forever.
+        struct Never;
+        impl Future for Never {
+            type Output = ();
+            fn poll(self: std::pin::Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        complete_now(Never);
+    }
+
+    #[test]
+    fn bridge_roundtrip_on_threads() {
+        let out = ThreadWorld::run(2, |comm| {
+            let acomm = SyncComm::new(comm);
+            complete_now(async {
+                assert_eq!(acomm.size(), 2);
+                let mut buf = [0u8; 4];
+                if acomm.rank() == 0 {
+                    acomm.send(&[1, 2, 3, 4], 1, Tag(1)).await.unwrap();
+                    acomm.recv(&mut buf, 1, Tag(2)).await.unwrap();
+                } else {
+                    acomm.recv(&mut buf, 0, Tag(1)).await.unwrap();
+                    acomm.send(&buf, 0, Tag(2)).await.unwrap();
+                }
+                buf
+            })
+        });
+        assert_eq!(out.results[0], [1, 2, 3, 4]);
+        assert_eq!(out.results[1], [1, 2, 3, 4]);
+        assert_eq!(out.traffic.total_msgs(), 2);
+    }
+
+    #[test]
+    fn bridge_forwards_vectored_and_nonblocking() {
+        let out = ThreadWorld::run(2, |comm| {
+            let acomm = SyncComm::new(comm);
+            complete_now(async {
+                if acomm.rank() == 0 {
+                    let src: Vec<u8> = (0..16).collect();
+                    let spans = [IoSpan::new(12, 4), IoSpan::new(2, 3)];
+                    acomm.send_vectored(&src, &spans, 1, Tag(0)).await.unwrap();
+                    let p = acomm.isend(&[9], 1, Tag(1)).unwrap();
+                    acomm.wait_send(p).await.unwrap();
+                    vec![]
+                } else {
+                    let mut dst = [0u8; 10];
+                    let spans = [IoSpan::new(0, 4), IoSpan::new(6, 3)];
+                    let n = acomm.recv_scattered(&mut dst, &spans, 0, Tag(0)).await.unwrap();
+                    assert_eq!(n, 7);
+                    let p = acomm.irecv(1, 0, Tag(1)).unwrap();
+                    let mut one = [0u8; 1];
+                    acomm.wait_recv(p, &mut one).await.unwrap();
+                    assert_eq!(one[0], 9);
+                    dst.to_vec()
+                }
+            })
+        });
+        assert_eq!(out.results[1][..4], [12, 13, 14, 15]);
+        // one vectored envelope (2 msgs) + one plain send
+        assert_eq!(out.traffic.total_msgs(), 3);
+        assert_eq!(out.traffic.total_envelopes(), 2);
+    }
+}

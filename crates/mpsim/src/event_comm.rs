@@ -1,0 +1,946 @@
+//! The discrete-event executor: every rank is a cooperatively scheduled
+//! task on one OS thread, and time is a virtual counter the reactor owns.
+//!
+//! The two existing executors map ranks to OS threads, which caps worlds at
+//! a few dozen ranks; this one runs the same collectives at P = 4096+ because
+//! a blocked rank costs one parked future instead of one parked thread. The
+//! semantics deliberately mirror [`ThreadComm`](crate::thread_comm::ThreadComm):
+//!
+//! * sends are *eager* — the payload is copied into a pool-backed envelope
+//!   and queued at the destination immediately, so the default
+//!   send-then-receive `sendrecv` chain cannot deadlock;
+//! * receives match by `(source, tag)` FIFO (non-overtaking), drain queued
+//!   messages from an exited peer before failing with
+//!   [`CommError::PeerFailed`], and enforce truncation identically;
+//! * `recv_timeout` deadlines live on the **virtual clock**: when no task is
+//!   runnable the reactor advances time straight to the earliest armed
+//!   timer, so timeout-driven protocols (retransmission, failure detection)
+//!   run deterministically and instantaneously instead of sleeping.
+//!
+//! No async runtime is involved: tasks are plain `std` futures, the ready
+//! queue is a `VecDeque` of rank ids, and wakers push into it. See
+//! DESIGN.md §6 for the task model and the reasons a hand-rolled reactor
+//! beats both a thread pool and an external executor here.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use crate::acomm::{AsyncCommunicator, AsyncNonBlocking};
+use crate::comm::{scatter_spans, validate_spans, IoSpan};
+use crate::counters::{CounterCell, TrafficStats, WorldTraffic};
+use crate::error::{CommError, Result};
+use crate::mailbox::Envelope;
+use crate::pool::{BufferPool, PoolStats};
+use crate::rank::{Rank, Tag};
+use crate::thread_comm::WorldOutcome;
+
+/// Ready queue shared between the reactor and task wakers. `Waker` requires
+/// `Send + Sync`, so this sits behind the workspace sync facade even though
+/// the whole world runs on one thread; the lock is always uncontended.
+struct ReadyQueue {
+    state: crate::sync::Mutex<ReadyState>,
+}
+
+struct ReadyState {
+    queue: VecDeque<usize>,
+    /// Dedup flags: a task already enqueued is not enqueued again, so a
+    /// burst of deliveries costs one poll, not one poll per envelope.
+    queued: Vec<bool>,
+}
+
+impl ReadyQueue {
+    fn new(n: usize) -> Self {
+        Self {
+            state: crate::sync::Mutex::new(ReadyState {
+                queue: VecDeque::with_capacity(n),
+                queued: vec![false; n],
+            }),
+        }
+    }
+
+    fn push(&self, task: usize) {
+        let mut st = self.state.lock();
+        if !st.queued[task] {
+            st.queued[task] = true;
+            st.queue.push_back(task);
+        }
+    }
+
+    fn pop(&self) -> Option<usize> {
+        let mut st = self.state.lock();
+        let task = st.queue.pop_front();
+        if let Some(t) = task {
+            st.queued[t] = false;
+        }
+        task
+    }
+}
+
+struct TaskWaker {
+    task: usize,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.task);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.task);
+    }
+}
+
+/// Generation-counted barrier state, the single-threaded analogue of
+/// [`StopBarrier`](crate::barrier::StopBarrier): the last arrival bumps the
+/// generation and wakes everyone; a completed generation is unaffected by a
+/// later departure.
+struct BarrierState {
+    arrived: Cell<usize>,
+    generation: Cell<u64>,
+    /// First rank that left the world for good; fails current and future
+    /// waits with `PeerFailed`, exactly like `StopBarrier::depart`.
+    departed: Cell<Option<Rank>>,
+}
+
+/// One rank's mailbox: FIFO envelope queues keyed by `(source, tag)`.
+type EventMailbox = RefCell<HashMap<(Rank, Tag), VecDeque<Envelope>>>;
+
+struct EventShared {
+    size: usize,
+    /// Event-native mailboxes: per destination rank, FIFO queues keyed by
+    /// `(source, tag)`. Plain `RefCell` state — no locks, no condvars —
+    /// because matching and waking all happen on the reactor thread.
+    mailboxes: Vec<EventMailbox>,
+    exited: Vec<Cell<bool>>,
+    /// The engine-owned virtual clock, in nanoseconds since world start.
+    clock_ns: Cell<u64>,
+    /// Armed timers as `(deadline_ns, seq, task)` in a min-heap; `seq` makes
+    /// equal deadlines pop in arming order, keeping runs deterministic.
+    timers: RefCell<BinaryHeap<Reverse<(u64, u64, usize)>>>,
+    timer_seq: Cell<u64>,
+    barrier: BarrierState,
+    pool: Arc<BufferPool>,
+    counters: Vec<CounterCell>,
+    ready: Arc<ReadyQueue>,
+}
+
+impl EventShared {
+    fn now(&self) -> u64 {
+        self.clock_ns.get()
+    }
+
+    fn arm_timer(&self, deadline_ns: u64, task: usize) {
+        let seq = self.timer_seq.get();
+        self.timer_seq.set(seq + 1);
+        self.timers.borrow_mut().push(Reverse((deadline_ns, seq, task)));
+    }
+
+    /// Deliver one envelope and wake the destination's task.
+    fn push_envelope(&self, dest: Rank, src: Rank, tag: Tag, data: crate::pool::PooledBuf) {
+        self.mailboxes[dest]
+            .borrow_mut()
+            .entry((src, tag))
+            .or_default()
+            .push_back(Envelope { src, data });
+        self.ready.push(dest);
+    }
+
+    fn try_pop(&self, me: Rank, src: Rank, tag: Tag) -> Option<Envelope> {
+        self.mailboxes[me].borrow_mut().get_mut(&(src, tag))?.pop_front()
+    }
+
+    fn wake_all(&self) {
+        for task in 0..self.size {
+            if !self.exited[task].get() {
+                self.ready.push(task);
+            }
+        }
+    }
+
+    /// Record a normal departure of `rank`: peers blocked receiving from it
+    /// or waiting in the barrier must re-check and fail instead of hanging.
+    fn rank_exited(&self, rank: Rank) {
+        self.exited[rank].set(true);
+        if self.barrier.departed.get().is_none() {
+            self.barrier.departed.set(Some(rank));
+        }
+        self.wake_all();
+    }
+}
+
+/// Entry point for discrete-event runs.
+///
+/// See [`EventWorld::run`].
+pub struct EventWorld;
+
+impl EventWorld {
+    /// Run `f` on `n` ranks as cooperatively scheduled tasks on the calling
+    /// thread, and gather results once every task has completed.
+    ///
+    /// `f` is invoked once per rank and returns that rank's future — write
+    /// it as a closure returning an `async move` block:
+    ///
+    /// ```
+    /// use mpsim::{AsyncCommunicator, EventWorld, Tag};
+    ///
+    /// let out = EventWorld::run(4, |comm| async move {
+    ///     if comm.rank() == 0 {
+    ///         for peer in 1..comm.size() {
+    ///             comm.send(&[42], peer, Tag(7)).await.unwrap();
+    ///         }
+    ///         42u8
+    ///     } else {
+    ///         let mut buf = [0u8; 1];
+    ///         comm.recv(&mut buf, 0, Tag(7)).await.unwrap();
+    ///         buf[0]
+    ///     }
+    /// });
+    /// assert!(out.results.iter().all(|&v| v == 42));
+    /// ```
+    ///
+    /// [`WorldOutcome::elapsed`] reports **virtual** time: the final value
+    /// of the world clock, which only advances when every task is blocked
+    /// and the reactor jumps to the next armed timer deadline.
+    ///
+    /// # Panics
+    ///
+    /// A panic in any rank's future propagates out of `run` (the world is
+    /// abandoned, mirroring the threaded executor's teardown-and-rethrow).
+    /// Additionally, `run` panics if the world deadlocks: no task is
+    /// runnable, no timer is armed, and unfinished tasks remain.
+    pub fn run<R, F, Fut>(n: usize, f: F) -> WorldOutcome<R>
+    where
+        F: Fn(EventComm) -> Fut,
+        Fut: Future<Output = R>,
+    {
+        assert!(n >= 1, "world needs at least one rank");
+        let ready = Arc::new(ReadyQueue::new(n));
+        let shared = Rc::new(EventShared {
+            size: n,
+            mailboxes: (0..n).map(|_| RefCell::new(HashMap::new())).collect(),
+            exited: (0..n).map(|_| Cell::new(false)).collect(),
+            clock_ns: Cell::new(0),
+            timers: RefCell::new(BinaryHeap::new()),
+            timer_seq: Cell::new(0),
+            barrier: BarrierState {
+                arrived: Cell::new(0),
+                generation: Cell::new(0),
+                departed: Cell::new(None),
+            },
+            pool: BufferPool::new(),
+            counters: (0..n).map(|_| CounterCell::default()).collect(),
+            ready: Arc::clone(&ready),
+        });
+
+        // The reactor owns the task futures directly (not through `shared`),
+        // so task → comm → shared never forms a reference cycle.
+        let mut tasks: Vec<Option<Pin<Box<Fut>>>> = (0..n)
+            .map(|rank| Some(Box::pin(f(EventComm { rank, shared: Rc::clone(&shared) }))))
+            .collect();
+        let wakers: Vec<Waker> = (0..n)
+            .map(|task| Waker::from(Arc::new(TaskWaker { task, ready: Arc::clone(&ready) })))
+            .collect();
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut remaining = n;
+        for task in 0..n {
+            ready.push(task);
+        }
+
+        while remaining > 0 {
+            let Some(task) = ready.pop() else {
+                // Nothing runnable: advance virtual time to the earliest
+                // armed timer and wake its task. Stale timers (their receive
+                // completed long ago) cause one harmless spurious poll.
+                let next = shared.timers.borrow_mut().pop();
+                match next {
+                    Some(Reverse((deadline_ns, _, timer_task))) => {
+                        if deadline_ns > shared.clock_ns.get() {
+                            shared.clock_ns.set(deadline_ns);
+                        }
+                        ready.push(timer_task);
+                    }
+                    None => {
+                        let stuck: Vec<Rank> = tasks
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(rank, t)| t.is_some().then_some(rank))
+                            .take(8)
+                            .collect();
+                        // lint: allow(panic) — a deadlocked world can never
+                        // produce an outcome; fail loudly with diagnostics.
+                        panic!(
+                            "EventWorld deadlock: {remaining} of {n} ranks blocked with no \
+                             queued message or armed timer to wake them (stuck ranks, first 8: \
+                             {stuck:?})"
+                        );
+                    }
+                }
+                continue;
+            };
+            let Some(fut) = tasks[task].as_mut() else {
+                continue; // woken after completion (e.g. a stale timer)
+            };
+            let mut cx = Context::from_waker(&wakers[task]);
+            if let Poll::Ready(value) = fut.as_mut().poll(&mut cx) {
+                results[task] = Some(value);
+                tasks[task] = None;
+                remaining -= 1;
+                shared.rank_exited(task);
+            }
+        }
+
+        let elapsed = Duration::from_nanos(shared.now());
+        let pool = shared.pool.stats();
+        let traffic = WorldTraffic::new(shared.counters.iter().map(CounterCell::take).collect());
+        let results: Vec<R> = results
+            .into_iter()
+            // Every task completed (remaining == 0), so every slot is
+            // filled. lint: allow(panic)
+            .map(|r| r.expect("task finished without storing a result"))
+            .collect();
+        WorldOutcome { results, traffic, pool, elapsed }
+    }
+}
+
+/// Rank-local communicator handle for the event executor.
+///
+/// One instance is handed to each rank's future; it is `Clone` (a cheap
+/// reference-count bump) so helper tasks and decorators can hold their own.
+#[derive(Clone)]
+pub struct EventComm {
+    rank: Rank,
+    shared: Rc<EventShared>,
+}
+
+impl EventComm {
+    /// Snapshot of this rank's traffic so far (final values are returned in
+    /// [`WorldOutcome::traffic`]).
+    pub fn traffic(&self) -> TrafficStats {
+        self.shared.counters[self.rank].snapshot()
+    }
+
+    /// Snapshot of the world-shared buffer pool's counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.pool.stats()
+    }
+
+    fn ensure_rank(&self, rank: Rank) -> Result<()> {
+        if rank < self.shared.size {
+            Ok(())
+        } else {
+            Err(CommError::InvalidRank { rank, size: self.shared.size })
+        }
+    }
+
+    /// Eager send: rent, copy, enqueue at the destination, wake it. Never
+    /// suspends, which is what makes the default `sendrecv` chain safe.
+    fn send_now(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
+        self.ensure_rank(dest)?;
+        self.shared.counters[self.rank].record_send(dest, buf.len());
+        let env = self.shared.pool.rent_copy(buf);
+        self.shared.push_envelope(dest, self.rank, tag, env);
+        Ok(())
+    }
+
+    fn send_vectored_now(&self, buf: &[u8], spans: &[IoSpan], dest: Rank, tag: Tag) -> Result<()> {
+        self.ensure_rank(dest)?;
+        let total = validate_spans(buf.len(), spans)?;
+        let env = self.shared.pool.rent_gather(total, spans.iter().map(|s| &buf[s.range()]));
+        self.shared.counters[self.rank].record_send_vectored(
+            dest,
+            total,
+            spans.len().max(1) as u64,
+        );
+        self.shared.push_envelope(dest, self.rank, tag, env);
+        Ok(())
+    }
+
+    async fn recv_inner(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        deadline_ns: Option<u64>,
+    ) -> Result<usize> {
+        self.ensure_rank(src)?;
+        let env = RecvEnvelope { comm: self, src, tag, deadline_ns, timer_armed: false }.await?;
+        if env.data.len() > buf.len() {
+            return Err(CommError::Truncation { capacity: buf.len(), incoming: env.data.len() });
+        }
+        buf[..env.data.len()].copy_from_slice(&env.data);
+        self.shared.counters[self.rank].record_recv(src, env.data.len());
+        Ok(env.data.len())
+    }
+}
+
+/// Leaf future matching one envelope: checks the queue first (messages from
+/// before a peer's exit are drained), then the exited flag, then the
+/// virtual-clock deadline — the same priority order as the threaded
+/// mailbox's `pop_watch`. Wakes arrive from envelope deliveries to this
+/// rank, peer exits, and the armed timer; each poll simply re-checks.
+struct RecvEnvelope<'a> {
+    comm: &'a EventComm,
+    src: Rank,
+    tag: Tag,
+    deadline_ns: Option<u64>,
+    timer_armed: bool,
+}
+
+impl Future for RecvEnvelope<'_> {
+    type Output = Result<Envelope>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let shared = &this.comm.shared;
+        let me = this.comm.rank;
+        if let Some(env) = shared.try_pop(me, this.src, this.tag) {
+            return Poll::Ready(Ok(env));
+        }
+        if this.src != me && shared.exited[this.src].get() {
+            return Poll::Ready(Err(CommError::PeerFailed { rank: this.src }));
+        }
+        if let Some(deadline_ns) = this.deadline_ns {
+            if shared.now() >= deadline_ns {
+                return Poll::Ready(Err(CommError::Timeout { peer: this.src }));
+            }
+            if !this.timer_armed {
+                shared.arm_timer(deadline_ns, me);
+                this.timer_armed = true;
+            }
+        }
+        Poll::Pending
+    }
+}
+
+/// Barrier future; see [`BarrierState`]. The first poll registers the
+/// arrival (completing the generation if this rank is last); later polls
+/// resolve once the generation moved on or a peer departed.
+struct BarrierWait<'a> {
+    comm: &'a EventComm,
+    joined_generation: Option<u64>,
+}
+
+impl Future for BarrierWait<'_> {
+    type Output = Result<()>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let shared = &this.comm.shared;
+        let barrier = &shared.barrier;
+        match this.joined_generation {
+            None => {
+                if let Some(rank) = barrier.departed.get() {
+                    return Poll::Ready(Err(CommError::PeerFailed { rank }));
+                }
+                let arrived = barrier.arrived.get() + 1;
+                if arrived == shared.size {
+                    barrier.arrived.set(0);
+                    barrier.generation.set(barrier.generation.get().wrapping_add(1));
+                    shared.wake_all();
+                    Poll::Ready(Ok(()))
+                } else {
+                    barrier.arrived.set(arrived);
+                    this.joined_generation = Some(barrier.generation.get());
+                    Poll::Pending
+                }
+            }
+            Some(generation) => {
+                if barrier.generation.get() != generation {
+                    // Released normally; a later departure affects the next
+                    // generation, not this completed one.
+                    Poll::Ready(Ok(()))
+                } else if let Some(rank) = barrier.departed.get() {
+                    Poll::Ready(Err(CommError::PeerFailed { rank }))
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl AsyncCommunicator for EventComm {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.shared.now()
+    }
+
+    async fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
+        self.send_now(buf, dest, tag)
+    }
+
+    async fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
+        self.recv_inner(buf, src, tag, None).await
+    }
+
+    async fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<usize> {
+        let nanos = u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX);
+        let deadline_ns = self.shared.now().saturating_add(nanos);
+        self.recv_inner(buf, src, tag, Some(deadline_ns)).await
+    }
+
+    async fn barrier(&self) -> Result<()> {
+        BarrierWait { comm: self, joined_generation: None }.await
+    }
+
+    async fn send_vectored(
+        &self,
+        buf: &[u8],
+        spans: &[IoSpan],
+        dest: Rank,
+        tag: Tag,
+    ) -> Result<()> {
+        self.send_vectored_now(buf, spans, dest, tag)
+    }
+
+    async fn recv_scattered(
+        &self,
+        buf: &mut [u8],
+        spans: &[IoSpan],
+        src: Rank,
+        tag: Tag,
+    ) -> Result<usize> {
+        let total = validate_spans(buf.len(), spans)?;
+        self.ensure_rank(src)?;
+        let env =
+            RecvEnvelope { comm: self, src, tag, deadline_ns: None, timer_armed: false }.await?;
+        if env.data.len() > total {
+            return Err(CommError::Truncation { capacity: total, incoming: env.data.len() });
+        }
+        let n = scatter_spans(buf, spans, &env.data);
+        self.shared.counters[self.rank].record_recv_vectored(src, n, spans.len().max(1) as u64);
+        Ok(n)
+    }
+}
+
+/// Pending send on the event executor (sends complete at post time).
+pub struct EventSendPending(());
+
+/// Pending receive on the event executor: the match key recorded at post
+/// time, resolved at wait time under the non-overtaking rule.
+pub struct EventRecvPending {
+    src: Rank,
+    tag: Tag,
+    capacity: usize,
+}
+
+impl AsyncNonBlocking for EventComm {
+    type SendPending = EventSendPending;
+    type RecvPending = EventRecvPending;
+
+    fn isend(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<Self::SendPending> {
+        self.send_now(buf, dest, tag)?;
+        Ok(EventSendPending(()))
+    }
+
+    fn irecv(&self, capacity: usize, src: Rank, tag: Tag) -> Result<Self::RecvPending> {
+        self.ensure_rank(src)?;
+        Ok(EventRecvPending { src, tag, capacity })
+    }
+
+    async fn wait_send(&self, _pending: Self::SendPending) -> Result<()> {
+        Ok(())
+    }
+
+    async fn wait_recv(&self, pending: Self::RecvPending, buf: &mut [u8]) -> Result<usize> {
+        assert!(buf.len() >= pending.capacity, "wait_recv buffer smaller than the posted capacity");
+        self.recv(&mut buf[..pending.capacity], pending.src, pending.tag).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn world_of_one_runs() {
+        let out = EventWorld::run(1, |comm| async move {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            comm.barrier().await.unwrap();
+            7u32
+        });
+        assert_eq!(out.results, vec![7]);
+        assert_eq!(out.traffic.total_msgs(), 0);
+    }
+
+    #[test]
+    fn pingpong_roundtrip() {
+        let out = EventWorld::run(2, |comm| async move {
+            let mut buf = [0u8; 4];
+            if comm.rank() == 0 {
+                comm.send(&[1, 2, 3, 4], 1, Tag(1)).await.unwrap();
+                comm.recv(&mut buf, 1, Tag(2)).await.unwrap();
+            } else {
+                comm.recv(&mut buf, 0, Tag(1)).await.unwrap();
+                comm.send(&buf, 0, Tag(2)).await.unwrap();
+            }
+            buf
+        });
+        assert_eq!(out.results[0], [1, 2, 3, 4]);
+        assert_eq!(out.results[1], [1, 2, 3, 4]);
+        assert!(out.traffic.is_balanced());
+        assert_eq!(out.traffic.total_msgs(), 2);
+        assert_eq!(out.traffic.total_bytes(), 8);
+    }
+
+    #[test]
+    fn nonovertaking_order_per_pair() {
+        let out = EventWorld::run(2, |comm| async move {
+            if comm.rank() == 0 {
+                for i in 0..100u8 {
+                    comm.send(&[i], 1, Tag(0)).await.unwrap();
+                }
+                vec![]
+            } else {
+                let mut got = Vec::new();
+                let mut buf = [0u8; 1];
+                for _ in 0..100 {
+                    comm.recv(&mut buf, 0, Tag(0)).await.unwrap();
+                    got.push(buf[0]);
+                }
+                got
+            }
+        });
+        assert_eq!(out.results[1], (0..100u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tags_demultiplex() {
+        let out = EventWorld::run(2, |comm| async move {
+            if comm.rank() == 0 {
+                comm.send(&[1], 1, Tag(10)).await.unwrap();
+                comm.send(&[2], 1, Tag(20)).await.unwrap();
+                (0, 0)
+            } else {
+                let mut a = [0u8; 1];
+                let mut b = [0u8; 1];
+                comm.recv(&mut a, 0, Tag(20)).await.unwrap();
+                comm.recv(&mut b, 0, Tag(10)).await.unwrap();
+                (a[0], b[0])
+            }
+        });
+        assert_eq!(out.results[1], (2, 1));
+    }
+
+    #[test]
+    fn sendrecv_ring_does_not_deadlock() {
+        let n = 8;
+        let out = EventWorld::run(n, |comm| async move {
+            let right = crate::rank::ring_right(comm.rank(), comm.size());
+            let left = crate::rank::ring_left(comm.rank(), comm.size());
+            let sbuf = [comm.rank() as u8];
+            let mut rbuf = [0u8; 1];
+            comm.sendrecv(&sbuf, right, Tag(0), &mut rbuf, left, Tag(0)).await.unwrap();
+            rbuf[0] as usize
+        });
+        for (rank, &got) in out.results.iter().enumerate() {
+            assert_eq!(got, crate::rank::ring_left(rank, n));
+        }
+    }
+
+    #[test]
+    fn self_send_loops_back() {
+        let out = EventWorld::run(1, |comm| async move {
+            comm.send(&[9, 9], 0, Tag(3)).await.unwrap();
+            let mut buf = [0u8; 2];
+            comm.recv(&mut buf, 0, Tag(3)).await.unwrap();
+            buf
+        });
+        assert_eq!(out.results[0], [9, 9]);
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let out = EventWorld::run(2, |comm| async move {
+            if comm.rank() == 0 {
+                comm.send(&[0; 16], 1, Tag(0)).await.unwrap();
+                Ok(0)
+            } else {
+                let mut small = [0u8; 4];
+                comm.recv(&mut small, 0, Tag(0)).await.map(|_| 0)
+            }
+        });
+        assert_eq!(out.results[1], Err(CommError::Truncation { capacity: 4, incoming: 16 }));
+    }
+
+    #[test]
+    fn invalid_rank_rejected() {
+        let out = EventWorld::run(1, |comm| async move { comm.send(&[], 5, Tag(0)).await });
+        assert_eq!(out.results[0], Err(CommError::InvalidRank { rank: 5, size: 1 }));
+    }
+
+    #[test]
+    fn barrier_synchronizes_all() {
+        use std::cell::Cell;
+        let arrived = Cell::new(0usize);
+        EventWorld::run(6, |comm| {
+            let arrived = &arrived;
+            async move {
+                arrived.set(arrived.get() + 1);
+                comm.barrier().await.unwrap();
+                assert_eq!(arrived.get(), 6);
+            }
+        });
+    }
+
+    #[test]
+    fn barriers_are_reusable_across_generations() {
+        EventWorld::run(5, |comm| async move {
+            for _ in 0..10 {
+                comm.barrier().await.unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn vectored_roundtrip_gathers_and_scatters() {
+        let out = EventWorld::run(2, |comm| async move {
+            if comm.rank() == 0 {
+                let src: Vec<u8> = (0..16).collect();
+                let spans = [IoSpan::new(12, 4), IoSpan::new(2, 3)];
+                comm.send_vectored(&src, &spans, 1, Tag(0)).await.unwrap();
+                vec![]
+            } else {
+                let mut dst = [0xEEu8; 10];
+                let spans = [IoSpan::new(0, 4), IoSpan::new(6, 3)];
+                let n = comm.recv_scattered(&mut dst, &spans, 0, Tag(0)).await.unwrap();
+                assert_eq!(n, 7);
+                dst.to_vec()
+            }
+        });
+        assert_eq!(out.results[1], vec![12, 13, 14, 15, 0xEE, 0xEE, 2, 3, 4, 0xEE]);
+        assert!(out.traffic.is_balanced());
+        assert_eq!(out.traffic.total_msgs(), 2);
+        assert_eq!(out.traffic.total_envelopes(), 1);
+        assert_eq!(out.traffic.total_bytes(), 7);
+    }
+
+    #[test]
+    fn vectored_truncation_checked_against_span_total() {
+        let out = EventWorld::run(2, |comm| async move {
+            if comm.rank() == 0 {
+                comm.send(&[0u8; 9], 1, Tag(0)).await.unwrap();
+                Ok(0)
+            } else {
+                let mut dst = [0u8; 32];
+                let spans = [IoSpan::new(0, 4), IoSpan::new(8, 4)];
+                comm.recv_scattered(&mut dst, &spans, 0, Tag(0)).await.map(|_| 0)
+            }
+        });
+        assert_eq!(out.results[1], Err(CommError::Truncation { capacity: 8, incoming: 9 }));
+    }
+
+    #[test]
+    fn recv_timeout_expires_on_virtual_clock() {
+        let out = EventWorld::run(2, |comm| async move {
+            let mut buf = [0u8; 1];
+            if comm.rank() == 0 {
+                let t0 = comm.now_ns();
+                let err = comm
+                    .recv_timeout(&mut buf, 1, Tag(0), Duration::from_millis(40))
+                    .await
+                    .unwrap_err();
+                // The clock jumped straight to the deadline — no real sleep.
+                assert!(comm.now_ns() - t0 >= 40_000_000);
+                comm.send(&[0], 1, Tag(1)).await.unwrap();
+                err
+            } else {
+                comm.recv(&mut buf, 0, Tag(1)).await.unwrap();
+                CommError::Timeout { peer: 99 } // placeholder
+            }
+        });
+        assert_eq!(out.results[0], CommError::Timeout { peer: 1 });
+        // The world's elapsed virtual time is exactly the one deadline jump.
+        assert_eq!(out.elapsed, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn recv_timeout_delivers_message_arriving_in_time() {
+        let out = EventWorld::run(2, |comm| async move {
+            if comm.rank() == 0 {
+                comm.send(&[42], 1, Tag(7)).await.unwrap();
+                0
+            } else {
+                let mut buf = [0u8; 1];
+                comm.recv_timeout(&mut buf, 0, Tag(7), Duration::from_secs(10)).await.unwrap();
+                buf[0]
+            }
+        });
+        assert_eq!(out.results[1], 42);
+        // Delivery beat the deadline, so the clock never had to move.
+        assert_eq!(out.elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn recv_from_exited_rank_fails_instead_of_hanging() {
+        let out = EventWorld::run(3, |comm| async move {
+            if comm.rank() == 1 {
+                return Ok(0); // exits immediately, sends nothing
+            }
+            let mut buf = [0u8; 1];
+            comm.recv(&mut buf, 1, Tag(0)).await.map(|_| 1)
+        });
+        assert_eq!(out.results[0], Err(CommError::PeerFailed { rank: 1 }));
+        assert_eq!(out.results[2], Err(CommError::PeerFailed { rank: 1 }));
+    }
+
+    #[test]
+    fn messages_sent_before_exit_are_still_delivered() {
+        let out = EventWorld::run(2, |comm| async move {
+            if comm.rank() == 0 {
+                comm.send(&[1], 1, Tag(0)).await.unwrap();
+                comm.send(&[2], 1, Tag(0)).await.unwrap();
+                vec![]
+            } else {
+                // Yield until rank 0 has exited, so the deliveries genuinely
+                // race the exited flag.
+                let mut buf = [0u8; 1];
+                while comm.recv_timeout(&mut buf, 0, Tag(1), Duration::from_millis(1)).await.is_ok()
+                {
+                }
+                let mut got = Vec::new();
+                for _ in 0..2 {
+                    comm.recv(&mut buf, 0, Tag(0)).await.unwrap();
+                    got.push(buf[0]);
+                }
+                assert_eq!(
+                    comm.recv(&mut buf, 0, Tag(0)).await.unwrap_err(),
+                    CommError::PeerFailed { rank: 0 }
+                );
+                got
+            }
+        });
+        assert_eq!(out.results[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn barrier_after_peer_exit_fails_instead_of_hanging() {
+        let out = EventWorld::run(3, |comm| async move {
+            if comm.rank() == 2 {
+                return Ok(());
+            }
+            comm.barrier().await
+        });
+        assert_eq!(out.results[0], Err(CommError::PeerFailed { rank: 2 }));
+        assert_eq!(out.results[1], Err(CommError::PeerFailed { rank: 2 }));
+    }
+
+    #[test]
+    fn nonblocking_posts_complete_in_post_order() {
+        let out = EventWorld::run(2, |comm| async move {
+            if comm.rank() == 0 {
+                for i in 0..4u8 {
+                    let p = comm.isend(&[i], 1, Tag(7)).unwrap();
+                    comm.wait_send(p).await.unwrap();
+                }
+                vec![]
+            } else {
+                let pendings: Vec<_> = (0..4).map(|_| comm.irecv(1, 0, Tag(7)).unwrap()).collect();
+                let mut got = Vec::new();
+                for p in pendings {
+                    let mut b = [0u8; 1];
+                    comm.wait_recv(p, &mut b).await.unwrap();
+                    got.push(b[0]);
+                }
+                got
+            }
+        });
+        assert_eq!(out.results[1], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_reported() {
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            EventWorld::run(2, |comm| async move {
+                // Both ranks receive a message nobody will ever send.
+                let mut buf = [0u8; 1];
+                let _ = comm.recv(&mut buf, 1 - comm.rank(), Tag(0)).await;
+            })
+        }));
+        let payload = res.unwrap_err();
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("deadlock"), "unexpected panic: {msg}");
+    }
+
+    #[test]
+    fn panic_in_one_rank_propagates() {
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            EventWorld::run(3, |comm| async move {
+                if comm.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+                let mut buf = [0u8; 1];
+                let _ = comm.recv(&mut buf, 1, Tag(0)).await;
+            })
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn now_ns_is_monotone_and_runs_are_deterministic() {
+        let run = || {
+            EventWorld::run(4, |comm| async move {
+                let a = comm.now_ns();
+                comm.barrier().await.unwrap();
+                let mut buf = [0u8; 1];
+                let right = crate::rank::ring_right(comm.rank(), comm.size());
+                let left = crate::rank::ring_left(comm.rank(), comm.size());
+                comm.sendrecv(&[comm.rank() as u8], right, Tag(0), &mut buf, left, Tag(0))
+                    .await
+                    .unwrap();
+                let b = comm.now_ns();
+                assert!(b >= a);
+                (buf[0], b)
+            })
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+
+    #[test]
+    fn megascale_fanout_world() {
+        // A quick structural check that worlds far beyond thread capacity
+        // run: a 2048-rank binomial-style relay where every rank forwards to
+        // 2·rank+1 and 2·rank+2.
+        let n = 2048;
+        let out = EventWorld::run(n, |comm| async move {
+            let me = comm.rank();
+            let mut buf = [0u8; 8];
+            if me != 0 {
+                comm.recv(&mut buf, (me - 1) / 2, Tag(1)).await.unwrap();
+            }
+            for child in [2 * me + 1, 2 * me + 2] {
+                if child < comm.size() {
+                    comm.send(&buf, child, Tag(1)).await.unwrap();
+                }
+            }
+            me
+        });
+        assert_eq!(out.traffic.total_msgs(), (n - 1) as u64);
+        assert!(out.traffic.is_balanced());
+    }
+}

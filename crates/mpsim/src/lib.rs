@@ -16,17 +16,22 @@
 //!   transfer-count arithmetic (`P·(P−1)` vs the tuned count) can be *measured*
 //!   rather than merely asserted.
 //!
-//! Two executors implement [`Communicator`]:
+//! Three executors implement the trait surface:
 //!
 //! * [`ThreadWorld`] (this crate): one OS thread per rank with real byte
 //!   movement through mailboxes — used for correctness tests and wall-clock
 //!   (intra-node-style) benchmarks;
 //! * `netsim::SimWorld` (sibling crate): the same trait over a virtual-time
-//!   cluster simulator standing in for the paper's Cray XC40.
+//!   cluster simulator standing in for the paper's Cray XC40;
+//! * [`EventWorld`] (this crate): a single-threaded discrete-event reactor
+//!   where ranks are cooperatively scheduled futures over the async twin of
+//!   the trait ([`AsyncCommunicator`]) — used for cluster-scale worlds
+//!   (P in the thousands) that OS threads cannot reach.
 //!
 //! Collective algorithms are written once against the trait and run unchanged
-//! on both, exactly like the paper's "user-level" implementation runs on both
-//! of its machines.
+//! on all of them, exactly like the paper's "user-level" implementation runs
+//! on both of its machines; [`SyncComm`] and [`complete_now`] bridge the
+//! blocking and async surfaces in either direction.
 //!
 //! ## Example
 //!
@@ -52,10 +57,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod acomm;
 pub mod barrier;
 pub mod comm;
 pub mod counters;
 pub mod error;
+pub mod event_comm;
 pub mod mailbox;
 pub mod nonblocking;
 pub mod pool;
@@ -70,6 +77,7 @@ pub(crate) mod sync_fast;
 pub(crate) mod sync_std;
 pub mod thread_comm;
 
+pub use acomm::{complete_now, AsyncCommunicator, AsyncNonBlocking, SyncComm};
 pub use barrier::StopBarrier;
 pub use comm::{
     disjoint_span_lists, scatter_spans, spans_len, split_send_recv, validate_spans, Communicator,
@@ -77,6 +85,7 @@ pub use comm::{
 };
 pub use counters::{PeerTraffic, TrafficStats, WakeupStats, WorldTraffic};
 pub use error::{CommError, Result};
+pub use event_comm::{EventComm, EventWorld};
 pub use nonblocking::NonBlocking;
 pub use pool::{BufferPool, PoolStats, PooledBuf};
 pub use rank::{

@@ -28,11 +28,22 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::time::Duration;
 
+use crate::acomm::AsyncCommunicator;
 use crate::comm::{
     disjoint_span_lists, scatter_spans, spans_len, validate_spans, Communicator, IoSpan,
 };
 use crate::error::{CommError, Result};
 use crate::rank::{Rank, Tag};
+
+/// Absolute deadline on a backend clock: `now_ns` plus `timeout`, saturating.
+///
+/// The async protocol paths express every wait as arithmetic on
+/// [`AsyncCommunicator::now_ns`] so that on the event executor the
+/// retransmission timers run on the *virtual* clock (no real sleeping), while
+/// on the threaded backend the same arithmetic tracks wall-clock time.
+fn deadline_after(now_ns: u64, timeout: Duration) -> u64 {
+    now_ns.saturating_add(u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX))
+}
 
 /// Base of the tag range carrying acknowledged data frames.
 pub const DATA_TAG_BASE: u32 = 0xE000_0000;
@@ -88,13 +99,13 @@ struct ChannelSeq {
 /// Acknowledged, deduplicated delivery over a lossy [`Communicator`].
 ///
 /// See the [module docs](self) for the protocol and its requirements.
-pub struct ReliableComm<'a, C: Communicator> {
+pub struct ReliableComm<'a, C: ?Sized> {
     inner: &'a C,
     cfg: RetryConfig,
     seq: RefCell<HashMap<(Rank, u32), ChannelSeq>>,
 }
 
-impl<'a, C: Communicator> ReliableComm<'a, C> {
+impl<'a, C: ?Sized> ReliableComm<'a, C> {
     /// Wrap `inner` with the default [`RetryConfig`].
     pub fn new(inner: &'a C) -> Self {
         Self::with_config(inner, RetryConfig::default())
@@ -148,15 +159,6 @@ impl<'a, C: Communicator> ReliableComm<'a, C> {
         buf_len.max(hw) + 4
     }
 
-    fn send_ack(&self, peer: Rank, tag: Tag, seq: u32) -> Result<()> {
-        match self.inner.send(&seq.to_le_bytes(), peer, Self::ack_tag(tag)) {
-            // A dead peer cannot retransmit, so the lost ack is moot; the
-            // delivered payload is still good.
-            Err(CommError::PeerFailed { .. }) => Ok(()),
-            r => r,
-        }
-    }
-
     /// Rewrite an inner-transport truncation on a *framed* channel into the
     /// user's payload terms: the 4-byte sequence header is protocol, not
     /// payload, and the frame buffer may be larger than the posted receive
@@ -168,6 +170,17 @@ impl<'a, C: Communicator> ReliableComm<'a, C> {
                 CommError::Truncation { capacity: user_capacity, incoming: incoming - 4 }
             }
             other => other,
+        }
+    }
+}
+
+impl<C: Communicator + ?Sized> ReliableComm<'_, C> {
+    fn send_ack(&self, peer: Rank, tag: Tag, seq: u32) -> Result<()> {
+        match self.inner.send(&seq.to_le_bytes(), peer, Self::ack_tag(tag)) {
+            // A dead peer cannot retransmit, so the lost ack is moot; the
+            // delivered payload is still good.
+            Err(CommError::PeerFailed { .. }) => Ok(()),
+            r => r,
         }
     }
 
@@ -520,6 +533,374 @@ impl<C: Communicator> Communicator for ReliableComm<'_, C> {
         }
         let mut recvbuf = vec![0u8; rtotal];
         let n = self.sendrecv(&sendbuf, dest, sendtag, &mut recvbuf, src, recvtag)?;
+        Ok(scatter_spans(buf, recv_spans, &recvbuf[..n]))
+    }
+}
+
+impl<C: AsyncCommunicator + ?Sized> ReliableComm<'_, C> {
+    /// Async twin of [`send_ack`](Self::send_ack).
+    async fn send_ack_async(&self, peer: Rank, tag: Tag, seq: u32) -> Result<()> {
+        match self.inner.send(&seq.to_le_bytes(), peer, Self::ack_tag(tag)).await {
+            // A dead peer cannot retransmit, so the lost ack is moot; the
+            // delivered payload is still good.
+            Err(CommError::PeerFailed { .. }) => Ok(()),
+            r => r,
+        }
+    }
+
+    /// Async twin of [`accept_frame`](Self::accept_frame).
+    async fn accept_frame_async(
+        &self,
+        frame: &[u8],
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+    ) -> Result<Option<usize>> {
+        self.accept_frame_with_async(frame, buf.len(), src, tag, |payload| {
+            buf[..payload.len()].copy_from_slice(payload);
+        })
+        .await
+    }
+
+    /// Async twin of [`accept_frame_with`](Self::accept_frame_with): the
+    /// sequence arithmetic is identical; only the acknowledgement send
+    /// awaits.
+    async fn accept_frame_with_async(
+        &self,
+        frame: &[u8],
+        capacity: usize,
+        src: Rank,
+        tag: Tag,
+        deliver: impl FnOnce(&[u8]),
+    ) -> Result<Option<usize>> {
+        if frame.len() < 4 {
+            // Not a protocol frame; nothing sane to do but drop it.
+            return Ok(None);
+        }
+        let mut seq_bytes = [0u8; 4];
+        seq_bytes.copy_from_slice(&frame[..4]);
+        let seq = u32::from_le_bytes(seq_bytes);
+        let expected = self.rx_expected(src, tag);
+        if seq == expected {
+            let payload = &frame[4..];
+            if payload.len() > capacity {
+                return Err(CommError::Truncation { capacity, incoming: payload.len() });
+            }
+            self.advance_rx(src, tag, payload.len());
+            self.send_ack_async(src, tag, seq).await?;
+            deliver(payload);
+            Ok(Some(payload.len()))
+        } else if seq < expected {
+            // Duplicate of an already-delivered frame: re-ack and drop.
+            self.send_ack_async(src, tag, seq).await?;
+            Ok(None)
+        } else {
+            // Reordered duplicate from the future: drop without acking.
+            Ok(None)
+        }
+    }
+
+    /// Async twin of [`send_framed`](Self::send_framed).
+    async fn send_framed_async(&self, frame: &[u8], dest: Rank, tag: Tag, seq: u32) -> Result<()> {
+        for attempt in 0..self.cfg.max_attempts {
+            self.inner.send(frame, dest, Self::data_tag(tag)).await?;
+            if self.await_ack_async(dest, tag, seq, self.cfg.timeout_for(attempt)).await? {
+                return Ok(());
+            }
+        }
+        Err(CommError::Timeout { peer: dest })
+    }
+
+    /// Async twin of [`await_ack`](Self::await_ack), with the deadline kept
+    /// as `now_ns` arithmetic so the wait is virtual-clock-pure on the event
+    /// executor.
+    async fn await_ack_async(
+        &self,
+        peer: Rank,
+        tag: Tag,
+        seq: u32,
+        timeout: Duration,
+    ) -> Result<bool> {
+        let deadline = deadline_after(self.inner.now_ns(), timeout);
+        loop {
+            let now = self.inner.now_ns();
+            if now >= deadline {
+                return Ok(false);
+            }
+            let mut ack = [0u8; 4];
+            let remaining = Duration::from_nanos(deadline - now);
+            match self.inner.recv_timeout(&mut ack, peer, Self::ack_tag(tag), remaining).await {
+                Ok(4) => {
+                    // Acks for older frames may arrive late; only the ack
+                    // for this frame (or beyond, defensively) completes the
+                    // send.
+                    if u32::from_le_bytes(ack) >= seq {
+                        return Ok(true);
+                    }
+                }
+                Ok(_) => {} // malformed ack: ignore
+                Err(CommError::Timeout { .. }) => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// The identical stop-and-wait protocol over any [`AsyncCommunicator`]: on
+/// the event executor the retransmission timers become virtual-clock timer
+/// events (deterministic, no real sleeping); through the
+/// [`SyncComm`](crate::acomm::SyncComm) bridge the behaviour matches the
+/// blocking impl above.
+impl<C: AsyncCommunicator + ?Sized> AsyncCommunicator for ReliableComm<'_, C> {
+    fn rank(&self) -> Rank {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.now_ns()
+    }
+
+    fn check_rank(&self, rank: Rank) -> Result<()> {
+        self.inner.check_rank(rank)
+    }
+
+    async fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
+        self.check_rank(dest)?;
+        if dest == self.rank() {
+            // Loopback cannot lose messages; skip the protocol.
+            return self.inner.send(buf, dest, tag).await;
+        }
+        let seq = self.next_tx_seq(dest, tag);
+        let mut frame = Vec::with_capacity(buf.len() + 4);
+        frame.extend_from_slice(&seq.to_le_bytes());
+        frame.extend_from_slice(buf);
+        self.send_framed_async(&frame, dest, tag, seq).await
+    }
+
+    async fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
+        self.check_rank(src)?;
+        if src == self.rank() {
+            return self.inner.recv(buf, src, tag).await;
+        }
+        let mut frame = vec![0u8; self.rx_frame_len(src, tag, buf.len())];
+        loop {
+            let n = self
+                .inner
+                .recv(&mut frame, src, Self::data_tag(tag))
+                .await
+                .map_err(|e| Self::unframe_truncation(e, buf.len()))?;
+            if let Some(len) = self.accept_frame_async(&frame[..n], buf, src, tag).await? {
+                return Ok(len);
+            }
+        }
+    }
+
+    async fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<usize> {
+        self.check_rank(src)?;
+        if src == self.rank() {
+            return self.inner.recv_timeout(buf, src, tag, timeout).await;
+        }
+        let deadline = deadline_after(self.inner.now_ns(), timeout);
+        let mut frame = vec![0u8; self.rx_frame_len(src, tag, buf.len())];
+        loop {
+            let now = self.inner.now_ns();
+            if now >= deadline {
+                return Err(CommError::Timeout { peer: src });
+            }
+            let remaining = Duration::from_nanos(deadline - now);
+            let n = self
+                .inner
+                .recv_timeout(&mut frame, src, Self::data_tag(tag), remaining)
+                .await
+                .map_err(|e| Self::unframe_truncation(e, buf.len()))?;
+            if let Some(len) = self.accept_frame_async(&frame[..n], buf, src, tag).await? {
+                return Ok(len);
+            }
+        }
+    }
+
+    /// Async twin of the pumping [`sendrecv`](Communicator::sendrecv) above:
+    /// same two-direction pump, with the retransmit deadline tracked in
+    /// `now_ns` units instead of `Instant`s.
+    async fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dest: Rank,
+        sendtag: Tag,
+        recvbuf: &mut [u8],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        self.check_rank(dest)?;
+        self.check_rank(src)?;
+        if dest == self.rank() && src == self.rank() {
+            return self.inner.sendrecv(sendbuf, dest, sendtag, recvbuf, src, recvtag).await;
+        }
+
+        let seq = self.next_tx_seq(dest, sendtag);
+        let mut frame = Vec::with_capacity(sendbuf.len() + 4);
+        frame.extend_from_slice(&seq.to_le_bytes());
+        frame.extend_from_slice(sendbuf);
+        let mut in_frame = vec![0u8; self.rx_frame_len(src, recvtag, recvbuf.len())];
+
+        // Short slices keep the pump responsive in both directions.
+        let slice = (self.cfg.base_timeout / 4).max(Duration::from_millis(1));
+        let mut acked = dest == self.rank();
+        let mut received: Option<usize> = None;
+        if dest != self.rank() {
+            self.inner.send(&frame, dest, Self::data_tag(sendtag)).await?;
+        } else {
+            self.inner.send(sendbuf, dest, sendtag).await?;
+        }
+        let mut attempt = 0u32;
+        let mut next_retransmit = deadline_after(self.inner.now_ns(), self.cfg.timeout_for(0));
+        loop {
+            if acked {
+                if let Some(len) = received {
+                    return Ok(len);
+                }
+            }
+            if received.is_none() {
+                if src == self.rank() {
+                    // Loopback receive: the message is already queued.
+                    received = Some(self.inner.recv(recvbuf, src, recvtag).await?);
+                } else {
+                    match self
+                        .inner
+                        .recv_timeout(&mut in_frame, src, Self::data_tag(recvtag), slice)
+                        .await
+                        .map_err(|e| Self::unframe_truncation(e, recvbuf.len()))
+                    {
+                        Ok(n) => {
+                            if let Some(len) = self
+                                .accept_frame_async(&in_frame[..n], recvbuf, src, recvtag)
+                                .await?
+                            {
+                                received = Some(len);
+                            }
+                        }
+                        Err(CommError::Timeout { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            if !acked {
+                match self
+                    .inner
+                    .recv_timeout(&mut in_frame[..4], dest, Self::ack_tag(sendtag), slice)
+                    .await
+                {
+                    Ok(4) => {
+                        let mut b = [0u8; 4];
+                        b.copy_from_slice(&in_frame[..4]);
+                        if u32::from_le_bytes(b) >= seq {
+                            acked = true;
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(CommError::Timeout { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+                if !acked && self.inner.now_ns() >= next_retransmit {
+                    attempt += 1;
+                    if attempt >= self.cfg.max_attempts {
+                        return Err(CommError::Timeout { peer: dest });
+                    }
+                    self.inner.send(&frame, dest, Self::data_tag(sendtag)).await?;
+                    next_retransmit =
+                        deadline_after(self.inner.now_ns(), self.cfg.timeout_for(attempt));
+                }
+            }
+        }
+    }
+
+    async fn barrier(&self) -> Result<()> {
+        self.inner.barrier().await
+    }
+
+    async fn send_vectored(
+        &self,
+        buf: &[u8],
+        spans: &[IoSpan],
+        dest: Rank,
+        tag: Tag,
+    ) -> Result<()> {
+        self.check_rank(dest)?;
+        let total = validate_spans(buf.len(), spans)?;
+        if dest == self.rank() {
+            // Loopback cannot lose messages; skip the protocol.
+            return self.inner.send_vectored(buf, spans, dest, tag).await;
+        }
+        let seq = self.next_tx_seq(dest, tag);
+        let mut frame = Vec::with_capacity(total + 4);
+        frame.extend_from_slice(&seq.to_le_bytes());
+        for s in spans {
+            frame.extend_from_slice(&buf[s.range()]);
+        }
+        self.send_framed_async(&frame, dest, tag, seq).await
+    }
+
+    async fn recv_scattered(
+        &self,
+        buf: &mut [u8],
+        spans: &[IoSpan],
+        src: Rank,
+        tag: Tag,
+    ) -> Result<usize> {
+        self.check_rank(src)?;
+        let total = validate_spans(buf.len(), spans)?;
+        if src == self.rank() {
+            return self.inner.recv_scattered(buf, spans, src, tag).await;
+        }
+        let mut frame = vec![0u8; self.rx_frame_len(src, tag, total)];
+        loop {
+            let n = self
+                .inner
+                .recv(&mut frame, src, Self::data_tag(tag))
+                .await
+                .map_err(|e| Self::unframe_truncation(e, total))?;
+            let accepted = self
+                .accept_frame_with_async(&frame[..n], total, src, tag, |payload| {
+                    scatter_spans(buf, spans, payload);
+                })
+                .await?;
+            if let Some(len) = accepted {
+                return Ok(len);
+            }
+        }
+    }
+
+    async fn sendrecv_vectored(
+        &self,
+        buf: &mut [u8],
+        send_spans: &[IoSpan],
+        dest: Rank,
+        sendtag: Tag,
+        recv_spans: &[IoSpan],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        validate_spans(buf.len(), send_spans)?;
+        let rtotal = validate_spans(buf.len(), recv_spans)?;
+        disjoint_span_lists(send_spans, recv_spans)?;
+        let mut sendbuf = Vec::with_capacity(spans_len(send_spans));
+        for s in send_spans {
+            sendbuf.extend_from_slice(&buf[s.range()]);
+        }
+        let mut recvbuf = vec![0u8; rtotal];
+        let n =
+            AsyncCommunicator::sendrecv(self, &sendbuf, dest, sendtag, &mut recvbuf, src, recvtag)
+                .await?;
         Ok(scatter_spans(buf, recv_spans, &recvbuf[..n]))
     }
 }

@@ -25,7 +25,9 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use mpsim::{validate_spans, CommError, Communicator, IoSpan, Rank, Result, Tag};
+use mpsim::{
+    validate_spans, AsyncCommunicator, CommError, Communicator, IoSpan, Rank, Result, Tag,
+};
 use testkit::rng::{Rng, SplitMix64};
 
 /// What happens to one message offered on a link.
@@ -173,7 +175,7 @@ impl FaultPlan {
 /// ([`mpsim::reliable::ACK_TAG_BASE`]) pass through un-faulted, modelling a
 /// reliable control plane (see the comment in [`Communicator::send`] for
 /// why a synchronous reliability layer needs this).
-pub struct FaultyComm<'a, C: Communicator> {
+pub struct FaultyComm<'a, C: ?Sized> {
     inner: &'a C,
     plan: FaultPlan,
     /// Messages offered so far per outgoing link (the `k` of the plan).
@@ -186,7 +188,7 @@ pub struct FaultyComm<'a, C: Communicator> {
     dead: Cell<bool>,
 }
 
-impl<'a, C: Communicator> FaultyComm<'a, C> {
+impl<'a, C: ?Sized> FaultyComm<'a, C> {
     /// Wrap `inner` under `plan`.
     pub fn new(inner: &'a C, plan: FaultPlan) -> Self {
         FaultyComm {
@@ -204,15 +206,17 @@ impl<'a, C: Communicator> FaultyComm<'a, C> {
         self.inner
     }
 
-    /// Count one operation against the crash clock; once the planned
-    /// threshold is reached the rank is dead to the world.
-    fn tick(&self) -> Result<()> {
+    /// Count one operation by rank `me` against the crash clock; once the
+    /// planned threshold is reached the rank is dead to the world. The
+    /// caller supplies its own rank so the crash clock is shared verbatim
+    /// between the blocking and the async decorator paths.
+    fn tick_at(&self, me: Rank) -> Result<()> {
         let done = self.ops.get();
         self.ops.set(done + 1);
-        match self.plan.crash_after(self.inner.rank()) {
+        match self.plan.crash_after(me) {
             Some(limit) if done >= limit => {
                 self.dead.set(true);
-                Err(CommError::PeerFailed { rank: self.inner.rank() })
+                Err(CommError::PeerFailed { rank: me })
             }
             _ => Ok(()),
         }
@@ -231,10 +235,42 @@ impl<'a, C: Communicator> FaultyComm<'a, C> {
         cur
     }
 
+    /// Remove and return the held-back message on `(dst, tag)`, if any.
+    fn take_holdback(&self, dst: Rank, tag: Tag) -> Option<Vec<u8>> {
+        self.holdback.borrow_mut().remove(&(dst, tag.0))
+    }
+
+    /// Stash a delayed message on `(dst, tag)`, returning the previously
+    /// held one (which its overtaker has now released).
+    fn stash_holdback(&self, dst: Rank, tag: Tag, data: Vec<u8>) -> Option<Vec<u8>> {
+        self.holdback.borrow_mut().insert((dst, tag.0), data)
+    }
+
+    /// All channels with a message currently in holdback.
+    fn pending_holdbacks(&self) -> Vec<(Rank, u32)> {
+        self.holdback.borrow().keys().copied().collect()
+    }
+
+    /// The wire image of a vectored send: bare concatenation of the spans,
+    /// which is exactly what a receiver of a plain contiguous resend sees.
+    fn gather_spans(buf: &[u8], spans: &[IoSpan]) -> Vec<u8> {
+        let mut gathered = Vec::with_capacity(spans.iter().map(|s| s.count).sum());
+        for s in spans {
+            gathered.extend_from_slice(&buf[s.range()]);
+        }
+        gathered
+    }
+}
+
+impl<C: Communicator + ?Sized> FaultyComm<'_, C> {
+    /// Count one operation against the crash clock (blocking path).
+    fn tick(&self) -> Result<()> {
+        self.tick_at(self.inner.rank())
+    }
+
     /// Deliver a previously held-back message on `(dst, tag)`, if any.
     fn flush_holdback(&self, dst: Rank, tag: Tag) -> Result<()> {
-        let held = self.holdback.borrow_mut().remove(&(dst, tag.0));
-        match held {
+        match self.take_holdback(dst, tag) {
             Some(data) => self.inner.send(&data, dst, tag),
             None => Ok(()),
         }
@@ -411,6 +447,173 @@ impl<C: Communicator> Communicator for FaultyComm<'_, C> {
 
     fn check_rank(&self, rank: Rank) -> Result<()> {
         self.inner.check_rank(rank)
+    }
+}
+
+impl<C: AsyncCommunicator + ?Sized> FaultyComm<'_, C> {
+    /// Count one operation against the crash clock (async path).
+    fn tick_async(&self) -> Result<()> {
+        self.tick_at(self.inner.rank())
+    }
+
+    /// Async twin of `flush_holdback`.
+    async fn flush_holdback_async(&self, dst: Rank, tag: Tag) -> Result<()> {
+        match self.take_holdback(dst, tag) {
+            Some(data) => self.inner.send(&data, dst, tag).await,
+            None => Ok(()),
+        }
+    }
+}
+
+/// The identical fault model over any [`AsyncCommunicator`]: decisions are
+/// drawn from the same per-link ordinals and the crash clock counts the same
+/// operations, so a plan replays bit-identically between the blocking
+/// executors and the event executor.
+impl<C: AsyncCommunicator + ?Sized> AsyncCommunicator for FaultyComm<'_, C> {
+    fn rank(&self) -> Rank {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.now_ns()
+    }
+
+    fn check_rank(&self, rank: Rank) -> Result<()> {
+        self.inner.check_rank(rank)
+    }
+
+    async fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
+        self.tick_async()?;
+        // See the blocking `send` for why acknowledgement-range sends model
+        // a reliable control plane and bypass link faults.
+        if tag.0 >= mpsim::reliable::ACK_TAG_BASE {
+            return self.inner.send(buf, dest, tag).await;
+        }
+        let k = self.next_link_seq(dest);
+        match self.plan.decide(self.rank(), dest, k) {
+            FaultAction::Deliver => {
+                self.inner.send(buf, dest, tag).await?;
+                self.flush_holdback_async(dest, tag).await
+            }
+            FaultAction::Drop => self.flush_holdback_async(dest, tag).await,
+            FaultAction::Duplicate => {
+                self.inner.send(buf, dest, tag).await?;
+                self.inner.send(buf, dest, tag).await?;
+                self.flush_holdback_async(dest, tag).await
+            }
+            FaultAction::Delay => match self.stash_holdback(dest, tag, buf.to_vec()) {
+                Some(data) => self.inner.send(&data, dest, tag).await,
+                None => Ok(()),
+            },
+        }
+    }
+
+    async fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
+        self.tick_async()?;
+        self.inner.recv(buf, src, tag).await
+    }
+
+    async fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> Result<usize> {
+        self.tick_async()?;
+        self.inner.recv_timeout(buf, src, tag, timeout).await
+    }
+
+    async fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dest: Rank,
+        sendtag: Tag,
+        recvbuf: &mut [u8],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        // Counted and fault-injected as one send plus one receive, exactly
+        // like the blocking impl.
+        AsyncCommunicator::send(self, sendbuf, dest, sendtag).await?;
+        AsyncCommunicator::recv(self, recvbuf, src, recvtag).await
+    }
+
+    async fn barrier(&self) -> Result<()> {
+        self.tick_async()?;
+        // Anything still held back must arrive before the barrier (see the
+        // blocking impl).
+        for (dst, tag) in self.pending_holdbacks() {
+            self.flush_holdback_async(dst, Tag(tag)).await?;
+        }
+        self.inner.barrier().await
+    }
+
+    /// One envelope, one decision — identical to the blocking vectored send.
+    async fn send_vectored(
+        &self,
+        buf: &[u8],
+        spans: &[IoSpan],
+        dest: Rank,
+        tag: Tag,
+    ) -> Result<()> {
+        self.tick_async()?;
+        validate_spans(buf.len(), spans)?;
+        if tag.0 >= mpsim::reliable::ACK_TAG_BASE {
+            return self.inner.send_vectored(buf, spans, dest, tag).await;
+        }
+        let k = self.next_link_seq(dest);
+        match self.plan.decide(self.rank(), dest, k) {
+            FaultAction::Deliver => {
+                self.inner.send_vectored(buf, spans, dest, tag).await?;
+                self.flush_holdback_async(dest, tag).await
+            }
+            FaultAction::Drop => self.flush_holdback_async(dest, tag).await,
+            FaultAction::Duplicate => {
+                self.inner.send_vectored(buf, spans, dest, tag).await?;
+                self.inner.send_vectored(buf, spans, dest, tag).await?;
+                self.flush_holdback_async(dest, tag).await
+            }
+            FaultAction::Delay => {
+                let gathered = Self::gather_spans(buf, spans);
+                match self.stash_holdback(dest, tag, gathered) {
+                    Some(data) => self.inner.send(&data, dest, tag).await,
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    async fn recv_scattered(
+        &self,
+        buf: &mut [u8],
+        spans: &[IoSpan],
+        src: Rank,
+        tag: Tag,
+    ) -> Result<usize> {
+        self.tick_async()?;
+        self.inner.recv_scattered(buf, spans, src, tag).await
+    }
+
+    async fn sendrecv_vectored(
+        &self,
+        buf: &mut [u8],
+        send_spans: &[IoSpan],
+        dest: Rank,
+        sendtag: Tag,
+        recv_spans: &[IoSpan],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        validate_spans(buf.len(), send_spans)?;
+        validate_spans(buf.len(), recv_spans)?;
+        mpsim::disjoint_span_lists(send_spans, recv_spans)?;
+        AsyncCommunicator::send_vectored(self, buf, send_spans, dest, sendtag).await?;
+        AsyncCommunicator::recv_scattered(self, buf, recv_spans, src, recvtag).await
     }
 }
 

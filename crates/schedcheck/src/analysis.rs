@@ -153,6 +153,11 @@ impl Reconciliation {
 
 /// Reconcile an instrumented (possibly coalesced) execution against
 /// `schedule`'s planned volume. See [`Reconciliation`] for the contract.
+///
+/// Executor-agnostic: the counters of a `ThreadWorld`, `SimWorld`, or
+/// `EventWorld` outcome all reconcile through the same entry point — the
+/// accounting layer is shared, so a schedule that reconciles on one
+/// executor must reconcile identically on the others.
 pub fn reconcile_traffic(schedule: &Schedule, traffic: &mpsim::WorldTraffic) -> Reconciliation {
     let (planned_msgs, planned_bytes) = schedule.planned_volume();
     let executed_msgs = traffic.total_msgs();
@@ -703,6 +708,36 @@ mod tests {
                 rec.executed_envelopes,
                 bcast_core::coalesced_envelope_count(p) + scatter_msgs
             );
+            assert!(rec.envelopes_saved() > 0);
+        }
+    }
+
+    #[test]
+    fn reconcile_event_world_runs_against_schedules() {
+        use bcast_core::bcast::bcast_schedule;
+        use bcast_core::{
+            bcast_coalesced_event_world, bcast_event_world, Algorithm, CoalescePolicy,
+        };
+
+        for p in [8usize, 10] {
+            let nbytes = 16 * p;
+            // Plain scatter-ring runs on the event executor implement their
+            // IR one planned transfer per envelope.
+            for algorithm in [Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned] {
+                let sched = bcast_schedule(algorithm, p, nbytes, 0);
+                let out = bcast_event_world(p, nbytes, 0, algorithm);
+                let rec = reconcile_traffic(&sched, &out.traffic);
+                assert!(rec.is_clean(), "{algorithm:?} P={p}: {:?}", rec.errors);
+                assert_eq!(rec.executed_msgs, rec.planned_msgs);
+                assert_eq!(rec.envelopes_saved(), 0);
+            }
+            // The coalesced event-world run moves the tuned IR's exact bytes
+            // in fewer envelopes — same win as on the threaded executor.
+            let sched = bcast_schedule(Algorithm::ScatterRingTuned, p, nbytes, 0);
+            let out = bcast_coalesced_event_world(p, nbytes, 0, CoalescePolicy::unlimited());
+            let rec = reconcile_traffic(&sched, &out.traffic);
+            assert!(rec.is_clean(), "coalesced P={p}: {:?}", rec.errors);
+            assert_eq!(rec.executed_bytes, rec.planned_bytes);
             assert!(rec.envelopes_saved() > 0);
         }
     }

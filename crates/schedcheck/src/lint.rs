@@ -30,6 +30,12 @@
 //!    Deliberate loops (the binomial scatter fans out to a *different* child
 //!    per iteration; the plain tuned ring is the uncoalesced baseline by
 //!    definition) carry a `// lint: allow(per-chunk-send)` marker.
+//! 6. [`check_real_time`] — the discrete-event executor
+//!    (`crates/mpsim/src/event_*.rs`) must never read real time or sleep:
+//!    `std::thread::sleep`, `Instant::now`, and `SystemTime` would leak
+//!    wall-clock nondeterminism into a world whose whole contract is that
+//!    fault delays and timeouts are deterministic virtual-clock events.
+//!    A deliberate exception carries a `// lint: allow(real-time)` marker.
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -262,6 +268,39 @@ pub fn check_per_chunk_send(path: &str, content: &str) -> Vec<LintHit> {
     hits
 }
 
+/// Rule 6: real-time primitives inside the discrete-event executor. The
+/// event executor's contract is virtual-clock purity — every delay and
+/// timeout is an event timestamp, so the same world replays identically on
+/// every machine. Reading a wall clock (`Instant::now`, `SystemTime`) or
+/// sleeping (`std::thread::sleep`) inside `crates/mpsim/src/event_*.rs`
+/// breaks that replay guarantee. Test modules are exempt (same scoping as
+/// [`check_panics`]); a deliberate exception carries a
+/// `// lint: allow(real-time)` marker on the same or the preceding line.
+pub fn check_real_time(path: &str, content: &str) -> Vec<LintHit> {
+    let in_event_executor = path.starts_with("crates/mpsim/src/event_") && path.ends_with(".rs");
+    if !in_event_executor {
+        return Vec::new();
+    }
+    let body = match content.find("#[cfg(test)]") {
+        Some(i) => &content[..i],
+        None => content,
+    };
+    const REAL_TIME: [&str; 4] = ["thread::sleep", "Instant::now", "SystemTime", "Instant :: now"];
+    let mut hits = Vec::new();
+    let mut prev: &str = "";
+    for (i, line) in body.lines().enumerate() {
+        let code = code_part(line);
+        let real = REAL_TIME.iter().any(|n| code.contains(n));
+        let allowed =
+            line.contains("lint: allow(real-time)") || prev.contains("lint: allow(real-time)");
+        if real && !allowed {
+            hits.push(hit(path, i, "real-time", line));
+        }
+        prev = line;
+    }
+    hits
+}
+
 /// Run every rule over one file.
 pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     // The linter's own source holds the trigger patterns as string
@@ -275,6 +314,7 @@ pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     hits.extend(check_unsafe(path, content));
     hits.extend(check_ignored_comm_result(path, content));
     hits.extend(check_per_chunk_send(path, content));
+    hits.extend(check_real_time(path, content));
     hits
 }
 
@@ -373,6 +413,28 @@ mod tests {
         let vectored = "fn f() {\n    for u in units {\n        \
                         comm.send_vectored(buf, &u, right, T)?;\n    }\n}\n";
         assert!(check_per_chunk_send("crates/core/src/coalesce.rs", vectored).is_empty());
+    }
+
+    #[test]
+    fn real_time_rule_scoping_and_waiver() {
+        let sleepy = "fn f() { std::thread::sleep(Duration::from_millis(1)); }\n";
+        assert_eq!(check_real_time("crates/mpsim/src/event_comm.rs", sleepy).len(), 1);
+        let instant = "let t0 = std::time::Instant::now();\n";
+        assert_eq!(check_real_time("crates/mpsim/src/event_comm.rs", instant).len(), 1);
+        let systime = "let wall = std::time::SystemTime::now();\n";
+        assert_eq!(check_real_time("crates/mpsim/src/event_reactor.rs", systime).len(), 1);
+        // Only the event executor is held to virtual-clock purity.
+        assert!(check_real_time("crates/mpsim/src/thread_comm.rs", sleepy).is_empty());
+        assert!(check_real_time("crates/mpsim/src/reliable.rs", instant).is_empty());
+        // Comments, test modules, and marked lines are exempt.
+        let comment = "// Instant::now is banned here\n";
+        assert!(check_real_time("crates/mpsim/src/event_comm.rs", comment).is_empty());
+        let in_tests = "fn f() {}\n#[cfg(test)]\nmod t { fn g() { \
+                        let t = std::time::Instant::now(); } }\n";
+        assert!(check_real_time("crates/mpsim/src/event_comm.rs", in_tests).is_empty());
+        let waived = "// lint: allow(real-time) — diagnostics only, never scheduling\n\
+                      let t0 = std::time::Instant::now();\n";
+        assert!(check_real_time("crates/mpsim/src/event_comm.rs", waived).is_empty());
     }
 
     #[test]

@@ -1,7 +1,15 @@
 #!/usr/bin/env bash
-# Local mirror of .github/workflows/ci.yml: run every CI gate, offline.
+# Local mirror of .github/workflows/ci.yml: run every CI gate, offline,
+# with a per-phase wall-clock report so the growing matrix stays
+# diagnosable.
 # Usage: scripts/ci.sh [--quick]
-#   --quick   skip the release build (test/fmt/clippy only)
+#   --quick   skip the release build, the release megascale sweeps and the
+#             bench regression gate (test/fmt/clippy only)
+# Environment:
+#   CI_BUDGET_SECONDS   soft wall-clock budget for the whole run; the
+#                       summary prints a warning when it is exceeded
+#                       (default 1200). The run still passes — the budget
+#                       flags drift, it does not gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,54 +21,123 @@ run() {
   "$@"
 }
 
-export CARGO_NET_OFFLINE=true
+# Per-phase wall-clock accounting: every top-level gate runs under
+# run_phase so the summary table at the end shows where the minutes went.
+PHASE_NAMES=()
+PHASE_SECS=()
+run_phase() {
+  local name="$1"
+  shift
+  echo "=== phase: $name ===" >&2
+  local t0=$SECONDS
+  "$@"
+  PHASE_NAMES+=("$name")
+  PHASE_SECS+=($((SECONDS - t0)))
+}
 
-if [[ $quick -eq 0 ]]; then
-  run cargo build --workspace --release --offline
-fi
+export CARGO_NET_OFFLINE=true
 
 # Feature matrix: the lock backend is selected at compile time, so every
 # combination must build, test, and lint cleanly. The empty leg is the
 # default std backend; fast-sync swaps in the spin-then-park locks.
 feature_legs=("--no-default-features" "" "--features mpsim/fast-sync")
-for features in "${feature_legs[@]}"; do
-  # shellcheck disable=SC2086
-  run cargo test -q --workspace --offline $features
-  # shellcheck disable=SC2086
-  run cargo clippy --workspace --all-targets --offline $features -- -D warnings
-  # Envelope-coalescing smoke: the bench itself asserts byte- and
-  # message-identical traffic between the per-chunk and coalesced
-  # policies, so running it is a correctness gate for the vectored
-  # fabric under every lock backend.
-  # shellcheck disable=SC2086
-  run cargo bench -q -p bcast-bench --bench ring_coalesce --offline $features -- --quick
-done
 
-run cargo bench --workspace --offline -- --help >/dev/null
-run cargo fmt --all --check
+phase_build() {
+  run cargo build --workspace --release --offline
+}
+
+phase_feature_matrix() {
+  for features in "${feature_legs[@]}"; do
+    # shellcheck disable=SC2086
+    run cargo test -q --workspace --offline $features
+    # shellcheck disable=SC2086
+    run cargo clippy --workspace --all-targets --offline $features -- -D warnings
+    # Envelope-coalescing smoke: the bench itself asserts byte- and
+    # message-identical traffic between the per-chunk and coalesced
+    # policies, so running it is a correctness gate for the vectored
+    # fabric under every lock backend.
+    # shellcheck disable=SC2086
+    run cargo bench -q -p bcast-bench --bench ring_coalesce --offline $features -- --quick
+  done
+}
+
+phase_harness_and_fmt() {
+  run cargo bench --workspace --offline -- --help >/dev/null
+  run cargo fmt --all --check
+}
 
 # Static verification: the schedule sweep proves every collective's symbolic
 # schedule deadlock-free, fully covering, and traffic-exact (and drills
 # seeded mutants); repolint enforces source conventions (sync facade,
-# panic-free libraries, documented unsafe).
-if [[ $quick -eq 1 ]]; then
-  run cargo run -q -p schedcheck --bin schedcheck --offline -- --quick
-else
-  run cargo run -q -p schedcheck --bin schedcheck --offline
-fi
-run cargo run -q -p schedcheck --bin repolint --offline
+# panic-free libraries, documented unsafe, virtual-clock purity of the
+# event executor).
+phase_schedcheck() {
+  if [[ $quick -eq 1 ]]; then
+    run cargo run -q -p schedcheck --bin schedcheck --offline -- --quick
+  else
+    run cargo run -q -p schedcheck --bin schedcheck --offline
+  fi
+  run cargo run -q -p schedcheck --bin repolint --offline
+}
 
 # Chaos gate: replay the seeded fault-injection batteries (P ∈ {4,8,10,16}
-# × drop/dup/mixed link faults and one-rank crashes, both executors) under
+# × drop/dup/mixed link faults and one-rank crashes, all executors) under
 # a second fixed seed, so CI exercises a different fault pattern than the
 # developer-default seed baked into the tests. Any failure replays
 # bit-identically with the printed TESTKIT_SEED.
-chaos_seed=0xC4A05C1A05150002
-run env TESTKIT_SEED=$chaos_seed cargo test -q -p bcast-core --offline --test chaos_recovery
-run env TESTKIT_SEED=$chaos_seed cargo test -q -p bcast-opt --offline --test comm_conformance
+phase_chaos() {
+  local chaos_seed=0xC4A05C1A05150002
+  run env TESTKIT_SEED=$chaos_seed cargo test -q -p bcast-core --offline --test chaos_recovery
+  run env TESTKIT_SEED=$chaos_seed cargo test -q -p bcast-opt --offline --test comm_conformance
+}
+
+# event-exec lane: prove the discrete-event executor in every feature leg —
+# conformance battery (incl. seeded faults over the virtual clock), the
+# paper's P=8/P=10 traffic table, and the P=256 megascale sweep. The
+# P ∈ {1024, 4096} sweeps (~1M and ~16.8M messages per algorithm) run in
+# release only, pinned to the same closed-form envelope/byte counts.
+phase_event_exec() {
+  for features in "${feature_legs[@]}"; do
+    # shellcheck disable=SC2086
+    run cargo test -q -p bcast-opt --offline $features --test comm_conformance event_
+    # shellcheck disable=SC2086
+    run cargo test -q -p bcast-opt --offline $features --test traffic_table event_world
+    # shellcheck disable=SC2086
+    run cargo test -q -p bcast-opt --offline $features --test event_megascale
+  done
+  if [[ $quick -eq 0 ]]; then
+    run cargo test --release -q -p bcast-opt --offline --test event_megascale -- --ignored
+  fi
+}
+
+phase_bench_gate() {
+  run scripts/bench_compare.sh
+}
 
 if [[ $quick -eq 0 ]]; then
-  run scripts/bench_compare.sh
+  run_phase "build (release)" phase_build
+fi
+run_phase "feature matrix (test + clippy + coalesce smoke)" phase_feature_matrix
+run_phase "bench harness + fmt" phase_harness_and_fmt
+run_phase "schedcheck + repolint" phase_schedcheck
+run_phase "chaos gate (seeded faults)" phase_chaos
+run_phase "event-exec lane" phase_event_exec
+if [[ $quick -eq 0 ]]; then
+  run_phase "bench regression gate" phase_bench_gate
+fi
+
+budget=${CI_BUDGET_SECONDS:-1200}
+total=0
+echo
+echo "CI phase timing:"
+for i in "${!PHASE_NAMES[@]}"; do
+  printf '  %-48s %5ss\n' "${PHASE_NAMES[$i]}" "${PHASE_SECS[$i]}"
+  total=$((total + PHASE_SECS[i]))
+done
+printf '  %-48s %5ss\n' "total" "$total"
+if [[ $total -gt $budget ]]; then
+  echo "warning: CI wall clock ${total}s exceeds soft budget ${budget}s" \
+    "(CI_BUDGET_SECONDS) — consider trimming the slowest phase above" >&2
 fi
 
 echo "All CI gates passed."

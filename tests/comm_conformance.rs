@@ -1,16 +1,21 @@
-//! Backend-agnostic conformance suite for [`Communicator`] semantics.
+//! Backend-agnostic conformance suite for communicator semantics.
 //!
 //! One generic battery of point-to-point semantics — self-messaging
 //! sendrecv, zero-byte messages, truncation errors, out-of-order
-//! `(source, tag)` matching — executed verbatim against both executors:
-//! the threaded runtime and the virtual-time simulator. The CI feature
-//! matrix re-runs this binary with `--features mpsim/fast-sync`, so the
-//! same battery also covers the spin-then-park lock backend.
+//! `(source, tag)` matching — executed verbatim against all three
+//! executors: the threaded runtime, the virtual-time simulator, and the
+//! discrete-event async executor. The batteries are written once against
+//! [`AsyncCommunicator`]; the blocking backends drive them through the
+//! [`SyncComm`] bridge (whose futures complete on first poll), the event
+//! executor runs them as genuinely suspending tasks. The CI feature matrix
+//! re-runs this binary with `--features mpsim/fast-sync`, so the same
+//! battery also covers the spin-then-park lock backend.
 //!
 //! A second battery covers the fault layer: `recv_timeout` expiry
 //! semantics, and `ReliableComm` masking seeded drop / duplication / delay
-//! faults injected by `netsim::FaultyComm` — again on both executors. The
-//! fault plan is seeded from `TESTKIT_SEED` when set, so a failing run
+//! faults injected by `netsim::FaultyComm` — again on every executor (on
+//! the event executor the retransmission timers run on the virtual clock).
+//! The fault plan is seeded from `TESTKIT_SEED` when set, so a failing run
 //! replays bit-identically.
 //!
 //! A third battery pins the vectored-I/O surface: wire-format equivalence
@@ -18,13 +23,14 @@
 //! indistinguishable from `send`; either side may be plain while the other
 //! is vectored), empty segment lists as zero-byte messages, fail-fast
 //! rejection of overlapping spans, and full-duplex `sendrecv_vectored`
-//! exchange — on both executors and under the simulator's rendezvous
+//! exchange — on every executor and under the simulator's rendezvous
 //! regime, where the combined call is the only deadlock-free shape.
 
 use std::time::Duration;
 
 use mpsim::{
-    CommError, Communicator, IoSpan, NonBlocking, ReliableComm, RetryConfig, Tag, ThreadWorld,
+    complete_now, AsyncCommunicator, AsyncNonBlocking, CommError, EventWorld, IoSpan, ReliableComm,
+    RetryConfig, SyncComm, Tag, ThreadWorld,
 };
 use netsim::{FaultPlan, FaultyComm, LinkFaults, NetworkModel, Placement, SimWorld};
 
@@ -51,7 +57,7 @@ fn battery_seed() -> u64 {
 /// battery is protocol-agnostic: under a rendezvous protocol a blocking
 /// receive for a not-yet-sent message while the peer's earlier send is still
 /// unmatched would deadlock (exactly as in MPI).
-fn conformance_battery<C: Communicator + NonBlocking>(comm: &C) {
+async fn conformance_battery<C: AsyncCommunicator + AsyncNonBlocking>(comm: &C) {
     assert_eq!(comm.size(), WORLD);
     let me = comm.rank();
 
@@ -59,7 +65,7 @@ fn conformance_battery<C: Communicator + NonBlocking>(comm: &C) {
     // deliver the payload back (MPI_Sendrecv to MPI_PROC self).
     let sbuf = [me as u8; 17];
     let mut rbuf = [0u8; 17];
-    let n = comm.sendrecv(&sbuf, me, Tag(1), &mut rbuf, me, Tag(1)).unwrap();
+    let n = comm.sendrecv(&sbuf, me, Tag(1), &mut rbuf, me, Tag(1)).await.unwrap();
     assert_eq!(n, 17);
     assert_eq!(rbuf, sbuf, "self sendrecv must loop the payload back");
 
@@ -68,46 +74,46 @@ fn conformance_battery<C: Communicator + NonBlocking>(comm: &C) {
     let right = mpsim::ring_right(me, WORLD);
     let left = mpsim::ring_left(me, WORLD);
     let mut empty: [u8; 0] = [];
-    let n = comm.sendrecv(&[], right, Tag(2), &mut empty, left, Tag(2)).unwrap();
+    let n = comm.sendrecv(&[], right, Tag(2), &mut empty, left, Tag(2)).await.unwrap();
     assert_eq!(n, 0, "zero-byte message must deliver zero bytes");
 
     // --- zero-byte into a non-empty buffer leaves the buffer untouched.
     // Self-messaging must go through sendrecv: a blocking send to self is
     // a deadlock under rendezvous protocols (as in MPI without buffering).
     let mut untouched = [0xEEu8; 4];
-    let n = comm.sendrecv(&[], me, Tag(3), &mut untouched, me, Tag(3)).unwrap();
+    let n = comm.sendrecv(&[], me, Tag(3), &mut untouched, me, Tag(3)).await.unwrap();
     assert_eq!(n, 0);
     assert_eq!(untouched, [0xEE; 4]);
 
     // --- truncation: a message larger than the receive buffer is an error
     // at the receiver, and the error carries both sizes.
-    comm.barrier().unwrap();
+    comm.barrier().await.unwrap();
     if me == 0 {
         // Eager backends complete this send; rendezvous backends surface the
         // truncation at the sender too (it is still blocked at match time).
         // Both are MPI-conformant, so only the receiver's error is pinned.
-        let _ = comm.send(&[7u8; 32], 1, Tag(4));
+        let _ = comm.send(&[7u8; 32], 1, Tag(4)).await;
     } else if me == 1 {
         let mut small = [0u8; 8];
-        let err = comm.recv(&mut small, 0, Tag(4)).unwrap_err();
+        let err = comm.recv(&mut small, 0, Tag(4)).await.unwrap_err();
         assert_eq!(err, CommError::Truncation { capacity: 8, incoming: 32 });
     }
     // The fabric may fail the (rendezvous) sender too; either way the world
     // must keep working afterwards for everyone else.
-    comm.barrier().unwrap();
+    comm.barrier().await.unwrap();
 
     // --- out-of-order matching on tags: receives posted for all three tags,
     // waited in a different order than the sends, still pair up by tag.
     if me == 2 {
-        comm.send(&[10], 3, Tag(10)).unwrap();
-        comm.send(&[20], 3, Tag(20)).unwrap();
-        comm.send(&[30], 3, Tag(30)).unwrap();
+        comm.send(&[10], 3, Tag(10)).await.unwrap();
+        comm.send(&[20], 3, Tag(20)).await.unwrap();
+        comm.send(&[30], 3, Tag(30)).await.unwrap();
     } else if me == 3 {
         let pending: Vec<_> =
             [30u32, 10, 20].iter().map(|&t| comm.irecv(1, 2, Tag(t)).unwrap()).collect();
         for (p, tag) in pending.into_iter().zip([30u32, 10, 20]) {
             let mut buf = [0u8; 1];
-            comm.wait_recv(p, &mut buf).unwrap();
+            comm.wait_recv(p, &mut buf).await.unwrap();
             assert_eq!(u32::from(buf[0]), tag, "tag {tag} matched the wrong message");
         }
     }
@@ -118,38 +124,38 @@ fn conformance_battery<C: Communicator + NonBlocking>(comm: &C) {
         let mut buf = [0u8; 1];
         // post receives in descending source order; sends arrive ascending
         for src in [3usize, 2, 1, 0] {
-            comm.recv(&mut buf, src, Tag(5)).unwrap();
+            comm.recv(&mut buf, src, Tag(5)).await.unwrap();
             assert_eq!(buf[0] as usize, src, "source {src} matched the wrong message");
         }
     } else if me < 4 {
-        comm.send(&[me as u8], 4, Tag(5)).unwrap();
+        comm.send(&[me as u8], 4, Tag(5)).await.unwrap();
     }
 
     // --- per-(source, tag) FIFO survives interleaving with another tag.
     if me == 5 {
-        comm.send(&[1], 0, Tag(7)).unwrap();
-        comm.send(&[99], 0, Tag(8)).unwrap();
-        comm.send(&[2], 0, Tag(7)).unwrap();
+        comm.send(&[1], 0, Tag(7)).await.unwrap();
+        comm.send(&[99], 0, Tag(8)).await.unwrap();
+        comm.send(&[2], 0, Tag(7)).await.unwrap();
     } else if me == 0 {
         let a = comm.irecv(1, 5, Tag(7)).unwrap();
         let b = comm.irecv(1, 5, Tag(7)).unwrap();
         let c = comm.irecv(1, 5, Tag(8)).unwrap();
         let mut buf = [0u8; 1];
-        comm.wait_recv(a, &mut buf).unwrap();
+        comm.wait_recv(a, &mut buf).await.unwrap();
         assert_eq!(buf[0], 1);
-        comm.wait_recv(b, &mut buf).unwrap();
+        comm.wait_recv(b, &mut buf).await.unwrap();
         assert_eq!(buf[0], 2, "same-tag messages must stay FIFO");
-        comm.wait_recv(c, &mut buf).unwrap();
+        comm.wait_recv(c, &mut buf).await.unwrap();
         assert_eq!(buf[0], 99);
     }
 
-    comm.barrier().unwrap();
+    comm.barrier().await.unwrap();
 }
 
 /// The vectored-I/O battery. Every exchange is either pairwise one-way
 /// (`me ^ 1` — `WORLD` is even) or a combined `sendrecv_vectored`, so the
 /// battery is rendezvous-safe and runs verbatim under every regime.
-fn vectored_battery<C: Communicator>(comm: &C) {
+async fn vectored_battery<C: AsyncCommunicator>(comm: &C) {
     assert_eq!(comm.size(), WORLD);
     let me = comm.rank();
     let partner = me ^ 1;
@@ -160,45 +166,47 @@ fn vectored_battery<C: Communicator>(comm: &C) {
     let src: Vec<u8> = (0..32u8).collect();
     if me.is_multiple_of(2) {
         comm.send_vectored(&src, &[IoSpan::new(24, 4), IoSpan::new(4, 3)], partner, Tag(60))
+            .await
             .unwrap();
         // single segment ≡ plain send: the receiver uses plain recv…
-        comm.send_vectored(&src, &[IoSpan::new(3, 5)], partner, Tag(61)).unwrap();
+        comm.send_vectored(&src, &[IoSpan::new(3, 5)], partner, Tag(61)).await.unwrap();
         // …and a plain send scatters fine at the receiver.
-        comm.send(&src[10..16], partner, Tag(62)).unwrap();
+        comm.send(&src[10..16], partner, Tag(62)).await.unwrap();
         // empty segment list = a real zero-byte message.
-        comm.send_vectored(&src, &[], partner, Tag(63)).unwrap();
+        comm.send_vectored(&src, &[], partner, Tag(63)).await.unwrap();
     } else {
         let mut buf = [0u8; 7];
-        assert_eq!(comm.recv(&mut buf, partner, Tag(60)).unwrap(), 7);
+        assert_eq!(comm.recv(&mut buf, partner, Tag(60)).await.unwrap(), 7);
         assert_eq!(buf[..4], src[24..28]);
         assert_eq!(buf[4..], src[4..7]);
         let mut plain = [0u8; 5];
-        assert_eq!(comm.recv(&mut plain, partner, Tag(61)).unwrap(), 5);
+        assert_eq!(comm.recv(&mut plain, partner, Tag(61)).await.unwrap(), 5);
         assert_eq!(plain[..], src[3..8]);
         let mut scat = [0xEEu8; 12];
         let n = comm
             .recv_scattered(&mut scat, &[IoSpan::new(9, 3), IoSpan::new(0, 3)], partner, Tag(62))
+            .await
             .unwrap();
         assert_eq!(n, 6);
         assert_eq!(scat[9..12], src[10..13]);
         assert_eq!(scat[..3], src[13..16]);
         assert_eq!(scat[3..9], [0xEE; 6], "bytes outside the spans must stay untouched");
         let mut keep = [0xAAu8; 4];
-        assert_eq!(comm.recv_scattered(&mut keep, &[], partner, Tag(63)).unwrap(), 0);
+        assert_eq!(comm.recv_scattered(&mut keep, &[], partner, Tag(63)).await.unwrap(), 0);
         assert_eq!(keep, [0xAA; 4], "zero-byte scatter must write nothing");
     }
-    comm.barrier().unwrap();
+    comm.barrier().await.unwrap();
 
     // --- span validation fails fast, before any traffic moves (no peer is
     // listening on Tag(64); reaching the barrier proves nothing was sent).
     let mut buf = [0u8; 16];
     let overlap = [IoSpan::new(0, 4), IoSpan::new(2, 4)];
     assert!(matches!(
-        comm.send_vectored(&buf, &overlap, partner, Tag(64)).unwrap_err(),
+        comm.send_vectored(&buf, &overlap, partner, Tag(64)).await.unwrap_err(),
         CommError::SpanOverlap { .. }
     ));
     assert!(matches!(
-        comm.recv_scattered(&mut buf, &overlap, partner, Tag(64)).unwrap_err(),
+        comm.recv_scattered(&mut buf, &overlap, partner, Tag(64)).await.unwrap_err(),
         CommError::SpanOverlap { .. }
     ));
     // The send and receive lists of one combined call must also be
@@ -213,14 +221,15 @@ fn vectored_battery<C: Communicator>(comm: &C) {
             partner,
             Tag(64),
         )
+        .await
         .unwrap_err(),
         CommError::SpanOverlap { .. }
     ));
     assert!(matches!(
-        comm.send_vectored(&buf, &[IoSpan::new(12, 8)], partner, Tag(64)).unwrap_err(),
+        comm.send_vectored(&buf, &[IoSpan::new(12, 8)], partner, Tag(64)).await.unwrap_err(),
         CommError::OutOfBounds { .. }
     ));
-    comm.barrier().unwrap();
+    comm.barrier().await.unwrap();
 
     // --- full-duplex vectored exchange around the ring: each rank forwards
     // two quarters of its buffer while absorbing the left neighbor's —
@@ -239,18 +248,20 @@ fn vectored_battery<C: Communicator>(comm: &C) {
             left,
             Tag(65),
         )
+        .await
         .unwrap();
     assert_eq!(n, 8);
     assert!(ring[8..].iter().all(|&b| b == left as u8), "ring exchange delivered wrong payload");
-    comm.barrier().unwrap();
+    comm.barrier().await.unwrap();
 }
 
 /// The fault battery: timeout semantics on the bare communicator, then
 /// `ReliableComm` over `FaultyComm` under seeded drop, duplication, and
 /// delay faults. Requires an eagerly-delivering transport (`FaultyComm`'s
 /// send-side injection and `ReliableComm`'s sendrecv pump both document
-/// this), so the simulator runs it on an all-eager model only.
-fn fault_battery<C: Communicator>(comm: &C, seed: u64) {
+/// this), so the simulator runs it on an all-eager model only; the event
+/// executor is always eager and runs every timeout on its virtual clock.
+async fn fault_battery<C: AsyncCommunicator>(comm: &C, seed: u64) {
     assert_eq!(comm.size(), WORLD);
     let me = comm.rank();
     let right = mpsim::ring_right(me, WORLD);
@@ -260,18 +271,19 @@ fn fault_battery<C: Communicator>(comm: &C, seed: u64) {
     // receive succeeds once the message actually exists.
     if me == 0 {
         let mut buf = [0u8; 4];
-        let err = comm.recv_timeout(&mut buf, 1, Tag(40), Duration::from_millis(20)).unwrap_err();
+        let err =
+            comm.recv_timeout(&mut buf, 1, Tag(40), Duration::from_millis(20)).await.unwrap_err();
         assert_eq!(err, CommError::Timeout { peer: 1 });
     }
-    comm.barrier().unwrap();
+    comm.barrier().await.unwrap();
     if me == 1 {
-        comm.send(&[9, 9, 9, 9], 0, Tag(40)).unwrap();
+        comm.send(&[9, 9, 9, 9], 0, Tag(40)).await.unwrap();
     } else if me == 0 {
         let mut buf = [0u8; 4];
-        let n = comm.recv_timeout(&mut buf, 1, Tag(40), Duration::from_secs(5)).unwrap();
+        let n = comm.recv_timeout(&mut buf, 1, Tag(40), Duration::from_secs(5)).await.unwrap();
         assert_eq!((n, buf), (4, [9, 9, 9, 9]), "late message must still arrive intact");
     }
-    comm.barrier().unwrap();
+    comm.barrier().await.unwrap();
 
     // Short timeouts keep retransmission cheap; the attempt budget makes a
     // permanent failure under these loss rates astronomically unlikely.
@@ -296,6 +308,7 @@ fn fault_battery<C: Communicator>(comm: &C, seed: u64) {
             let mut inb = [0u8; 2];
             let n = rc
                 .sendrecv(&out, right, Tag(tag), &mut inb, left, Tag(tag))
+                .await
                 .unwrap_or_else(|e| panic!("{label}: rank {me} round {round} sendrecv: {e:?}"));
             assert_eq!(
                 (n, inb),
@@ -303,7 +316,7 @@ fn fault_battery<C: Communicator>(comm: &C, seed: u64) {
                 "{label}: round {round} payload corrupted or out of order"
             );
         }
-        comm.barrier().unwrap();
+        comm.barrier().await.unwrap();
         // Fan-in to rank 0 on a fresh tag: cross-source interleaving under
         // the same faults must still deliver one intact stream per source.
         let fan = Tag(tag + 100);
@@ -311,16 +324,16 @@ fn fault_battery<C: Communicator>(comm: &C, seed: u64) {
             let mut buf = [0u8; 2];
             for src in 1..WORLD {
                 for round in 0..4u8 {
-                    rc.recv(&mut buf, src, fan).unwrap();
+                    rc.recv(&mut buf, src, fan).await.unwrap();
                     assert_eq!(buf, [src as u8, round], "{label}: fan-in stream broke");
                 }
             }
         } else {
             for round in 0..4u8 {
-                rc.send(&[me as u8, round], 0, fan).unwrap();
+                rc.send(&[me as u8, round], 0, fan).await.unwrap();
             }
         }
-        comm.barrier().unwrap();
+        comm.barrier().await.unwrap();
     }
 
     // --- vectored passthrough: the retry protocol frames a k-span envelope
@@ -347,40 +360,45 @@ fn fault_battery<C: Communicator>(comm: &C, seed: u64) {
                 left,
                 vtag,
             )
+            .await
             .unwrap_or_else(|e| panic!("vectored: rank {me} round {round}: {e:?}"));
         assert_eq!(n, 4);
         assert_eq!(ring[4..], [left as u8, round, 0x55, 0xAA], "vectored stream corrupted");
     }
-    comm.barrier().unwrap();
+    comm.barrier().await.unwrap();
 }
 
 #[test]
 fn threaded_backend_conforms() {
-    ThreadWorld::run(WORLD, conformance_battery);
+    ThreadWorld::run(WORLD, |comm| complete_now(conformance_battery(&SyncComm::new(comm))));
 }
 
 #[test]
 fn threaded_backend_vectored_conforms() {
-    ThreadWorld::run(WORLD, vectored_battery);
+    ThreadWorld::run(WORLD, |comm| complete_now(vectored_battery(&SyncComm::new(comm))));
 }
 
 #[test]
 fn simulated_backend_vectored_conforms_rendezvous() {
     let model = NetworkModel::uniform(50.0, 1.0);
-    SimWorld::run(model, Placement::new(4), WORLD, vectored_battery);
+    SimWorld::run(model, Placement::new(4), WORLD, |comm| {
+        complete_now(vectored_battery(&SyncComm::new(comm)))
+    });
 }
 
 #[test]
 fn simulated_backend_vectored_conforms_eager() {
     let mut model = NetworkModel::uniform(50.0, 1.0);
     model.eager_threshold = usize::MAX;
-    SimWorld::run(model, Placement::new(2), WORLD, vectored_battery);
+    SimWorld::run(model, Placement::new(2), WORLD, |comm| {
+        complete_now(vectored_battery(&SyncComm::new(comm)))
+    });
 }
 
 #[test]
 fn threaded_backend_masks_seeded_faults() {
     let seed = battery_seed();
-    ThreadWorld::run(WORLD, move |comm| fault_battery(comm, seed));
+    ThreadWorld::run(WORLD, move |comm| complete_now(fault_battery(&SyncComm::new(comm), seed)));
 }
 
 #[test]
@@ -388,19 +406,41 @@ fn simulated_backend_masks_seeded_faults() {
     let seed = battery_seed();
     let mut model = NetworkModel::uniform(50.0, 1.0);
     model.eager_threshold = usize::MAX; // fault battery needs eager delivery
-    SimWorld::run(model, Placement::new(2), WORLD, move |comm| fault_battery(comm, seed));
+    SimWorld::run(model, Placement::new(2), WORLD, move |comm| {
+        complete_now(fault_battery(&SyncComm::new(comm), seed))
+    });
 }
 
 #[test]
 fn simulated_backend_conforms_rendezvous() {
     // uniform model: rendezvous everywhere
     let model = NetworkModel::uniform(50.0, 1.0);
-    SimWorld::run(model, Placement::new(4), WORLD, conformance_battery);
+    SimWorld::run(model, Placement::new(4), WORLD, |comm| {
+        complete_now(conformance_battery(&SyncComm::new(comm)))
+    });
 }
 
 #[test]
 fn simulated_backend_conforms_eager() {
     let mut model = NetworkModel::uniform(50.0, 1.0);
     model.eager_threshold = usize::MAX; // everything eager
-    SimWorld::run(model, Placement::new(2), WORLD, conformance_battery);
+    SimWorld::run(model, Placement::new(2), WORLD, |comm| {
+        complete_now(conformance_battery(&SyncComm::new(comm)))
+    });
+}
+
+#[test]
+fn event_backend_conforms() {
+    EventWorld::run(WORLD, |comm| async move { conformance_battery(&comm).await });
+}
+
+#[test]
+fn event_backend_vectored_conforms() {
+    EventWorld::run(WORLD, |comm| async move { vectored_battery(&comm).await });
+}
+
+#[test]
+fn event_backend_masks_seeded_faults() {
+    let seed = battery_seed();
+    EventWorld::run(WORLD, move |comm| async move { fault_battery(&comm, seed).await });
 }

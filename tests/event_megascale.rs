@@ -1,0 +1,65 @@
+//! Cluster-scale broadcast sweeps on the discrete-event executor.
+//!
+//! The thread-per-rank executors top out at a few dozen ranks; the event
+//! executor schedules ranks as cooperative futures on one thread, so the
+//! paper's closed-form traffic model can be checked at `P = 256`, `1024`
+//! and `4096` — world sizes where the tuned ring's saving is no longer a
+//! table entry but millions of messages. Every run validates the delivered
+//! payload on every rank (inside the launch helpers) and then pins the
+//! measured message / byte / envelope counters to the analytic forms.
+//!
+//! The `P = 1024` and `P = 4096` sweeps move ~1M and ~16.8M messages per
+//! algorithm, so they are `#[ignore]` by default and driven explicitly (in
+//! release mode) by the `event-exec` CI lane:
+//! `cargo test --release --test event_megascale -- --ignored`.
+
+use bcast_core::coalesce::coalesced_envelope_count;
+use bcast_core::traffic::{bcast_volume, scatter_msgs};
+use bcast_core::{bcast_coalesced_event_world, bcast_event_world, Algorithm, CoalescePolicy};
+
+/// Run both scatter-ring algorithms at world size `p` and pin the measured
+/// counters to the closed forms.
+fn sweep_scatter_ring(p: usize, nbytes: usize) {
+    for algorithm in [Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned] {
+        let out = bcast_event_world(p, nbytes, 0, algorithm);
+        assert!(out.traffic.is_balanced(), "{algorithm:?} P={p}: unbalanced counters");
+        let vol = bcast_volume(algorithm, nbytes, p);
+        assert_eq!(out.traffic.total_msgs(), vol.msgs, "{algorithm:?} P={p}: msgs");
+        assert_eq!(out.traffic.total_bytes(), vol.bytes, "{algorithm:?} P={p}: bytes");
+    }
+}
+
+/// Run the coalescing broadcast at world size `p` and pin message, byte and
+/// envelope counters: coalescing must not change what is moved, only how
+/// many envelopes carry it.
+fn sweep_coalesced(p: usize, nbytes: usize) {
+    let out = bcast_coalesced_event_world(p, nbytes, 0, CoalescePolicy::unlimited());
+    assert!(out.traffic.is_balanced(), "coalesced P={p}: unbalanced counters");
+    let vol = bcast_volume(Algorithm::ScatterRingTuned, nbytes, p);
+    assert_eq!(out.traffic.total_msgs(), vol.msgs, "coalesced P={p}: msgs");
+    assert_eq!(out.traffic.total_bytes(), vol.bytes, "coalesced P={p}: bytes");
+    let envelopes = coalesced_envelope_count(p) + scatter_msgs(nbytes, p);
+    assert_eq!(out.traffic.total_envelopes(), envelopes, "coalesced P={p}: envelopes");
+}
+
+#[test]
+fn megascale_p256() {
+    // nbytes ≥ P keeps every chunk non-empty, so the closed forms count
+    // every transfer the schedule emits.
+    sweep_scatter_ring(256, 4096);
+    sweep_coalesced(256, 4096);
+}
+
+#[test]
+#[ignore = "~1M messages per algorithm; run in release via the event-exec CI lane"]
+fn megascale_p1024() {
+    sweep_scatter_ring(1024, 4096);
+    sweep_coalesced(1024, 4096);
+}
+
+#[test]
+#[ignore = "~16.8M messages per algorithm; run in release via the event-exec CI lane"]
+fn megascale_p4096() {
+    sweep_scatter_ring(4096, 8192);
+    sweep_coalesced(4096, 8192);
+}

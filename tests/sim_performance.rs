@@ -89,7 +89,7 @@ fn ring_beats_binomial_for_long_messages() {
 
 #[test]
 fn contention_is_what_converts_saved_messages_into_time() {
-    // Ablation (DESIGN.md §7): on the ideal contention-free machine the two
+    // Ablation (DESIGN.md §8): on the ideal contention-free machine the two
     // rings are nearly tied; on the contended machine the tuned ring's
     // advantage is visibly larger.
     let ideal = compare_sim(&presets::ideal(24), 16, 1 << 20, 5);

@@ -64,6 +64,33 @@ fn paper_table_measured_counts() {
     }
 }
 
+/// Measured table on the discrete-event executor: the same broadcasts run
+/// as cooperative tasks on one thread, and the measured counters must land
+/// on the identical closed forms — the executor changes the scheduling, not
+/// the traffic.
+#[test]
+fn paper_table_measured_counts_event_world() {
+    let nbytes = 4096;
+    for p in WORLDS {
+        for (algorithm, ring_msgs) in [
+            (Algorithm::ScatterRingNative, native_ring_msgs(p)),
+            (Algorithm::ScatterRingTuned, tuned_ring_msgs(p)),
+        ] {
+            let out = bcast_core::bcast_event_world(p, nbytes, 0, algorithm);
+            assert!(out.traffic.is_balanced(), "unbalanced counters at P={p}");
+            let expect = scatter_msgs(nbytes, p) + ring_msgs;
+            assert_eq!(
+                out.traffic.total_msgs(),
+                expect,
+                "{algorithm:?} at P={p}: event-world msgs != scatter + ring table entry"
+            );
+            let vol = bcast_volume(algorithm, nbytes, p);
+            assert_eq!(out.traffic.total_msgs(), vol.msgs, "volume model drifted at P={p}");
+            assert_eq!(out.traffic.total_bytes(), vol.bytes, "byte model drifted at P={p}");
+        }
+    }
+}
+
 /// The saving the table promises is monotone in P and strictly positive
 /// for every world in the table (P ≥ 3 per the paper).
 #[test]
