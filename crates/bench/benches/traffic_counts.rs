@@ -66,7 +66,7 @@ fn bench_event_world_hotpath(h: &mut Harness) {
     // world is one complete collective, so the median tracks the per-message
     // overhead of the event loop itself.
     let mut group = h.group("event_world_hotpath");
-    for &p in &[8usize, 32] {
+    for &p in &[8usize, 32, 1024] {
         group.bench(&format!("tuned_bcast/{p}"), |b| {
             b.iter(|| {
                 bcast_event_world(black_box(p), 2048, 0, Algorithm::ScatterRingTuned)

@@ -34,7 +34,7 @@ pub fn bcast_event_world(
     algorithm: Algorithm,
 ) -> WorldOutcome<()> {
     let src = pattern(nbytes, EVENT_LAUNCH_SEED);
-    EventWorld::run(p, |comm| {
+    let out = EventWorld::run(p, |comm| {
         let src = src.clone();
         async move {
             let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
@@ -43,7 +43,12 @@ pub fn bcast_event_world(
             bcast_with_async(&comm, &mut buf, root, algorithm).await.expect("broadcast failed");
             assert_eq!(buf, src, "rank {} diverged", comm.rank());
         }
-    })
+    });
+    // Built-in collectives use a handful of tags per peer pair, all of
+    // which must stay in the mailbox lanes' inline buckets: a spill here
+    // means the dense-lane fast path silently degraded to hashing.
+    assert_eq!(out.reactor.mailbox_spills, 0, "collective traffic spilled a mailbox lane");
+    out
 }
 
 /// Run the coalescing `MPI_Bcast_opt` from `root` on an event world of `p`
@@ -56,7 +61,7 @@ pub fn bcast_coalesced_event_world(
     policy: CoalescePolicy,
 ) -> WorldOutcome<()> {
     let src = pattern(nbytes, EVENT_LAUNCH_SEED);
-    EventWorld::run(p, |comm| {
+    let out = EventWorld::run(p, |comm| {
         let src = src.clone();
         async move {
             let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
@@ -66,7 +71,10 @@ pub fn bcast_coalesced_event_world(
                 .expect("coalesced broadcast failed");
             assert_eq!(buf, src, "rank {} diverged", comm.rank());
         }
-    })
+    });
+    // Same inline-bucket contract as `bcast_event_world`.
+    assert_eq!(out.reactor.mailbox_spills, 0, "collective traffic spilled a mailbox lane");
+    out
 }
 
 #[cfg(test)]

@@ -31,6 +31,14 @@ use crate::rank::{Rank, Tag};
 /// The trait is consumed only by this workspace's executors, all of which
 /// are either single-threaded or drive the future on the calling thread, so
 /// no `Send` bound is imposed on the returned futures.
+///
+/// Implementations may refine the `async fn` methods to plain functions
+/// returning a concrete `impl Future` (RPITIT refinement). The event
+/// executor does this for its receive family: `recv`, `recv_timeout` and
+/// `sendrecv` return a single hand-rolled leaf future that matches, checks
+/// truncation, copies and records traffic in one poll frame, instead of a
+/// nest of compiler-generated state machines — at megascale the park/resume
+/// walk through those frames is the hot path.
 #[allow(async_fn_in_trait)]
 pub trait AsyncCommunicator {
     /// This process's rank, in `0..size()`.

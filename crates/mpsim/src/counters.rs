@@ -7,7 +7,7 @@
 //! `bcast-core::traffic` can be validated against what the runtime actually
 //! did.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
 use crate::rank::Rank;
@@ -189,44 +189,161 @@ impl WakeupStats {
     }
 }
 
+/// Reactor introspection counters from one event-executor run.
+///
+/// These measure the *scheduler*, not the workload: traffic counters say
+/// what the collective moved, these say what it cost the reactor to move
+/// it. The threaded executor has no reactor, so it reports all zeros.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Task enqueues onto the ready queue (deduplicated: a task already
+    /// queued is not counted again).
+    pub wakeups: u64,
+    /// Polls that returned `Pending` — the task was woken (or speculatively
+    /// polled at startup) without being able to make progress. The targeted
+    /// wake paths exist to keep this near the workload's unavoidable floor.
+    pub spurious_polls: u64,
+    /// Timers disarmed while still pending — every `recv_timeout` satisfied
+    /// by an in-time delivery cancels its deadline instead of leaving a
+    /// stale entry for the reactor to trip over later.
+    pub timer_cancels: u64,
+    /// Envelopes that overflowed a mailbox lane's inline tag buckets into
+    /// the spill map. 0 for every built-in collective; nonzero only for
+    /// wild-tag protocol traffic (see `event_mailbox`).
+    pub mailbox_spills: u64,
+}
+
+/// Sentinel peer for an empty write-back slot ([`CounterCell`]).
+const NO_PEER: Rank = Rank::MAX;
+
 /// Interior-mutable counter cell used by rank-local communicator handles.
 ///
 /// A communicator handle lives on exactly one thread, so `RefCell` suffices;
 /// the world gathers the final values after the ranks join.
+///
+/// The stats live in two tiers so the per-message path touches only plain
+/// `Cell`s:
+///
+/// * the six totals are individual `Cell<u64>`s — no `RefCell` flag, no
+///   map, just load-add-store;
+/// * the per-peer breakdown lives in a `BTreeMap`, which would otherwise
+///   put one map lookup on *every* message of the event executor's hot
+///   path. Collectives talk to the same peer for long runs (a ring rank
+///   sends right and receives left for P−1 straight phases), so the cell
+///   keeps one write-back slot per direction: increments for the current
+///   peer accumulate in a `Cell` and are folded into the map only when the
+///   peer changes or a snapshot is taken.
+///
+/// The folded values are exactly the per-message sums, so observable
+/// statistics are bit-identical to recording straight into a
+/// [`TrafficStats`].
 #[derive(Debug, Default)]
 pub struct CounterCell {
-    inner: RefCell<TrafficStats>,
+    msgs_sent: Cell<u64>,
+    bytes_sent: Cell<u64>,
+    msgs_recvd: Cell<u64>,
+    bytes_recvd: Cell<u64>,
+    envelopes_sent: Cell<u64>,
+    envelopes_recvd: Cell<u64>,
+    by_peer: RefCell<BTreeMap<Rank, PeerTraffic>>,
+    /// Pending `(peer, msgs, bytes)` not yet folded into `by_peer`
+    /// (send direction); `NO_PEER` marks the slot empty.
+    hot_send: Cell<(Rank, u64, u64)>,
+    /// Pending `(peer, msgs, bytes)` for the receive direction.
+    hot_recv: Cell<(Rank, u64, u64)>,
 }
 
 impl CounterCell {
     /// Record an outgoing message.
     pub fn record_send(&self, dest: Rank, bytes: usize) {
-        self.inner.borrow_mut().record_send(dest, bytes);
+        self.record_send_vectored(dest, bytes, 1);
     }
 
     /// Record an incoming message.
     pub fn record_recv(&self, src: Rank, bytes: usize) {
-        self.inner.borrow_mut().record_recv(src, bytes);
+        self.record_recv_vectored(src, bytes, 1);
     }
 
     /// Record one outgoing envelope carrying `msgs` logical messages.
     pub fn record_send_vectored(&self, dest: Rank, bytes: usize, msgs: u64) {
-        self.inner.borrow_mut().record_send_vectored(dest, bytes, msgs);
+        self.msgs_sent.set(self.msgs_sent.get() + msgs);
+        self.bytes_sent.set(self.bytes_sent.get() + bytes as u64);
+        self.envelopes_sent.set(self.envelopes_sent.get() + 1);
+        let (peer, m, b) = self.hot_send.get();
+        if peer == dest {
+            self.hot_send.set((peer, m + msgs, b + bytes as u64));
+        } else {
+            self.fold_send(peer, m, b);
+            self.hot_send.set((dest, msgs, bytes as u64));
+        }
     }
 
     /// Record one incoming envelope carrying `msgs` logical messages.
     pub fn record_recv_vectored(&self, src: Rank, bytes: usize, msgs: u64) {
-        self.inner.borrow_mut().record_recv_vectored(src, bytes, msgs);
+        self.msgs_recvd.set(self.msgs_recvd.get() + msgs);
+        self.bytes_recvd.set(self.bytes_recvd.get() + bytes as u64);
+        self.envelopes_recvd.set(self.envelopes_recvd.get() + 1);
+        let (peer, m, b) = self.hot_recv.get();
+        if peer == src {
+            self.hot_recv.set((peer, m + msgs, b + bytes as u64));
+        } else {
+            self.fold_recv(peer, m, b);
+            self.hot_recv.set((src, msgs, bytes as u64));
+        }
+    }
+
+    fn fold_send(&self, peer: Rank, msgs: u64, bytes: u64) {
+        if peer != NO_PEER {
+            let mut map = self.by_peer.borrow_mut();
+            let p = map.entry(peer).or_default();
+            p.msgs_sent += msgs;
+            p.bytes_sent += bytes;
+        }
+    }
+
+    fn fold_recv(&self, peer: Rank, msgs: u64, bytes: u64) {
+        if peer != NO_PEER {
+            let mut map = self.by_peer.borrow_mut();
+            let p = map.entry(peer).or_default();
+            p.msgs_recvd += msgs;
+            p.bytes_recvd += bytes;
+        }
+    }
+
+    /// Fold both write-back slots into the map, emptying them.
+    fn flush(&self) {
+        let (peer, m, b) = self.hot_send.replace((NO_PEER, 0, 0));
+        self.fold_send(peer, m, b);
+        let (peer, m, b) = self.hot_recv.replace((NO_PEER, 0, 0));
+        self.fold_recv(peer, m, b);
     }
 
     /// Snapshot the current statistics.
     pub fn snapshot(&self) -> TrafficStats {
-        self.inner.borrow().clone()
+        self.flush();
+        TrafficStats {
+            msgs_sent: self.msgs_sent.get(),
+            bytes_sent: self.bytes_sent.get(),
+            msgs_recvd: self.msgs_recvd.get(),
+            bytes_recvd: self.bytes_recvd.get(),
+            envelopes_sent: self.envelopes_sent.get(),
+            envelopes_recvd: self.envelopes_recvd.get(),
+            by_peer: self.by_peer.borrow().clone(),
+        }
     }
 
     /// Take the statistics out, leaving zeros.
     pub fn take(&self) -> TrafficStats {
-        self.inner.take()
+        self.flush();
+        TrafficStats {
+            msgs_sent: self.msgs_sent.take(),
+            bytes_sent: self.bytes_sent.take(),
+            msgs_recvd: self.msgs_recvd.take(),
+            bytes_recvd: self.bytes_recvd.take(),
+            envelopes_sent: self.envelopes_sent.take(),
+            envelopes_recvd: self.envelopes_recvd.take(),
+            by_peer: self.by_peer.take(),
+        }
     }
 }
 

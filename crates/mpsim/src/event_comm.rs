@@ -2,9 +2,10 @@
 //! task on one OS thread, and time is a virtual counter the reactor owns.
 //!
 //! The two existing executors map ranks to OS threads, which caps worlds at
-//! a few dozen ranks; this one runs the same collectives at P = 4096+ because
-//! a blocked rank costs one parked future instead of one parked thread. The
-//! semantics deliberately mirror [`ThreadComm`](crate::thread_comm::ThreadComm):
+//! a few dozen ranks; this one runs the same collectives at P = 16384+
+//! because a blocked rank costs one parked future instead of one parked
+//! thread. The semantics deliberately mirror
+//! [`ThreadComm`](crate::thread_comm::ThreadComm):
 //!
 //! * sends are *eager* — the payload is copied into a pool-backed envelope
 //!   and queued at the destination immediately, so the default
@@ -17,14 +18,32 @@
 //!   timer, so timeout-driven protocols (retransmission, failure detection)
 //!   run deterministically and instantaneously instead of sleeping.
 //!
-//! No async runtime is involved: tasks are plain `std` futures, the ready
-//! queue is a `VecDeque` of rank ids, and wakers push into it. See
-//! DESIGN.md §6 for the task model and the reasons a hand-rolled reactor
-//! beats both a thread pool and an external executor here.
+//! The hot path is built from three dense structures (DESIGN.md §6):
+//!
+//! * [`LaneMailbox`] — per-destination radix-indexed source lanes with
+//!   inline tag buckets, replacing a hashed `(source, tag)` map: matching
+//!   costs two dependent loads and a 1–2 entry scan, no hashing;
+//! * [`TimerWheel`] — a hierarchical timing wheel with O(1) arm *and*
+//!   cancel: a satisfied `recv_timeout` disarms its deadline on the spot
+//!   (the receive future cancels in `Drop`, so even abandoning a
+//!   half-polled receive leaves no stale timer behind);
+//! * a slab task arena plus a `Cell`-based run queue — futures live in one
+//!   boxed slice polled in place, and a send that wakes its receiver goes
+//!   straight onto the run queue without the `Waker` detour or its lock.
+//!   Handed-out `Waker`s stay sound through a mutexed side queue that the
+//!   reactor drains before declaring the world idle; nothing on the
+//!   message path touches it.
+//!
+//! Waking is *targeted*: a parked receive registers which source it waits
+//! on and a parked barrier flags itself, so a rank's exit wakes exactly the
+//! tasks that could observe it instead of the whole world — the difference
+//! between O(P) and O(P²) polls per sweep. Every scheduling decision is a
+//! deterministic function of the workload, so runs replay bit-identically;
+//! [`crate::counters::ReactorStats`] in the outcome reports what the
+//! scheduling cost.
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -34,73 +53,97 @@ use std::time::Duration;
 
 use crate::acomm::{AsyncCommunicator, AsyncNonBlocking};
 use crate::comm::{scatter_spans, validate_spans, IoSpan};
-use crate::counters::{CounterCell, TrafficStats, WorldTraffic};
+use crate::counters::{CounterCell, ReactorStats, TrafficStats, WorldTraffic};
 use crate::error::{CommError, Result};
+use crate::event_mailbox::LaneMailbox;
+use crate::event_timer::{TimerHandle, TimerWheel};
 use crate::mailbox::Envelope;
 use crate::pool::{BufferPool, PoolStats};
 use crate::rank::{Rank, Tag};
 use crate::thread_comm::WorldOutcome;
 
-/// Ready queue shared between the reactor and task wakers. `Waker` requires
-/// `Send + Sync`, so this sits behind the workspace sync facade even though
-/// the whole world runs on one thread; the lock is always uncontended.
-struct ReadyQueue {
-    state: crate::sync::Mutex<ReadyState>,
-}
+/// `watching` sentinel: the task is not parked on any receive.
+const WATCH_NONE: usize = usize::MAX;
+/// `watching` sentinel: the task holds parked receives from more than one
+/// source at once (e.g. a `join!` of two receives), so it conservatively
+/// wakes on any exit. Single-source receives — every built-in collective —
+/// never degrade to this.
+const WATCH_ANY: usize = usize::MAX - 1;
 
-struct ReadyState {
-    queue: VecDeque<usize>,
-    /// Dedup flags: a task already enqueued is not enqueued again, so a
-    /// burst of deliveries costs one poll, not one poll per envelope.
-    queued: Vec<bool>,
-}
-
-impl ReadyQueue {
-    fn new(n: usize) -> Self {
-        Self {
-            state: crate::sync::Mutex::new(ReadyState {
-                queue: VecDeque::with_capacity(n),
-                queued: vec![false; n],
-            }),
-        }
-    }
-
-    fn push(&self, task: usize) {
-        let mut st = self.state.lock();
-        if !st.queued[task] {
-            st.queued[task] = true;
-            st.queue.push_back(task);
-        }
-    }
-
-    fn pop(&self) -> Option<usize> {
-        let mut st = self.state.lock();
-        let task = st.queue.pop_front();
-        if let Some(t) = task {
-            st.queued[t] = false;
-        }
-        task
-    }
+/// Side queue for wakes arriving through the `Waker` protocol. `Waker` must
+/// be `Send + Sync`, so this path keeps a lock — but nothing on the message
+/// hot path uses it (deliveries push the destination task straight onto the
+/// reactor's `Cell`-based run queue). The reactor drains it exactly once
+/// per idle transition, so a user future that stashes its waker and wakes
+/// later is still scheduled before the world is declared stuck.
+struct ExternalWakes {
+    queue: crate::sync::Mutex<Vec<usize>>,
 }
 
 struct TaskWaker {
     task: usize,
-    ready: Arc<ReadyQueue>,
+    external: Arc<ExternalWakes>,
 }
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.ready.push(self.task);
+        self.external.queue.lock().push(self.task);
     }
     fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.push(self.task);
+        self.external.queue.lock().push(self.task);
+    }
+}
+
+/// The reactor-thread run queue: a plain `VecDeque` of task ids with
+/// `Cell` dedup flags — a burst of deliveries to one task costs one poll,
+/// and re-waking an already-queued task is two `Cell` accesses, no lock.
+struct Scheduler {
+    run: RefCell<VecDeque<usize>>,
+    queued: Vec<Cell<bool>>,
+    wakeups: Cell<u64>,
+    external: Arc<ExternalWakes>,
+}
+
+impl Scheduler {
+    fn new(n: usize, external: Arc<ExternalWakes>) -> Self {
+        Scheduler {
+            run: RefCell::new(VecDeque::with_capacity(n)),
+            queued: (0..n).map(|_| Cell::new(false)).collect(),
+            wakeups: Cell::new(0),
+            external,
+        }
+    }
+
+    fn push(&self, task: usize) {
+        if !self.queued[task].replace(true) {
+            self.run.borrow_mut().push_back(task);
+            self.wakeups.set(self.wakeups.get() + 1);
+        }
+    }
+
+    fn pop(&self) -> Option<usize> {
+        let task = self.run.borrow_mut().pop_front()?;
+        self.queued[task].set(false);
+        Some(task)
+    }
+
+    /// Move protocol-path wakes onto the run queue; returns whether any
+    /// task became runnable. Called only when the run queue is empty.
+    fn drain_external(&self) -> bool {
+        let drained = std::mem::take(&mut *self.external.queue.lock());
+        let mut any = false;
+        for task in drained {
+            self.push(task);
+            any = true;
+        }
+        any
     }
 }
 
 /// Generation-counted barrier state, the single-threaded analogue of
 /// [`StopBarrier`](crate::barrier::StopBarrier): the last arrival bumps the
-/// generation and wakes everyone; a completed generation is unaffected by a
-/// later departure.
+/// generation and wakes everyone waiting; a completed generation is
+/// unaffected by a later departure.
 struct BarrierState {
     arrived: Cell<usize>,
     generation: Cell<u64>,
@@ -109,26 +152,64 @@ struct BarrierState {
     departed: Cell<Option<Rank>>,
 }
 
-/// One rank's mailbox: FIFO envelope queues keyed by `(source, tag)`.
-type EventMailbox = RefCell<HashMap<(Rank, Tag), VecDeque<Envelope>>>;
-
 struct EventShared {
     size: usize,
-    /// Event-native mailboxes: per destination rank, FIFO queues keyed by
-    /// `(source, tag)`. Plain `RefCell` state — no locks, no condvars —
-    /// because matching and waking all happen on the reactor thread.
-    mailboxes: Vec<EventMailbox>,
+    /// Event-native mailboxes: one [`LaneMailbox`] per destination rank.
+    /// Plain `RefCell` state — no locks, no condvars — because matching and
+    /// waking all happen on the reactor thread.
+    mailboxes: Vec<RefCell<LaneMailbox>>,
     exited: Vec<Cell<bool>>,
     /// The engine-owned virtual clock, in nanoseconds since world start.
     clock_ns: Cell<u64>,
-    /// Armed timers as `(deadline_ns, seq, task)` in a min-heap; `seq` makes
-    /// equal deadlines pop in arming order, keeping runs deterministic.
-    timers: RefCell<BinaryHeap<Reverse<(u64, u64, usize)>>>,
-    timer_seq: Cell<u64>,
+    /// Armed deadlines; pops in `(deadline, seq)` order, identical to the
+    /// heap it replaced, so replay stays deterministic.
+    timers: RefCell<TimerWheel>,
     barrier: BarrierState,
     pool: Arc<BufferPool>,
+    /// Per-class cache of rented-and-consumed envelope handles. The world is
+    /// single-threaded, so a buffer a receive just copied out of can hand
+    /// its whole `PooledBuf` straight to the next send of the same size
+    /// class — skipping the pool's mutex freelists, its atomic counters, and
+    /// the `Arc` bump a fresh rental pays. Spilled to the real pool beyond a
+    /// small cap, and drained back into it before the outcome's pool stats
+    /// are read, so `outstanding` still ends at zero.
+    buf_cache: RefCell<[Vec<crate::pool::PooledBuf>; crate::pool::POOL_CLASSES]>,
     counters: Vec<CounterCell>,
-    ready: Arc<ReadyQueue>,
+    /// Receives the running task may still complete this turn; refilled to
+    /// [`recv_poll_budget`] by the reactor before every task poll. Eager
+    /// sends never block, so without this a rank whose mailbox is deep
+    /// forwards its whole backlog in one poll and the wavefront piles up
+    /// O(P²) in-flight envelopes; draining at most `B` per turn keeps the
+    /// round-robin fair and the peak footprint at O(P·B).
+    recv_budget: Cell<u32>,
+    sched: Scheduler,
+    /// Per-task targeted-wake registration: the source rank this task's
+    /// parked receive waits on, or a `WATCH_*` sentinel.
+    watching: Vec<Cell<usize>>,
+    /// Per-task flag: parked inside a barrier generation.
+    barrier_parked: Vec<Cell<bool>>,
+}
+
+/// Cap of [`EventShared::buf_cache`] entries per size class; overflow goes
+/// back to the real pool (bounded memory, same as the pool's own freelists).
+const BUF_CACHE_PER_CLASS: usize = 64;
+
+/// Worldwide in-flight envelope target that sets the per-turn receive
+/// budget: each task may consume up to `max(64, 2^21 / P)` envelopes per
+/// reactor turn before it must yield (see [`EventShared::recv_budget`]).
+/// The scaling keeps both ends honest — small and mid-size worlds get a
+/// budget far above anything a turn consumes, so scheduling order, timer
+/// arming order, and replay timestamps are identical with or without it,
+/// while megascale worlds are clamped hard enough that the wavefront
+/// holds O(2^21) resident envelopes instead of O(P²).
+const RECV_INFLIGHT_TARGET: u32 = 1 << 21;
+
+/// Floor of the per-turn receive budget at any world size; keeps the
+/// round-robin slices big enough that yield bookkeeping stays amortized.
+const MIN_RECV_POLL_BUDGET: u32 = 64;
+
+fn recv_poll_budget(world_size: usize) -> u32 {
+    (RECV_INFLIGHT_TARGET / world_size.max(1) as u32).max(MIN_RECV_POLL_BUDGET)
 }
 
 impl EventShared {
@@ -136,42 +217,117 @@ impl EventShared {
         self.clock_ns.get()
     }
 
-    fn arm_timer(&self, deadline_ns: u64, task: usize) {
-        let seq = self.timer_seq.get();
-        self.timer_seq.set(seq + 1);
-        self.timers.borrow_mut().push(Reverse((deadline_ns, seq, task)));
+    /// Rent a buffer holding a copy of `src`, preferring the world-local
+    /// handle cache over the shared pool (see [`EventShared::buf_cache`]).
+    fn rent_copy(&self, src: &[u8]) -> crate::pool::PooledBuf {
+        if let Some(class) = crate::pool::class_of(src.len()) {
+            if let Some(mut buf) = self.buf_cache.borrow_mut()[class].pop() {
+                buf.reset_len(src.len());
+                buf.copy_from_slice(src);
+                return buf;
+            }
+        }
+        self.pool.rent_copy(src)
     }
 
-    /// Deliver one envelope and wake the destination's task.
-    fn push_envelope(&self, dest: Rank, src: Rank, tag: Tag, data: crate::pool::PooledBuf) {
-        self.mailboxes[dest]
-            .borrow_mut()
-            .entry((src, tag))
-            .or_default()
-            .push_back(Envelope { src, data });
-        self.ready.push(dest);
+    /// Rent a buffer of `total` bytes filled by concatenating `parts` —
+    /// cached-handle counterpart of [`BufferPool::rent_gather`].
+    fn rent_gather<'a>(
+        &self,
+        total: usize,
+        parts: impl IntoIterator<Item = &'a [u8]>,
+    ) -> crate::pool::PooledBuf {
+        if let Some(class) = crate::pool::class_of(total) {
+            if let Some(mut buf) = self.buf_cache.borrow_mut()[class].pop() {
+                buf.reset_len(total);
+                let mut filled = 0;
+                for part in parts {
+                    buf[filled..filled + part.len()].copy_from_slice(part);
+                    filled += part.len();
+                }
+                assert!(filled == total, "rent_gather: parts sum to {filled}, expected {total}");
+                return buf;
+            }
+        }
+        self.pool.rent_gather(total, parts)
     }
 
-    fn try_pop(&self, me: Rank, src: Rank, tag: Tag) -> Option<Envelope> {
-        self.mailboxes[me].borrow_mut().get_mut(&(src, tag))?.pop_front()
-    }
-
-    fn wake_all(&self) {
-        for task in 0..self.size {
-            if !self.exited[task].get() {
-                self.ready.push(task);
+    /// Return a consumed envelope's buffer to the world-local cache (or let
+    /// it fall back to the pool when the class cache is full / unpooled).
+    fn stash(&self, buf: crate::pool::PooledBuf) {
+        if let Some(class) = buf.class() {
+            let cache = &mut self.buf_cache.borrow_mut()[class];
+            if cache.len() < BUF_CACHE_PER_CLASS {
+                cache.push(buf);
             }
         }
     }
 
-    /// Record a normal departure of `rank`: peers blocked receiving from it
-    /// or waiting in the barrier must re-check and fail instead of hanging.
+    fn arm_timer(&self, deadline_ns: u64, task: usize) -> TimerHandle {
+        self.timers.borrow_mut().arm(self.now(), deadline_ns, task)
+    }
+
+    fn cancel_timer(&self, handle: TimerHandle) {
+        self.timers.borrow_mut().cancel(handle);
+    }
+
+    /// Deliver one envelope and wake the destination's task directly — the
+    /// batched eager-send path: no `Waker`, no lock, and if the receiver is
+    /// already queued the dedup flag makes this two `Cell` reads.
+    fn push_envelope(&self, dest: Rank, src: Rank, tag: Tag, data: crate::pool::PooledBuf) {
+        self.mailboxes[dest].borrow_mut().push(src, tag, Envelope { src, data });
+        self.sched.push(dest);
+    }
+
+    fn try_pop(&self, me: Rank, src: Rank, tag: Tag) -> Option<Envelope> {
+        self.mailboxes[me].borrow_mut().pop(src, tag)
+    }
+
+    /// Register `task` as parked on a receive from `src`; concurrent parks
+    /// on different sources degrade to wake-on-any-exit (still correct —
+    /// woken tasks re-check their state — just less precise).
+    fn watch(&self, task: usize, src: Rank) {
+        let cur = self.watching[task].get();
+        if cur == WATCH_NONE {
+            self.watching[task].set(src);
+        } else if cur != src {
+            self.watching[task].set(WATCH_ANY);
+        }
+    }
+
+    fn unwatch(&self, task: usize, src: Rank) {
+        if self.watching[task].get() == src {
+            self.watching[task].set(WATCH_NONE);
+        }
+    }
+
+    /// Wake every task parked in the current barrier generation.
+    fn wake_barrier_waiters(&self) {
+        for task in 0..self.size {
+            if self.barrier_parked[task].get() {
+                self.sched.push(task);
+            }
+        }
+    }
+
+    /// Record a normal departure of `rank` and wake exactly the tasks that
+    /// can observe it: receives parked on `rank` (or on multiple sources)
+    /// and barrier waiters. Everyone else stays parked — this is what keeps
+    /// a P-rank sweep at O(P) exit work instead of O(P²).
     fn rank_exited(&self, rank: Rank) {
         self.exited[rank].set(true);
         if self.barrier.departed.get().is_none() {
             self.barrier.departed.set(Some(rank));
         }
-        self.wake_all();
+        for task in 0..self.size {
+            if self.exited[task].get() {
+                continue;
+            }
+            let watch = self.watching[task].get();
+            if watch == rank || watch == WATCH_ANY || self.barrier_parked[task].get() {
+                self.sched.push(task);
+            }
+        }
     }
 }
 
@@ -208,6 +364,7 @@ impl EventWorld {
     /// [`WorldOutcome::elapsed`] reports **virtual** time: the final value
     /// of the world clock, which only advances when every task is blocked
     /// and the reactor jumps to the next armed timer deadline.
+    /// [`WorldOutcome::reactor`] reports what the run cost the scheduler.
     ///
     /// # Panics
     ///
@@ -221,50 +378,59 @@ impl EventWorld {
         Fut: Future<Output = R>,
     {
         assert!(n >= 1, "world needs at least one rank");
-        let ready = Arc::new(ReadyQueue::new(n));
+        let external = Arc::new(ExternalWakes { queue: crate::sync::Mutex::new(Vec::new()) });
         let shared = Rc::new(EventShared {
             size: n,
-            mailboxes: (0..n).map(|_| RefCell::new(HashMap::new())).collect(),
+            mailboxes: (0..n).map(|_| RefCell::new(LaneMailbox::new(n))).collect(),
             exited: (0..n).map(|_| Cell::new(false)).collect(),
             clock_ns: Cell::new(0),
-            timers: RefCell::new(BinaryHeap::new()),
-            timer_seq: Cell::new(0),
+            timers: RefCell::new(TimerWheel::new()),
             barrier: BarrierState {
                 arrived: Cell::new(0),
                 generation: Cell::new(0),
                 departed: Cell::new(None),
             },
             pool: BufferPool::new(),
+            buf_cache: RefCell::new(Default::default()),
             counters: (0..n).map(|_| CounterCell::default()).collect(),
-            ready: Arc::clone(&ready),
+            recv_budget: Cell::new(recv_poll_budget(n)),
+            sched: Scheduler::new(n, Arc::clone(&external)),
+            watching: (0..n).map(|_| Cell::new(WATCH_NONE)).collect(),
+            barrier_parked: (0..n).map(|_| Cell::new(false)).collect(),
         });
 
-        // The reactor owns the task futures directly (not through `shared`),
-        // so task → comm → shared never forms a reference cycle.
-        let mut tasks: Vec<Option<Pin<Box<Fut>>>> = (0..n)
-            .map(|rank| Some(Box::pin(f(EventComm { rank, shared: Rc::clone(&shared) }))))
-            .collect();
+        // The slab task arena: every future is created up front (moving a
+        // future is fine before its first poll), then lives at a stable
+        // address inside one boxed slice until it is dropped in place. The
+        // reactor owns the arena directly (not through `shared`), so
+        // task → comm → shared never forms a reference cycle.
+        let mut tasks: Box<[Option<Fut>]> =
+            (0..n).map(|rank| Some(f(EventComm { rank, shared: Rc::clone(&shared) }))).collect();
         let wakers: Vec<Waker> = (0..n)
-            .map(|task| Waker::from(Arc::new(TaskWaker { task, ready: Arc::clone(&ready) })))
+            .map(|task| Waker::from(Arc::new(TaskWaker { task, external: Arc::clone(&external) })))
             .collect();
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
         let mut remaining = n;
+        let mut spurious_polls = 0u64;
         for task in 0..n {
-            ready.push(task);
+            shared.sched.push(task);
         }
 
         while remaining > 0 {
-            let Some(task) = ready.pop() else {
-                // Nothing runnable: advance virtual time to the earliest
-                // armed timer and wake its task. Stale timers (their receive
-                // completed long ago) cause one harmless spurious poll.
-                let next = shared.timers.borrow_mut().pop();
+            let Some(task) = shared.sched.pop() else {
+                // Nothing runnable on the fast queue: collect any wakes that
+                // came through the `Waker` protocol, and only if there are
+                // none advance virtual time to the earliest armed timer.
+                if shared.sched.drain_external() {
+                    continue;
+                }
+                let next = shared.timers.borrow_mut().pop_next(shared.clock_ns.get());
                 match next {
-                    Some(Reverse((deadline_ns, _, timer_task))) => {
+                    Some((deadline_ns, timer_task)) => {
                         if deadline_ns > shared.clock_ns.get() {
                             shared.clock_ns.set(deadline_ns);
                         }
-                        ready.push(timer_task);
+                        shared.sched.push(timer_task);
                     }
                     None => {
                         let stuck: Vec<Rank> = tasks
@@ -285,27 +451,44 @@ impl EventWorld {
                 continue;
             };
             let Some(fut) = tasks[task].as_mut() else {
-                continue; // woken after completion (e.g. a stale timer)
+                continue; // woken after completion (e.g. a protocol-path wake)
             };
+            // SAFETY: the future lives in a boxed slice that never
+            // reallocates, and its `Option` is only ever set to `None`
+            // (dropping in place) — never moved out — so the pin holds.
+            let fut = unsafe { Pin::new_unchecked(fut) };
             let mut cx = Context::from_waker(&wakers[task]);
-            if let Poll::Ready(value) = fut.as_mut().poll(&mut cx) {
-                results[task] = Some(value);
-                tasks[task] = None;
-                remaining -= 1;
-                shared.rank_exited(task);
+            shared.recv_budget.set(recv_poll_budget(n));
+            match fut.poll(&mut cx) {
+                Poll::Ready(value) => {
+                    results[task] = Some(value);
+                    tasks[task] = None;
+                    remaining -= 1;
+                    shared.rank_exited(task);
+                }
+                Poll::Pending => spurious_polls += 1,
             }
         }
 
         let elapsed = Duration::from_nanos(shared.now());
+        // Drop cached handles back into the pool first, so the reported
+        // stats see every buffer returned (outstanding == 0 on clean runs).
+        shared.buf_cache.borrow_mut().iter_mut().for_each(Vec::clear);
         let pool = shared.pool.stats();
         let traffic = WorldTraffic::new(shared.counters.iter().map(CounterCell::take).collect());
+        let reactor = ReactorStats {
+            wakeups: shared.sched.wakeups.get(),
+            spurious_polls,
+            timer_cancels: shared.timers.borrow().cancelled(),
+            mailbox_spills: shared.mailboxes.iter().map(|m| m.borrow().spills()).sum(),
+        };
         let results: Vec<R> = results
             .into_iter()
             // Every task completed (remaining == 0), so every slot is
             // filled. lint: allow(panic)
             .map(|r| r.expect("task finished without storing a result"))
             .collect();
-        WorldOutcome { results, traffic, pool, elapsed }
+        WorldOutcome { results, traffic, pool, elapsed, reactor }
     }
 }
 
@@ -344,7 +527,7 @@ impl EventComm {
     fn send_now(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
         self.ensure_rank(dest)?;
         self.shared.counters[self.rank].record_send(dest, buf.len());
-        let env = self.shared.pool.rent_copy(buf);
+        let env = self.shared.rent_copy(buf);
         self.shared.push_envelope(dest, self.rank, tag, env);
         Ok(())
     }
@@ -352,7 +535,7 @@ impl EventComm {
     fn send_vectored_now(&self, buf: &[u8], spans: &[IoSpan], dest: Rank, tag: Tag) -> Result<()> {
         self.ensure_rank(dest)?;
         let total = validate_spans(buf.len(), spans)?;
-        let env = self.shared.pool.rent_gather(total, spans.iter().map(|s| &buf[s.range()]));
+        let env = self.shared.rent_gather(total, spans.iter().map(|s| &buf[s.range()]));
         self.shared.counters[self.rank].record_send_vectored(
             dest,
             total,
@@ -362,21 +545,19 @@ impl EventComm {
         Ok(())
     }
 
-    async fn recv_inner(
+    /// Build the single leaf future behind `recv`/`recv_timeout`/`sendrecv`.
+    /// Errors detected at build time (invalid rank, or a failed eager send
+    /// for `sendrecv`) are carried in `early_err` and surface on first poll.
+    fn recv_into<'b>(
         &self,
-        buf: &mut [u8],
+        early_err: Option<CommError>,
+        buf: &'b mut [u8],
         src: Rank,
         tag: Tag,
         deadline_ns: Option<u64>,
-    ) -> Result<usize> {
-        self.ensure_rank(src)?;
-        let env = RecvEnvelope { comm: self, src, tag, deadline_ns, timer_armed: false }.await?;
-        if env.data.len() > buf.len() {
-            return Err(CommError::Truncation { capacity: buf.len(), incoming: env.data.len() });
-        }
-        buf[..env.data.len()].copy_from_slice(&env.data);
-        self.shared.counters[self.rank].record_recv(src, env.data.len());
-        Ok(env.data.len())
+    ) -> RecvIntoBuf<'_, 'b> {
+        let early_err = early_err.or_else(|| self.ensure_rank(src).err());
+        RecvIntoBuf { inner: RecvEnvelope::new(self, src, tag, deadline_ns), buf, early_err }
     }
 }
 
@@ -384,13 +565,37 @@ impl EventComm {
 /// before a peer's exit are drained), then the exited flag, then the
 /// virtual-clock deadline — the same priority order as the threaded
 /// mailbox's `pop_watch`. Wakes arrive from envelope deliveries to this
-/// rank, peer exits, and the armed timer; each poll simply re-checks.
+/// rank, the watched peer's exit, and the armed timer; each poll re-checks.
+///
+/// Cancel-safety: completing *or dropping* this future disarms its timer
+/// (O(1) on the wheel; a handle whose timer already fired is stale and the
+/// cancel is a no-op) and deregisters the targeted-wake watch, so an
+/// abandoned receive leaves no reactor state behind.
 struct RecvEnvelope<'a> {
     comm: &'a EventComm,
     src: Rank,
     tag: Tag,
     deadline_ns: Option<u64>,
-    timer_armed: bool,
+    timer: Option<TimerHandle>,
+    watching: bool,
+}
+
+impl<'a> RecvEnvelope<'a> {
+    fn new(comm: &'a EventComm, src: Rank, tag: Tag, deadline_ns: Option<u64>) -> Self {
+        RecvEnvelope { comm, src, tag, deadline_ns, timer: None, watching: false }
+    }
+
+    /// Release reactor-side registrations (armed timer, watch entry).
+    fn disarm(&mut self) {
+        let shared = &self.comm.shared;
+        if let Some(handle) = self.timer.take() {
+            shared.cancel_timer(handle);
+        }
+        if self.watching {
+            shared.unwatch(self.comm.rank, self.src);
+            self.watching = false;
+        }
+    }
 }
 
 impl Future for RecvEnvelope<'_> {
@@ -400,28 +605,95 @@ impl Future for RecvEnvelope<'_> {
         let this = self.get_mut();
         let shared = &this.comm.shared;
         let me = this.comm.rank;
+        let budget = shared.recv_budget.get();
+        if budget == 0 {
+            // Turn budget spent: requeue ourselves and yield so the other
+            // ranks get their slice before this one drains more backlog.
+            // The envelope (if any) stays queued — FIFO order is untouched,
+            // and the next turn's refilled budget consumes it.
+            shared.sched.push(me);
+            return Poll::Pending;
+        }
         if let Some(env) = shared.try_pop(me, this.src, this.tag) {
+            shared.recv_budget.set(budget - 1);
+            this.disarm();
             return Poll::Ready(Ok(env));
         }
         if this.src != me && shared.exited[this.src].get() {
+            this.disarm();
             return Poll::Ready(Err(CommError::PeerFailed { rank: this.src }));
         }
         if let Some(deadline_ns) = this.deadline_ns {
             if shared.now() >= deadline_ns {
+                this.disarm();
                 return Poll::Ready(Err(CommError::Timeout { peer: this.src }));
             }
-            if !this.timer_armed {
-                shared.arm_timer(deadline_ns, me);
-                this.timer_armed = true;
+            if this.timer.is_none() {
+                this.timer = Some(shared.arm_timer(deadline_ns, me));
             }
+        }
+        if !this.watching {
+            shared.watch(me, this.src);
+            this.watching = true;
         }
         Poll::Pending
     }
 }
 
+impl Drop for RecvEnvelope<'_> {
+    fn drop(&mut self) {
+        self.disarm();
+    }
+}
+
+/// A whole `recv` (or the receive half of `sendrecv`) as one future: match
+/// the envelope, check truncation, copy into the caller's buffer, record the
+/// traffic — all in the same poll frame. `recv`/`recv_timeout`/`sendrecv`
+/// return this directly instead of layering `async fn` state machines over
+/// [`RecvEnvelope`], so parking and resuming a receive walks one `poll`
+/// instead of a nest of generated ones; at megascale the ring wavefront
+/// parks nearly every message, which makes that walk the hot path.
+struct RecvIntoBuf<'a, 'b> {
+    inner: RecvEnvelope<'a>,
+    buf: &'b mut [u8],
+    /// Error determined before the future was built (invalid rank, failed
+    /// eager send); yielded on first poll.
+    early_err: Option<CommError>,
+}
+
+impl Future for RecvIntoBuf<'_, '_> {
+    type Output = Result<usize>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if let Some(err) = this.early_err.take() {
+            return Poll::Ready(Err(err));
+        }
+        let env = match Pin::new(&mut this.inner).poll(cx) {
+            Poll::Ready(Ok(env)) => env,
+            Poll::Ready(Err(err)) => return Poll::Ready(Err(err)),
+            Poll::Pending => return Poll::Pending,
+        };
+        if env.data.len() > this.buf.len() {
+            return Poll::Ready(Err(CommError::Truncation {
+                capacity: this.buf.len(),
+                incoming: env.data.len(),
+            }));
+        }
+        let n = env.data.len();
+        this.buf[..n].copy_from_slice(&env.data);
+        let comm = this.inner.comm;
+        comm.shared.counters[comm.rank].record_recv(this.inner.src, n);
+        comm.shared.stash(env.data);
+        Poll::Ready(Ok(n))
+    }
+}
+
 /// Barrier future; see [`BarrierState`]. The first poll registers the
 /// arrival (completing the generation if this rank is last); later polls
-/// resolve once the generation moved on or a peer departed.
+/// resolve once the generation moved on or a peer departed. A parked wait
+/// flags itself in `barrier_parked` so completion and departures wake
+/// exactly the waiters; the flag is cleared on resolution and on drop.
 struct BarrierWait<'a> {
     comm: &'a EventComm,
     joined_generation: Option<u64>,
@@ -433,6 +705,7 @@ impl Future for BarrierWait<'_> {
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
         let shared = &this.comm.shared;
+        let me = this.comm.rank;
         let barrier = &shared.barrier;
         match this.joined_generation {
             None => {
@@ -443,11 +716,12 @@ impl Future for BarrierWait<'_> {
                 if arrived == shared.size {
                     barrier.arrived.set(0);
                     barrier.generation.set(barrier.generation.get().wrapping_add(1));
-                    shared.wake_all();
+                    shared.wake_barrier_waiters();
                     Poll::Ready(Ok(()))
                 } else {
                     barrier.arrived.set(arrived);
                     this.joined_generation = Some(barrier.generation.get());
+                    shared.barrier_parked[me].set(true);
                     Poll::Pending
                 }
             }
@@ -455,14 +729,23 @@ impl Future for BarrierWait<'_> {
                 if barrier.generation.get() != generation {
                     // Released normally; a later departure affects the next
                     // generation, not this completed one.
+                    shared.barrier_parked[me].set(false);
                     Poll::Ready(Ok(()))
                 } else if let Some(rank) = barrier.departed.get() {
+                    shared.barrier_parked[me].set(false);
                     Poll::Ready(Err(CommError::PeerFailed { rank }))
                 } else {
+                    shared.barrier_parked[me].set(true);
                     Poll::Pending
                 }
             }
         }
+    }
+}
+
+impl Drop for BarrierWait<'_> {
+    fn drop(&mut self) {
+        self.comm.shared.barrier_parked[self.comm.rank].set(false);
     }
 }
 
@@ -483,20 +766,40 @@ impl AsyncCommunicator for EventComm {
         self.send_now(buf, dest, tag)
     }
 
-    async fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
-        self.recv_inner(buf, src, tag, None).await
+    // `recv`, `recv_timeout` and `sendrecv` refine the trait's `async fn`
+    // signatures to return the [`RecvIntoBuf`] leaf future directly: the
+    // whole operation is one `poll` deep (see that type's docs).
+
+    fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> impl Future<Output = Result<usize>> {
+        self.recv_into(None, buf, src, tag, None)
     }
 
-    async fn recv_timeout(
+    fn recv_timeout(
         &self,
         buf: &mut [u8],
         src: Rank,
         tag: Tag,
         timeout: Duration,
-    ) -> Result<usize> {
+    ) -> impl Future<Output = Result<usize>> {
         let nanos = u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX);
         let deadline_ns = self.shared.now().saturating_add(nanos);
-        self.recv_inner(buf, src, tag, Some(deadline_ns)).await
+        self.recv_into(None, buf, src, tag, Some(deadline_ns))
+    }
+
+    fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dest: Rank,
+        sendtag: Tag,
+        recvbuf: &mut [u8],
+        src: Rank,
+        recvtag: Tag,
+    ) -> impl Future<Output = Result<usize>> {
+        // Same order as the trait default: the eager send happens at call
+        // time; a send failure surfaces from the first poll, before any
+        // receive state is consulted.
+        let early_err = self.send_now(sendbuf, dest, sendtag).err();
+        self.recv_into(early_err, recvbuf, src, recvtag, None)
     }
 
     async fn barrier(&self) -> Result<()> {
@@ -522,13 +825,13 @@ impl AsyncCommunicator for EventComm {
     ) -> Result<usize> {
         let total = validate_spans(buf.len(), spans)?;
         self.ensure_rank(src)?;
-        let env =
-            RecvEnvelope { comm: self, src, tag, deadline_ns: None, timer_armed: false }.await?;
+        let env = RecvEnvelope::new(self, src, tag, None).await?;
         if env.data.len() > total {
             return Err(CommError::Truncation { capacity: total, incoming: env.data.len() });
         }
         let n = scatter_spans(buf, spans, &env.data);
         self.shared.counters[self.rank].record_recv_vectored(src, n, spans.len().max(1) as u64);
+        self.shared.stash(env.data);
         Ok(n)
     }
 }
@@ -774,6 +1077,8 @@ mod tests {
         assert_eq!(out.results[0], CommError::Timeout { peer: 1 });
         // The world's elapsed virtual time is exactly the one deadline jump.
         assert_eq!(out.elapsed, Duration::from_millis(40));
+        // The timer genuinely fired: nothing was cancelled.
+        assert_eq!(out.reactor.timer_cancels, 0);
     }
 
     #[test]
@@ -791,6 +1096,63 @@ mod tests {
         assert_eq!(out.results[1], 42);
         // Delivery beat the deadline, so the clock never had to move.
         assert_eq!(out.elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn satisfied_recv_timeout_cancels_its_timer() {
+        // Rank 0 parks first (arming its deadline), rank 1 then delivers:
+        // the completed receive must disarm the wheel entry on the spot,
+        // and the cancelled deadline must never advance the clock.
+        let out = EventWorld::run(2, |comm| async move {
+            let mut buf = [0u8; 1];
+            if comm.rank() == 0 {
+                comm.recv_timeout(&mut buf, 1, Tag(0), Duration::from_secs(5)).await.unwrap();
+            } else {
+                comm.send(&[7], 0, Tag(0)).await.unwrap();
+            }
+        });
+        assert_eq!(out.reactor.timer_cancels, 1);
+        assert_eq!(out.elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn reactor_counters_track_scheduler_work() {
+        let out = EventWorld::run(2, |comm| async move {
+            let mut buf = [0u8; 4];
+            if comm.rank() == 0 {
+                comm.send(&[1, 2, 3, 4], 1, Tag(1)).await.unwrap();
+                comm.recv(&mut buf, 1, Tag(2)).await.unwrap();
+            } else {
+                comm.recv(&mut buf, 0, Tag(1)).await.unwrap();
+                comm.send(&buf, 0, Tag(2)).await.unwrap();
+            }
+        });
+        // Initial speculative polls plus delivery wakes, all deduplicated.
+        assert!(out.reactor.wakeups >= 2, "wakeups: {}", out.reactor.wakeups);
+        // Rank 0 parks once waiting for the reply.
+        assert!(out.reactor.spurious_polls >= 1);
+        assert_eq!(out.reactor.timer_cancels, 0);
+        assert_eq!(out.reactor.mailbox_spills, 0, "collective tags must stay inline");
+    }
+
+    #[test]
+    fn wild_tags_are_counted_as_spills_and_still_demultiplex() {
+        use crate::event_mailbox::INLINE_TAGS;
+        let tags = INLINE_TAGS as u32 + 4;
+        let out = EventWorld::run(2, |comm| async move {
+            if comm.rank() == 0 {
+                for t in 0..tags {
+                    comm.send(&[t as u8], 1, Tag(t)).await.unwrap();
+                }
+            } else {
+                let mut buf = [0u8; 1];
+                for t in (0..tags).rev() {
+                    comm.recv(&mut buf, 0, Tag(t)).await.unwrap();
+                    assert_eq!(buf[0], t as u8);
+                }
+            }
+        });
+        assert_eq!(out.reactor.mailbox_spills, 4, "tags beyond the inline buckets must spill");
     }
 
     #[test]
@@ -919,6 +1281,7 @@ mod tests {
         assert_eq!(a.results, b.results);
         assert_eq!(a.traffic, b.traffic);
         assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.reactor, b.reactor, "scheduler work must replay identically");
     }
 
     #[test]
@@ -942,5 +1305,15 @@ mod tests {
         });
         assert_eq!(out.traffic.total_msgs(), (n - 1) as u64);
         assert!(out.traffic.is_balanced());
+        assert_eq!(out.reactor.mailbox_spills, 0);
+        // Targeted wakes: exits must not storm the world with spurious
+        // polls — the floor is one park per blocked receive, and the
+        // ceiling here allows only a small constant factor over it.
+        assert!(
+            out.reactor.spurious_polls < 4 * n as u64,
+            "exit storm: {} spurious polls for {} ranks",
+            out.reactor.spurious_polls,
+            n
+        );
     }
 }

@@ -1,0 +1,227 @@
+//! Dense per-source mailbox lanes for the event reactor.
+//!
+//! The first event executor kept one `HashMap<(Rank, Tag), VecDeque>` per
+//! destination. Every eager send and every receive poll paid a SipHash of
+//! the `(source, tag)` key — at P = 4096 that is ~16.8M hashed lookups per
+//! sweep, and it was the single largest line in the hot-path profile.
+//!
+//! [`LaneMailbox`] replaces the map with indexed lanes:
+//!
+//! * **Radix-paged source index.** A dense `Vec<Lane>` per destination
+//!   would be Θ(P²) memory across the world (6+ GB at P = 16384), but a
+//!   flat `HashMap` is what we are removing. Instead, source ranks index a
+//!   two-level radix: `pages[src >> 8][src & 255]` holds the lane's slot in
+//!   a compact arena, and a 256-entry page is allocated only when some
+//!   source first sends here. Collectives touch O(log P) or O(1) peers per
+//!   destination, so the world's whole index stays tens of MB at P = 16384
+//!   while lookups stay two dependent loads — no hashing, no probing.
+//! * **Inline tag buckets.** Each lane holds up to [`INLINE_TAGS`] distinct
+//!   tags in a linear-scanned inline array — every built-in collective uses
+//!   at most a few tags per (source, destination) pair, so the scan is 1–2
+//!   comparisons and the spill path below never runs (asserted by the
+//!   megascale sweeps via the `mailbox_spills` reactor counter).
+//! * **Spill map for wild tags.** Protocol tag spaces (`ReliableComm`
+//!   derives per-message tags from a `u32` base) can exceed the inline
+//!   buckets; those envelopes fall back to a boxed `HashMap` keyed by tag
+//!   only. The fallback preserves exact per-`(source, tag)` FIFO semantics
+//!   and is counted, never silent. This is the one sanctioned `HashMap` on
+//!   the event path — the repolint `event-mailbox-hashmap` rule flags any
+//!   other.
+//!
+//! Per-`(source, tag)` FIFO (MPI's non-overtaking rule) is inherited from
+//! the per-bucket `VecDeque`s; nothing about matching semantics changes,
+//! only the cost of finding the queue.
+
+// lint: allow(mailbox-spill) — the spill fallback below is the sanctioned use.
+use std::collections::{HashMap, VecDeque};
+
+use crate::mailbox::Envelope;
+use crate::rank::{Rank, Tag};
+
+/// Distinct tags a lane tracks inline before spilling; built-in collectives
+/// use ≤ 3 per (source, destination) pair (scatter, allgather, coalesced).
+pub const INLINE_TAGS: usize = 4;
+
+/// Radix page size for the source index: 8 bits per level.
+const PAGE_BITS: usize = 8;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+/// Vacant marker in radix pages.
+const NIL: u32 = u32::MAX;
+
+/// One inline FIFO for a single tag within a lane.
+#[derive(Debug, Default)]
+struct TagBucket {
+    tag: u32,
+    queue: VecDeque<Envelope>,
+}
+
+/// All queued envelopes from one source rank to this destination.
+#[derive(Debug)]
+struct Lane {
+    inline: [TagBucket; INLINE_TAGS],
+    /// Buckets of `inline` in use; buckets fill in first-seen-tag order and
+    /// a drained bucket keeps its tag, so membership never needs a sentinel
+    /// tag value (the full `u32` tag space remains usable).
+    used: u8,
+    /// Wild-tag fallback; see module docs. Boxed on purpose: the map is
+    /// absent on every collective path, and the indirection keeps each
+    /// `Lane` one pointer wider instead of `size_of::<HashMap>()` wider —
+    /// lanes are the dense arena the hot loop walks.
+    #[allow(clippy::box_collection)]
+    spill: Option<Box<HashMap<u32, VecDeque<Envelope>>>>, // lint: allow(mailbox-spill)
+}
+
+impl Lane {
+    fn new() -> Self {
+        Lane { inline: Default::default(), used: 0, spill: None }
+    }
+}
+
+/// One destination rank's mailbox: envelopes indexed by source lane, then
+/// tag bucket. See module docs for the shape and its cost model.
+#[derive(Debug)]
+pub struct LaneMailbox {
+    /// `pages[src >> PAGE_BITS][src & (PAGE_SIZE-1)]` → index into `lanes`,
+    /// or `NIL`. Boxed pages so an untouched 256-source region costs 8 bytes.
+    pages: Vec<Option<Box<[u32; PAGE_SIZE]>>>,
+    lanes: Vec<Lane>,
+    /// Envelopes routed through a spill map instead of an inline bucket.
+    spills: u64,
+}
+
+impl LaneMailbox {
+    /// An empty mailbox for a world of `size` ranks.
+    pub fn new(size: usize) -> Self {
+        LaneMailbox { pages: vec![None; size.div_ceil(PAGE_SIZE)], lanes: Vec::new(), spills: 0 }
+    }
+
+    /// Envelopes that had to take the spill path (0 for every built-in
+    /// collective); feeds the world's `mailbox_spills` reactor counter.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    /// Queue one envelope from `src` under `tag` (FIFO per `(src, tag)`).
+    pub fn push(&mut self, src: Rank, tag: Tag, env: Envelope) {
+        let lane_idx = self.lane_for(src);
+        let lane = &mut self.lanes[lane_idx];
+        let used = lane.used as usize;
+        for bucket in &mut lane.inline[..used] {
+            if bucket.tag == tag.0 {
+                bucket.queue.push_back(env);
+                return;
+            }
+        }
+        if used < INLINE_TAGS {
+            lane.inline[used].tag = tag.0;
+            lane.inline[used].queue.push_back(env);
+            lane.used = (used + 1) as u8;
+            return;
+        }
+        self.spills += 1;
+        // lint: allow(mailbox-spill) — sanctioned wild-tag fallback.
+        lane.spill.get_or_insert_with(Default::default).entry(tag.0).or_default().push_back(env);
+    }
+
+    /// Dequeue the oldest envelope from `src` under `tag`, if any. Never
+    /// allocates: a receive polled before any matching send reads only the
+    /// radix index and leaves no structure behind.
+    pub fn pop(&mut self, src: Rank, tag: Tag) -> Option<Envelope> {
+        let page = self.pages[src >> PAGE_BITS].as_ref()?;
+        let lane_idx = page[src & (PAGE_SIZE - 1)];
+        if lane_idx == NIL {
+            return None;
+        }
+        let lane = &mut self.lanes[lane_idx as usize];
+        for bucket in &mut lane.inline[..lane.used as usize] {
+            if bucket.tag == tag.0 {
+                return bucket.queue.pop_front();
+            }
+        }
+        lane.spill.as_mut()?.get_mut(&tag.0)?.pop_front()
+    }
+
+    /// Lane index for `src`, creating the page and lane on first use.
+    fn lane_for(&mut self, src: Rank) -> usize {
+        let page = self.pages[src >> PAGE_BITS].get_or_insert_with(|| Box::new([NIL; PAGE_SIZE]));
+        let slot = &mut page[src & (PAGE_SIZE - 1)];
+        if *slot == NIL {
+            *slot = self.lanes.len() as u32;
+            self.lanes.push(Lane::new());
+        }
+        *slot as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::BufferPool;
+
+    fn env(pool: &std::sync::Arc<BufferPool>, src: Rank, byte: u8) -> Envelope {
+        Envelope { src, data: pool.rent_copy(&[byte]) }
+    }
+
+    #[test]
+    fn fifo_per_source_and_tag() {
+        let pool = BufferPool::new();
+        let mut mb = LaneMailbox::new(8);
+        mb.push(3, Tag(1), env(&pool, 3, 10));
+        mb.push(3, Tag(1), env(&pool, 3, 11));
+        mb.push(3, Tag(2), env(&pool, 3, 20));
+        mb.push(5, Tag(1), env(&pool, 5, 50));
+        assert_eq!(mb.pop(3, Tag(1)).unwrap().data[0], 10);
+        assert_eq!(mb.pop(3, Tag(2)).unwrap().data[0], 20);
+        assert_eq!(mb.pop(3, Tag(1)).unwrap().data[0], 11);
+        assert_eq!(mb.pop(5, Tag(1)).unwrap().data[0], 50);
+        assert!(mb.pop(3, Tag(1)).is_none());
+        assert_eq!(mb.spills(), 0);
+    }
+
+    #[test]
+    fn pop_on_untouched_source_allocates_nothing() {
+        let mut mb = LaneMailbox::new(1024);
+        assert!(mb.pop(700, Tag(0)).is_none());
+        assert!(mb.pages.iter().all(Option::is_none), "pop must not build pages");
+        assert!(mb.lanes.is_empty(), "pop must not build lanes");
+    }
+
+    #[test]
+    fn wild_tags_spill_but_keep_fifo() {
+        let pool = BufferPool::new();
+        let mut mb = LaneMailbox::new(4);
+        // INLINE_TAGS distinct tags fit inline; two more spill.
+        for t in 0..(INLINE_TAGS as u32 + 2) {
+            mb.push(1, Tag(t), env(&pool, 1, t as u8));
+            mb.push(1, Tag(t), env(&pool, 1, 100 + t as u8));
+        }
+        assert_eq!(mb.spills(), 4, "two wild tags × two envelopes each");
+        for t in 0..(INLINE_TAGS as u32 + 2) {
+            assert_eq!(mb.pop(1, Tag(t)).unwrap().data[0], t as u8);
+            assert_eq!(mb.pop(1, Tag(t)).unwrap().data[0], 100 + t as u8);
+            assert!(mb.pop(1, Tag(t)).is_none());
+        }
+    }
+
+    #[test]
+    fn drained_inline_bucket_is_reused_for_its_tag() {
+        let pool = BufferPool::new();
+        let mut mb = LaneMailbox::new(2);
+        for round in 0..100u32 {
+            mb.push(0, Tag(7), env(&pool, 0, round as u8));
+            assert_eq!(mb.pop(0, Tag(7)).unwrap().data[0], round as u8);
+        }
+        assert_eq!(mb.spills(), 0);
+        assert_eq!(mb.lanes[0].used, 1, "one tag must occupy one bucket forever");
+    }
+
+    #[test]
+    fn high_source_ranks_use_late_pages() {
+        let pool = BufferPool::new();
+        let mut mb = LaneMailbox::new(16384);
+        mb.push(16383, Tag(0), env(&pool, 16383, 9));
+        assert_eq!(mb.pop(16383, Tag(0)).unwrap().data[0], 9);
+        let touched = mb.pages.iter().filter(|p| p.is_some()).count();
+        assert_eq!(touched, 1, "only the sender's page may be materialized");
+    }
+}

@@ -63,6 +63,8 @@ pub mod comm;
 pub mod counters;
 pub mod error;
 pub mod event_comm;
+pub mod event_mailbox;
+pub mod event_timer;
 pub mod mailbox;
 pub mod nonblocking;
 pub mod pool;
@@ -83,9 +85,11 @@ pub use comm::{
     disjoint_span_lists, scatter_spans, spans_len, split_send_recv, validate_spans, Communicator,
     IoSpan,
 };
-pub use counters::{PeerTraffic, TrafficStats, WakeupStats, WorldTraffic};
+pub use counters::{PeerTraffic, ReactorStats, TrafficStats, WakeupStats, WorldTraffic};
 pub use error::{CommError, Result};
 pub use event_comm::{EventComm, EventWorld};
+pub use event_mailbox::LaneMailbox;
+pub use event_timer::{TimerHandle, TimerWheel};
 pub use nonblocking::NonBlocking;
 pub use pool::{BufferPool, PoolStats, PooledBuf};
 pub use rank::{

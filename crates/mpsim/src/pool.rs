@@ -70,9 +70,12 @@ pub struct BufferPool {
     dropped: AtomicU64,
 }
 
+/// Number of size classes (for per-class caches layered over the pool).
+pub(crate) const POOL_CLASSES: usize = NUM_CLASSES;
+
 /// Size class index for `len`, or `None` when the rental bypasses the pool
 /// (zero-length or beyond the largest class).
-fn class_of(len: usize) -> Option<usize> {
+pub(crate) fn class_of(len: usize) -> Option<usize> {
     if len == 0 || len > (1usize << MAX_SHIFT) {
         return None;
     }
@@ -215,6 +218,21 @@ impl PooledBuf {
     #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Size class of the backing buffer, when pooled.
+    pub(crate) fn class(&self) -> Option<usize> {
+        self.class
+    }
+
+    /// Re-point the handle at logical length `len` without touching the
+    /// pool — the recycle fast path for single-threaded executors that
+    /// cache whole handles. The caller must pick a handle of `len`'s own
+    /// size class (the backing capacity is the class size) and must
+    /// overwrite all `len` bytes: no zeroing happens here.
+    pub(crate) fn reset_len(&mut self, len: usize) {
+        debug_assert_eq!(class_of(len), self.class, "reset_len across size classes");
+        self.len = len;
     }
 
     /// True when the handle holds no payload bytes.

@@ -13,7 +13,13 @@
 //! The protocol runs on shifted tags: a user message on `Tag(t)` travels as
 //! a data frame on `Tag(DATA_TAG_BASE + t)` and is acknowledged on
 //! `Tag(ACK_TAG_BASE + t)`, leaving the user's own tag space untouched.
-//! Collectives can therefore run *unmodified* over `ReliableComm`.
+//! Collectives can therefore run *unmodified* over `ReliableComm`. On the
+//! event executor this doubles the live tag count per source (data + ack
+//! per user tag), which still sits inside the lane mailbox's inline tag
+//! buckets for the collectives' single-tag phases; workloads juggling many
+//! concurrent user tags per peer land on the mailbox's wild-tag spill map
+//! instead — correct, hash-matched, and counted in
+//! `ReactorStats::mailbox_spills` rather than silent.
 //!
 //! ## Transport requirements
 //!

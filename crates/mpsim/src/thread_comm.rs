@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use crate::barrier::StopBarrier;
 use crate::comm::{scatter_spans, validate_spans, Communicator, IoSpan};
-use crate::counters::{CounterCell, TrafficStats, WorldTraffic};
+use crate::counters::{CounterCell, ReactorStats, TrafficStats, WorldTraffic};
 use crate::error::{CommError, Result};
 use crate::mailbox::Mailbox;
 use crate::pool::{BufferPool, PoolStats};
@@ -39,6 +39,9 @@ pub struct WorldOutcome<R> {
     pub pool: PoolStats,
     /// Wall-clock duration of the whole run (spawn to last join).
     pub elapsed: Duration,
+    /// Reactor introspection counters ([`ReactorStats`]); all zeros here —
+    /// only the discrete-event executor has a reactor to introspect.
+    pub reactor: ReactorStats,
 }
 
 struct Shared {
@@ -148,7 +151,13 @@ impl ThreadWorld {
             results.push(r);
             traffic.push(t);
         }
-        WorldOutcome { results, traffic: WorldTraffic::new(traffic), pool, elapsed }
+        WorldOutcome {
+            results,
+            traffic: WorldTraffic::new(traffic),
+            pool,
+            elapsed,
+            reactor: ReactorStats::default(),
+        }
     }
 }
 

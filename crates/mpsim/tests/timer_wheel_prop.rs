@@ -1,0 +1,179 @@
+//! Differential property tests of the hierarchical [`TimerWheel`] against a
+//! `BinaryHeap` reference model — the exact structure the wheel replaced in
+//! the event reactor.
+//!
+//! The heap model is the old semantics in miniature: armed timers are
+//! `(deadline, seq, task)` triples in a min-heap, cancellation marks the
+//! entry dead and pops discard dead entries lazily. The wheel must agree
+//! with it on every observable: which timer pops next (including the
+//! `(deadline, seq)` tie-breaking order that keeps replay deterministic),
+//! what `cancel` returns for live vs stale handles, and how many live
+//! entries remain. Deadline magnitudes are drawn across the wheel's full
+//! level range so placement and cascading at every level is exercised.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use mpsim::{TimerHandle, TimerWheel};
+use testkit::prop::{self, Config};
+
+/// Reference model: the reactor's previous timer store, lazy deletion and
+/// all, plus the handle table needed to aim cancels at specific arms.
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(u64, usize, usize)>>,
+    /// Sequence numbers of cancelled (or already-popped) entries.
+    dead: HashSet<usize>,
+    /// Every handle ever issued: `(wheel_handle, deadline, task)` indexed by
+    /// arming order, which doubles as the model's tie-breaking `seq`.
+    armed: Vec<(TimerHandle, u64, usize)>,
+}
+
+impl HeapModel {
+    fn new() -> Self {
+        HeapModel { heap: BinaryHeap::new(), dead: HashSet::new(), armed: Vec::new() }
+    }
+
+    fn arm(&mut self, handle: TimerHandle, deadline: u64, task: usize) {
+        let seq = self.armed.len();
+        self.heap.push(Reverse((deadline, seq, task)));
+        self.armed.push((handle, deadline, task));
+    }
+
+    /// Cancel the `k`-th handle ever issued; true if it was still live.
+    fn cancel(&mut self, k: usize) -> bool {
+        self.dead.insert(k)
+    }
+
+    /// Earliest live `(deadline, task)`, discarding dead entries like the
+    /// old reactor did.
+    fn pop_next(&mut self) -> Option<(u64, usize)> {
+        while let Some(Reverse((deadline, seq, task))) = self.heap.pop() {
+            if self.dead.insert(seq) {
+                return Some((deadline, task));
+            }
+        }
+        None
+    }
+
+    fn live(&self) -> usize {
+        self.armed.len() - self.dead.len()
+    }
+}
+
+#[test]
+fn wheel_matches_binary_heap_model() {
+    // Op stream: (op, magnitude, raw). op 0 arms `raw` masked to `magnitude`
+    // bits of delay (0..2^47, spanning every wheel level), op 1 cancels the
+    // raw-indexed handle (live or stale), op 2 pops the next deadline and
+    // advances the clock to it — exactly the reactor's idle transition.
+    prop::check(
+        "wheel_matches_binary_heap_model",
+        Config::cases(96),
+        &prop::vec_of((prop::u8_range(0..3), prop::u8_range(0..48), prop::any_u64()), 1..120),
+        |ops: &Vec<(u8, u8, u64)>| {
+            let mut wheel = TimerWheel::new();
+            let mut model = HeapModel::new();
+            let mut now = 0u64;
+            let mut cancels = 0u64;
+
+            let drain_one = |wheel: &mut TimerWheel,
+                             model: &mut HeapModel,
+                             now: &mut u64|
+             -> Result<bool, String> {
+                let expect = model.pop_next();
+                let got = wheel.pop_next(*now);
+                if got != expect {
+                    return Err(format!("pop at now={now}: wheel {got:?}, heap {expect:?}"));
+                }
+                if let Some((deadline, _)) = got {
+                    *now = (*now).max(deadline);
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            };
+
+            for (i, &(op, magnitude, raw)) in ops.iter().enumerate() {
+                match op {
+                    0 => {
+                        let delay = raw & ((1u64 << magnitude) - 1);
+                        let deadline = now.saturating_add(delay);
+                        let handle = wheel.arm(now, deadline, i);
+                        model.arm(handle, deadline, i);
+                    }
+                    1 => {
+                        if model.armed.is_empty() {
+                            continue;
+                        }
+                        let k = (raw as usize) % model.armed.len();
+                        let expect = model.cancel(k);
+                        let got = wheel.cancel(model.armed[k].0);
+                        if got != expect {
+                            return Err(format!(
+                                "cancel of arm #{k}: wheel said {got}, model said {expect}"
+                            ));
+                        }
+                        if expect {
+                            cancels += 1;
+                        }
+                    }
+                    _ => {
+                        drain_one(&mut wheel, &mut model, &mut now)?;
+                    }
+                }
+                if wheel.len() != model.live() {
+                    return Err(format!(
+                        "after op {i}: wheel holds {} live timers, heap model {}",
+                        wheel.len(),
+                        model.live()
+                    ));
+                }
+            }
+
+            // Drain to empty: the full remaining order must match too.
+            while drain_one(&mut wheel, &mut model, &mut now)? {}
+            if !wheel.is_empty() {
+                return Err(format!("wheel not empty after drain: {} left", wheel.len()));
+            }
+            if wheel.cancelled() != cancels {
+                return Err(format!(
+                    "cancel counter: wheel {} vs expected {cancels}",
+                    wheel.cancelled()
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn equal_deadlines_pop_in_arming_order() {
+    // The determinism-critical tie rule on its own: any batch of timers
+    // armed for the same instant must pop in arming order, regardless of
+    // how the batch is interleaved with earlier/later deadlines.
+    prop::check(
+        "equal_deadlines_pop_in_arming_order",
+        Config::cases(64),
+        &prop::vec_of(prop::u8_range(0..8), 1..40),
+        |deadlines: &Vec<u8>| {
+            let mut wheel = TimerWheel::new();
+            for (i, &d) in deadlines.iter().enumerate() {
+                wheel.arm(0, u64::from(d), i);
+            }
+            let mut popped = Vec::new();
+            let mut now = 0u64;
+            while let Some((deadline, task)) = wheel.pop_next(now) {
+                now = now.max(deadline);
+                popped.push((deadline, task));
+            }
+            // Expected: stable sort of (deadline, arming index).
+            let mut expect: Vec<(u64, usize)> =
+                deadlines.iter().enumerate().map(|(i, &d)| (u64::from(d), i)).collect();
+            expect.sort();
+            if popped != expect {
+                return Err(format!("pop order {popped:?} != arming-stable order {expect:?}"));
+            }
+            Ok(())
+        },
+    );
+}

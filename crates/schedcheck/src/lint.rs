@@ -31,11 +31,18 @@
 //!    per iteration; the plain tuned ring is the uncoalesced baseline by
 //!    definition) carry a `// lint: allow(per-chunk-send)` marker.
 //! 6. [`check_real_time`] — the discrete-event executor
-//!    (`crates/mpsim/src/event_*.rs`) must never read real time or sleep:
-//!    `std::thread::sleep`, `Instant::now`, and `SystemTime` would leak
-//!    wall-clock nondeterminism into a world whose whole contract is that
-//!    fault delays and timeouts are deterministic virtual-clock events.
-//!    A deliberate exception carries a `// lint: allow(real-time)` marker.
+//!    (`crates/mpsim/src/event_*.rs` — the reactor and every module split
+//!    out of it, currently `event_comm`, `event_mailbox`, `event_timer`)
+//!    must never read real time or sleep: `std::thread::sleep`,
+//!    `Instant::now`, and `SystemTime` would leak wall-clock nondeterminism
+//!    into a world whose whole contract is that fault delays and timeouts
+//!    are deterministic virtual-clock events. A deliberate exception
+//!    carries a `// lint: allow(real-time)` marker.
+//! 7. [`check_event_mailbox_hashmap`] — no `HashMap` in the event-executor
+//!    modules: message matching is the reactor's hottest loop, and the
+//!    dense lane structures replaced hashed lookups there on purpose. The
+//!    only sanctioned use is the wild-tag spill fallback inside
+//!    `event_mailbox.rs`, marked `// lint: allow(mailbox-spill)`.
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -301,6 +308,37 @@ pub fn check_real_time(path: &str, content: &str) -> Vec<LintHit> {
     hits
 }
 
+/// Rule 7: `HashMap` anywhere in the event-executor modules
+/// (`crates/mpsim/src/event_*.rs`). The lane mailbox and timing wheel
+/// exist precisely so the reactor's match/arm hot loops cost indexed loads
+/// instead of hashing; a hash map creeping back in silently re-taxes every
+/// message. The wild-tag spill fallback is the one sanctioned use and
+/// carries a `// lint: allow(mailbox-spill)` marker on the same or the
+/// preceding line. Test modules are exempt (same scoping as
+/// [`check_panics`]).
+pub fn check_event_mailbox_hashmap(path: &str, content: &str) -> Vec<LintHit> {
+    let in_event_executor = path.starts_with("crates/mpsim/src/event_") && path.ends_with(".rs");
+    if !in_event_executor {
+        return Vec::new();
+    }
+    let body = match content.find("#[cfg(test)]") {
+        Some(i) => &content[..i],
+        None => content,
+    };
+    let mut hits = Vec::new();
+    let mut prev: &str = "";
+    for (i, line) in body.lines().enumerate() {
+        let code = code_part(line);
+        let allowed = line.contains("lint: allow(mailbox-spill)")
+            || prev.contains("lint: allow(mailbox-spill)");
+        if code.contains("HashMap") && !allowed {
+            hits.push(hit(path, i, "event-mailbox-hashmap", line));
+        }
+        prev = line;
+    }
+    hits
+}
+
 /// Run every rule over one file.
 pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     // The linter's own source holds the trigger patterns as string
@@ -315,6 +353,7 @@ pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     hits.extend(check_ignored_comm_result(path, content));
     hits.extend(check_per_chunk_send(path, content));
     hits.extend(check_real_time(path, content));
+    hits.extend(check_event_mailbox_hashmap(path, content));
     hits
 }
 
@@ -435,6 +474,43 @@ mod tests {
         let waived = "// lint: allow(real-time) — diagnostics only, never scheduling\n\
                       let t0 = std::time::Instant::now();\n";
         assert!(check_real_time("crates/mpsim/src/event_comm.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn real_time_rule_covers_split_event_modules() {
+        // The refactor split the reactor into event_comm / event_mailbox /
+        // event_timer; the prefix glob must hold all of them (and any
+        // future sibling) to virtual-clock purity.
+        let instant = "let t0 = std::time::Instant::now();\n";
+        for file in ["event_comm.rs", "event_mailbox.rs", "event_timer.rs", "event_future.rs"] {
+            let path = format!("crates/mpsim/src/{file}");
+            assert_eq!(check_real_time(&path, instant).len(), 1, "{path}");
+        }
+    }
+
+    #[test]
+    fn event_mailbox_hashmap_rule() {
+        let bad = "use std::collections::HashMap;\n";
+        for file in ["event_comm.rs", "event_mailbox.rs", "event_timer.rs"] {
+            let path = format!("crates/mpsim/src/{file}");
+            assert_eq!(check_event_mailbox_hashmap(&path, bad).len(), 1, "{path}");
+        }
+        // Outside the event executor, hash maps are nobody's business here.
+        assert!(check_event_mailbox_hashmap("crates/mpsim/src/mailbox.rs", bad).is_empty());
+        assert!(check_event_mailbox_hashmap("crates/core/src/bcast.rs", bad).is_empty());
+        // The spill fallback is sanctioned when marked, same or previous line.
+        let waived = "// lint: allow(mailbox-spill) — wild tags only\n\
+                      spill: Option<Box<HashMap<u32, VecDeque<Envelope>>>>,\n";
+        assert!(check_event_mailbox_hashmap("crates/mpsim/src/event_mailbox.rs", waived).is_empty());
+        let same_line = "let m: HashMap<u32, u32>; // lint: allow(mailbox-spill)\n";
+        assert!(
+            check_event_mailbox_hashmap("crates/mpsim/src/event_mailbox.rs", same_line).is_empty()
+        );
+        // Comments and test modules are exempt.
+        let comment = "// HashMap is banned on this path\n";
+        assert!(check_event_mailbox_hashmap("crates/mpsim/src/event_comm.rs", comment).is_empty());
+        let in_tests = "fn f() {}\n#[cfg(test)]\nmod t { use std::collections::HashMap; }\n";
+        assert!(check_event_mailbox_hashmap("crates/mpsim/src/event_comm.rs", in_tests).is_empty());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 # they are reported as SKIPPED (no baseline entry) so a freshly added bench
 # is visible but ungated until the baseline is refreshed.
 #
+# On top of the relative gate, SPEEDUP_FLOORS (in the python below) pins
+# named benches to an absolute ceiling frozen in this script — a banked
+# optimization win that stays enforced even across --update-baseline.
+#
 # Environment:
 #   BENCH_COMPARE_THRESHOLD   allowed median regression in percent (default 30)
 #   BENCH_COMPARE_OUT         where to write the fresh measurements
@@ -95,7 +99,7 @@ def load(path, role):
         with open(path) as f:
             doc = json.load(f)
         rows = doc["benchmarks"]
-        return {f"{r['group']}/{r['id']}": r["median_ns"] for r in rows}
+        return {f"{r['group']}/{r['id']}": r for r in rows}
     except (OSError, ValueError, KeyError, TypeError) as e:
         print(f"error: {role} file {path} is not a bench report: {e}", file=sys.stderr)
         print("hint: regenerate it with scripts/bench_compare.sh --update-baseline",
@@ -121,7 +125,7 @@ for name in sorted(gated):
                   "retired, then refresh the baseline", file=sys.stderr)
             failed = True
         continue
-    b, c = base[name], cur[name]
+    b, c = base[name]["median_ns"], cur[name]["median_ns"]
     delta = 100.0 * (c - b) / b if b > 0 else 0.0
     status = "OK"
     if delta > threshold:
@@ -134,6 +138,32 @@ for name in sorted(cur):
     if name.split("/", 1)[0] in GATED_GROUPS and name not in base:
         print(f"SKIPPED   {name} (no baseline entry — ungated; "
               "refresh with --update-baseline)")
+# Named absolute floors: optimization wins a PR explicitly banked. Unlike
+# the relative gate, the reference is hard-coded here, not read from the
+# baseline file, so re-recording the baseline cannot silently launder a
+# regression past it. The current run's p10_ns stands in for the machine's
+# honest speed: quick-mode samples are few and background load only ever
+# slows a run down, so the fastest decile is the noise-robust side to gate
+# on, while the reference stays the (noisier, conservative) median of the
+# recording it was banked against.
+SPEEDUP_FLOORS = {
+    # Reactor hot-path overhaul (lane mailboxes / timer wheel / slab tasks /
+    # envelope-handle cache): >=2x msgs/sec over the PR 6 reactor, whose
+    # recorded median for this bench was 267,645,348 ns.
+    "event_world_hotpath/tuned_bcast/1024": (267_645_348, 2.0),
+}
+for name, (ref_ns, factor) in sorted(SPEEDUP_FLOORS.items()):
+    ceiling = ref_ns / factor
+    if name not in cur:
+        print(f"MISSING   {name} (speedup floor: {factor:g}x over {ref_ns} ns)")
+        failed = True
+        continue
+    fast = cur[name].get("p10_ns") or cur[name]["median_ns"]
+    status = "OK"
+    if fast > ceiling:
+        status, failed = "TOO SLOW", True
+    print(f"{status:9s} {name}: p10 {fast:.0f} ns vs ceiling {ceiling:.0f} ns "
+          f"(banked {factor:g}x over {ref_ns} ns)")
 unused = allow_missing - gated
 for name in sorted(unused):
     print(f"warning: --allow-missing '{name}' matches no gated baseline bench",

@@ -95,7 +95,9 @@ phase_chaos() {
 # conformance battery (incl. seeded faults over the virtual clock), the
 # paper's P=8/P=10 traffic table, and the P=256 megascale sweep. The
 # P ∈ {1024, 4096} sweeps (~1M and ~16.8M messages per algorithm) run in
-# release only, pinned to the same closed-form envelope/byte counts.
+# release only, pinned to the same closed-form envelope/byte counts. The
+# P=16384 sweep (~268M messages through the reactor) runs as its own phase
+# below so its wall clock gets a dedicated row in the timing table.
 phase_event_exec() {
   for features in "${feature_legs[@]}"; do
     # shellcheck disable=SC2086
@@ -106,8 +108,14 @@ phase_event_exec() {
     run cargo test -q -p bcast-opt --offline $features --test event_megascale
   done
   if [[ $quick -eq 0 ]]; then
-    run cargo test --release -q -p bcast-opt --offline --test event_megascale -- --ignored
+    run cargo test --release -q -p bcast-opt --offline --test event_megascale -- \
+      --ignored --skip megascale_p16384
   fi
+}
+
+phase_event_megascale_p16384() {
+  run cargo test --release -q -p bcast-opt --offline --test event_megascale -- \
+    --ignored megascale_p16384
 }
 
 phase_bench_gate() {
@@ -123,6 +131,7 @@ run_phase "schedcheck + repolint" phase_schedcheck
 run_phase "chaos gate (seeded faults)" phase_chaos
 run_phase "event-exec lane" phase_event_exec
 if [[ $quick -eq 0 ]]; then
+  run_phase "event-exec megascale P=16384" phase_event_megascale_p16384
   run_phase "bench regression gate" phase_bench_gate
 fi
 

@@ -63,3 +63,23 @@ fn megascale_p4096() {
     sweep_scatter_ring(4096, 8192);
     sweep_coalesced(4096, 8192);
 }
+
+#[test]
+#[ignore = "~268M messages; run in release via the event-exec CI lane's dedicated phase"]
+fn megascale_p16384() {
+    // The largest sweep runs the paper's tuned ring only: at P = 16384 the
+    // schedule moves P·(P-1) ≈ 268M one-byte chunks, so doubling up with the
+    // native ring would buy no extra coverage for twice the wall clock. The
+    // lane gives this test its own phase so its cost shows up as a separate
+    // row in the CI timing table.
+    let p = 16384;
+    let nbytes = 16384; // one byte per chunk: every transfer stays non-empty
+    let out = bcast_event_world(p, nbytes, 0, Algorithm::ScatterRingTuned);
+    assert!(out.traffic.is_balanced(), "tuned P={p}: unbalanced counters");
+    let vol = bcast_volume(Algorithm::ScatterRingTuned, nbytes, p);
+    assert_eq!(out.traffic.total_msgs(), vol.msgs, "tuned P={p}: msgs");
+    assert_eq!(out.traffic.total_bytes(), vol.bytes, "tuned P={p}: bytes");
+    // The dense mailbox lanes must absorb the whole sweep without ever
+    // falling back to the spill map.
+    assert_eq!(out.reactor.mailbox_spills, 0, "tuned P={p}: mailbox spills");
+}
