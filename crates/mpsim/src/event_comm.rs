@@ -62,13 +62,7 @@ use crate::pool::{BufferPool, PoolStats};
 use crate::rank::{Rank, Tag};
 use crate::thread_comm::WorldOutcome;
 
-/// `watching` sentinel: the task is not parked on any receive.
-const WATCH_NONE: usize = usize::MAX;
-/// `watching` sentinel: the task holds parked receives from more than one
-/// source at once (e.g. a `join!` of two receives), so it conservatively
-/// wakes on any exit. Single-source receives — every built-in collective —
-/// never degrade to this.
-const WATCH_ANY: usize = usize::MAX - 1;
+use crate::proto::{WATCH_ANY, WATCH_NONE};
 
 /// Side queue for wakes arriving through the `Waker` protocol. `Waker` must
 /// be `Send + Sync`, so this path keeps a lock — but nothing on the message
@@ -76,6 +70,12 @@ const WATCH_ANY: usize = usize::MAX - 1;
 /// reactor's `Cell`-based run queue). The reactor drains it exactly once
 /// per idle transition, so a user future that stashes its waker and wakes
 /// later is still scheduled before the world is declared stuck.
+///
+/// Model-checked: schedcheck's `ExternalWakerModel` explores every
+/// interleaving of external pushes against the drain/park transition and
+/// proves no wake is dropped between the drain and the idle declaration
+/// (its mutation knobs — skip the drain, drop drained entries — both
+/// deadlock under the explorer).
 struct ExternalWakes {
     queue: crate::sync::Mutex<Vec<usize>>,
 }
@@ -97,6 +97,13 @@ impl Wake for TaskWaker {
 /// The reactor-thread run queue: a plain `VecDeque` of task ids with
 /// `Cell` dedup flags — a burst of deliveries to one task costs one poll,
 /// and re-waking an already-queued task is two `Cell` accesses, no lock.
+///
+/// Model-checked: schedcheck's `RunQueueModel` drives the same
+/// [`proto::wake_should_enqueue`](crate::proto::wake_should_enqueue) and
+/// [`proto::exit_wakes_watch`](crate::proto::exit_wakes_watch) predicates
+/// from abstract states and proves the dedup flag never loses a wake —
+/// in particular that clearing the flag at *pop* time (below, before the
+/// poll runs) is what keeps a budget-exhausted self-requeue alive.
 struct Scheduler {
     run: RefCell<VecDeque<usize>>,
     queued: Vec<Cell<bool>>,
@@ -115,7 +122,7 @@ impl Scheduler {
     }
 
     fn push(&self, task: usize) {
-        if !self.queued[task].replace(true) {
+        if crate::proto::wake_should_enqueue(self.queued[task].replace(true)) {
             self.run.borrow_mut().push_back(task);
             self.wakeups.set(self.wakeups.get() + 1);
         }
@@ -313,7 +320,10 @@ impl EventShared {
     /// Record a normal departure of `rank` and wake exactly the tasks that
     /// can observe it: receives parked on `rank` (or on multiple sources)
     /// and barrier waiters. Everyone else stays parked — this is what keeps
-    /// a P-rank sweep at O(P) exit work instead of O(P²).
+    /// a P-rank sweep at O(P) exit work instead of O(P²). The wake decision
+    /// is [`proto::exit_wakes_watch`](crate::proto::exit_wakes_watch), the
+    /// same predicate schedcheck's `RunQueueModel` proves never strands a
+    /// watcher (its `skip_exit_wake` mutation deadlocks under the explorer).
     fn rank_exited(&self, rank: Rank) {
         self.exited[rank].set(true);
         if self.barrier.departed.get().is_none() {
@@ -324,7 +334,7 @@ impl EventShared {
                 continue;
             }
             let watch = self.watching[task].get();
-            if watch == rank || watch == WATCH_ANY || self.barrier_parked[task].get() {
+            if crate::proto::exit_wakes_watch(watch, rank) || self.barrier_parked[task].get() {
                 self.sched.push(task);
             }
         }

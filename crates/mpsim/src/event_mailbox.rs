@@ -42,6 +42,39 @@ use crate::rank::{Rank, Tag};
 /// use ≤ 3 per (source, destination) pair (scatter, allgather, coalesced).
 pub const INLINE_TAGS: usize = 4;
 
+/// Where an envelope (or a lookup) for `tag` goes within a lane, given the
+/// tags currently owning inline buckets (in first-seen order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BucketRoute {
+    /// `tag` already owns inline bucket `i`.
+    Existing(usize),
+    /// `tag` is new and a free inline bucket remains: claim the next one
+    /// (pushes only; a *pop* routed here finds nothing queued).
+    NewInline,
+    /// Every inline bucket owns some other tag: the wild-tag spill map.
+    Spill,
+}
+
+/// The lane's bucket-routing decision, shared by [`LaneMailbox::push`] and
+/// [`LaneMailbox::pop`] below and by schedcheck's `LaneMailboxModel`, which
+/// explores push/pop interleavings over this exact predicate and checks the
+/// spill counter accounts for every envelope the route sends to the spill
+/// map (its mutation knobs — drop wild envelopes, skip the count — are
+/// caught by the explorer as a deadlock / invariant violation).
+#[must_use]
+pub fn bucket_route(tags_in_use: &[u32], tag: u32) -> BucketRoute {
+    for (i, t) in tags_in_use.iter().enumerate() {
+        if *t == tag {
+            return BucketRoute::Existing(i);
+        }
+    }
+    if tags_in_use.len() < INLINE_TAGS {
+        BucketRoute::NewInline
+    } else {
+        BucketRoute::Spill
+    }
+}
+
 /// Radix page size for the source index: 8 bits per level.
 const PAGE_BITS: usize = 8;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
@@ -106,21 +139,24 @@ impl LaneMailbox {
         let lane_idx = self.lane_for(src);
         let lane = &mut self.lanes[lane_idx];
         let used = lane.used as usize;
-        for bucket in &mut lane.inline[..used] {
-            if bucket.tag == tag.0 {
-                bucket.queue.push_back(env);
-                return;
+        let tags: [u32; INLINE_TAGS] = std::array::from_fn(|i| lane.inline[i].tag);
+        match bucket_route(&tags[..used], tag.0) {
+            BucketRoute::Existing(i) => lane.inline[i].queue.push_back(env),
+            BucketRoute::NewInline => {
+                lane.inline[used].tag = tag.0;
+                lane.inline[used].queue.push_back(env);
+                lane.used = (used + 1) as u8;
+            }
+            BucketRoute::Spill => {
+                self.spills += 1;
+                // lint: allow(mailbox-spill) — sanctioned wild-tag fallback.
+                lane.spill
+                    .get_or_insert_with(Default::default)
+                    .entry(tag.0)
+                    .or_default()
+                    .push_back(env);
             }
         }
-        if used < INLINE_TAGS {
-            lane.inline[used].tag = tag.0;
-            lane.inline[used].queue.push_back(env);
-            lane.used = (used + 1) as u8;
-            return;
-        }
-        self.spills += 1;
-        // lint: allow(mailbox-spill) — sanctioned wild-tag fallback.
-        lane.spill.get_or_insert_with(Default::default).entry(tag.0).or_default().push_back(env);
     }
 
     /// Dequeue the oldest envelope from `src` under `tag`, if any. Never
@@ -133,12 +169,17 @@ impl LaneMailbox {
             return None;
         }
         let lane = &mut self.lanes[lane_idx as usize];
-        for bucket in &mut lane.inline[..lane.used as usize] {
-            if bucket.tag == tag.0 {
-                return bucket.queue.pop_front();
+        let used = lane.used as usize;
+        let tags: [u32; INLINE_TAGS] = std::array::from_fn(|i| lane.inline[i].tag);
+        match bucket_route(&tags[..used], tag.0) {
+            BucketRoute::Existing(i) => lane.inline[i].queue.pop_front(),
+            // NewInline on a pop means the tag was never pushed inline; only
+            // the spill map could hold it (and then only if `used` is full,
+            // so this arm also finds nothing — which is correct).
+            BucketRoute::NewInline | BucketRoute::Spill => {
+                lane.spill.as_mut()?.get_mut(&tag.0)?.pop_front()
             }
         }
-        lane.spill.as_mut()?.get_mut(&tag.0)?.pop_front()
     }
 
     /// Lane index for `src`, creating the page and lane on first use.
@@ -160,6 +201,15 @@ mod tests {
 
     fn env(pool: &std::sync::Arc<BufferPool>, src: Rank, byte: u8) -> Envelope {
         Envelope { src, data: pool.rent_copy(&[byte]) }
+    }
+
+    #[test]
+    fn bucket_route_decisions() {
+        assert_eq!(bucket_route(&[], 7), BucketRoute::NewInline);
+        assert_eq!(bucket_route(&[7, 9], 9), BucketRoute::Existing(1));
+        assert_eq!(bucket_route(&[1, 2, 3], 4), BucketRoute::NewInline);
+        assert_eq!(bucket_route(&[1, 2, 3, 4], 5), BucketRoute::Spill);
+        assert_eq!(bucket_route(&[1, 2, 3, 4], 4), BucketRoute::Existing(3));
     }
 
     #[test]

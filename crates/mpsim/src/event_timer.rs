@@ -59,6 +59,19 @@ pub struct TimerHandle {
     gen: u32,
 }
 
+/// The liveness decision for [`TimerWheel::cancel`]: a handle may touch its
+/// slab entry only while the entry is still armed *and* the generations
+/// match. A fired or re-armed entry has moved on (its generation was bumped
+/// at release), so the stale handle is a no-op — which is what makes
+/// dropping a half-polled receive future sound. Shared with schedcheck's
+/// `TimerWheelModel`, whose `no_generation` mutation (match on slab index
+/// alone) lets a stale cancel kill a recycled entry and is caught by the
+/// explorer as a deadlock.
+#[must_use]
+pub fn handle_is_live(entry_gen: u32, entry_armed: bool, handle_gen: u32) -> bool {
+    entry_armed && entry_gen == handle_gen
+}
+
 /// One slab entry: payload plus intrusive list links and slot bookkeeping.
 #[derive(Debug)]
 struct Entry {
@@ -138,7 +151,12 @@ impl TimerWheel {
     /// the highest 6-bit digit in which the two differ, the slot is the
     /// deadline's digit there. A deadline equal to `now` lands at level 0 in
     /// the clock's own slot and pops immediately.
-    fn place(now_ns: u64, deadline_ns: u64) -> (usize, usize) {
+    ///
+    /// Public so schedcheck's `TimerWheelModel` can assert the scanning
+    /// precondition (an armed entry's placement stays within 64 slots of the
+    /// clock's digit at its level, for every reachable arm/cancel/pop
+    /// interleaving) against this exact function rather than a copy.
+    pub fn place(now_ns: u64, deadline_ns: u64) -> (usize, usize) {
         let diff = deadline_ns ^ now_ns;
         let level = if diff == 0 { 0 } else { (63 - diff.leading_zeros()) as usize / 6 };
         let slot = ((deadline_ns >> (LEVEL_BITS as usize * level)) & (SLOTS as u64 - 1)) as usize;
@@ -196,7 +214,7 @@ impl TimerWheel {
     /// ignored, so callers may cancel unconditionally on drop.
     pub fn cancel(&mut self, handle: TimerHandle) -> bool {
         let Some(e) = self.entries.get(handle.idx as usize) else { return false };
-        if e.gen != handle.gen || e.home == NIL {
+        if !handle_is_live(e.gen, e.home != NIL, handle.gen) {
             return false;
         }
         self.unlink(handle.idx);

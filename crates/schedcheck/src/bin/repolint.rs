@@ -1,9 +1,12 @@
 //! Repo-convention linter: walks `crates/**/*.rs` and applies the rules in
 //! [`schedcheck::lint`] — raw `std::sync` lock primitives outside the sync
 //! layer, `.unwrap()`/`.expect()` in library code, undocumented `unsafe`,
-//! `let _ =` discarding a communication call's `Result`, and per-chunk
-//! `comm.send(` loops in broadcast hot-path files. Prints every hit and
-//! exits nonzero if any are found.
+//! `let _ =` discarding a communication call's `Result`, per-chunk
+//! `comm.send(` loops in broadcast hot-path files, wall-clock reads and
+//! `HashMap`s inside the event executor, and cancel-unsafe shapes in the
+//! async communication layer (unregistered `Poll::Pending`, `RefCell`
+//! borrows across suspension points, send effects inside `poll` bodies).
+//! Prints every hit and exits nonzero if any are found.
 //!
 //! Run from the repository root (the directory containing `crates/`).
 

@@ -7,10 +7,25 @@
 //! Exits nonzero (with per-instance diagnostics) on any failure. `--quick`
 //! restricts the world-size grid for local smoke runs; CI runs the full
 //! sweep.
+//!
+//! `schedcheck explore-reactor [--max-states N]` runs the other half of the
+//! crate instead: the interleaving explorer over every protocol model —
+//! the fast-sync mutex, condvar rendezvous and sharded-mailbox legacy
+//! models plus the four megascale-reactor models (run-queue dedup,
+//! external-waker side queue, lane-mailbox routing, timer-wheel
+//! generations). Each model is explored exhaustively *and* with DPOR, the
+//! verdicts are required to agree, per-model state counts and reduction
+//! factors are printed, and a seeded mutation drill injects a known
+//! lost-wakeup / stale-handle bug into each reactor model and demands both
+//! explorers catch it. `--max-states` bounds the per-model state budget.
 
 use bcast_core::bcast::{bcast_schedule, bcast_tuned_schedule_with};
 use bcast_core::{all_sources, degraded_bcast_schedule, step_flag, traffic, Algorithm};
-use schedcheck::{check, Semantics};
+use schedcheck::models::{
+    CondvarModel, ExternalWakerModel, FastMutexModel, LaneMailboxModel, MailboxModel,
+    RunQueueModel, TimerWheelModel,
+};
+use schedcheck::{check, explore, explore_dpor, Model, Semantics, DEFAULT_MAX_STATES};
 
 /// One failed instance, for the final report.
 struct Failure {
@@ -18,7 +33,254 @@ struct Failure {
     details: Vec<String>,
 }
 
+/// Exploration totals for the `explore-reactor` summary line.
+#[derive(Default)]
+struct ExploreTotals {
+    models: usize,
+    exhaustive_states: usize,
+    dpor_states: usize,
+}
+
+/// Run one clean model under both explorers: verdicts must both be clean
+/// and DPOR must never visit more states than exhaustive.
+fn differential<M: Model>(
+    name: &str,
+    model: &M,
+    max_states: usize,
+    totals: &mut ExploreTotals,
+    failures: &mut Vec<Failure>,
+) {
+    let full = explore(model, max_states);
+    let dpor = explore_dpor(model, max_states);
+    match (&full, &dpor) {
+        (Ok(f), Ok(d)) => {
+            totals.models += 1;
+            totals.exhaustive_states += f.states;
+            totals.dpor_states += d.states;
+            println!(
+                "  {name}: exhaustive {} states / dpor {} = {:.2}x reduction",
+                f.states,
+                d.states,
+                f.states as f64 / d.states as f64
+            );
+            if d.states > f.states {
+                failures.push(Failure {
+                    what: format!("explore {name}"),
+                    details: vec![format!(
+                        "DPOR visited more states than exhaustive ({} vs {})",
+                        d.states, f.states
+                    )],
+                });
+            }
+        }
+        _ => failures.push(Failure {
+            what: format!("explore {name}"),
+            details: vec![format!("exhaustive: {full:?}"), format!("dpor: {dpor:?}")],
+        }),
+    }
+}
+
+/// Run one mutant under both explorers: both must fail, with the expected
+/// substring in the diagnostic. Returns whether the mutant was caught.
+fn drill<M: Model>(
+    name: &str,
+    model: &M,
+    expect: &str,
+    max_states: usize,
+    failures: &mut Vec<Failure>,
+) -> bool {
+    let mut caught = true;
+    for (how, res) in
+        [("exhaustive", explore(model, max_states)), ("dpor", explore_dpor(model, max_states))]
+    {
+        match res {
+            Err(e) if e.contains(expect) => {}
+            other => {
+                caught = false;
+                failures.push(Failure {
+                    what: format!("mutation {name} [{how}]"),
+                    details: vec![format!("expected a '{expect}' diagnostic, got {other:?}")],
+                });
+            }
+        }
+    }
+    caught
+}
+
+/// The `explore-reactor` subcommand.
+fn explore_reactor(max_states: usize) -> ! {
+    let mut failures: Vec<Failure> = Vec::new();
+    let mut totals = ExploreTotals::default();
+
+    // ---- Phase 1: clean protocol models, exhaustive vs DPOR --------------
+    println!("phase 1: protocol models, exhaustive vs DPOR (budget {max_states} states)");
+    for (threads, sections) in [(2, 1), (2, 2), (3, 1), (3, 2)] {
+        differential(
+            &format!("fast-mutex t={threads} s={sections}"),
+            &FastMutexModel { threads, sections, skip_recheck: false, park_timeout: true },
+            max_states,
+            &mut totals,
+            &mut failures,
+        );
+    }
+    for consumers in 1..=2 {
+        differential(
+            &format!("condvar c={consumers}"),
+            &CondvarModel { consumers },
+            max_states,
+            &mut totals,
+            &mut failures,
+        );
+    }
+    for senders in 1..=4 {
+        differential(
+            &format!("mailbox s={senders}"),
+            &MailboxModel { senders, broken_skip: false },
+            max_states,
+            &mut totals,
+            &mut failures,
+        );
+    }
+    for senders in 1..=3 {
+        for crasher in [false, true] {
+            differential(
+                &format!("reactor-run-queue s={senders} crasher={crasher}"),
+                &RunQueueModel { senders, crasher, clear_after_poll: false, skip_exit_wake: false },
+                max_states,
+                &mut totals,
+                &mut failures,
+            );
+        }
+    }
+    for wakes in 1..=3 {
+        differential(
+            &format!("reactor-external-waker w={wakes}"),
+            &ExternalWakerModel { wakes, skip_drain: false, drop_drained: false },
+            max_states,
+            &mut totals,
+            &mut failures,
+        );
+    }
+    differential(
+        "reactor-lane-mailbox",
+        &LaneMailboxModel { drop_wild: false, skip_spill_count: false },
+        max_states,
+        &mut totals,
+        &mut failures,
+    );
+    for (delta_a, delta_b) in [(10, 20), (10, 100), (63, 64)] {
+        differential(
+            &format!("reactor-timer-wheel a={delta_a} b={delta_b}"),
+            &TimerWheelModel { delta_a, delta_b, no_generation: false },
+            max_states,
+            &mut totals,
+            &mut failures,
+        );
+    }
+    println!(
+        "phase 1: {} models clean; {} exhaustive states vs {} DPOR states ({:.2}x overall)",
+        totals.models,
+        totals.exhaustive_states,
+        totals.dpor_states,
+        totals.exhaustive_states as f64 / totals.dpor_states.max(1) as f64
+    );
+
+    // ---- Phase 2: seeded mutation drill ----------------------------------
+    // One known lost-wakeup / stale-handle / accounting bug per knob; a
+    // model checker that passes mutants is vacuous.
+    let mut drilled = 0usize;
+    drilled += usize::from(drill(
+        "run-queue clear-after-poll",
+        &RunQueueModel {
+            senders: 2,
+            crasher: false,
+            clear_after_poll: true,
+            skip_exit_wake: false,
+        },
+        "deadlock",
+        max_states,
+        &mut failures,
+    ));
+    drilled += usize::from(drill(
+        "run-queue skip-exit-wake",
+        &RunQueueModel { senders: 1, crasher: true, clear_after_poll: false, skip_exit_wake: true },
+        "deadlock",
+        max_states,
+        &mut failures,
+    ));
+    drilled += usize::from(drill(
+        "external-waker skip-drain",
+        &ExternalWakerModel { wakes: 1, skip_drain: true, drop_drained: false },
+        "deadlock",
+        max_states,
+        &mut failures,
+    ));
+    drilled += usize::from(drill(
+        "external-waker drop-drained",
+        &ExternalWakerModel { wakes: 1, skip_drain: false, drop_drained: true },
+        "deadlock",
+        max_states,
+        &mut failures,
+    ));
+    drilled += usize::from(drill(
+        "lane-mailbox drop-wild",
+        &LaneMailboxModel { drop_wild: true, skip_spill_count: false },
+        "deadlock",
+        max_states,
+        &mut failures,
+    ));
+    drilled += usize::from(drill(
+        "lane-mailbox skip-spill-count",
+        &LaneMailboxModel { drop_wild: false, skip_spill_count: true },
+        "terminal state rejected",
+        max_states,
+        &mut failures,
+    ));
+    drilled += usize::from(drill(
+        "timer-wheel no-generation",
+        &TimerWheelModel { delta_a: 10, delta_b: 20, no_generation: true },
+        "deadlock",
+        max_states,
+        &mut failures,
+    ));
+    drilled += usize::from(drill(
+        "mailbox broken-skip",
+        &MailboxModel { senders: 1, broken_skip: true },
+        "deadlock",
+        max_states,
+        &mut failures,
+    ));
+    println!("phase 2: {drilled}/8 seeded mutants caught by both explorers");
+
+    if failures.is_empty() {
+        println!("schedcheck explore-reactor: all clear");
+        std::process::exit(0);
+    }
+    eprintln!("schedcheck explore-reactor: {} failure(s)", failures.len());
+    for f in &failures {
+        eprintln!("FAIL {}", f.what);
+        for d in &f.details {
+            eprintln!("     {d}");
+        }
+    }
+    std::process::exit(1);
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).is_some_and(|a| a == "explore-reactor") {
+        let max_states = match args.iter().position(|a| a == "--max-states") {
+            Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(n) => n,
+                None => {
+                    eprintln!("schedcheck: --max-states needs an integer argument");
+                    std::process::exit(2);
+                }
+            },
+            None => DEFAULT_MAX_STATES,
+        };
+        explore_reactor(max_states);
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let ps: Vec<usize> = if quick { vec![2, 3, 4, 8, 13, 16, 32] } else { (2..=32).collect() };
 

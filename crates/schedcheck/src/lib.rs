@@ -16,12 +16,23 @@
 //!    eliminates — are *counted*, so the saving is checked as a theorem
 //!    rather than observed in a benchmark.
 //! 2. **Interleaving exploration** ([`explore`], [`models`]): a
-//!    zero-dependency loom-style exhaustive model checker for the
-//!    `fast-sync` mutex/condvar and the sharded-mailbox notify-skip
-//!    protocol. The models call the deployed decision functions in
-//!    [`mpsim::proto`], and mutation knobs (skip the registration recheck,
-//!    break the notify-skip predicate) prove the explorer actually finds
-//!    the lost-wakeup deadlocks those code paths exist to prevent.
+//!    zero-dependency loom-style model checker with two engines over the
+//!    same [`Model`] trait — an exhaustive explorer and a sleep-set DPOR
+//!    explorer ([`explore_dpor`]) with state hashing, kept honest against
+//!    each other by a differential test suite (identical verdicts, DPOR
+//!    never more states). Seven protocol models: the `fast-sync`
+//!    mutex/condvar, the sharded-mailbox notify-skip predicate, and the
+//!    four megascale-reactor protocols (run-queue dedup + targeted exit
+//!    wakes, external-waker side queue, lane-mailbox inline/spill routing,
+//!    timer-wheel handle generations). Every model calls the deployed
+//!    decision functions — [`mpsim::proto`],
+//!    [`mpsim::event_mailbox::bucket_route`],
+//!    [`mpsim::event_timer::handle_is_live`],
+//!    [`mpsim::TimerWheel::place`] — and mutation knobs (clear the dedup
+//!    flag after the poll, skip the exit wake, skip the side-queue drain,
+//!    drop wild-tag envelopes, cancel without the generation check) prove
+//!    both explorers find the lost-wakeup and stale-handle bugs those code
+//!    paths exist to prevent.
 //!
 //! [`mutate`] provides schedule-mutation helpers used by negative tests to
 //! prove the analyses reject corrupted schedules with actionable, rank/step
@@ -30,12 +41,17 @@
 //!
 //! The `schedcheck` binary sweeps P ∈ {2..32} × every registered algorithm ×
 //! both semantics in CI — including the degraded broadcast schedules that
-//! `bcast_core::recovery` re-derives over survivor subsets after a crash;
+//! `bcast_core::recovery` re-derives over survivor subsets after a crash —
+//! and its `explore-reactor` subcommand runs every protocol model under
+//! both explorers plus the seeded mutation drill as its own CI phase;
 //! `repolint` enforces source-level conventions (no raw `std::sync`
 //! primitives outside the sync layer, no `.unwrap()`/`.expect()` in library
 //! code, `// SAFETY:` on every `unsafe`, no `let _ =` on the `Result` of a
 //! communication call, no per-chunk `comm.send(` loops in the broadcast hot
-//! path now that the vectored fabric coalesces them).
+//! path now that the vectored fabric coalesces them, no wall-clock reads or
+//! `HashMap`s inside the event executor, and no cancel-unsafe shapes —
+//! unregistered `Poll::Pending`, borrows across suspension points, send
+//! effects inside `poll` — in the async communication layer).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,4 +64,4 @@ pub mod models;
 pub mod mutate;
 
 pub use analysis::{check, reconcile_traffic, Reconciliation, Report, Semantics};
-pub use explore::{explore, Model, Stats, Step, DEFAULT_MAX_STATES};
+pub use explore::{explore, explore_dpor, Model, Stats, Step, DEFAULT_MAX_STATES};

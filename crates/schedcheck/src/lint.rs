@@ -43,6 +43,16 @@
 //!    dense lane structures replaced hashed lookups there on purpose. The
 //!    only sanctioned use is the wild-tag spill fallback inside
 //!    `event_mailbox.rs`, marked `// lint: allow(mailbox-spill)`.
+//! 8. [`check_cancel_safety`] — cancel-safety in the async communication
+//!    layer (`crates/mpsim/src/event_*.rs`, `crates/mpsim/src/acomm.rs`).
+//!    Three shapes of the same bug class the reactor models in
+//!    `schedcheck::models` verify the protocols against: producing
+//!    `Poll::Pending` with no wake registration in reach (a lost wakeup in
+//!    source form), holding a `RefCell` borrow across a suspension point
+//!    (re-entrant poll panics), and mutating shared send-state inside a
+//!    `poll` body (a cancelled-and-retried operation replays the side
+//!    effect — sends must happen eagerly, before the future exists).
+//!    Deliberate exceptions carry a `// lint: allow(cancel-safety)` marker.
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -339,6 +349,84 @@ pub fn check_event_mailbox_hashmap(path: &str, content: &str) -> Vec<LintHit> {
     hits
 }
 
+/// Rule 8: cancel-safety in the async communication layer — the event
+/// executor modules plus the sync↔async bridge, where every future must
+/// survive being dropped between polls (a timed-out receive, an abandoned
+/// barrier). Three line-level shapes, one rule name, one waiver:
+///
+/// * **Unregistered park.** A line that *produces* `Poll::Pending` (not a
+///   `Poll::Pending =>` match pattern) with no wake-registration token on
+///   the same line or the eight preceding lines. Registration tokens:
+///   `sched.push(` (self-requeue), `watch(` (exit watch), `arm_timer(`,
+///   `barrier_parked` (barrier park flag), `.poll(` (delegation — the inner
+///   future registered), and `waker(`. A pending return with none of these
+///   in reach is a task the reactor has no reason to ever run again.
+/// * **Borrow across a suspension point.** `.borrow(`/`.borrow_mut(` on the
+///   same line as `.await` or `.poll(`: the `RefCell` guard lives across
+///   the suspension, and the next poll of anything touching the same cell
+///   panics — the reactor's single-threaded aliasing discipline is borrows
+///   scoped strictly between suspension points.
+/// * **Send effect inside `poll`.** `send_now(` / `push_envelope(` /
+///   `record_send(` / `rent_copy(` / `rent_gather(` inside a `fn poll(`
+///   body (tracked by brace depth, as in [`check_per_chunk_send`]). The
+///   eager-send discipline puts the irrevocable side effect *before* the
+///   future exists, so cancellation can never replay it; a send issued
+///   from `poll` re-fires on every retry of a dropped-and-rebuilt future.
+///
+/// Test modules are exempt (same scoping as [`check_panics`]); a deliberate
+/// exception carries `// lint: allow(cancel-safety)` on the same or the
+/// preceding line.
+pub fn check_cancel_safety(path: &str, content: &str) -> Vec<LintHit> {
+    let in_scope = (path.starts_with("crates/mpsim/src/event_")
+        || path == "crates/mpsim/src/acomm.rs")
+        && path.ends_with(".rs");
+    if !in_scope {
+        return Vec::new();
+    }
+    let body = match content.find("#[cfg(test)]") {
+        Some(i) => &content[..i],
+        None => content,
+    };
+    const REGISTRATION: [&str; 6] =
+        ["sched.push(", "watch(", "arm_timer(", "barrier_parked", ".poll(", "waker("];
+    const SEND_EFFECTS: [&str; 5] =
+        ["send_now(", "push_envelope(", "record_send(", "rent_copy(", "rent_gather("];
+    let lines: Vec<&str> = body.lines().collect();
+    let mut hits = Vec::new();
+    let mut depth = 0isize;
+    // Brace depths at which a `fn poll(` body opened; non-empty ⇒ inside one.
+    let mut poll_depths: Vec<isize> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let code = code_part(line);
+        if code.contains("fn poll(") && code.contains('{') {
+            poll_depths.push(depth + 1);
+        }
+        let allowed = line.contains("lint: allow(cancel-safety)")
+            || (i > 0 && lines[i - 1].contains("lint: allow(cancel-safety)"));
+        let produces_pending = code
+            .match_indices("Poll::Pending")
+            .any(|(at, _)| !code[at + "Poll::Pending".len()..].trim_start().starts_with("=>"));
+        let unregistered = produces_pending && {
+            let lo = i.saturating_sub(8);
+            !lines[lo..=i].iter().any(|l| {
+                let c = code_part(l);
+                REGISTRATION.iter().any(|t| c.contains(t))
+            })
+        };
+        let borrow_across_suspend = (code.contains(".borrow(") || code.contains(".borrow_mut("))
+            && (code.contains(".await") || code.contains(".poll("));
+        let send_in_poll = !poll_depths.is_empty() && SEND_EFFECTS.iter().any(|t| code.contains(t));
+        if (unregistered || borrow_across_suspend || send_in_poll) && !allowed {
+            hits.push(hit(path, i, "cancel-safety", line));
+        }
+        depth += code.matches('{').count() as isize - code.matches('}').count() as isize;
+        while poll_depths.last().is_some_and(|&d| depth < d) {
+            poll_depths.pop();
+        }
+    }
+    hits
+}
+
 /// Run every rule over one file.
 pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     // The linter's own source holds the trigger patterns as string
@@ -354,6 +442,7 @@ pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     hits.extend(check_per_chunk_send(path, content));
     hits.extend(check_real_time(path, content));
     hits.extend(check_event_mailbox_hashmap(path, content));
+    hits.extend(check_cancel_safety(path, content));
     hits
 }
 
@@ -511,6 +600,98 @@ mod tests {
         assert!(check_event_mailbox_hashmap("crates/mpsim/src/event_comm.rs", comment).is_empty());
         let in_tests = "fn f() {}\n#[cfg(test)]\nmod t { use std::collections::HashMap; }\n";
         assert!(check_event_mailbox_hashmap("crates/mpsim/src/event_comm.rs", in_tests).is_empty());
+    }
+
+    #[test]
+    fn cancel_safety_flags_unregistered_pending() {
+        let bare = "fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {\n    \
+                    if self.done { return Poll::Ready(()); }\n    \
+                    Poll::Pending\n}\n";
+        assert_eq!(check_cancel_safety("crates/mpsim/src/event_comm.rs", bare).len(), 1);
+        assert_eq!(check_cancel_safety("crates/mpsim/src/acomm.rs", bare).len(), 1);
+        // Only the async communication layer is in scope.
+        assert!(check_cancel_safety("crates/mpsim/src/thread_comm.rs", bare).is_empty());
+        assert!(check_cancel_safety("crates/core/src/bcast.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn cancel_safety_accepts_registered_pending() {
+        // Each registration token within the eight-line window waives the
+        // pending return: self-requeue, exit watch, barrier park flag,
+        // timer arm, and delegation to an inner poll.
+        for reg in [
+            "shared.sched.push(me);",
+            "shared.watch(me, this.src);",
+            "shared.barrier_parked[me].set(true);",
+            "this.timer = Some(shared.arm_timer(deadline_ns, me));",
+            "match Pin::new(&mut this.inner).poll(cx) {",
+        ] {
+            let src = format!("fn f() {{\n    {reg}\n    return Poll::Pending;\n}}\n");
+            assert!(
+                check_cancel_safety("crates/mpsim/src/event_comm.rs", &src).is_empty(),
+                "{reg}"
+            );
+        }
+        // A match *pattern* consumes a Pending, it does not produce one.
+        let arm = "match fut.poll(cx) {\n    Poll::Pending => spurious += 1,\n}\n";
+        assert!(check_cancel_safety("crates/mpsim/src/event_comm.rs", arm).is_empty());
+        // ... but a registration nine lines away is out of reach.
+        let far = format!(
+            "fn f() {{\n    shared.sched.push(me);\n{}    Poll::Pending\n}}\n",
+            "\n".repeat(8)
+        );
+        assert_eq!(check_cancel_safety("crates/mpsim/src/event_comm.rs", &far).len(), 1);
+    }
+
+    #[test]
+    fn cancel_safety_flags_borrow_across_suspension() {
+        let held = "let env = self.mailboxes[me].borrow_mut().pop_future(src).await;\n";
+        assert_eq!(check_cancel_safety("crates/mpsim/src/event_comm.rs", held).len(), 1);
+        let polled = "let r = self.run.borrow_mut().front_mut().poll(cx);\n";
+        assert_eq!(check_cancel_safety("crates/mpsim/src/event_comm.rs", polled).len(), 1);
+        // A borrow scoped between suspension points is the discipline.
+        let scoped = "let task = self.run.borrow_mut().pop_front()?;\n";
+        assert!(check_cancel_safety("crates/mpsim/src/event_comm.rs", scoped).is_empty());
+    }
+
+    #[test]
+    fn cancel_safety_flags_send_effects_inside_poll() {
+        let in_poll = "fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {\n    \
+                       self.comm.send_now(buf, dest, tag)?;\n    Poll::Ready(())\n}\n";
+        assert_eq!(check_cancel_safety("crates/mpsim/src/event_comm.rs", in_poll).len(), 1);
+        // The eager-send discipline: the same effect before the future
+        // exists (outside any poll body) is exactly what the rule demands.
+        let eager = "fn send(&self, buf: &[u8]) -> Result<()> {\n    \
+                     self.send_now(buf, dest, tag)\n}\n\
+                     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {\n    \
+                     Poll::Ready(())\n}\n";
+        assert!(check_cancel_safety("crates/mpsim/src/event_comm.rs", eager).is_empty());
+        // After the poll body closes, effects at file depth no longer match.
+        let after = "fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {\n    \
+                     Poll::Ready(())\n}\n\
+                     fn flush(&self) { self.shared.push_envelope(d, s, t, env); }\n";
+        assert!(check_cancel_safety("crates/mpsim/src/event_comm.rs", after).is_empty());
+    }
+
+    #[test]
+    fn cancel_safety_waiver_and_test_scoping() {
+        let waived_prev = "fn f() {\n    \
+                           // lint: allow(cancel-safety) — woken by the drain loop\n    \
+                           Poll::Pending\n}\n";
+        assert!(check_cancel_safety("crates/mpsim/src/event_comm.rs", waived_prev).is_empty());
+        let waived_same =
+            "fn f() { Poll::Pending } // lint: allow(cancel-safety) — external waker\n";
+        assert!(check_cancel_safety("crates/mpsim/src/event_comm.rs", waived_same).is_empty());
+        // The waiver is line-scoped: it does not bless a later violation.
+        let not_blanket = "fn f() {\n    \
+                           // lint: allow(cancel-safety) — woken by the drain loop\n    \
+                           Poll::Pending\n}\n\
+                           fn g() {\n    Poll::Pending\n}\n";
+        assert_eq!(check_cancel_safety("crates/mpsim/src/event_comm.rs", not_blanket).len(), 1);
+        // Test modules are exempt, same scoping as the panic rule.
+        let in_tests = "fn f() {}\n#[cfg(test)]\nmod t {\n    fn poll_never() -> Poll<()> { \
+                        Poll::Pending }\n}\n";
+        assert!(check_cancel_safety("crates/mpsim/src/acomm.rs", in_tests).is_empty());
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Differential oracle: the sleep-set DPOR explorer against the exhaustive
+//! explorer, on every pre-existing protocol model (fast-sync mutex, condvar
+//! rendezvous, mailbox notify-skip) plus their mutants.
+//!
+//! The contract is twofold: identical verdicts everywhere (including the
+//! *kind* of failure — a reduction that turns a deadlock into an invariant
+//! trip would be lying about the bug), and strictly fewer distinct states
+//! wherever the model has any commuting pair to exploit, with the reduction
+//! factor printed so regressions in the reduction are visible in test
+//! output (`--nocapture`).
+
+use schedcheck::models::{CondvarModel, FastMutexModel, MailboxModel};
+use schedcheck::{explore, explore_dpor, Model, Stats, DEFAULT_MAX_STATES};
+
+/// Collapse an exploration outcome to its verdict kind: the explorers may
+/// exhibit different counterexample *states* (a reduction is free to find a
+/// different representative of the same failing class), but the property
+/// that failed must be the same.
+fn verdict_kind(r: &Result<Stats, String>) -> &'static str {
+    match r {
+        Ok(_) => "clean",
+        Err(e) if e.starts_with("deadlock") => "deadlock",
+        Err(e) if e.starts_with("invariant violated") => "invariant",
+        Err(e) if e.starts_with("terminal state rejected") => "terminal",
+        Err(_) => "other",
+    }
+}
+
+/// Run both explorers and demand identical verdicts. On clean models,
+/// demand `strict`ly fewer DPOR states (never more, in any case) and return
+/// the reduction factor.
+fn differential<M: Model>(name: &str, model: &M, strict: bool) -> Option<f64> {
+    let full = explore(model, DEFAULT_MAX_STATES);
+    let dpor = explore_dpor(model, DEFAULT_MAX_STATES);
+    assert_eq!(
+        verdict_kind(&full),
+        verdict_kind(&dpor),
+        "{name}: verdicts diverge\nexhaustive: {full:?}\ndpor: {dpor:?}"
+    );
+    if let (Ok(f), Ok(d)) = (&full, &dpor) {
+        if strict {
+            assert!(
+                d.states < f.states,
+                "{name}: DPOR must visit strictly fewer states (exhaustive {}, dpor {})",
+                f.states,
+                d.states
+            );
+        } else {
+            assert!(
+                d.states <= f.states,
+                "{name}: DPOR visited more states than exhaustive ({} vs {})",
+                d.states,
+                f.states
+            );
+        }
+        let factor = f.states as f64 / d.states as f64;
+        println!(
+            "{name}: exhaustive {} states / dpor {} states = {factor:.2}x reduction \
+             ({} vs {} transitions)",
+            f.states, d.states, f.transitions, d.transitions
+        );
+        Some(factor)
+    } else {
+        println!("{name}: both explorers agree on verdict [{}]", verdict_kind(&full));
+        None
+    }
+}
+
+#[test]
+fn fast_mutex_clean_models_agree_and_reduce() {
+    // t=2 s=1 is the one config with nothing to reduce: every step of both
+    // threads touches the lock word, so no pair commutes anywhere and a
+    // sound reduction must walk the whole graph. Equality is the correct
+    // answer there; every larger config has commuting tails to collapse.
+    differential(
+        "fast-mutex t=2 s=1",
+        &FastMutexModel { threads: 2, sections: 1, skip_recheck: false, park_timeout: true },
+        false,
+    );
+    for (threads, sections) in [(2, 2), (3, 1), (3, 2)] {
+        differential(
+            &format!("fast-mutex t={threads} s={sections}"),
+            &FastMutexModel { threads, sections, skip_recheck: false, park_timeout: true },
+            true,
+        );
+    }
+}
+
+#[test]
+fn fast_mutex_mutants_agree() {
+    // Three threads + bare park: the stale-LIFO lost wakeup PR 3 found.
+    differential(
+        "fast-mutex bare-park t=3",
+        &FastMutexModel { threads: 3, sections: 1, skip_recheck: false, park_timeout: false },
+        true,
+    );
+    // No registration recheck: the classic register/release race.
+    differential(
+        "fast-mutex skip-recheck",
+        &FastMutexModel { threads: 2, sections: 1, skip_recheck: true, park_timeout: false },
+        true,
+    );
+}
+
+#[test]
+fn condvar_models_agree_and_reduce() {
+    for consumers in 1..=2 {
+        differential(&format!("condvar c={consumers}"), &CondvarModel { consumers }, true);
+    }
+}
+
+#[test]
+fn mailbox_notify_skip_agrees_and_reduces_5x() {
+    for senders in 1..=3 {
+        differential(
+            &format!("mailbox s={senders}"),
+            &MailboxModel { senders, broken_skip: false },
+            true,
+        );
+    }
+    let factor =
+        differential("mailbox s=4", &MailboxModel { senders: 4, broken_skip: false }, true)
+            .expect("clean model");
+    assert!(
+        factor >= 5.0,
+        "acceptance criterion: >= 5x fewer states on the mailbox notify-skip model, got {factor:.2}x"
+    );
+}
+
+#[test]
+fn mailbox_broken_skip_agrees() {
+    differential("mailbox broken-skip", &MailboxModel { senders: 1, broken_skip: true }, true);
+}

@@ -80,6 +80,19 @@ phase_schedcheck() {
   run cargo run -q -p schedcheck --bin repolint --offline
 }
 
+# Reactor model-checking lane: every sync/reactor protocol model explored
+# exhaustively AND with the sleep-set DPOR reduction (verdicts must agree,
+# per-model state counts and reduction factors printed), plus the seeded
+# mutation drill — one known lost-wakeup / stale-handle / accounting bug
+# per model, each of which both explorers must catch. The state budget is
+# pinned well below the library default so state-space growth in a model
+# (or a reduction regression re-inflating the DPOR walk) fails the phase
+# instead of silently eating CI minutes.
+phase_schedcheck_reactor() {
+  run cargo run -q -p schedcheck --bin schedcheck --offline -- \
+    explore-reactor --max-states 200000
+}
+
 # Chaos gate: replay the seeded fault-injection batteries (P ∈ {4,8,10,16}
 # × drop/dup/mixed link faults and one-rank crashes, all executors) under
 # a second fixed seed, so CI exercises a different fault pattern than the
@@ -128,6 +141,7 @@ fi
 run_phase "feature matrix (test + clippy + coalesce smoke)" phase_feature_matrix
 run_phase "bench harness + fmt" phase_harness_and_fmt
 run_phase "schedcheck + repolint" phase_schedcheck
+run_phase "schedcheck-reactor (DPOR + mutation drill)" phase_schedcheck_reactor
 run_phase "chaos gate (seeded faults)" phase_chaos
 run_phase "event-exec lane" phase_event_exec
 if [[ $quick -eq 0 ]]; then

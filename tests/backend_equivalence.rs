@@ -60,7 +60,37 @@ fn event_run(
             buf
         }
     });
+    assert_reactor_invariants(&out.reactor, np, out.traffic.total_msgs());
     (out.results, out.traffic)
+}
+
+/// The reactor-accounting invariants schedcheck's protocol models verify in
+/// the abstract (run-queue dedup, lane-mailbox routing), asserted here on
+/// the concrete executor's counters — in the tests themselves, not just the
+/// launch helpers:
+///
+/// * collective traffic never leaves the mailbox lanes' inline buckets;
+/// * every rank task completes on exactly one `Ready` poll, so the dedup
+///   wake accounting satisfies `wakeups == spurious_polls + P` — a drifted
+///   counter or a double-enqueue breaks the identity from either side;
+/// * every `Pending` poll is attributable to a delivered message (a budget
+///   self-requeue) or a rank's startup poll: `spurious_polls ≤ msgs + P`.
+///   The targeted wake paths exist to hold this line — a reactor that
+///   ping-pongs tasks would blow through it while still delivering.
+fn assert_reactor_invariants(reactor: &mpsim::ReactorStats, p: usize, msgs: u64) {
+    assert_eq!(reactor.mailbox_spills, 0, "P={p}: collective traffic spilled a mailbox lane");
+    assert_eq!(
+        reactor.wakeups,
+        reactor.spurious_polls + p as u64,
+        "P={p}: wakeup/poll accounting identity broken"
+    );
+    assert!(
+        reactor.spurious_polls <= msgs + p as u64,
+        "P={p}: {} spurious polls exceed the {} messages + {p} startup polls that could \
+         legitimately cause them",
+        reactor.spurious_polls,
+        msgs
+    );
 }
 
 #[test]

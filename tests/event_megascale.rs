@@ -17,6 +17,29 @@ use bcast_core::coalesce::coalesced_envelope_count;
 use bcast_core::traffic::{bcast_volume, scatter_msgs};
 use bcast_core::{bcast_coalesced_event_world, bcast_event_world, Algorithm, CoalescePolicy};
 
+/// The reactor-accounting invariants schedcheck's protocol models verify in
+/// the abstract, asserted on every megascale sweep's concrete counters:
+/// no mailbox lane spills, the wakeup/poll identity
+/// `wakeups == spurious_polls + P` (each rank task completes on exactly one
+/// `Ready` poll — dedup never double-enqueues, no wake is lost), and every
+/// `Pending` poll attributable to a delivered message or a startup poll
+/// (`spurious_polls ≤ msgs + P`). At these world sizes a ping-ponging
+/// reactor would still deliver — only the counters betray it.
+fn assert_reactor_invariants(reactor: &mpsim::ReactorStats, p: usize, msgs: u64) {
+    assert_eq!(reactor.mailbox_spills, 0, "P={p}: collective traffic spilled a mailbox lane");
+    assert_eq!(
+        reactor.wakeups,
+        reactor.spurious_polls + p as u64,
+        "P={p}: wakeup/poll accounting identity broken"
+    );
+    assert!(
+        reactor.spurious_polls <= msgs + p as u64,
+        "P={p}: {} spurious polls exceed the {msgs} messages + {p} startup polls that could \
+         legitimately cause them",
+        reactor.spurious_polls
+    );
+}
+
 /// Run both scatter-ring algorithms at world size `p` and pin the measured
 /// counters to the closed forms.
 fn sweep_scatter_ring(p: usize, nbytes: usize) {
@@ -26,6 +49,7 @@ fn sweep_scatter_ring(p: usize, nbytes: usize) {
         let vol = bcast_volume(algorithm, nbytes, p);
         assert_eq!(out.traffic.total_msgs(), vol.msgs, "{algorithm:?} P={p}: msgs");
         assert_eq!(out.traffic.total_bytes(), vol.bytes, "{algorithm:?} P={p}: bytes");
+        assert_reactor_invariants(&out.reactor, p, vol.msgs);
     }
 }
 
@@ -40,6 +64,7 @@ fn sweep_coalesced(p: usize, nbytes: usize) {
     assert_eq!(out.traffic.total_bytes(), vol.bytes, "coalesced P={p}: bytes");
     let envelopes = coalesced_envelope_count(p) + scatter_msgs(nbytes, p);
     assert_eq!(out.traffic.total_envelopes(), envelopes, "coalesced P={p}: envelopes");
+    assert_reactor_invariants(&out.reactor, p, vol.msgs);
 }
 
 #[test]
@@ -80,6 +105,7 @@ fn megascale_p16384() {
     assert_eq!(out.traffic.total_msgs(), vol.msgs, "tuned P={p}: msgs");
     assert_eq!(out.traffic.total_bytes(), vol.bytes, "tuned P={p}: bytes");
     // The dense mailbox lanes must absorb the whole sweep without ever
-    // falling back to the spill map.
-    assert_eq!(out.reactor.mailbox_spills, 0, "tuned P={p}: mailbox spills");
+    // falling back to the spill map, and the wake accounting must stay
+    // exact through ~268M messages.
+    assert_reactor_invariants(&out.reactor, p, vol.msgs);
 }
