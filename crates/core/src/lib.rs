@@ -66,6 +66,7 @@ pub mod event_launch;
 pub mod pipeline;
 pub mod rd_allgather;
 pub mod recovery;
+pub mod recovery_async;
 pub mod reduce;
 pub mod ring;
 pub mod ring_tuned;
@@ -87,10 +88,18 @@ pub use coalesce::{
     bcast_opt_coalesced, bcast_opt_coalesced_async, bcast_opt_coalesced_root,
     coalesced_envelope_count, ring_allgather_tuned_coalesced, CoalescePolicy,
 };
-pub use event_launch::{bcast_coalesced_event_world, bcast_event_world, EVENT_LAUNCH_SEED};
+pub use event_launch::{
+    bcast_coalesced_event_world, bcast_event_world, check_recovery_outcome,
+    reconcile_crashed_traffic, recovery_elapsed_bound, self_healing_bcast_event_world,
+    self_healing_rank_task, RankRun, RecoverySpec, EVENT_LAUNCH_SEED,
+};
 pub use recovery::{
-    degraded_bcast_schedule, self_healing_bcast, self_healing_bcast_with, EpochComm, GuardedComm,
-    Healed, RecoveryConfig,
+    branch, degraded_bcast_schedule, membership_digest, self_healing_bcast,
+    self_healing_bcast_with, EpochComm, GuardedComm, Healed, RecoveryConfig, RecoveryDrill,
+    RecoveryTrace,
+};
+pub use recovery_async::{
+    self_healing_bcast_async, self_healing_bcast_traced_async, self_healing_bcast_with_async,
 };
 pub use ring_tuned::{ring_allgather_tuned_root, step_flag, Endpoint};
 pub use scatter::{binomial_scatter_root, owned_chunks};

@@ -64,6 +64,40 @@ pub const EPOCH_TAG_STRIDE: u32 = 0x100;
 /// Base tag of the per-epoch agreement (heartbeat/report) round.
 pub const AGREEMENT_TAG_BASE: u32 = 0xA100;
 
+/// Shift granularity of the membership digest inside an attempt's tag: the
+/// digest occupies bits 12 and up, above every user tag (< `0x100`), every
+/// epoch shift (`epoch · 0x100`), and the whole agreement range
+/// (`0xA100..≈0xB100`), and below [`mpsim::reliable::DATA_TAG_BASE`] so the
+/// reliability layer's rebasing can never push an attempt tag into its
+/// reserved acknowledgement range.
+pub const MEMBERSHIP_DIGEST_SHIFT: u32 = 12;
+
+/// Digest of a member list, folded into every *attempt* tag (never the
+/// agreement tag) by [`EpochComm::isolated`].
+///
+/// A crash that lands *during* an agreement round can split the verdict:
+/// peers the victim already answered believe it alive, later peers see it
+/// dead, and the two groups enter the next epoch with member lists that
+/// differ by the victim — and therefore with different degraded schedules.
+/// Without isolation the groups' same-epoch messages cross-match with
+/// mismatched chunk geometry and corrupt payloads. With the digest in the
+/// tag, a rank only ever matches attempt traffic from peers that agree on
+/// the membership, so a split epoch stalls cleanly into timeouts and the
+/// *next* agreement round re-converges (the victim is silent for everyone
+/// by then). Agreement tags stay digest-free on purpose — the diverged
+/// groups must still heartbeat each other to re-converge.
+pub fn membership_digest(members: &[Rank]) -> u32 {
+    // FNV-1a over the member ranks, folded to a 12-bit page well clear of
+    // the low pages (user + epoch + agreement tags all sit below 0xB2xx).
+    let mut h: u32 = 0x811C_9DC5;
+    for &m in members {
+        for b in (m as u32).to_le_bytes() {
+            h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+        }
+    }
+    0x10 + (h % 0xFE0)
+}
+
 /// Tuning knobs for [`self_healing_bcast`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryConfig {
@@ -99,7 +133,7 @@ impl RecoveryConfig {
     /// in at most `scatter depth + ring steps` timeouts (< 2·members), so
     /// twice that plus slack guarantees a live rank is never mistaken for
     /// dead.
-    fn heartbeat_timeout(&self, members: usize) -> Duration {
+    pub(crate) fn heartbeat_timeout(&self, members: usize) -> Duration {
         self.step_timeout.saturating_mul(2 * members as u32 + 6)
     }
 }
@@ -115,18 +149,30 @@ pub struct Healed {
 
 /// Tag-shifting decorator: runs an unmodified collective in a private tag
 /// epoch so concurrent or stale traffic on other epochs cannot interfere.
-pub struct EpochComm<'a, C: Communicator + ?Sized> {
-    inner: &'a C,
+pub struct EpochComm<'a, C: ?Sized> {
+    pub(crate) inner: &'a C,
     shift: u32,
 }
 
-impl<'a, C: Communicator + ?Sized> EpochComm<'a, C> {
+impl<'a, C: ?Sized> EpochComm<'a, C> {
     /// Wrap `inner`, shifting every tag by `epoch · EPOCH_TAG_STRIDE`.
     pub fn new(inner: &'a C, epoch: u32) -> Self {
         EpochComm { inner, shift: epoch.wrapping_mul(EPOCH_TAG_STRIDE) }
     }
 
-    fn shifted(&self, tag: Tag) -> Tag {
+    /// Wrap `inner`, shifting every tag by the epoch *and* a membership
+    /// digest, so attempts over diverged member lists can never exchange
+    /// data (see [`membership_digest`]).
+    pub fn isolated(inner: &'a C, epoch: u32, digest: u32) -> Self {
+        EpochComm {
+            inner,
+            shift: epoch
+                .wrapping_mul(EPOCH_TAG_STRIDE)
+                .wrapping_add(digest << MEMBERSHIP_DIGEST_SHIFT),
+        }
+    }
+
+    pub(crate) fn shifted(&self, tag: Tag) -> Tag {
         Tag(tag.0.wrapping_add(self.shift))
     }
 }
@@ -197,13 +243,13 @@ impl<C: Communicator + ?Sized> Communicator for EpochComm<'_, C> {
 /// `sendrecv` is decomposed into an eager send followed by a bounded
 /// receive — correct only on eagerly-delivering transports (see the
 /// [module docs](self)).
-pub struct GuardedComm<'a, C: Communicator + ?Sized> {
-    inner: &'a C,
-    step_timeout: Duration,
-    passthrough_sendrecv: bool,
+pub struct GuardedComm<'a, C: ?Sized> {
+    pub(crate) inner: &'a C,
+    pub(crate) step_timeout: Duration,
+    pub(crate) passthrough_sendrecv: bool,
 }
 
-impl<'a, C: Communicator + ?Sized> GuardedComm<'a, C> {
+impl<'a, C: ?Sized> GuardedComm<'a, C> {
     /// Wrap `inner` with a per-receive deadline of `step_timeout`.
     pub fn new(inner: &'a C, step_timeout: Duration) -> Self {
         GuardedComm { inner, step_timeout, passthrough_sendrecv: false }
@@ -276,16 +322,16 @@ impl<C: Communicator + ?Sized> Communicator for GuardedComm<'_, C> {
 }
 
 /// One rank's state after an attempt, exchanged in the agreement round.
-struct Report {
-    has_full: bool,
+pub(crate) struct Report {
+    pub(crate) has_full: bool,
 }
 
 impl Report {
-    fn encode(&self) -> [u8; 1] {
+    pub(crate) fn encode(&self) -> [u8; 1] {
         [u8::from(self.has_full)]
     }
 
-    fn decode(bytes: &[u8]) -> Option<Report> {
+    pub(crate) fn decode(bytes: &[u8]) -> Option<Report> {
         match bytes {
             [b @ (0 | 1)] => Some(Report { has_full: *b == 1 }),
             _ => None,
@@ -293,10 +339,97 @@ impl Report {
     }
 }
 
-/// Outcome of one agreement round, identical on every live member.
-struct Verdict {
-    dead: BTreeSet<Rank>,
-    have_full: BTreeSet<Rank>,
+/// Outcome of one agreement round, identical on every live member (unless a
+/// crash lands mid-round — see [`membership_digest`] for how that split is
+/// contained).
+pub(crate) struct Verdict {
+    pub(crate) dead: BTreeSet<Rank>,
+    pub(crate) have_full: BTreeSet<Rank>,
+}
+
+/// Recovery branch bits, recorded in [`RecoveryTrace::branches`]. The set of
+/// bits a run lights up is part of the chaos-search coverage signal: a fault
+/// plan that reaches a new combination is interesting by definition.
+pub mod branch {
+    /// An attempt completed cleanly on this rank.
+    pub const CLEAN_ATTEMPT: u32 = 1 << 0;
+    /// An attempt stalled (timeout / peer failure) on this rank.
+    pub const STALLED_ATTEMPT: u32 = 1 << 1;
+    /// Healed with nobody newly dead and every member holding the payload.
+    pub const HEALED_ALL: u32 = 1 << 2;
+    /// Healed because every *remaining* member already held the payload.
+    pub const HEALED_SURVIVORS: u32 = 1 << 3;
+    /// An agreement round declared at least one member dead.
+    pub const DEATH_OBSERVED: u32 = 1 << 4;
+    /// The root role moved to a successor.
+    pub const ROOT_SUCCESSION: u32 = 1 << 5;
+    /// No surviving member held a complete payload: unrecoverable.
+    pub const PAYLOAD_LOST: u32 = 1 << 6;
+    /// The epoch budget ran out before the world converged.
+    pub const EPOCH_BUDGET_EXHAUSTED: u32 = 1 << 7;
+    /// This rank's own communicator fail-stopped.
+    pub const SELF_CRASH: u32 = 1 << 8;
+    /// A garbled report was treated as a peer death.
+    pub const GARBLED_REPORT: u32 = 1 << 9;
+}
+
+/// What one rank's recovery run did, step by step — the coverage signal the
+/// chaos search steers by, and the observability surface the megascale
+/// tests assert on.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryTrace {
+    /// Epochs entered (attempt + agreement pairs), including the first.
+    pub epochs_entered: u32,
+    /// Number of times the root role moved (`root_chain.len() - 1`).
+    pub succession_depth: u32,
+    /// The root chain, starting at the caller-supplied root.
+    pub root_chain: Vec<Rank>,
+    /// Distinct members this rank's verdicts declared dead, cumulatively.
+    pub deaths_observed: usize,
+    /// Union of [`branch`] bits hit.
+    pub branches: u32,
+}
+
+impl RecoveryTrace {
+    /// Record a [`branch`] bit.
+    pub fn hit(&mut self, bit: u32) {
+        self.branches |= bit;
+    }
+
+    /// Whether a [`branch`] bit was hit.
+    pub fn saw(&self, bit: u32) -> bool {
+        self.branches & bit != 0
+    }
+}
+
+/// Deliberate-regression knobs for the chaos-search drill: each knob
+/// re-introduces a recovery bug the invariant checker must catch, proving
+/// the adversarial search has teeth (the moral equivalent of the schedcheck
+/// models' mutation knobs). Production callers pass
+/// [`RecoveryDrill::NONE`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryDrill {
+    /// Report `has_full = true` regardless of attempt outcome. A rank
+    /// without the payload can then win root succession and broadcast
+    /// garbage — the byte-identical-payload invariant catches it.
+    pub claim_full_payload: bool,
+    /// Never move the root role. A dead root then stays the designated
+    /// source and the degraded schedule cannot be built — recovery dies
+    /// instead of healing.
+    pub skip_root_succession: bool,
+    /// Cap the epoch budget below the configured one, starving cascades —
+    /// the liveness invariant (enough budget ⇒ every live rank heals)
+    /// catches it.
+    pub clamp_epoch_budget: Option<u32>,
+}
+
+impl RecoveryDrill {
+    /// No deliberate regression: the production configuration.
+    pub const NONE: RecoveryDrill = RecoveryDrill {
+        claim_full_payload: false,
+        skip_root_succession: false,
+        clamp_epoch_budget: None,
+    };
 }
 
 /// Exchange reports among `members` (world numbering) and fold them into a
@@ -360,6 +493,13 @@ fn agree(
                     dead.insert(peer);
                 }
             },
+            // Our *own* communicator fail-stopping mid-round surfaces as a
+            // peer failure naming this rank (world numbering — agreement
+            // runs on the parent comm). Propagate it instead of wrongly
+            // declaring every not-yet-visited peer dead.
+            Err(CommError::PeerFailed { rank }) if rank == me => {
+                return Err(CommError::PeerFailed { rank: me });
+            }
             Err(CommError::Timeout { .. }) | Err(CommError::PeerFailed { .. }) => {
                 dead.insert(peer);
             }
@@ -408,7 +548,7 @@ pub fn self_healing_bcast_with(
         let sub = SubComm::new(comm, members.clone()).expect("member list lost this rank");
         let local_root =
             sub.from_parent(current_root).unwrap_or_else(|| unreachable!("root is a member"));
-        let epoch_comm = EpochComm::new(&sub, epoch);
+        let epoch_comm = EpochComm::isolated(&sub, epoch, membership_digest(&members));
         let mut guarded = GuardedComm::new(&epoch_comm, cfg.step_timeout);
         if cfg.bounded_sendrecv {
             guarded = guarded.passthrough_sendrecv();

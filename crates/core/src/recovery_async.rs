@@ -1,0 +1,492 @@
+//! The self-healing broadcast as futures: the full recovery stack of
+//! [`crate::recovery`] — guarded attempts, epoch tag isolation, heartbeat
+//! agreement, root succession, degraded-schedule reruns — generalized over
+//! [`AsyncCommunicator`], so it runs unchanged on the discrete-event
+//! executor at megascale (`P = 256..4096`) under its virtual clock.
+//!
+//! The structure mirrors the blocking implementation deliberately: the same
+//! decorators ([`EpochComm`], [`GuardedComm`]) gain `AsyncCommunicator`
+//! impls, [`mpsim::SubComm`] gains an async view, and the epoch loop in
+//! [`self_healing_bcast_traced_async`] is line-for-line the loop of
+//! [`crate::recovery::self_healing_bcast_with`], so a seeded fault plan
+//! replays to the identical survivor set on both surfaces (asserted by the
+//! cross-executor chaos battery).
+//!
+//! Two things are new relative to the blocking path:
+//!
+//! * **Cascading multi-failure recovery.** Crashes that land *during* an
+//!   agreement round or mid-degraded-schedule simply surface as the next
+//!   epoch's deaths: membership-digest tag isolation
+//!   ([`crate::recovery::membership_digest`]) keeps verdict-split groups
+//!   from corrupting each other, and agreement self-crash detection keeps a
+//!   dying rank from poisoning its own verdict. Root-succession chains of
+//!   any depth fall out of iterating the same succession rule.
+//! * **Tracing.** Every run can record a [`RecoveryTrace`] — epochs
+//!   entered, succession chain, deaths observed, branch bits — which is the
+//!   coverage signal `chaos-search` steers by and the megascale tests
+//!   assert on.
+//!
+//! On the virtual clock every timeout is free: a heartbeat deadline of
+//! seconds elapses in zero wall time, so recovery at `P = 4096` with
+//! cascading failures completes in well under a second of real time.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use mpsim::{AsyncCommunicator, CommError, Rank, Result, SubComm, Tag};
+
+use crate::bcast::{bcast_with_async, Algorithm};
+use crate::recovery::{
+    branch, membership_digest, EpochComm, GuardedComm, Healed, RecoveryConfig, RecoveryDrill,
+    RecoveryTrace, Report, Verdict, AGREEMENT_TAG_BASE, EPOCH_TAG_STRIDE,
+};
+
+impl<C: AsyncCommunicator + ?Sized> AsyncCommunicator for EpochComm<'_, C> {
+    fn rank(&self) -> Rank {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.now_ns()
+    }
+
+    fn check_rank(&self, rank: Rank) -> Result<()> {
+        self.inner.check_rank(rank)
+    }
+
+    async fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
+        self.inner.send(buf, dest, self.shifted(tag)).await
+    }
+
+    async fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
+        self.inner.recv(buf, src, self.shifted(tag)).await
+    }
+
+    async fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<usize> {
+        self.inner.recv_timeout(buf, src, self.shifted(tag), timeout).await
+    }
+
+    async fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dest: Rank,
+        sendtag: Tag,
+        recvbuf: &mut [u8],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        self.inner
+            .sendrecv(sendbuf, dest, self.shifted(sendtag), recvbuf, src, self.shifted(recvtag))
+            .await
+    }
+
+    async fn barrier(&self) -> Result<()> {
+        self.inner.barrier().await
+    }
+}
+
+impl<C: AsyncCommunicator + ?Sized> AsyncCommunicator for GuardedComm<'_, C> {
+    fn rank(&self) -> Rank {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.now_ns()
+    }
+
+    fn check_rank(&self, rank: Rank) -> Result<()> {
+        self.inner.check_rank(rank)
+    }
+
+    async fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
+        self.inner.send(buf, dest, tag).await
+    }
+
+    async fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
+        self.inner.recv_timeout(buf, src, tag, self.step_timeout).await
+    }
+
+    async fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<usize> {
+        self.inner.recv_timeout(buf, src, tag, timeout.min(self.step_timeout)).await
+    }
+
+    async fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dest: Rank,
+        sendtag: Tag,
+        recvbuf: &mut [u8],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        if self.passthrough_sendrecv {
+            return self.inner.sendrecv(sendbuf, dest, sendtag, recvbuf, src, recvtag).await;
+        }
+        // Same decomposition as the blocking guard: eager send, bounded
+        // receive — sound only on eagerly-delivering transports.
+        self.inner.send(sendbuf, dest, sendtag).await?;
+        self.inner.recv_timeout(recvbuf, src, recvtag, self.step_timeout).await
+    }
+
+    async fn barrier(&self) -> Result<()> {
+        self.inner.barrier().await
+    }
+}
+
+// The vectored operations of both decorators intentionally use the trait
+// defaults (gather/scatter through `send`/`recv`), matching the blocking
+// impls exactly: the per-link operation sequence a fault plan's crash clock
+// counts is then identical on both surfaces, which is what makes seeded
+// cross-executor replays line up.
+
+/// Async twin of the blocking agreement round: exchange [`Report`]s among
+/// `members` (world numbering) under the heartbeat deadline and fold them
+/// into a [`Verdict`]. Same pairwise ascending-order exchange, same
+/// dead-iff-missed-heartbeat rule, same self-crash propagation.
+pub(crate) async fn agree_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    members: &[Rank],
+    epoch: u32,
+    mine: &Report,
+    cfg: &RecoveryConfig,
+    trace: &mut RecoveryTrace,
+) -> Result<Verdict> {
+    let me = comm.rank();
+    let tag = Tag(AGREEMENT_TAG_BASE.wrapping_add(epoch.wrapping_mul(EPOCH_TAG_STRIDE)));
+    let encoded = mine.encode();
+    let hb = cfg.heartbeat_timeout(members.len());
+
+    let mut dead = BTreeSet::new();
+    let mut have_full = BTreeSet::new();
+    if mine.has_full {
+        have_full.insert(me);
+    }
+
+    let mut frame = [0u8; 1];
+    for &peer in members {
+        if peer == me {
+            continue;
+        }
+        let outcome = if cfg.bounded_sendrecv {
+            comm.sendrecv(&encoded, peer, tag, &mut frame, peer, tag).await
+        } else {
+            match comm.send(&encoded, peer, tag).await {
+                Ok(()) => comm.recv_timeout(&mut frame, peer, tag, hb).await,
+                Err(e) => Err(e),
+            }
+        };
+        match outcome {
+            Ok(n) => match Report::decode(&frame[..n]) {
+                Some(theirs) => {
+                    if theirs.has_full {
+                        have_full.insert(peer);
+                    }
+                }
+                None => {
+                    trace.hit(branch::GARBLED_REPORT);
+                    dead.insert(peer);
+                }
+            },
+            Err(CommError::PeerFailed { rank }) if rank == me => {
+                return Err(CommError::PeerFailed { rank: me });
+            }
+            Err(CommError::Timeout { .. }) | Err(CommError::PeerFailed { .. }) => {
+                dead.insert(peer);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    have_full.retain(|r| !dead.contains(r));
+    Ok(Verdict { dead, have_full })
+}
+
+/// Async [`crate::recovery::self_healing_bcast`]: fault-tolerant broadcast
+/// of `buf` from `root` with the paper's tuned scatter–ring, healing around
+/// fail-stop crashes — over any [`AsyncCommunicator`].
+pub async fn self_healing_bcast_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+    cfg: &RecoveryConfig,
+) -> Result<Healed> {
+    self_healing_bcast_with_async(comm, buf, root, Algorithm::ScatterRingTuned, cfg).await
+}
+
+/// [`self_healing_bcast_async`] with an explicit algorithm for the attempts.
+pub async fn self_healing_bcast_with_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+    algorithm: Algorithm,
+    cfg: &RecoveryConfig,
+) -> Result<Healed> {
+    let mut trace = RecoveryTrace::default();
+    self_healing_bcast_traced_async(
+        comm,
+        buf,
+        root,
+        algorithm,
+        cfg,
+        &RecoveryDrill::NONE,
+        &mut trace,
+    )
+    .await
+}
+
+/// The fully-instrumented entry point: [`self_healing_bcast_with_async`]
+/// plus a [`RecoveryTrace`] filled in as the epoch loop runs (also on the
+/// error paths — a crashed or starved rank still reports how far it got)
+/// and the [`RecoveryDrill`] regression knobs for the chaos-search drill.
+pub async fn self_healing_bcast_traced_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+    algorithm: Algorithm,
+    cfg: &RecoveryConfig,
+    drill: &RecoveryDrill,
+    trace: &mut RecoveryTrace,
+) -> Result<Healed> {
+    comm.check_rank(root)?;
+    assert!(cfg.max_epochs >= 1, "at least one attempt is required");
+    let max_epochs =
+        drill.clamp_epoch_budget.map_or(cfg.max_epochs, |c| c.clamp(1, cfg.max_epochs));
+    let me = comm.rank();
+    let mut members: Vec<Rank> = (0..comm.size()).collect();
+    let mut current_root = root;
+    let mut has_full = me == root;
+    let mut all_dead: BTreeSet<Rank> = BTreeSet::new();
+    trace.root_chain.push(root);
+
+    for epoch in 0..max_epochs {
+        trace.epochs_entered = epoch + 1;
+        let sub = SubComm::new_async(comm, members.clone())
+            // lint: allow(panic) — `me` is always kept in `members` (checked below)
+            .expect("member list lost this rank");
+        let local_root = sub
+            .from_parent(current_root)
+            // lint: allow(panic) — root succession keeps the root a member
+            // (unless the drill knob disables succession on purpose)
+            .unwrap_or_else(|| panic!("root {current_root} is not a member"));
+        let epoch_comm = EpochComm::isolated(&sub, epoch, membership_digest(&members));
+        let mut guarded = GuardedComm::new(&epoch_comm, cfg.step_timeout);
+        if cfg.bounded_sendrecv {
+            guarded = guarded.passthrough_sendrecv();
+        }
+
+        let attempt = bcast_with_async(&guarded, buf, local_root, algorithm).await;
+        match attempt {
+            Ok(()) => {
+                trace.hit(branch::CLEAN_ATTEMPT);
+                has_full = true;
+            }
+            // Attempt-time stalls only mark the attempt failed; membership
+            // is decided by the agreement round. Errors from the sub-world
+            // stack name *local* ranks.
+            Err(CommError::Timeout { peer }) | Err(CommError::PeerFailed { rank: peer }) => {
+                if peer < members.len() && members[peer] == me {
+                    trace.hit(branch::SELF_CRASH);
+                    return Err(CommError::PeerFailed { rank: me });
+                }
+                trace.hit(branch::STALLED_ATTEMPT);
+            }
+            Err(e) => return Err(e),
+        }
+
+        let report = Report { has_full: has_full || drill.claim_full_payload };
+        let verdict = match agree_async(comm, &members, epoch, &report, cfg, trace).await {
+            Ok(v) => v,
+            Err(CommError::PeerFailed { rank }) if rank == me => {
+                trace.hit(branch::SELF_CRASH);
+                return Err(CommError::PeerFailed { rank: me });
+            }
+            Err(e) => return Err(e),
+        };
+
+        if !verdict.dead.is_empty() {
+            trace.hit(branch::DEATH_OBSERVED);
+            all_dead.extend(verdict.dead.iter().copied());
+            trace.deaths_observed = all_dead.len();
+        }
+
+        if verdict.dead.is_empty() && verdict.have_full.len() == members.len() {
+            trace.hit(branch::HEALED_ALL);
+            return Ok(Healed { survivors: members, epochs: epoch + 1 });
+        }
+
+        members.retain(|r| !verdict.dead.contains(r));
+        match verdict.have_full.iter().next() {
+            Some(&lowest) => {
+                // `skip_root_succession` is the seeded regression: a dead
+                // root keeps the role.
+                let keeps_role =
+                    verdict.have_full.contains(&current_root) || drill.skip_root_succession;
+                let next_root = if keeps_role { current_root } else { lowest };
+                if next_root != current_root {
+                    trace.hit(branch::ROOT_SUCCESSION);
+                    trace.succession_depth += 1;
+                    trace.root_chain.push(next_root);
+                }
+                current_root = next_root;
+            }
+            None => {
+                trace.hit(branch::PAYLOAD_LOST);
+                return Err(CommError::PeerFailed { rank: root });
+            }
+        }
+        if members.len() == verdict.have_full.len()
+            && members.iter().all(|r| verdict.have_full.contains(r))
+        {
+            trace.hit(branch::HEALED_SURVIVORS);
+            return Ok(Healed { survivors: members, epochs: epoch + 1 });
+        }
+    }
+    trace.hit(branch::EPOCH_BUDGET_EXHAUSTED);
+    Err(CommError::Timeout { peer: current_root })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::{complete_now, Communicator, EventWorld, SyncComm, ThreadWorld};
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 37 + 11) as u8).collect()
+    }
+
+    fn quick_cfg() -> RecoveryConfig {
+        RecoveryConfig { step_timeout: Duration::from_millis(100), ..RecoveryConfig::default() }
+    }
+
+    #[test]
+    fn fault_free_async_bcast_on_event_world() {
+        let n = 777;
+        let src = pattern(n);
+        let out = EventWorld::run(8, |comm| {
+            let src = src.clone();
+            async move {
+                let mut buf = if comm.rank() == 2 { src.clone() } else { vec![0u8; n] };
+                let healed =
+                    self_healing_bcast_async(&comm, &mut buf, 2, &quick_cfg()).await.unwrap();
+                assert_eq!(buf, src);
+                healed
+            }
+        });
+        for h in &out.results {
+            assert_eq!(h.epochs, 1);
+            assert_eq!(h.survivors, (0..8).collect::<Vec<_>>());
+        }
+        assert!(out.traffic.is_balanced(), "fault-free recovery must reconcile exactly");
+    }
+
+    #[test]
+    fn survivors_heal_around_an_exiting_rank_on_event_world() {
+        let n = 4096;
+        let src = pattern(n);
+        let out = EventWorld::run(8, |comm| {
+            let src = src.clone();
+            async move {
+                if comm.rank() == 5 {
+                    return None; // fail-stop before participating
+                }
+                let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; n] };
+                let mut trace = RecoveryTrace::default();
+                let healed = self_healing_bcast_traced_async(
+                    &comm,
+                    &mut buf,
+                    0,
+                    Algorithm::ScatterRingTuned,
+                    &quick_cfg(),
+                    &RecoveryDrill::NONE,
+                    &mut trace,
+                )
+                .await
+                .unwrap();
+                assert_eq!(buf, src);
+                Some((healed, trace))
+            }
+        });
+        let expected: Vec<Rank> = vec![0, 1, 2, 3, 4, 6, 7];
+        for (rank, res) in out.results.iter().enumerate() {
+            if rank == 5 {
+                assert!(res.is_none());
+                continue;
+            }
+            let (h, trace) = res.as_ref().unwrap();
+            assert_eq!(h.survivors, expected, "rank {rank} saw a different survivor set");
+            assert!(h.epochs >= 2, "a healing epoch must have run");
+            assert!(trace.saw(branch::DEATH_OBSERVED));
+            assert_eq!(trace.deaths_observed, 1);
+            assert_eq!(trace.root_chain, vec![0], "root 0 never moved");
+        }
+    }
+
+    #[test]
+    fn async_matches_sync_on_the_bridge() {
+        // The same world driven through SyncComm + complete_now must land on
+        // the identical outcome as the blocking entry point.
+        let n = 1000;
+        let src = pattern(n);
+        let sync_out = ThreadWorld::run(4, {
+            let src = src.clone();
+            move |comm| {
+                let mut buf = if comm.rank() == 1 { src.clone() } else { vec![0u8; n] };
+                crate::recovery::self_healing_bcast(comm, &mut buf, 1, &quick_cfg()).unwrap()
+            }
+        });
+        let bridged = ThreadWorld::run(4, {
+            let src = src.clone();
+            move |comm| {
+                let mut buf = if comm.rank() == 1 { src.clone() } else { vec![0u8; n] };
+                complete_now(self_healing_bcast_async(
+                    &SyncComm::new(comm),
+                    &mut buf,
+                    1,
+                    &quick_cfg(),
+                ))
+                .unwrap()
+            }
+        });
+        assert_eq!(sync_out.results, bridged.results);
+    }
+
+    #[test]
+    fn async_sub_comm_exchanges_within_subset() {
+        let out = EventWorld::run(5, |comm| async move {
+            let Some(sc) = SubComm::new_async(&comm, vec![4, 2, 0]) else {
+                return 0u8;
+            };
+            sc.barrier().await.unwrap();
+            if sc.rank() == 0 {
+                sc.send(&[77], 2, Tag(1)).await.unwrap();
+                0
+            } else if sc.rank() == 2 {
+                let mut b = [0u8; 1];
+                sc.recv(&mut b, 0, Tag(1)).await.unwrap();
+                b[0]
+            } else {
+                0
+            }
+        });
+        assert_eq!(out.results[0], 77);
+    }
+}

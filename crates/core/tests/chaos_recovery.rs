@@ -17,8 +17,13 @@
 
 use std::time::Duration;
 
-use bcast_core::{self_healing_bcast, RecoveryConfig};
-use mpsim::{CommError, Communicator, Rank, ReliableComm, RetryConfig, ThreadWorld};
+use bcast_core::{
+    check_recovery_outcome, recovery::branch, self_healing_bcast, self_healing_rank_task,
+    Algorithm, RankRun, RecoveryConfig, RecoveryDrill, RecoverySpec,
+};
+use mpsim::{
+    CommError, Communicator, EventWorld, Rank, ReliableComm, RetryConfig, ThreadWorld, WorldTraffic,
+};
 use netsim::{FaultPlan, FaultyComm, LinkFaults, NetworkModel, Placement, SimWorld};
 
 const PS: [usize; 4] = [4, 8, 10, 16];
@@ -188,4 +193,194 @@ fn p8_crash_replays_identically_on_both_executors() {
     }
     // identical failure + recovery outcome on both executors, same seed
     assert_eq!(threaded.results, simulated.results);
+}
+
+/// Run one seeded self-healing launch on the event executor: every rank's
+/// `EventComm` is wrapped in a `FaultyComm` under the shared plan, the
+/// per-rank recovery task from `bcast_core::event_launch` does the rest.
+fn event_cascade(
+    p: usize,
+    nbytes: usize,
+    root: Rank,
+    algorithm: Algorithm,
+    crashes: &[(Rank, u64)],
+    cfg: RecoveryConfig,
+    seed: u64,
+) -> (Vec<RankRun>, WorldTraffic, Duration, Vec<u8>) {
+    let src = pattern(nbytes, seed);
+    let mut plan = FaultPlan::new(seed);
+    for &(v, after) in crashes {
+        plan = plan.with_crash(v, after);
+    }
+    let out = EventWorld::run(p, |comm| {
+        let src = src.clone();
+        let plan = plan.clone();
+        async move {
+            let faulty = FaultyComm::new(&comm, plan);
+            self_healing_rank_task(&faulty, &src, root, algorithm, &cfg, &RecoveryDrill::NONE).await
+        }
+    });
+    (out.results, out.traffic, out.elapsed, src)
+}
+
+/// EventWorld leg of the acceptance scenario, plus the three-way replay:
+/// the same seeded crash plan must land on the identical per-rank outcome
+/// on the threaded runtime, the latency simulator, and the event executor —
+/// the fault clock counts the same operation sequence on all three.
+#[test]
+fn p8_crash_replays_identically_on_the_event_executor() {
+    const P: usize = 8;
+    const VICTIM: usize = 3;
+    let seed = battery_seed() ^ 0xACCE; // same plan as the two-executor test
+    let n = 1024;
+    let src = pattern(n, seed);
+    let plan = FaultPlan::new(seed).with_crash(VICTIM, 5);
+
+    let threaded = ThreadWorld::run(P, {
+        let src = src.clone();
+        let plan = plan.clone();
+        move |comm| {
+            let faulty = FaultyComm::new(comm, plan.clone());
+            let mut buf = if comm.rank() == 0 { src.to_vec() } else { vec![0u8; src.len()] };
+            match self_healing_bcast(&faulty, &mut buf, 0, &recovery_cfg(false)) {
+                Ok(healed) => {
+                    assert_eq!(buf, src, "rank {} corrupted", comm.rank());
+                    Some(healed.survivors)
+                }
+                Err(CommError::PeerFailed { rank }) if rank == comm.rank() => None,
+                Err(e) => panic!("rank {}: unexpected {e:?}", comm.rank()),
+            }
+        }
+    });
+
+    let (event_runs, traffic, elapsed, _) = event_cascade(
+        P,
+        n,
+        0,
+        Algorithm::ScatterRingTuned,
+        &[(VICTIM, 5)],
+        recovery_cfg(false),
+        seed,
+    );
+    let event: Vec<Option<Vec<Rank>>> = event_runs
+        .iter()
+        .enumerate()
+        .map(|(rank, run)| match &run.result {
+            Ok(h) => {
+                assert_eq!(run.buf, src, "event rank {rank} corrupted");
+                Some(h.survivors.clone())
+            }
+            Err(CommError::PeerFailed { rank: r }) if *r == rank => None,
+            Err(e) => panic!("event rank {rank}: unexpected {e:?}"),
+        })
+        .collect();
+
+    assert_eq!(threaded.results, event, "executors diverged under one seed");
+
+    let spec = RecoverySpec {
+        src: &src,
+        root: 0,
+        cfg: recovery_cfg(false),
+        planned_victims: &[VICTIM],
+        lossy_links: false,
+    };
+    check_recovery_outcome(&spec, &event_runs, &traffic, elapsed).unwrap();
+}
+
+/// Cascading multi-epoch recovery with a root-succession chain of depth 3:
+/// the root and its first two successors die one epoch apart, the payload
+/// is re-sourced down the chain `0 → 4 → 5 → 1`, and the survivors converge
+/// with byte-identical payloads. Crash thresholds are tuned to the binomial
+/// attempt's op counts (see each victim's comment).
+#[test]
+fn root_succession_chain_depth3_heals_at_p8() {
+    let seed = battery_seed() ^ 0x5CC3;
+    let cfg = RecoveryConfig {
+        step_timeout: Duration::from_millis(60),
+        max_epochs: 12, // ≥ 2·victims + 1 = 7: liveness guaranteed
+        bounded_sendrecv: false,
+    };
+    let crashes = [
+        (0usize, 1u64), // root dies after one send: only subtree {4,5,6,7} completes
+        (4, 17),        // first successor dies entering epoch 1, before re-sourcing
+        (5, 30),        // second successor dies entering epoch 2, before re-sourcing
+    ];
+    let (results, traffic, elapsed, src) =
+        event_cascade(8, 512, 0, Algorithm::Binomial, &crashes, cfg, seed);
+
+    let spec =
+        RecoverySpec { src: &src, root: 0, cfg, planned_victims: &[0, 4, 5], lossy_links: false };
+    check_recovery_outcome(&spec, &results, &traffic, elapsed).unwrap();
+
+    for (rank, run) in results.iter().enumerate() {
+        if [0, 4, 5].contains(&rank) {
+            assert!(run.result.is_err(), "victim {rank} must see itself fail");
+            assert!(run.trace.saw(branch::SELF_CRASH) || run.trace.branches == 0);
+            continue;
+        }
+        let h = run.result.as_ref().unwrap();
+        assert!(h.epochs >= 3, "rank {rank} healed in only {} epochs", h.epochs);
+        assert!(
+            run.trace.succession_depth >= 3,
+            "rank {rank}: chain {:?} too shallow",
+            run.trace.root_chain
+        );
+        assert_eq!(run.trace.root_chain, vec![0, 4, 5, 1], "rank {rank} followed another chain");
+        assert!(run.trace.saw(branch::ROOT_SUCCESSION));
+        assert!(run.trace.saw(branch::DEATH_OBSERVED));
+    }
+}
+
+/// The megascale acceptance run: P ∈ {256, 1024, 4096} on the event
+/// executor's virtual clock, three non-root ranks crashing one epoch apart
+/// (thresholds staggered by ~one epoch's worth of operations, ≈ 4·P per
+/// rank). Survivors must converge with ≥ 3 cascading epochs, byte-identical
+/// payloads, reconciled traffic, and a bounded virtual recovery time.
+fn megascale_cascade(p: usize) {
+    let seed = battery_seed() ^ 0x3CA1E ^ p as u64;
+    let cfg = RecoveryConfig {
+        step_timeout: Duration::from_millis(60),
+        max_epochs: 8, // ≥ 2·victims + 1 = 7: liveness guaranteed
+        bounded_sendrecv: false,
+    };
+    let per_epoch = 4 * p as u64;
+    let victims = [p - 2, p / 2, p / 3 + 1];
+    let crashes = [(victims[0], 5), (victims[1], per_epoch + 5), (victims[2], 2 * per_epoch + 5)];
+    let (results, traffic, elapsed, src) =
+        event_cascade(p, 8 * p, 0, Algorithm::ScatterRingTuned, &crashes, cfg, seed);
+
+    let spec =
+        RecoverySpec { src: &src, root: 0, cfg, planned_victims: &victims, lossy_links: false };
+    check_recovery_outcome(&spec, &results, &traffic, elapsed).unwrap();
+
+    let mut max_epochs_seen = 0;
+    let mut healed = 0;
+    for run in &results {
+        if let Ok(h) = &run.result {
+            healed += 1;
+            max_epochs_seen = max_epochs_seen.max(h.epochs);
+        }
+    }
+    assert!(healed >= p - victims.len(), "only {healed} of {p} ranks healed");
+    assert!(
+        max_epochs_seen >= 3,
+        "P={p}: expected a ≥3-epoch cascade, saw at most {max_epochs_seen}"
+    );
+}
+
+#[test]
+fn megascale_cascade_p256() {
+    megascale_cascade(256);
+}
+
+#[test]
+#[ignore = "release-mode CI phase: debug builds are too slow at P >= 1024"]
+fn megascale_cascade_p1024() {
+    megascale_cascade(1024);
+}
+
+#[test]
+#[ignore = "release-mode CI phase: debug builds are too slow at P >= 1024"]
+fn megascale_cascade_p4096() {
+    megascale_cascade(4096);
 }

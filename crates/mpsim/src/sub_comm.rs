@@ -8,6 +8,7 @@
 //! point-to-point messages so that a barrier over a *subset* of the world
 //! never involves non-members.
 
+use crate::acomm::AsyncCommunicator;
 use crate::comm::{Communicator, IoSpan};
 use crate::error::Result;
 use crate::rank::{ceil_log2, Rank, Tag};
@@ -17,10 +18,29 @@ use crate::rank::{ceil_log2, Rank, Tag};
 /// `members` lists parent ranks; the local rank of `members[i]` is `i`.
 /// Construct one *on every member rank* with identical `members` (mirroring
 /// the collective nature of `MPI_Comm_split`).
-pub struct SubComm<'a, C: Communicator + ?Sized> {
+///
+/// The view works over both communicator surfaces: build with
+/// [`SubComm::new`] over a blocking [`Communicator`] parent, or with
+/// [`SubComm::new_async`] over an [`AsyncCommunicator`] parent (the event
+/// executor) — the recovery stack uses the latter to re-run degraded
+/// collectives over survivor subsets as futures.
+pub struct SubComm<'a, C: ?Sized> {
     parent: &'a C,
     members: Vec<Rank>,
     my_local: Rank,
+}
+
+/// Shared membership validation: panics on structural errors, returns the
+/// caller's local rank or `None` when the caller is not a member.
+fn validate_members(parent_size: usize, parent_rank: Rank, members: &[Rank]) -> Option<Rank> {
+    assert!(!members.is_empty(), "sub-communicator needs at least one member");
+    let mut seen = vec![false; parent_size];
+    for &m in members {
+        assert!(m < parent_size, "member rank {m} out of range");
+        assert!(!seen[m], "duplicate member rank {m}");
+        seen[m] = true;
+    }
+    members.iter().position(|&m| m == parent_rank)
 }
 
 impl<'a, C: Communicator + ?Sized> SubComm<'a, C> {
@@ -31,17 +51,22 @@ impl<'a, C: Communicator + ?Sized> SubComm<'a, C> {
     /// out-of-range parent rank — those are programming errors in the
     /// collective driver, not runtime conditions.
     pub fn new(parent: &'a C, members: Vec<Rank>) -> Option<Self> {
-        assert!(!members.is_empty(), "sub-communicator needs at least one member");
-        let mut seen = vec![false; parent.size()];
-        for &m in &members {
-            assert!(m < parent.size(), "member rank {m} out of range");
-            assert!(!seen[m], "duplicate member rank {m}");
-            seen[m] = true;
-        }
-        let my_local = members.iter().position(|&m| m == parent.rank())?;
+        let my_local = validate_members(parent.size(), parent.rank(), &members)?;
         Some(Self { parent, members, my_local })
     }
+}
 
+impl<'a, C: AsyncCommunicator + ?Sized> SubComm<'a, C> {
+    /// [`SubComm::new`] for an async parent: identical validation and
+    /// membership contract, with `rank()`/`size()` taken from the
+    /// [`AsyncCommunicator`] surface.
+    pub fn new_async(parent: &'a C, members: Vec<Rank>) -> Option<Self> {
+        let my_local = validate_members(parent.size(), parent.rank(), &members)?;
+        Some(Self { parent, members, my_local })
+    }
+}
+
+impl<C: ?Sized> SubComm<'_, C> {
     /// Parent rank of local rank `local`.
     pub fn to_parent(&self, local: Rank) -> Rank {
         self.members[local]
@@ -73,7 +98,9 @@ impl<'a, C: Communicator + ?Sized> SubComm<'a, C> {
             other => other,
         }
     }
+}
 
+impl<'a, C: Communicator + ?Sized> SubComm<'a, C> {
     /// Collective split, the moral equivalent of `MPI_Comm_split`: every
     /// rank of the parent must call this with its `(color, key)`; ranks
     /// sharing a color form one sub-communicator, with local ranks ordered
@@ -265,6 +292,137 @@ impl<C: Communicator + ?Sized> Communicator for SubComm<'_, C> {
                 self.members[src],
                 recvtag,
             )
+            .map_err(|e| self.localize_err(e))
+    }
+}
+
+/// The async view mirrors the blocking one method-for-method: rank
+/// translation on every peer argument, failure-detector errors localized on
+/// the receive paths, and a member-only dissemination barrier (the parent's
+/// world barrier would wait on non-members, which may already be dead — the
+/// exact situation recovery sub-worlds are built for).
+impl<C: AsyncCommunicator + ?Sized> AsyncCommunicator for SubComm<'_, C> {
+    fn rank(&self) -> Rank {
+        self.my_local
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.parent.now_ns()
+    }
+
+    async fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
+        self.check_rank(dest)?;
+        self.parent.send(buf, self.members[dest], tag).await
+    }
+
+    async fn recv(&self, buf: &mut [u8], src: Rank, tag: Tag) -> Result<usize> {
+        self.check_rank(src)?;
+        self.parent.recv(buf, self.members[src], tag).await.map_err(|e| self.localize_err(e))
+    }
+
+    async fn recv_timeout(
+        &self,
+        buf: &mut [u8],
+        src: Rank,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> Result<usize> {
+        self.check_rank(src)?;
+        self.parent
+            .recv_timeout(buf, self.members[src], tag, timeout)
+            .await
+            .map_err(|e| self.localize_err(e))
+    }
+
+    async fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dest: Rank,
+        sendtag: Tag,
+        recvbuf: &mut [u8],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        self.check_rank(dest)?;
+        self.check_rank(src)?;
+        self.parent
+            .sendrecv(sendbuf, self.members[dest], sendtag, recvbuf, self.members[src], recvtag)
+            .await
+            .map_err(|e| self.localize_err(e))
+    }
+
+    /// Dissemination barrier over the member set only (same rounds and tags
+    /// as the blocking implementation).
+    async fn barrier(&self) -> Result<()> {
+        let n = self.members.len();
+        if n == 1 {
+            return Ok(());
+        }
+        let me = self.my_local;
+        let rounds = ceil_log2(n);
+        let mut token = [0u8; 0];
+        for k in 0..rounds {
+            let dist = 1usize << k;
+            let to = (me + dist) % n;
+            let from = (me + n - dist) % n;
+            let tag = Tag(Tag::BARRIER.0 + k);
+            AsyncCommunicator::sendrecv(self, &[], to, tag, &mut token, from, tag).await?;
+        }
+        Ok(())
+    }
+
+    async fn send_vectored(
+        &self,
+        buf: &[u8],
+        spans: &[IoSpan],
+        dest: Rank,
+        tag: Tag,
+    ) -> Result<()> {
+        self.check_rank(dest)?;
+        self.parent.send_vectored(buf, spans, self.members[dest], tag).await
+    }
+
+    async fn recv_scattered(
+        &self,
+        buf: &mut [u8],
+        spans: &[IoSpan],
+        src: Rank,
+        tag: Tag,
+    ) -> Result<usize> {
+        self.check_rank(src)?;
+        self.parent
+            .recv_scattered(buf, spans, self.members[src], tag)
+            .await
+            .map_err(|e| self.localize_err(e))
+    }
+
+    async fn sendrecv_vectored(
+        &self,
+        buf: &mut [u8],
+        send_spans: &[IoSpan],
+        dest: Rank,
+        sendtag: Tag,
+        recv_spans: &[IoSpan],
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<usize> {
+        self.check_rank(dest)?;
+        self.check_rank(src)?;
+        self.parent
+            .sendrecv_vectored(
+                buf,
+                send_spans,
+                self.members[dest],
+                sendtag,
+                recv_spans,
+                self.members[src],
+                recvtag,
+            )
+            .await
             .map_err(|e| self.localize_err(e))
     }
 }

@@ -60,7 +60,8 @@ impl LinkFaults {
     /// A link that never misbehaves.
     pub const NONE: LinkFaults = LinkFaults { drop_ppm: 0, dup_ppm: 0, delay_ppm: 0 };
 
-    fn total(&self) -> u32 {
+    /// Combined misbehavior probability — zero means the link is clean.
+    pub fn total(&self) -> u32 {
         self.drop_ppm + self.dup_ppm + self.delay_ppm
     }
 }
@@ -128,6 +129,28 @@ impl FaultPlan {
     /// The operation count at which `rank` fail-stops, if planned.
     pub fn crash_after(&self, rank: Rank) -> Option<u64> {
         self.inner.crash_after.get(&rank).copied()
+    }
+
+    /// Every planned crash as `(rank, after_ops)`, in rank order — the
+    /// read side of [`FaultPlan::with_crash`], used by plan mutators.
+    pub fn crashes(&self) -> Vec<(Rank, u64)> {
+        let mut all: Vec<(Rank, u64)> =
+            self.inner.crash_after.iter().map(|(&r, &a)| (r, a)).collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Remove the planned crash of `rank`, if any — the shrinking
+    /// counterpart of [`FaultPlan::with_crash`].
+    pub fn without_crash(mut self, rank: Rank) -> Self {
+        self.make_mut().crash_after.remove(&rank);
+        self
+    }
+
+    /// The fault rates applied to links without a per-link override — the
+    /// read side of [`FaultPlan::with_default`].
+    pub fn default_faults(&self) -> LinkFaults {
+        self.inner.default
     }
 
     /// The fault rates governing the directed link `src → dst`.

@@ -1,0 +1,136 @@
+//! `chaos-search` — budgeted adversarial fault-plan search over the
+//! self-healing broadcast, as a CI phase.
+//!
+//! Modes:
+//!
+//! * `chaos-search --budget N` (default): coverage-guided search over the
+//!   production recovery path. Any invariant violation is shrunk to a
+//!   minimal spec, printed with a replayable seed line, and fails the run.
+//! * `chaos-search --drill --budget N`: plants each seeded recovery
+//!   regression ([`bcast_core::RecoveryDrill`]) in turn and demands the
+//!   search find it, shrink it, and reproduce the identical minimal spec
+//!   from the same seed — "3/3 seeded recovery mutants caught".
+//! * `chaos-search --replay --budget N`: re-run a reported finding; reads
+//!   the seed from `TESTKIT_SEED` (or `--seed`). The search is a pure
+//!   function of `(seed, budget, drill)`, so replay *is* re-execution.
+//!
+//! `--seed 0xHEX` overrides the master seed in any mode; the `TESTKIT_SEED`
+//! environment variable (the same knob the property tests print) takes
+//! precedence over the built-in default but yields to `--seed`.
+
+use std::process::ExitCode;
+
+use bcast_core::RecoveryDrill;
+use schedcheck::chaos::{
+    branch_names, run_drill, search, SearchConfig, SearchReport, DEFAULT_SEARCH_SEED,
+};
+
+struct Args {
+    budget: u32,
+    seed: u64,
+    drill: bool,
+    replay: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { budget: 200, seed: env_seed(), drill: false, replay: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                args.budget = v.parse().map_err(|_| format!("bad --budget {v:?}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = parse_seed(&v).ok_or(format!("bad --seed {v:?}"))?;
+            }
+            "--drill" => args.drill = true,
+            "--replay" => args.replay = true,
+            "--help" | "-h" => {
+                return Err("usage: chaos-search [--budget N] [--seed 0xHEX] [--drill] [--replay]"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_seed(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => raw.parse().ok(),
+    }
+}
+
+fn env_seed() -> u64 {
+    std::env::var("TESTKIT_SEED").ok().and_then(|v| parse_seed(&v)).unwrap_or(DEFAULT_SEARCH_SEED)
+}
+
+fn print_report(report: &SearchReport, args: &Args) {
+    println!(
+        "chaos-search: {} specs executed, corpus {}, {} distinct signatures",
+        report.executed, report.corpus, report.signatures
+    );
+    println!("  recovery branches reached: {}", branch_names(report.branch_union).join(", "));
+    if let Some(f) = &report.failure {
+        println!("  VIOLATION at iteration {}:", f.iteration);
+        println!("    found:  {:?}", f.found);
+        println!("    shrunk: {:?}", f.shrunk);
+        println!("    error:  {}", f.error);
+        println!(
+            "    replay: TESTKIT_SEED={:#018x} cargo run --release -p schedcheck \
+             --bin chaos-search -- --replay --budget {}",
+            args.seed, args.budget
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.drill {
+        let results = run_drill(args.budget, args.seed);
+        let mut caught = 0;
+        for r in &results {
+            match (&r.failure, r.replayed) {
+                (Some(f), true) => {
+                    caught += 1;
+                    println!(
+                        "drill '{}': caught at iteration {}, shrunk to {:?}, replay OK",
+                        r.knob, f.iteration, f.shrunk
+                    );
+                    println!("  error: {}", f.error);
+                }
+                (Some(f), false) => println!(
+                    "drill '{}': caught ({}) but did NOT replay deterministically",
+                    r.knob, f.error
+                ),
+                (None, _) => println!("drill '{}': ESCAPED the search", r.knob),
+            }
+        }
+        println!("chaos-search drill: {caught}/{} seeded recovery mutants caught", results.len());
+        return if caught == results.len() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    if args.replay {
+        println!("chaos-search: replaying search with seed {:#018x}", args.seed);
+    }
+    let report =
+        search(&SearchConfig { budget: args.budget, seed: args.seed, drill: RecoveryDrill::NONE });
+    print_report(&report, &args);
+    if report.failure.is_some() {
+        ExitCode::FAILURE
+    } else {
+        println!("  no invariant violations (seed {:#018x})", args.seed);
+        ExitCode::SUCCESS
+    }
+}

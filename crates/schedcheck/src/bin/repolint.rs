@@ -3,10 +3,12 @@
 //! layer, `.unwrap()`/`.expect()` in library code, undocumented `unsafe`,
 //! `let _ =` discarding a communication call's `Result`, per-chunk
 //! `comm.send(` loops in broadcast hot-path files, wall-clock reads and
-//! `HashMap`s inside the event executor, and cancel-unsafe shapes in the
+//! `HashMap`s inside the event executor, cancel-unsafe shapes in the
 //! async communication layer (unregistered `Poll::Pending`, `RefCell`
-//! borrows across suspension points, send effects inside `poll` bodies).
-//! Prints every hit and exits nonzero if any are found.
+//! borrows across suspension points, send effects inside `poll` bodies),
+//! and `.unwrap()`/`.expect()` on communication results inside the
+//! self-healing recovery modules. Prints every hit and exits nonzero if
+//! any are found.
 //!
 //! Run from the repository root (the directory containing `crates/`).
 

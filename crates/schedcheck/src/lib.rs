@@ -34,6 +34,19 @@
 //!    both explorers find the lost-wakeup and stale-handle bugs those code
 //!    paths exist to prevent.
 //!
+//! A third verifier is *dynamic*: [`chaos`] is a coverage-guided
+//! adversarial search over fault plans for the self-healing broadcast.
+//! Candidate plans (fail-stop ranks with operation-count crash clocks,
+//! plus drop/duplicate/delay link rates) execute for real on
+//! [`mpsim::EventWorld`]'s virtual clock through [`netsim::FaultyComm`],
+//! are judged by the recovery invariant oracle in `bcast_core`, and are
+//! bred by signature novelty (recovery branch bits, epoch depth,
+//! succession depth). Violations shrink to minimal reproducers through
+//! `testkit`'s greedy shrinker and replay from the printed seed; the
+//! `chaos-search` binary budgets the search as its own CI phase, and its
+//! `--drill` mode proves the harness catches all three seeded recovery
+//! regressions ([`bcast_core::RecoveryDrill`]).
+//!
 //! [`mutate`] provides schedule-mutation helpers used by negative tests to
 //! prove the analyses reject corrupted schedules with actionable, rank/step
 //! diagnostics. [`lint`] hosts the repo-convention lint rules behind the
@@ -49,15 +62,19 @@
 //! code, `// SAFETY:` on every `unsafe`, no `let _ =` on the `Result` of a
 //! communication call, no per-chunk `comm.send(` loops in the broadcast hot
 //! path now that the vectored fabric coalesces them, no wall-clock reads or
-//! `HashMap`s inside the event executor, and no cancel-unsafe shapes —
+//! `HashMap`s inside the event executor, no cancel-unsafe shapes —
 //! unregistered `Poll::Pending`, borrows across suspension points, send
-//! effects inside `poll` — in the async communication layer).
+//! effects inside `poll` — in the async communication layer, and no
+//! `.unwrap()`/`.expect()` on communication results inside the
+//! self-healing recovery modules, where a `CommError` is the input the
+//! layer exists to absorb).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
+pub mod chaos;
 pub mod explore;
 pub mod lint;
 pub mod models;

@@ -1,6 +1,6 @@
 //! Repo-convention lint rules behind the `repolint` binary.
 //!
-//! Three rules, each a pure function over `(relative path, file content)` so
+//! Nine rules, each a pure function over `(relative path, file content)` so
 //! they are unit-testable without touching the filesystem:
 //!
 //! 1. [`check_raw_sync`] — raw `std::sync::{Mutex, Condvar, RwLock}` are
@@ -53,6 +53,13 @@
 //!    `poll` body (a cancelled-and-retried operation replays the side
 //!    effect — sends must happen eagerly, before the future exists).
 //!    Deliberate exceptions carry a `// lint: allow(cancel-safety)` marker.
+//! 9. [`check_recovery_unwrap`] — no `.unwrap(` / `.expect(` on the result
+//!    of a communication call inside the self-healing recovery modules
+//!    (`crates/core/src/recovery.rs`, `recovery_async.rs`). A `CommError`
+//!    there *is* the input the layer exists to handle — a peer death or
+//!    timeout must feed the heartbeat/agreement machinery, never abort the
+//!    process. Rule 2's generic `allow(panic)` waiver deliberately does not
+//!    apply; the only escape hatch is `// lint: allow(recovery-unwrap)`.
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -427,6 +434,59 @@ pub fn check_cancel_safety(path: &str, content: &str) -> Vec<LintHit> {
     hits
 }
 
+/// The self-healing recovery paths: the modules whose whole purpose is to
+/// *survive* `CommError`s, so panicking on one defeats the layer.
+fn is_recovery_path(path: &str) -> bool {
+    matches!(path, "crates/core/src/recovery.rs" | "crates/core/src/recovery_async.rs")
+}
+
+/// Rule 9: `.unwrap(` / `.expect(` on the `Result` of a communication call
+/// inside the recovery modules (`crates/core/src/recovery.rs`,
+/// `recovery_async.rs`). Rule 2 already bans bare panics in library code,
+/// but its `// lint: allow(panic)` waiver is too blunt here: a waived
+/// unwrap of a *`CommError`* in recovery code turns the exact failure the
+/// layer exists to absorb (a peer death, a timeout) into a process abort —
+/// precisely the outcome self-healing is supposed to prevent. Detection
+/// spans rustfmt-broken statements, so a chained `.await\n.unwrap()` on the
+/// following line still matches. Test modules are exempt; the only escape
+/// hatch is an explicit `// lint: allow(recovery-unwrap)` marker on the
+/// same or the preceding line, which deliberately does *not* accept the
+/// generic panic waiver.
+pub fn check_recovery_unwrap(path: &str, content: &str) -> Vec<LintHit> {
+    if !is_recovery_path(path) {
+        return Vec::new();
+    }
+    let body = match content.find("#[cfg(test)]") {
+        Some(i) => &content[..i],
+        None => content,
+    };
+    const CALLS: [&str; 5] = [".send(", ".recv(", ".sendrecv(", ".recv_timeout(", ".barrier("];
+    let mut hits = Vec::new();
+    let mut prev: &str = "";
+    // True while the current multi-line statement has already named a
+    // communication call; reset at each statement terminator.
+    let mut stmt_has_comm = false;
+    for (i, line) in body.lines().enumerate() {
+        let code = code_part(line);
+        if CALLS.iter().any(|c| code.contains(c)) {
+            stmt_has_comm = true;
+        }
+        // The needles carry the open paren, so `.unwrap_or(` / `.expect_err(`
+        // and friends never match.
+        let panics = code.contains(".unwrap(") || code.contains(".expect(");
+        let allowed = line.contains("lint: allow(recovery-unwrap)")
+            || prev.contains("lint: allow(recovery-unwrap)");
+        if panics && stmt_has_comm && !allowed {
+            hits.push(hit(path, i, "recovery-unwrap", line));
+        }
+        if code.contains(';') {
+            stmt_has_comm = false;
+        }
+        prev = line;
+    }
+    hits
+}
+
 /// Run every rule over one file.
 pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     // The linter's own source holds the trigger patterns as string
@@ -443,6 +503,7 @@ pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     hits.extend(check_real_time(path, content));
     hits.extend(check_event_mailbox_hashmap(path, content));
     hits.extend(check_cancel_safety(path, content));
+    hits.extend(check_recovery_unwrap(path, content));
     hits
 }
 
@@ -703,5 +764,55 @@ mod tests {
         assert!(check_unsafe("crates/mpsim/src/x.rs", documented).is_empty());
         let forbid = "#![forbid(unsafe_code)]\n";
         assert!(check_unsafe("crates/core/src/lib.rs", forbid).is_empty());
+    }
+
+    #[test]
+    fn recovery_unwrap_flags_comm_results_in_recovery_files_only() {
+        let bad = "fn f() { comm.recv(&mut buf, peer, Tag(3)).unwrap(); }\n";
+        assert_eq!(check_recovery_unwrap("crates/core/src/recovery.rs", bad).len(), 1);
+        assert_eq!(check_recovery_unwrap("crates/core/src/recovery_async.rs", bad).len(), 1);
+        // Other files — even other core modules — are rule 2's territory.
+        assert!(check_recovery_unwrap("crates/core/src/bcast.rs", bad).is_empty());
+        let expect = "let n = comm.recv_timeout(&mut b, p, Tag(1), t).expect(\"peer\");\n";
+        assert_eq!(check_recovery_unwrap("crates/core/src/recovery.rs", expect).len(), 1);
+        // Non-comm unwraps in recovery files are also rule 2's territory.
+        let non_comm = "fn f() { members.iter().position(|&m| m == me).unwrap(); }\n";
+        assert!(check_recovery_unwrap("crates/core/src/recovery.rs", non_comm).is_empty());
+        // Error-tolerant combinators are the sanctioned shape.
+        let tolerant = "let _ = comm.send(&buf, peer, Tag(3)).map_err(|_| ());\n\
+                        if comm.barrier().is_err() { return; }\n";
+        assert!(check_recovery_unwrap("crates/core/src/recovery.rs", tolerant).is_empty());
+    }
+
+    #[test]
+    fn recovery_unwrap_spans_rustfmt_broken_statements() {
+        // rustfmt splits long chains: the comm call and the unwrap land on
+        // different lines of one statement.
+        let split = "let healed = self.comm.sendrecv(&out, peer, Tag(2), &mut inb, peer, Tag(2))\n\
+                     .await\n\
+                     .unwrap();\n";
+        let hits = check_recovery_unwrap("crates/core/src/recovery_async.rs", split);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 3);
+        // The statement terminator resets the tracking: an unwrap in the
+        // *next* statement is not contaminated by the previous comm call.
+        let reset = "comm.barrier()?;\nlet r = report.decode().unwrap();\n";
+        assert!(check_recovery_unwrap("crates/core/src/recovery.rs", reset).is_empty());
+    }
+
+    #[test]
+    fn recovery_unwrap_waiver_and_test_scoping() {
+        // Only the dedicated marker waives — the generic panic waiver is
+        // deliberately insufficient here.
+        let generic = "// lint: allow(panic) — startup only\n\
+                       comm.barrier().unwrap();\n";
+        assert_eq!(check_recovery_unwrap("crates/core/src/recovery.rs", generic).len(), 1);
+        let dedicated = "// lint: allow(recovery-unwrap) — pre-agreement bootstrap barrier\n\
+                         comm.barrier().unwrap();\n";
+        assert!(check_recovery_unwrap("crates/core/src/recovery.rs", dedicated).is_empty());
+        let same_line = "comm.barrier().unwrap(); // lint: allow(recovery-unwrap) — bootstrap\n";
+        assert!(check_recovery_unwrap("crates/core/src/recovery.rs", same_line).is_empty());
+        let in_tests = "fn f() {}\n#[cfg(test)]\nmod t { fn g() { comm.barrier().unwrap(); } }\n";
+        assert!(check_recovery_unwrap("crates/core/src/recovery.rs", in_tests).is_empty());
     }
 }

@@ -1,0 +1,117 @@
+//! Property test: the degraded broadcast schedules the self-healing layer
+//! re-derives stay sound along *random multi-epoch casualty chains*.
+//!
+//! The CI sweep (`schedcheck` binary, phase 5) proves single-epoch
+//! degradation over a fixed casualty grid; recovery, however, re-derives
+//! the schedule after *every* epoch of a cascade, each time over a
+//! further-shrunken survivor set with a possibly-succeeded root. This
+//! harness drives that exact state trajectory — kill a random member,
+//! re-elect the lowest survivor as root, re-derive, repeat while at least
+//! two ranks live — and at every epoch demands the full static verdict:
+//!
+//! * matched, deadlock-free under both eager and rendezvous semantics,
+//!   full buffer coverage on every survivor ([`schedcheck::check`]);
+//! * planned traffic identical to the closed-form model at the shrunken
+//!   world size (the bandwidth theorem survives arbitrary degradation);
+//! * dead ranks completely silent — no ops, no obligations.
+//!
+//! Failures shrink to a minimal `(p, picks)` chain and replay from the
+//! printed `TESTKIT_SEED`.
+
+use bcast_core::{degraded_bcast_schedule, traffic, Algorithm};
+use schedcheck::{check, Semantics};
+use testkit::prop::{self, usize_range, vec_of};
+
+/// Algorithms whose degraded schedules recovery actually emits.
+const ALGORITHMS: [Algorithm; 3] =
+    [Algorithm::Binomial, Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned];
+
+/// Interpret one generated case: start from a full world of `p` ranks and
+/// fold each pick into "kill the `pick % live`-th survivor", stopping while
+/// at least two ranks remain. Returns the member set after every epoch.
+fn casualty_chain(p: usize, picks: &[usize]) -> Vec<Vec<usize>> {
+    let mut members: Vec<usize> = (0..p).collect();
+    let mut epochs = Vec::new();
+    for &pick in picks {
+        if members.len() <= 2 {
+            break;
+        }
+        members.remove(pick % members.len());
+        epochs.push(members.clone());
+    }
+    epochs
+}
+
+#[test]
+fn degraded_schedules_stay_sound_along_casualty_chains() {
+    let strategy = (usize_range(4..13), vec_of(usize_range(0..997), 1..5));
+    prop::check(
+        "degraded_schedules_stay_sound_along_casualty_chains",
+        prop::Config::cases(48),
+        &strategy,
+        |(p, picks)| {
+            for members in casualty_chain(*p, picks) {
+                // Root succession: recovery falls back to the lowest
+                // payload-holding survivor; the chain's worst case is the
+                // lowest survivor outright.
+                let root = members[0];
+                let dead: Vec<usize> = (0..*p).filter(|r| !members.contains(r)).collect();
+                for alg in ALGORITHMS {
+                    for nbytes in [17usize, 64 * *p] {
+                        let sched = degraded_bcast_schedule(alg, *p, nbytes, &members, root);
+
+                        let (msgs, bytes) = sched.planned_volume();
+                        let model = traffic::bcast_volume(alg, nbytes, members.len());
+                        if (msgs, bytes) != (model.msgs, model.bytes) {
+                            return Err(format!(
+                                "{} p={p} dead={dead:?} nbytes={nbytes}: IR volume \
+                                 ({msgs} msgs, {bytes} B) != closed form at P'={} \
+                                 ({} msgs, {} B)",
+                                alg.schedule_name(),
+                                members.len(),
+                                model.msgs,
+                                model.bytes
+                            ));
+                        }
+
+                        for sem in Semantics::ALL {
+                            let rep = check(&sched, sem);
+                            if !rep.is_clean() {
+                                return Err(format!(
+                                    "{} p={p} dead={dead:?} nbytes={nbytes} {sem}: {:?}",
+                                    alg.schedule_name(),
+                                    rep.errors
+                                ));
+                            }
+                        }
+
+                        for &d in &dead {
+                            if !sched.ranks[d].ops.is_empty() || !sched.ranks[d].required.is_empty()
+                            {
+                                return Err(format!(
+                                    "{} p={p}: dead rank {d} still has ops or obligations",
+                                    alg.schedule_name()
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The chain interpreter itself is total and monotone: every epoch strictly
+/// shrinks the membership and never below two survivors.
+#[test]
+fn casualty_chain_interpreter_is_monotone() {
+    let chain = casualty_chain(6, &[0, 0, 0, 0, 0, 0, 0, 0]);
+    let mut prev = 6;
+    for members in &chain {
+        assert!(members.len() >= 2);
+        assert_eq!(members.len(), prev - 1);
+        prev = members.len();
+    }
+    assert_eq!(chain.last().map(Vec::len), Some(2));
+}

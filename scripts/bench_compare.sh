@@ -2,8 +2,10 @@
 # Benchmark trajectory gate: run the single-threaded kernels of the
 # traffic_counts bench (step_flag, timeline, and the event executor's
 # broadcast hot path — no thread spawning, so their medians are stable
-# even under --quick) and fail if any median regressed by more than the
-# threshold against the checked-in baseline.
+# even under --quick) plus the recovery_hotpath bench's P=8 legs
+# (time-to-recover vs casualty count on the event executor), and fail if
+# any median regressed by more than the threshold against the checked-in
+# baseline.
 #
 # Usage: scripts/bench_compare.sh [--update-baseline] [--allow-missing NAME]...
 #   --update-baseline     re-measure and overwrite results/bench_baseline.json
@@ -63,9 +65,23 @@ done
 
 export CARGO_NET_OFFLINE=true
 mkdir -p "$(dirname "$CURRENT")"
-# The bench binary runs with the package root as cwd; hand it an absolute path.
+# The bench binaries run with the package root as cwd; hand them absolute
+# paths. recovery_hotpath's P=8 legs are microsecond-scale event worlds, so
+# they join the quick gate; the P=1024 legs take seconds per sample and are
+# recorded out-of-band (results/recovery_hotpath.json), so the gate waives
+# them by name via --allow-missing from ci.sh.
+RECOVERY_CURRENT=${CURRENT%.json}_recovery.json
 cargo bench -p bcast-bench --bench traffic_counts --offline -- \
   --quick --json "$PWD/$CURRENT" step_flag timeline event_world_hotpath >/dev/null
+cargo bench -p bcast-bench --bench recovery_hotpath --offline -- \
+  --quick --json "$PWD/$RECOVERY_CURRENT" recovery_hotpath/p8 >/dev/null
+python3 - "$CURRENT" "$RECOVERY_CURRENT" <<'PY'
+import json, sys
+main, extra = sys.argv[1], sys.argv[2]
+doc = json.load(open(main))
+doc["benchmarks"].extend(json.load(open(extra))["benchmarks"])
+json.dump(doc, open(main, "w"))
+PY
 
 if [[ ! -s $CURRENT ]]; then
   echo "error: bench run produced no measurements at $CURRENT" >&2
@@ -92,7 +108,7 @@ import json, os, sys
 
 base_path, cur_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
 allow_missing = {n for n in os.environ.get("ALLOW_MISSING_LIST", "").splitlines() if n}
-GATED_GROUPS = {"step_flag", "timeline", "event_world_hotpath"}
+GATED_GROUPS = {"step_flag", "timeline", "event_world_hotpath", "recovery_hotpath"}
 
 def load(path, role):
     try:

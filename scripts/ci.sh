@@ -3,8 +3,9 @@
 # with a per-phase wall-clock report so the growing matrix stays
 # diagnosable.
 # Usage: scripts/ci.sh [--quick]
-#   --quick   skip the release build, the release megascale sweeps and the
-#             bench regression gate (test/fmt/clippy only)
+#   --quick   skip the release build, the release megascale sweeps (event
+#             executor and self-healing recovery), the chaos search, and
+#             the bench regression gate (test/fmt/clippy only)
 # Environment:
 #   CI_BUDGET_SECONDS   soft wall-clock budget for the whole run; the
 #                       summary prints a warning when it is exceeded
@@ -131,8 +132,35 @@ phase_event_megascale_p16384() {
     --ignored megascale_p16384
 }
 
+# Self-healing megascale: cascading multi-epoch recovery at P ∈ {1024, 4096}
+# on the event executor's virtual clock — three staggered crashes, ≥ 3
+# epochs, byte-identical survivors, reconciled traffic. Release-only (debug
+# builds are too slow at these sizes) and the longest phase in the table
+# (~10–12 min), which is why it gets its own row.
+phase_recovery_megascale() {
+  run cargo test --release -q -p bcast-core --offline --test chaos_recovery -- \
+    --ignored
+}
+
+# Adversarial chaos search: a budgeted coverage-guided walk over fault plans
+# (crash victims/times, drop/dup/delay rates, world size, algorithm) against
+# the production recovery invariants, then the seeded drill — each
+# RecoveryDrill knob reintroduces a known recovery regression and the search
+# must find it, shrink it, and replay the identical minimal spec from the
+# same seed (3/3 caught).
+phase_chaos_search() {
+  run cargo run --release -q -p schedcheck --bin chaos-search --offline -- --budget 200
+  run cargo run --release -q -p schedcheck --bin chaos-search --offline -- --drill --budget 200
+}
+
 phase_bench_gate() {
-  run scripts/bench_compare.sh
+  # The recovery_hotpath P=1024 legs take seconds per sample, so the quick
+  # gate does not re-measure them; their baseline rows stay waived by name
+  # until a first CI-recorded baseline lands (see bench_compare.sh header).
+  run scripts/bench_compare.sh \
+    --allow-missing recovery_hotpath/p1024/c0 \
+    --allow-missing recovery_hotpath/p1024/c1 \
+    --allow-missing recovery_hotpath/p1024/c4
 }
 
 if [[ $quick -eq 0 ]]; then
@@ -146,6 +174,8 @@ run_phase "chaos gate (seeded faults)" phase_chaos
 run_phase "event-exec lane" phase_event_exec
 if [[ $quick -eq 0 ]]; then
   run_phase "event-exec megascale P=16384" phase_event_megascale_p16384
+  run_phase "self-healing megascale P in {1024,4096}" phase_recovery_megascale
+  run_phase "chaos search (budget 200 + seeded drill)" phase_chaos_search
   run_phase "bench regression gate" phase_bench_gate
 fi
 

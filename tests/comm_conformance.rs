@@ -15,6 +15,11 @@
 //! semantics, and `ReliableComm` masking seeded drop / duplication / delay
 //! faults injected by `netsim::FaultyComm` — again on every executor (on
 //! the event executor the retransmission timers run on the virtual clock).
+//! Its deadline-edge companion pins what happens when the deadline equals
+//! the delivery timestamp: queued messages beat expired deadlines, expiry
+//! consumes nothing, and on the event executor the exact-coincidence case
+//! (deadline and send on one virtual timestamp) resolves deterministically
+//! by poll order — both resolutions pinned.
 //! The fault plan is seeded from `TESTKIT_SEED` when set, so a failing run
 //! replays bit-identically.
 //!
@@ -368,6 +373,52 @@ async fn fault_battery<C: AsyncCommunicator>(comm: &C, seed: u64) {
     comm.barrier().await.unwrap();
 }
 
+/// The deadline-edge battery: `recv_timeout` when the deadline has already
+/// expired at evaluation time — the boundary the recovery layer's failure
+/// detector lives on. The portable contract, pinned on every executor:
+///
+/// * **Queued message wins.** Expiry is judged only after the mailbox is
+///   consulted, so a receive whose deadline is already past (zero timeout)
+///   still delivers a message that was queued beforehand — the
+///   `deadline == delivery timestamp` edge resolves in favor of the data.
+/// * **Expiry consumes nothing.** A timed-out receive leaves the channel
+///   untouched; a message sent afterwards is delivered intact to the next
+///   matching receive.
+async fn timeout_edge_battery<C: AsyncCommunicator>(comm: &C) {
+    assert_eq!(comm.size(), WORLD);
+    let me = comm.rank();
+
+    // --- arm order 1: the message is already queued when the receive is
+    // posted with an already-expired (zero) deadline: the message wins.
+    if me == 1 {
+        comm.send(&[0xAB], 0, Tag(70)).await.unwrap();
+    }
+    comm.barrier().await.unwrap();
+    if me == 0 {
+        let mut buf = [0u8; 1];
+        let n = comm.recv_timeout(&mut buf, 1, Tag(70), Duration::ZERO).await.unwrap();
+        assert_eq!((n, buf[0]), (1, 0xAB), "queued message must beat an expired deadline");
+    }
+    comm.barrier().await.unwrap();
+
+    // --- arm order 2: the deadline expires on an empty channel; the late
+    // message is not consumed by the failed receive.
+    if me == 0 {
+        let mut buf = [0u8; 1];
+        let err = comm.recv_timeout(&mut buf, 1, Tag(71), Duration::ZERO).await.unwrap_err();
+        assert_eq!(err, CommError::Timeout { peer: 1 });
+    }
+    comm.barrier().await.unwrap();
+    if me == 1 {
+        comm.send(&[0xCD], 0, Tag(71)).await.unwrap();
+    } else if me == 0 {
+        let mut buf = [0u8; 1];
+        let n = comm.recv(&mut buf, 1, Tag(71)).await.unwrap();
+        assert_eq!((n, buf[0]), (1, 0xCD), "expiry must not consume the late message");
+    }
+    comm.barrier().await.unwrap();
+}
+
 #[test]
 fn threaded_backend_conforms() {
     ThreadWorld::run(WORLD, |comm| complete_now(conformance_battery(&SyncComm::new(comm))));
@@ -443,4 +494,78 @@ fn event_backend_vectored_conforms() {
 fn event_backend_masks_seeded_faults() {
     let seed = battery_seed();
     EventWorld::run(WORLD, move |comm| async move { fault_battery(&comm, seed).await });
+}
+
+#[test]
+fn threaded_backend_timeout_edges_conform() {
+    ThreadWorld::run(WORLD, |comm| complete_now(timeout_edge_battery(&SyncComm::new(comm))));
+}
+
+#[test]
+fn simulated_backend_timeout_edges_conform() {
+    let mut model = NetworkModel::uniform(50.0, 1.0);
+    model.eager_threshold = usize::MAX; // queued-wins needs eager delivery
+    SimWorld::run(model, Placement::new(2), WORLD, |comm| {
+        complete_now(timeout_edge_battery(&SyncComm::new(comm)))
+    });
+}
+
+#[test]
+fn event_backend_timeout_edges_conform() {
+    EventWorld::run(WORLD, |comm| async move { timeout_edge_battery(&comm).await });
+}
+
+/// The true simultaneity case, only expressible on a virtual clock: the
+/// receiver's deadline and the sender's send land on the *same* event-world
+/// timestamp. The executor resolves the tie by task poll order (rank
+/// order), and the mailbox-before-deadline rule makes both resolutions
+/// principled:
+///
+/// * receiver polled first → its mailbox is still empty at the deadline
+///   instant → `Timeout`, even though the message materializes at the same
+///   timestamp;
+/// * sender polled first → the message is queued by the time the expired
+///   receiver is polled → delivered.
+///
+/// Both outcomes are pinned, with `now_ns` equality proving the
+/// coincidence is exact — this is the determinism contract the chaos
+/// search's replay-by-seed rests on.
+#[test]
+fn event_backend_deadline_equal_to_delivery_timestamp() {
+    const EDGE: Duration = Duration::from_millis(5);
+    for (sender, receiver, delivered) in [(1usize, 0usize, false), (0, 1, true)] {
+        let out = EventWorld::run(2, |comm| async move {
+            let me = comm.rank();
+            let mut buf = [0u8; 1];
+            let res = if me == sender {
+                // Burn exactly EDGE of virtual time with a self-targeted
+                // receive (self receives are exempt from exited-peer
+                // detection, so this is a pure timer).
+                comm.recv_timeout(&mut buf, me, Tag(99), EDGE).await.unwrap_err();
+                comm.send(&[0x77], receiver, Tag(70)).await.unwrap();
+                Ok(0)
+            } else {
+                comm.recv_timeout(&mut buf, sender, Tag(70), EDGE).await
+            };
+            // Keep both ranks in the world until the edge resolves, so the
+            // receiver's verdict is about the deadline, not a peer exit.
+            let at = comm.now_ns();
+            comm.barrier().await.unwrap();
+            (res, at, buf[0])
+        });
+        let (send_res, send_at, _) = &out.results[sender];
+        let (recv_res, recv_at, payload) = &out.results[receiver];
+        assert_eq!(send_res, &Ok(0));
+        assert_eq!(send_at, recv_at, "send and deadline must share one timestamp");
+        assert_eq!(*recv_at, EDGE.as_nanos() as u64);
+        if delivered {
+            assert_eq!((recv_res, *payload), (&Ok(1), 0x77), "queued-at-poll message must win");
+        } else {
+            assert_eq!(
+                recv_res,
+                &Err(CommError::Timeout { peer: sender }),
+                "empty-at-poll deadline must expire"
+            );
+        }
+    }
 }
