@@ -11,16 +11,18 @@
 //!   process-count thresholds ([`Thresholds`]), optionally substituting the
 //!   tuned ring wherever the native ring would run.
 
-use mpsim::{complete_now, is_pof2, AsyncCommunicator, Communicator, Rank, Result, SyncComm};
+use mpsim::{
+    complete_now, is_pof2, AsyncCommunicator, Communicator, Rank, Result, SharedBuf, SyncComm,
+};
 
 use crate::binomial::{append_binomial_ops, bcast_binomial_async};
 use crate::rd_allgather::{append_rd_ops, rd_allgather_async};
 use crate::ring::{append_native_ring_ops, ring_allgather_native_async};
 use crate::ring_tuned::{
     append_tuned_ring_ops, append_tuned_ring_ops_with, ring_allgather_tuned_async,
-    ring_allgather_tuned_root_async, Endpoint,
+    ring_allgather_tuned_shared_async, Endpoint,
 };
-use crate::scatter::{append_scatter_ops, binomial_scatter_async, binomial_scatter_root_async};
+use crate::scatter::{append_scatter_ops, binomial_scatter_async, binomial_scatter_shared_async};
 use crate::schedule::{Schedule, ScheduleSource};
 
 /// MPICH3's broadcast switching thresholds (`MPIR_CVAR_BCAST_*`), in bytes.
@@ -141,13 +143,30 @@ pub fn bcast_opt_root(comm: &(impl Communicator + ?Sized), src: &[u8], root: Ran
 }
 
 /// Async core of [`bcast_opt_root`] over any [`AsyncCommunicator`].
+///
+/// Stages `src` into **one** shared envelope and feeds refcounted
+/// sub-views of it to both phases, so the root's entire copy bill for the
+/// broadcast is the single `nbytes` staging pass.
 pub async fn bcast_opt_root_async<C: AsyncCommunicator + ?Sized>(
     comm: &C,
     src: &[u8],
     root: Rank,
 ) -> Result<()> {
-    binomial_scatter_root_async(comm, src, root).await?;
-    ring_allgather_tuned_root_async(comm, src, root).await
+    let shared = comm.make_shared(src);
+    bcast_opt_shared_async(comm, &shared, root).await
+}
+
+/// Root-side [`bcast_opt`] from an **already-shared** envelope: both phases
+/// send [`SharedBuf::slice`] sub-views of `src`, copying nothing at all.
+/// Callers that already hold the payload in a [`SharedBuf`] (e.g. the
+/// event-world launcher) use this directly.
+pub async fn bcast_opt_shared_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    src: &SharedBuf,
+    root: Rank,
+) -> Result<()> {
+    binomial_scatter_shared_async(comm, src, root).await?;
+    ring_allgather_tuned_shared_async(comm, src, root).await
 }
 
 /// Binomial-tree broadcast (MPICH3's short-message path).

@@ -25,6 +25,15 @@ pub fn bcast_binomial(
 /// Async core of [`bcast_binomial`]: the same tree walk over any
 /// [`AsyncCommunicator`] — run natively by the event executor, driven
 /// through [`SyncComm`] by the blocking backends.
+///
+/// The payload rides a shared envelope: the root stages `buf` into a pool
+/// rental once ([`AsyncCommunicator::make_shared`]), every forward is a
+/// refcount clone ([`AsyncCommunicator::send_shared_to`] over the child
+/// list), and a non-root receives the envelope itself
+/// ([`AsyncCommunicator::recv_owned`]) and pays exactly one copy into the
+/// user buffer. Per rank that is ≤ `nbytes` copied, versus `nbytes` per
+/// *hop* (sender copy-in + receiver copy-out on every level) for the copy
+/// path kept in [`bcast_binomial_copy_async`]. Wire traffic is identical.
 pub async fn bcast_binomial_async<C: AsyncCommunicator + ?Sized>(
     comm: &C,
     buf: &mut [u8],
@@ -38,7 +47,69 @@ pub async fn bcast_binomial_async<C: AsyncCommunicator + ?Sized>(
     let rank = comm.rank();
     let relative = relative_rank(rank, root, size);
 
-    // Receive from parent (rank differing in our lowest set bit).
+    // Receive from parent (rank differing in our lowest set bit), taking
+    // ownership of the arriving envelope instead of copying it out.
+    let mut mask = 1usize;
+    let mut incoming = None;
+    while mask < size {
+        if relative & mask != 0 {
+            let src = absolute_rank(relative - mask, root, size);
+            incoming = Some(comm.recv_owned(buf.len(), src, Tag::BCAST).await?);
+            break;
+        }
+        mask <<= 1;
+    }
+    // The root stages its user buffer once; everyone else forwards the
+    // envelope it received.
+    let payload = match incoming {
+        Some(env) => env,
+        None => comm.make_shared(buf),
+    };
+
+    // Forward to children, farthest first — refcount clones of one rental.
+    mask >>= 1;
+    let mut children = Vec::new();
+    while mask > 0 {
+        if relative + mask < size {
+            children.push(absolute_rank(relative + mask, root, size));
+        }
+        mask >>= 1;
+    }
+    comm.send_shared_to(&children, &payload, Tag::BCAST).await?;
+
+    if rank != root {
+        // The single final copy this rank pays.
+        buf[..payload.len()].copy_from_slice(&payload);
+        comm.note_copy(payload.len());
+    }
+    Ok(())
+}
+
+/// The pre-zero-copy binomial walk: plain `send`/`recv`, so every hop pays
+/// a sender-side copy-in and a receiver-side copy-out. Kept as the
+/// differential baseline for the `zero_copy` bench group and the
+/// bytes-copied regression tests.
+pub fn bcast_binomial_copy(
+    comm: &(impl Communicator + ?Sized),
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
+    complete_now(bcast_binomial_copy_async(&SyncComm::new(comm), buf, root))
+}
+
+/// Async core of [`bcast_binomial_copy`]; see that function.
+pub async fn bcast_binomial_copy_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u8],
+    root: Rank,
+) -> Result<()> {
+    comm.check_rank(root)?;
+    let size = comm.size();
+    if size == 1 {
+        return Ok(());
+    }
+    let relative = relative_rank(comm.rank(), root, size);
+
     let mut mask = 1usize;
     while mask < size {
         if relative & mask != 0 {
@@ -49,7 +120,6 @@ pub async fn bcast_binomial_async<C: AsyncCommunicator + ?Sized>(
         mask <<= 1;
     }
 
-    // Forward to children, farthest first.
     mask >>= 1;
     while mask > 0 {
         if relative + mask < size {

@@ -80,8 +80,11 @@ pub mod verify;
 
 pub use bcast::{
     bcast_auto, bcast_auto_async, bcast_native, bcast_native_async, bcast_opt, bcast_opt_async,
-    bcast_opt_root, bcast_opt_root_async, bcast_with, bcast_with_async, select_algorithm,
-    Algorithm, Regime, Thresholds,
+    bcast_opt_root, bcast_opt_root_async, bcast_opt_shared_async, bcast_with, bcast_with_async,
+    select_algorithm, Algorithm, Regime, Thresholds,
+};
+pub use binomial::{
+    bcast_binomial, bcast_binomial_async, bcast_binomial_copy, bcast_binomial_copy_async,
 };
 pub use chunks::ChunkLayout;
 pub use coalesce::{
@@ -101,7 +104,9 @@ pub use recovery::{
 pub use recovery_async::{
     self_healing_bcast_async, self_healing_bcast_traced_async, self_healing_bcast_with_async,
 };
-pub use ring_tuned::{ring_allgather_tuned_root, step_flag, Endpoint};
-pub use scatter::{binomial_scatter_root, owned_chunks};
+pub use ring_tuned::{
+    ring_allgather_tuned_root, ring_allgather_tuned_shared_async, step_flag, Endpoint,
+};
+pub use scatter::{binomial_scatter_root, binomial_scatter_shared_async, owned_chunks};
 pub use schedule::{all_sources, Loc, RankSchedule, SchedOp, Schedule, ScheduleSource};
 pub use smp::{bcast_smp, NodeMap};

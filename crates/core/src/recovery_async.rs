@@ -93,6 +93,53 @@ impl<C: AsyncCommunicator + ?Sized> AsyncCommunicator for EpochComm<'_, C> {
     async fn barrier(&self) -> Result<()> {
         self.inner.barrier().await
     }
+
+    fn make_shared(&self, data: &[u8]) -> mpsim::SharedBuf {
+        self.inner.make_shared(data)
+    }
+
+    fn note_copy(&self, bytes: usize) {
+        self.inner.note_copy(bytes)
+    }
+
+    async fn send_shared(&self, buf: &mpsim::SharedBuf, dest: Rank, tag: Tag) -> Result<()> {
+        self.inner.send_shared(buf, dest, self.shifted(tag)).await
+    }
+
+    async fn recv_owned(&self, capacity: usize, src: Rank, tag: Tag) -> Result<mpsim::SharedBuf> {
+        self.inner.recv_owned(capacity, src, self.shifted(tag)).await
+    }
+
+    async fn recv_owned_timeout(
+        &self,
+        capacity: usize,
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<mpsim::SharedBuf> {
+        self.inner.recv_owned_timeout(capacity, src, self.shifted(tag), timeout).await
+    }
+
+    async fn sendrecv_shared(
+        &self,
+        sendbuf: &mpsim::SharedBuf,
+        dest: Rank,
+        sendtag: Tag,
+        recv_capacity: usize,
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<mpsim::SharedBuf> {
+        self.inner
+            .sendrecv_shared(
+                sendbuf,
+                dest,
+                self.shifted(sendtag),
+                recv_capacity,
+                src,
+                self.shifted(recvtag),
+            )
+            .await
+    }
 }
 
 impl<C: AsyncCommunicator + ?Sized> AsyncCommunicator for GuardedComm<'_, C> {
@@ -151,13 +198,65 @@ impl<C: AsyncCommunicator + ?Sized> AsyncCommunicator for GuardedComm<'_, C> {
     async fn barrier(&self) -> Result<()> {
         self.inner.barrier().await
     }
+
+    fn make_shared(&self, data: &[u8]) -> mpsim::SharedBuf {
+        self.inner.make_shared(data)
+    }
+
+    fn note_copy(&self, bytes: usize) {
+        self.inner.note_copy(bytes)
+    }
+
+    async fn send_shared(&self, buf: &mpsim::SharedBuf, dest: Rank, tag: Tag) -> Result<()> {
+        self.inner.send_shared(buf, dest, tag).await
+    }
+
+    async fn recv_owned(&self, capacity: usize, src: Rank, tag: Tag) -> Result<mpsim::SharedBuf> {
+        // Same mapping as `recv`: every unbounded owned receive becomes a
+        // step-bounded one.
+        self.inner.recv_owned_timeout(capacity, src, tag, self.step_timeout).await
+    }
+
+    async fn recv_owned_timeout(
+        &self,
+        capacity: usize,
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<mpsim::SharedBuf> {
+        self.inner.recv_owned_timeout(capacity, src, tag, timeout.min(self.step_timeout)).await
+    }
+
+    async fn sendrecv_shared(
+        &self,
+        sendbuf: &mpsim::SharedBuf,
+        dest: Rank,
+        sendtag: Tag,
+        recv_capacity: usize,
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<mpsim::SharedBuf> {
+        if self.passthrough_sendrecv {
+            return self
+                .inner
+                .sendrecv_shared(sendbuf, dest, sendtag, recv_capacity, src, recvtag)
+                .await;
+        }
+        // Same decomposition as `sendrecv`: eager send, bounded receive.
+        self.inner.send_shared(sendbuf, dest, sendtag).await?;
+        self.inner.recv_owned_timeout(recv_capacity, src, recvtag, self.step_timeout).await
+    }
 }
 
 // The vectored operations of both decorators intentionally use the trait
 // defaults (gather/scatter through `send`/`recv`), matching the blocking
 // impls exactly: the per-link operation sequence a fault plan's crash clock
 // counts is then identical on both surfaces, which is what makes seeded
-// cross-executor replays line up.
+// cross-executor replays line up. The zero-copy operations, by contrast,
+// forward natively (with the same tag shifting / timeout bounding as their
+// copying twins): they bottom out in the same per-link send/recv sequence,
+// so replay stays aligned while the payload keeps its refcounted envelope
+// all the way down to the executor.
 
 /// Async twin of the blocking agreement round: exchange [`Report`]s among
 /// `members` (world numbering) under the heartbeat deadline and fold them

@@ -11,8 +11,8 @@
 //! total, the paper's "verbose data transmissions".
 
 use mpsim::{
-    complete_now, relative_rank, ring_left, ring_right, split_send_recv, AsyncCommunicator,
-    Communicator, Rank, Result, SyncComm, Tag,
+    complete_now, relative_rank, ring_left, ring_right, AsyncCommunicator, Communicator, Rank,
+    Result, SharedBuf, SyncComm, Tag,
 };
 
 use crate::chunks::ChunkLayout;
@@ -50,6 +50,14 @@ pub fn ring_allgather_native(
 /// Async core of [`ring_allgather_native`]: the identical enclosed-ring walk
 /// over any [`AsyncCommunicator`] — run natively by the event executor,
 /// driven through [`SyncComm`] by the blocking backends.
+///
+/// Payload flow is a *hold chain*: the chunk sent at step `i` is exactly
+/// the chunk received at step `i − 1`, so each step forwards the envelope
+/// that just arrived ([`AsyncCommunicator::sendrecv_shared`], a refcount
+/// clone) and pays one copy landing the new chunk in the user buffer. Only
+/// the first step — our own chunk, never received — stages bytes from `buf`
+/// via [`AsyncCommunicator::make_shared`]. Wire traffic is identical to the
+/// classic sendrecv walk.
 pub async fn ring_allgather_native_async<C: AsyncCommunicator + ?Sized>(
     comm: &C,
     buf: &mut [u8],
@@ -66,18 +74,40 @@ pub async fn ring_allgather_native_async<C: AsyncCommunicator + ?Sized>(
     let right = ring_right(rank, size);
     let rel = relative_rank(rank, root, size);
 
+    let mut held: Option<SharedBuf> = None;
     for i in 1..size {
         let (send_chunk, recv_chunk) = ring_step_chunks(rel, size, i);
-        let send_range = layout.range(send_chunk);
+        let send_len = layout.range(send_chunk).len();
         let recv_range = layout.range(recv_chunk);
-        let (sbuf, rbuf) = split_send_recv(
-            buf,
-            send_range.start,
-            send_range.len(),
-            recv_range.start,
-            recv_range.len(),
-        )?;
-        comm.sendrecv(sbuf, right, Tag::ALLGATHER, rbuf, left, Tag::ALLGATHER).await?;
+        // Borrow (don't clone) the forwarded envelope: the transport clones
+        // it into the outgoing message itself, and at megascale the spared
+        // refcount round-trip per step is measurable.
+        let env = {
+            let staged;
+            let chunk = match &held {
+                Some(env) if env.len() == send_len => env,
+                // First step (or a held envelope that can't stand in): stage
+                // the send chunk out of the user buffer.
+                _ => {
+                    staged = comm.make_shared(&buf[layout.range(send_chunk)]);
+                    &staged
+                }
+            };
+            comm.sendrecv_shared(
+                chunk,
+                right,
+                Tag::ALLGATHER,
+                recv_range.len(),
+                left,
+                Tag::ALLGATHER,
+            )
+            .await?
+        };
+        // Land the arriving chunk in the user buffer; keep the envelope to
+        // forward on the next step.
+        buf[recv_range.start..recv_range.start + env.len()].copy_from_slice(&env);
+        comm.note_copy(env.len());
+        held = Some(env);
     }
     Ok(())
 }

@@ -21,8 +21,8 @@
 //! 90 → 75 for `P = 10`).
 
 use mpsim::{
-    ceil_pof2, complete_now, relative_rank, ring_left, ring_right, split_send_recv,
-    AsyncCommunicator, Communicator, Rank, Result, SyncComm, Tag,
+    ceil_pof2, complete_now, relative_rank, ring_left, ring_right, AsyncCommunicator, Communicator,
+    Rank, Result, SharedBuf, SyncComm, Tag,
 };
 
 use crate::chunks::ChunkLayout;
@@ -92,6 +92,15 @@ pub fn ring_allgather_tuned(
 /// Async core of [`ring_allgather_tuned`]: the identical `(step, flag)` walk
 /// over any [`AsyncCommunicator`] — run natively by the event executor,
 /// driven through [`SyncComm`] by the blocking backends.
+///
+/// Payload flow mirrors the native ring's hold chain — each step forwards
+/// the envelope received on the previous step as a refcount clone — but the
+/// tuned walk *skips* receives, so the chain is keyed by chunk index: a
+/// send whose chunk is not the held envelope (the first send, and a
+/// `SendOnly` rank's re-sends of scatter-owned chunks) stages it from the
+/// user buffer via [`AsyncCommunicator::make_shared`]. Every received
+/// envelope still pays exactly one landing copy. Wire traffic is identical
+/// to the classic `(step, flag)` walk.
 pub async fn ring_allgather_tuned_async<C: AsyncCommunicator + ?Sized>(
     comm: &C,
     buf: &mut [u8],
@@ -109,29 +118,60 @@ pub async fn ring_allgather_tuned_async<C: AsyncCommunicator + ?Sized>(
     let rel = relative_rank(rank, root, size);
     let (step, flag) = step_flag(rel, size);
 
+    // Last received envelope, keyed by the chunk it carries. Unlike the
+    // native ring, a matching length is NOT proof of a matching chunk here
+    // (a skipped receive leaves `held` stale), hence the index key.
+    let mut held: Option<(usize, SharedBuf)> = None;
     for i in 1..size {
         let (send_chunk, recv_chunk) = ring_step_chunks(rel, size, i);
         let send_range = layout.range(send_chunk);
         let recv_range = layout.range(recv_chunk);
         if step <= size - i {
-            // Both directions still useful: plain sendrecv as in the native ring.
-            let (sbuf, rbuf) = split_send_recv(
-                buf,
-                send_range.start,
-                send_range.len(),
-                recv_range.start,
-                recv_range.len(),
-            )?;
-            comm.sendrecv(sbuf, right, Tag::ALLGATHER, rbuf, left, Tag::ALLGATHER).await?;
+            // Both directions still useful: full exchange as in the native
+            // ring. Borrow (don't clone) the forwarded envelope — the
+            // transport clones it into the outgoing message itself.
+            let env = {
+                let staged;
+                let chunk = match &held {
+                    Some((held_chunk, env)) if *held_chunk == send_chunk => env,
+                    _ => {
+                        staged = comm.make_shared(&buf[send_range]);
+                        &staged
+                    }
+                };
+                comm.sendrecv_shared(
+                    chunk,
+                    right,
+                    Tag::ALLGATHER,
+                    recv_range.len(),
+                    left,
+                    Tag::ALLGATHER,
+                )
+                .await?
+            };
+            buf[recv_range.start..recv_range.start + env.len()].copy_from_slice(&env);
+            comm.note_copy(env.len());
+            held = Some((recv_chunk, env));
         } else {
             match flag {
                 Endpoint::RecvOnly => {
-                    comm.recv(&mut buf[recv_range], left, Tag::ALLGATHER).await?;
+                    let env = comm.recv_owned(recv_range.len(), left, Tag::ALLGATHER).await?;
+                    buf[recv_range.start..recv_range.start + env.len()].copy_from_slice(&env);
+                    comm.note_copy(env.len());
+                    held = Some((recv_chunk, env));
                 }
                 Endpoint::SendOnly => {
+                    let staged;
+                    let chunk = match &held {
+                        Some((held_chunk, env)) if *held_chunk == send_chunk => env,
+                        _ => {
+                            staged = comm.make_shared(&buf[send_range]);
+                            &staged
+                        }
+                    };
                     // This *is* the uncoalesced baseline; the merged-tail
                     // variant lives in `coalesce`. lint: allow(per-chunk-send)
-                    comm.send(&buf[send_range], right, Tag::ALLGATHER).await?;
+                    comm.send_shared(chunk, right, Tag::ALLGATHER).await?;
                 }
             }
         }
@@ -157,9 +197,27 @@ pub fn ring_allgather_tuned_root(
 
 /// Async core of [`ring_allgather_tuned_root`] — see
 /// [`ring_allgather_tuned_async`].
+///
+/// Stages `src` into one shared envelope and delegates to
+/// [`ring_allgather_tuned_shared_async`]: one `nbytes` staging copy, then
+/// every per-chunk send is a refcounted sub-view.
 pub async fn ring_allgather_tuned_root_async<C: AsyncCommunicator + ?Sized>(
     comm: &C,
     src: &[u8],
+    root: Rank,
+) -> Result<()> {
+    let shared = comm.make_shared(src);
+    ring_allgather_tuned_shared_async(comm, &shared, root).await
+}
+
+/// Root-side tuned ring from an **already-shared** envelope: each of the
+/// `P − 1` lone sends is a [`SharedBuf::slice`] of `src`, so this path
+/// copies nothing at all. Callers that stage the payload once for both
+/// broadcast phases (e.g. the event-world launcher, or
+/// [`crate::bcast::bcast_opt_root_async`]) use this directly.
+pub async fn ring_allgather_tuned_shared_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    src: &SharedBuf,
     root: Rank,
 ) -> Result<()> {
     comm.check_rank(root)?;
@@ -174,7 +232,7 @@ pub async fn ring_allgather_tuned_root_async<C: AsyncCommunicator + ?Sized>(
         let (send_chunk, _) = ring_step_chunks(0, size, i);
         // Per-step pacing mirrors the mutable tuned ring;
         // `bcast_opt_coalesced_root` is the one-envelope form. lint: allow(per-chunk-send)
-        comm.send(&src[layout.range(send_chunk)], right, Tag::ALLGATHER).await?;
+        comm.send_shared(&src.slice(layout.range(send_chunk)), right, Tag::ALLGATHER).await?;
     }
     Ok(())
 }

@@ -14,7 +14,7 @@
 
 use mpsim::{
     absolute_rank, complete_now, relative_rank, AsyncCommunicator, Communicator, Rank, Result,
-    SyncComm, Tag,
+    SharedBuf, SyncComm, Tag,
 };
 
 use crate::chunks::ChunkLayout;
@@ -57,6 +57,12 @@ pub fn binomial_scatter(
 /// Async core of [`binomial_scatter`]: the identical tree walk over any
 /// [`AsyncCommunicator`] — the event executor polls it natively, while the
 /// blocking backends drive it to completion through [`SyncComm`].
+///
+/// Zero-copy payload flow: the root stages its buffer into one shared
+/// envelope and every hop forwards refcounted *sub-views* of the arriving
+/// envelope ([`SharedBuf::slice`]), so a rank's only copy is landing its
+/// own subtree span in its user buffer. Wire traffic (message count,
+/// sizes, order, tags) is identical to the classic copy walk.
 pub async fn binomial_scatter_async<C: AsyncCommunicator + ?Sized>(
     comm: &C,
     buf: &mut [u8],
@@ -70,20 +76,30 @@ pub async fn binomial_scatter_async<C: AsyncCommunicator + ?Sized>(
     let scatter_size = layout.scatter_size();
     let relative = relative_rank(rank, root, size);
 
+    if relative == 0 {
+        // The root reads, never writes: stage once and send shared slices.
+        let shared = comm.make_shared(buf);
+        return binomial_scatter_shared_async(comm, &shared, root).await;
+    }
+
     // Receive phase: wait for the parent (the rank that differs in our
-    // lowest set bit) to deliver our subtree's chunks.
-    let mut curr_size = if rank == root { nbytes } else { 0 };
+    // lowest set bit) to deliver our subtree's chunks — taking ownership of
+    // the arriving envelope instead of copying it out.
+    let mut curr_size = 0;
+    let mut disp = 0;
+    let mut env = None;
     let mut mask = 1usize;
     while mask < size {
         if relative & mask != 0 {
             let src = absolute_rank(relative - mask, root, size);
-            let disp = (relative * scatter_size).min(nbytes);
+            disp = (relative * scatter_size).min(nbytes);
             let capacity = nbytes - disp;
-            if capacity == 0 {
-                // Message shorter than P chunks: nothing addressed to us.
-                curr_size = 0;
-            } else {
-                curr_size = comm.recv(&mut buf[disp..], src, Tag::SCATTER).await?;
+            // capacity == 0: message shorter than P chunks — nothing
+            // addressed to us, so no receive is posted.
+            if capacity > 0 {
+                let e = comm.recv_owned(capacity, src, Tag::SCATTER).await?;
+                curr_size = e.len();
+                env = Some(e);
             }
             break;
         }
@@ -95,22 +111,31 @@ pub async fn binomial_scatter_async<C: AsyncCommunicator + ?Sized>(
     // Figure 4/5 top rows list this retained set per rank).
     let owned_bytes = curr_size;
 
-    // Send phase: peel off the upper half of what we hold for each child,
-    // highest distance first (Figure 1's order: 0→4, then 0→2, 0→1).
-    mask >>= 1;
-    while mask > 0 {
-        if relative + mask < size {
-            let send_size = curr_size.saturating_sub(scatter_size * mask);
-            if send_size > 0 {
-                let dst = absolute_rank(relative + mask, root, size);
-                let disp = ((relative + mask) * scatter_size).min(nbytes);
-                // Each iteration targets a *different* child of the
-                // binomial tree; nothing to coalesce. lint: allow(per-chunk-send)
-                comm.send(&buf[disp..disp + send_size], dst, Tag::SCATTER).await?;
-                curr_size -= send_size;
-            }
-        }
+    if let Some(env) = env {
+        // Send phase: peel off the upper half of what we hold for each
+        // child, highest distance first (Figure 1's order: 0→4, 0→2, 0→1).
+        // Each child's chunks are a tail of the received envelope: the
+        // envelope starts at chunk `relative`, the child at `relative+mask`.
         mask >>= 1;
+        while mask > 0 {
+            if relative + mask < size {
+                let send_size = curr_size.saturating_sub(scatter_size * mask);
+                if send_size > 0 {
+                    let dst = absolute_rank(relative + mask, root, size);
+                    // Each iteration targets a *different* child of the
+                    // binomial tree; nothing to coalesce.
+                    // lint: allow(per-chunk-send)
+                    let chunk = env.slice(scatter_size * mask..curr_size);
+                    comm.send_shared(&chunk, dst, Tag::SCATTER).await?;
+                    curr_size -= send_size;
+                }
+            }
+            mask >>= 1;
+        }
+        // The single copy this rank pays: land the whole subtree span in
+        // the user buffer (the allgather phase reads it from there).
+        buf[disp..disp + env.len()].copy_from_slice(&env);
+        comm.note_copy(env.len());
     }
     Ok(owned_bytes)
 }
@@ -132,9 +157,27 @@ pub fn binomial_scatter_root(
 }
 
 /// Async core of [`binomial_scatter_root`] — see [`binomial_scatter_async`].
+///
+/// Stages `src` into one shared envelope and delegates to
+/// [`binomial_scatter_shared_async`], so the root pays exactly one
+/// `nbytes` staging copy no matter how many children it feeds.
 pub async fn binomial_scatter_root_async<C: AsyncCommunicator + ?Sized>(
     comm: &C,
     src: &[u8],
+    root: Rank,
+) -> Result<usize> {
+    let shared = comm.make_shared(src);
+    binomial_scatter_shared_async(comm, &shared, root).await
+}
+
+/// Root-side scatter from an **already-shared** envelope: every child's
+/// subtree is a refcounted sub-view ([`SharedBuf::slice`]) of `src`, so
+/// this path copies nothing at all. Callers that already hold the payload
+/// in a [`SharedBuf`] (e.g. the event-world launcher) use this directly;
+/// [`binomial_scatter_root_async`] stages a plain slice first.
+pub async fn binomial_scatter_shared_async<C: AsyncCommunicator + ?Sized>(
+    comm: &C,
+    src: &SharedBuf,
     root: Rank,
 ) -> Result<usize> {
     comm.check_rank(root)?;
@@ -156,7 +199,7 @@ pub async fn binomial_scatter_root_async<C: AsyncCommunicator + ?Sized>(
                 let disp = (mask * scatter_size).min(nbytes);
                 // Each iteration targets a *different* child of the
                 // binomial tree; nothing to coalesce. lint: allow(per-chunk-send)
-                comm.send(&src[disp..disp + send_size], dst, Tag::SCATTER).await?;
+                comm.send_shared(&src.slice(disp..disp + send_size), dst, Tag::SCATTER).await?;
                 curr_size -= send_size;
             }
         }

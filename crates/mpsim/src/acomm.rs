@@ -22,6 +22,7 @@ use std::time::Duration;
 use crate::comm::{Communicator, IoSpan};
 use crate::error::{CommError, Result};
 use crate::nonblocking::NonBlocking;
+use crate::pool::SharedBuf;
 use crate::rank::{Rank, Tag};
 
 /// Async counterpart of [`Communicator`]: identical contract (tag matching,
@@ -146,6 +147,80 @@ pub trait AsyncCommunicator {
         crate::comm::disjoint_span_lists(send_spans, recv_spans)?;
         self.send_vectored(buf, send_spans, dest, sendtag).await?;
         self.recv_scattered(buf, recv_spans, src, recvtag).await
+    }
+
+    /// Stage `data` into a pooled, shareable envelope payload — one counted
+    /// copy (see [`Communicator::make_shared`]). Synchronous by design:
+    /// staging never waits on any backend.
+    fn make_shared(&self, data: &[u8]) -> SharedBuf {
+        self.note_copy(data.len());
+        SharedBuf::from(data.to_vec())
+    }
+
+    /// Record `bytes` of payload memcpy'd outside the communicator (see
+    /// [`Communicator::note_copy`]).
+    fn note_copy(&self, _bytes: usize) {}
+
+    /// Zero-copy send of a refcount clone of `buf` (see
+    /// [`Communicator::send_shared`]). The default falls back to copy
+    /// semantics.
+    async fn send_shared(&self, buf: &SharedBuf, dest: Rank, tag: Tag) -> Result<()> {
+        self.send(buf, dest, tag).await
+    }
+
+    /// Fan out one shared payload to several destinations (see
+    /// [`Communicator::send_shared_to`]).
+    async fn send_shared_to(&self, dests: &[Rank], buf: &SharedBuf, tag: Tag) -> Result<()> {
+        for &dest in dests {
+            self.send_shared(buf, dest, tag).await?;
+        }
+        Ok(())
+    }
+
+    /// Owned receive of the arriving envelope (see
+    /// [`Communicator::recv_owned`]). `capacity` bounds the acceptable
+    /// message length exactly like a receive buffer's length.
+    async fn recv_owned(&self, capacity: usize, src: Rank, tag: Tag) -> Result<SharedBuf> {
+        let mut tmp = vec![0u8; capacity];
+        let n = self.recv(&mut tmp, src, tag).await?;
+        tmp.truncate(n);
+        Ok(SharedBuf::from(tmp))
+    }
+
+    /// [`recv_owned`](AsyncCommunicator::recv_owned) bounded by a timeout —
+    /// the owned twin of [`recv_timeout`](AsyncCommunicator::recv_timeout),
+    /// which is what lets timeout-guarding decorators (the recovery guard)
+    /// forward owned receives to a zero-copy backend without giving up their
+    /// bounded-receive contract.
+    async fn recv_owned_timeout(
+        &self,
+        capacity: usize,
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<SharedBuf> {
+        let mut tmp = vec![0u8; capacity];
+        let n = self.recv_timeout(&mut tmp, src, tag, timeout).await?;
+        tmp.truncate(n);
+        Ok(SharedBuf::from(tmp))
+    }
+
+    /// Combined concurrent zero-copy exchange (see
+    /// [`Communicator::sendrecv_shared`]).
+    #[allow(clippy::too_many_arguments)]
+    async fn sendrecv_shared(
+        &self,
+        sendbuf: &SharedBuf,
+        dest: Rank,
+        sendtag: Tag,
+        recv_capacity: usize,
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<SharedBuf> {
+        let mut tmp = vec![0u8; recv_capacity];
+        let n = self.sendrecv(sendbuf, dest, sendtag, &mut tmp, src, recvtag).await?;
+        tmp.truncate(n);
+        Ok(SharedBuf::from(tmp))
     }
 }
 
@@ -276,6 +351,38 @@ impl<C: Communicator + ?Sized> AsyncCommunicator for SyncComm<'_, C> {
         recvtag: Tag,
     ) -> Result<usize> {
         self.0.sendrecv_vectored(buf, send_spans, dest, sendtag, recv_spans, src, recvtag)
+    }
+
+    fn make_shared(&self, data: &[u8]) -> SharedBuf {
+        self.0.make_shared(data)
+    }
+
+    fn note_copy(&self, bytes: usize) {
+        self.0.note_copy(bytes);
+    }
+
+    async fn send_shared(&self, buf: &SharedBuf, dest: Rank, tag: Tag) -> Result<()> {
+        self.0.send_shared(buf, dest, tag)
+    }
+
+    async fn send_shared_to(&self, dests: &[Rank], buf: &SharedBuf, tag: Tag) -> Result<()> {
+        self.0.send_shared_to(dests, buf, tag)
+    }
+
+    async fn recv_owned(&self, capacity: usize, src: Rank, tag: Tag) -> Result<SharedBuf> {
+        self.0.recv_owned(capacity, src, tag)
+    }
+
+    async fn sendrecv_shared(
+        &self,
+        sendbuf: &SharedBuf,
+        dest: Rank,
+        sendtag: Tag,
+        recv_capacity: usize,
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<SharedBuf> {
+        self.0.sendrecv_shared(sendbuf, dest, sendtag, recv_capacity, src, recvtag)
     }
 }
 

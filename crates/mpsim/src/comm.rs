@@ -2,6 +2,7 @@
 //! algorithms and execution backends.
 
 use crate::error::{CommError, Result};
+use crate::pool::SharedBuf;
 use crate::rank::{Rank, Tag};
 
 /// Blocking, tag-matched point-to-point communication within a fixed world.
@@ -172,6 +173,85 @@ pub trait Communicator {
         disjoint_span_lists(send_spans, recv_spans)?;
         self.send_vectored(buf, send_spans, dest, sendtag)?;
         self.recv_scattered(buf, recv_spans, src, recvtag)
+    }
+
+    /// Stage `data` into a pooled, shareable envelope payload — **one** copy,
+    /// recorded against this rank's `bytes_copied`. Everything sent from the
+    /// returned [`SharedBuf`] (or its [`slice`](SharedBuf::slice) sub-views)
+    /// afterwards moves refcounts, not bytes.
+    ///
+    /// The default stages into a plain allocation; pooled backends override
+    /// it to rent from their buffer pool.
+    fn make_shared(&self, data: &[u8]) -> SharedBuf {
+        self.note_copy(data.len());
+        SharedBuf::from(data.to_vec())
+    }
+
+    /// Record `bytes` of payload this rank memcpy'd *outside* the
+    /// communicator — the collectives' final copy-out of a received
+    /// [`SharedBuf`] into the user buffer. Counting backends override this
+    /// to feed `TrafficStats::bytes_copied`; the default is a no-op.
+    fn note_copy(&self, _bytes: usize) {}
+
+    /// Zero-copy send: enqueue a refcount clone of `buf` for `dest` instead
+    /// of staging the bytes into a fresh envelope.
+    ///
+    /// Wire accounting is identical to [`send`](Communicator::send) of the
+    /// same bytes — only `bytes_copied` differs. The default falls back to
+    /// copy semantics so decorators (retransmission, fault injection, rank
+    /// translation) keep working unchanged.
+    fn send_shared(&self, buf: &SharedBuf, dest: Rank, tag: Tag) -> Result<()> {
+        self.send(buf, dest, tag)
+    }
+
+    /// Fan out one shared payload to several destinations — the broadcast
+    /// hot loop. `dests` clones of one refcount; no bytes move on backends
+    /// with a native [`send_shared`](Communicator::send_shared).
+    fn send_shared_to(&self, dests: &[Rank], buf: &SharedBuf, tag: Tag) -> Result<()> {
+        for &dest in dests {
+            self.send_shared(buf, dest, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Owned receive: take the arriving envelope itself instead of copying
+    /// its bytes out into a caller buffer.
+    ///
+    /// `capacity` plays the role of the receive buffer length: a longer
+    /// message fails with [`CommError::Truncation`], exactly like
+    /// [`recv`](Communicator::recv) into a `capacity`-byte buffer. The
+    /// returned view is immutable and may alias the sender's `SharedBuf`
+    /// (that is the point); it returns to the owning pool when dropped.
+    fn recv_owned(&self, capacity: usize, src: Rank, tag: Tag) -> Result<SharedBuf> {
+        let mut tmp = vec![0u8; capacity];
+        let n = self.recv(&mut tmp, src, tag)?;
+        tmp.truncate(n);
+        Ok(SharedBuf::from(tmp))
+    }
+
+    /// Combined concurrent zero-copy exchange: forward `sendbuf` to `dest`
+    /// while taking ownership of the envelope arriving from `src` — the
+    /// ring allgather's inner step, where each received chunk becomes the
+    /// next step's outgoing chunk without touching RAM in between.
+    ///
+    /// Deadlock-freedom contract is that of
+    /// [`sendrecv`](Communicator::sendrecv): both directions progress
+    /// concurrently, so rings of rendezvous-sized exchanges cannot deadlock.
+    /// The default falls back to copy semantics via `sendrecv`.
+    #[allow(clippy::too_many_arguments)]
+    fn sendrecv_shared(
+        &self,
+        sendbuf: &SharedBuf,
+        dest: Rank,
+        sendtag: Tag,
+        recv_capacity: usize,
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<SharedBuf> {
+        let mut tmp = vec![0u8; recv_capacity];
+        let n = self.sendrecv(sendbuf, dest, sendtag, &mut tmp, src, recvtag)?;
+        tmp.truncate(n);
+        Ok(SharedBuf::from(tmp))
     }
 }
 

@@ -48,6 +48,14 @@ pub struct TrafficStats {
     /// Physical transmissions absorbed by this rank (see
     /// [`envelopes_sent`](TrafficStats::envelopes_sent)).
     pub envelopes_recvd: u64,
+    /// Payload bytes this rank moved through RAM with `memcpy` — envelope
+    /// staging on sends, copy-out on receives, vectored gathers/scatters,
+    /// and the collectives' final copy into the user buffer. Zero-copy
+    /// (`send_shared`/`recv_owned`) paths move refcounts instead, so this is
+    /// the memory-bandwidth analogue of the paper's transfer count. Unlike
+    /// the wire counters it is rank-local: copies have no matching "receive",
+    /// so it plays no part in [`WorldTraffic::is_balanced`].
+    pub bytes_copied: u64,
     /// Breakdown by peer rank.
     pub by_peer: BTreeMap<Rank, PeerTraffic>,
 }
@@ -85,6 +93,11 @@ impl TrafficStats {
         p.bytes_recvd += bytes as u64;
     }
 
+    /// Record `bytes` of payload moved by memcpy on this rank.
+    pub fn record_copy(&mut self, bytes: usize) {
+        self.bytes_copied += bytes as u64;
+    }
+
     /// Merge another rank-local record into this one (used for aggregation).
     pub fn merge(&mut self, other: &TrafficStats) {
         self.msgs_sent += other.msgs_sent;
@@ -93,6 +106,7 @@ impl TrafficStats {
         self.bytes_recvd += other.bytes_recvd;
         self.envelopes_sent += other.envelopes_sent;
         self.envelopes_recvd += other.envelopes_recvd;
+        self.bytes_copied += other.bytes_copied;
         for (&peer, pt) in &other.by_peer {
             let p = self.by_peer.entry(peer).or_default();
             p.msgs_sent += pt.msgs_sent;
@@ -134,6 +148,13 @@ impl WorldTraffic {
     /// [`total_bytes`](WorldTraffic::total_bytes) or `total_msgs`.
     pub fn total_envelopes(&self) -> u64 {
         self.per_rank.iter().map(|s| s.envelopes_sent).sum()
+    }
+
+    /// Total payload bytes memcpy'd across all ranks — the copy bill the
+    /// zero-copy fabric exists to shrink (see
+    /// [`TrafficStats::bytes_copied`]).
+    pub fn total_bytes_copied(&self) -> u64 {
+        self.per_rank.iter().map(|s| s.bytes_copied).sum()
     }
 
     /// Sanity: globally, every send must have been received.
@@ -245,6 +266,7 @@ pub struct CounterCell {
     bytes_recvd: Cell<u64>,
     envelopes_sent: Cell<u64>,
     envelopes_recvd: Cell<u64>,
+    bytes_copied: Cell<u64>,
     by_peer: RefCell<BTreeMap<Rank, PeerTraffic>>,
     /// Pending `(peer, msgs, bytes)` not yet folded into `by_peer`
     /// (send direction); `NO_PEER` marks the slot empty.
@@ -292,6 +314,11 @@ impl CounterCell {
         }
     }
 
+    /// Record `bytes` of payload moved by memcpy on this rank.
+    pub fn record_copy(&self, bytes: usize) {
+        self.bytes_copied.set(self.bytes_copied.get() + bytes as u64);
+    }
+
     fn fold_send(&self, peer: Rank, msgs: u64, bytes: u64) {
         if peer != NO_PEER {
             let mut map = self.by_peer.borrow_mut();
@@ -328,6 +355,7 @@ impl CounterCell {
             bytes_recvd: self.bytes_recvd.get(),
             envelopes_sent: self.envelopes_sent.get(),
             envelopes_recvd: self.envelopes_recvd.get(),
+            bytes_copied: self.bytes_copied.get(),
             by_peer: self.by_peer.borrow().clone(),
         }
     }
@@ -342,6 +370,7 @@ impl CounterCell {
             bytes_recvd: self.bytes_recvd.take(),
             envelopes_sent: self.envelopes_sent.take(),
             envelopes_recvd: self.envelopes_recvd.take(),
+            bytes_copied: self.bytes_copied.take(),
             by_peer: self.by_peer.take(),
         }
     }
@@ -458,5 +487,32 @@ mod tests {
         let taken = c.take();
         assert_eq!(taken.msgs_sent, 1);
         assert_eq!(c.snapshot().msgs_sent, 0);
+    }
+
+    #[test]
+    fn bytes_copied_is_rank_local() {
+        let mut s0 = TrafficStats::default();
+        s0.record_send(1, 8);
+        s0.record_copy(8); // staging copy on the sender
+        let mut s1 = TrafficStats::default();
+        s1.record_recv(0, 8);
+        // receiver took the envelope zero-copy: no copy recorded
+        let w = WorldTraffic::new(vec![s0, s1]);
+        assert!(w.is_balanced(), "copies must not unbalance wire traffic");
+        assert_eq!(w.total_bytes_copied(), 8);
+
+        let mut a = TrafficStats::default();
+        a.record_copy(3);
+        let mut b = TrafficStats::default();
+        b.record_copy(4);
+        a.merge(&b);
+        assert_eq!(a.bytes_copied, 7);
+
+        let c = CounterCell::default();
+        c.record_copy(5);
+        c.record_copy(6);
+        assert_eq!(c.snapshot().bytes_copied, 11);
+        assert_eq!(c.take().bytes_copied, 11);
+        assert_eq!(c.snapshot().bytes_copied, 0);
     }
 }

@@ -58,7 +58,7 @@ use crate::error::{CommError, Result};
 use crate::event_mailbox::LaneMailbox;
 use crate::event_timer::{TimerHandle, TimerWheel};
 use crate::mailbox::Envelope;
-use crate::pool::{BufferPool, PoolStats};
+use crate::pool::{BufferPool, Payload, PoolStats, SharedBuf};
 use crate::rank::{Rank, Tag};
 use crate::thread_comm::WorldOutcome;
 
@@ -281,9 +281,18 @@ impl EventShared {
     /// Deliver one envelope and wake the destination's task directly — the
     /// batched eager-send path: no `Waker`, no lock, and if the receiver is
     /// already queued the dedup flag makes this two `Cell` reads.
-    fn push_envelope(&self, dest: Rank, src: Rank, tag: Tag, data: crate::pool::PooledBuf) {
+    fn push_envelope(&self, dest: Rank, src: Rank, tag: Tag, data: Payload) {
         self.mailboxes[dest].borrow_mut().push(src, tag, Envelope { src, data });
         self.sched.push(dest);
+    }
+
+    /// Return a consumed envelope payload's buffer to the handle cache —
+    /// only possible when nothing else aliases the bytes (shared fan-out
+    /// clones fall through to their refcount drop instead).
+    fn stash_payload(&self, data: Payload) {
+        if let Some(buf) = data.try_unique() {
+            self.stash(buf);
+        }
     }
 
     fn try_pop(&self, me: Rank, src: Rank, tag: Tag) -> Option<Envelope> {
@@ -537,8 +546,18 @@ impl EventComm {
     fn send_now(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
         self.ensure_rank(dest)?;
         self.shared.counters[self.rank].record_send(dest, buf.len());
+        self.shared.counters[self.rank].record_copy(buf.len());
         let env = self.shared.rent_copy(buf);
-        self.shared.push_envelope(dest, self.rank, tag, env);
+        self.shared.push_envelope(dest, self.rank, tag, env.into());
+        Ok(())
+    }
+
+    /// Eager zero-copy send: a refcount clone of the shared rental is
+    /// queued at the destination — no bytes move.
+    fn send_shared_now(&self, buf: &SharedBuf, dest: Rank, tag: Tag) -> Result<()> {
+        self.ensure_rank(dest)?;
+        self.shared.counters[self.rank].record_send(dest, buf.len());
+        self.shared.push_envelope(dest, self.rank, tag, Payload::Shared(buf.clone()));
         Ok(())
     }
 
@@ -546,12 +565,13 @@ impl EventComm {
         self.ensure_rank(dest)?;
         let total = validate_spans(buf.len(), spans)?;
         let env = self.shared.rent_gather(total, spans.iter().map(|s| &buf[s.range()]));
+        self.shared.counters[self.rank].record_copy(total);
         self.shared.counters[self.rank].record_send_vectored(
             dest,
             total,
             spans.len().max(1) as u64,
         );
-        self.shared.push_envelope(dest, self.rank, tag, env);
+        self.shared.push_envelope(dest, self.rank, tag, env.into());
         Ok(())
     }
 
@@ -693,9 +713,52 @@ impl Future for RecvIntoBuf<'_, '_> {
         let n = env.data.len();
         this.buf[..n].copy_from_slice(&env.data);
         let comm = this.inner.comm;
+        comm.shared.counters[comm.rank].record_copy(n);
         comm.shared.counters[comm.rank].record_recv(this.inner.src, n);
-        comm.shared.stash(env.data);
+        comm.shared.stash_payload(env.data);
         Poll::Ready(Ok(n))
+    }
+}
+
+/// A whole `recv_owned` (or the receive half of `sendrecv_shared`) as one
+/// future: match the envelope, check truncation against the declared
+/// capacity, record the traffic, and hand the payload over as a refcounted
+/// [`SharedBuf`] — all in the same poll frame, for the same reason as
+/// [`RecvIntoBuf`]: the zero-copy ring parks nearly every message at
+/// megascale, and every park/resume must walk one `poll`, not a nest of
+/// generated state machines.
+struct RecvOwned<'a> {
+    inner: RecvEnvelope<'a>,
+    capacity: usize,
+    /// Error determined before the future was built (invalid rank, failed
+    /// eager send half of `sendrecv_shared`); yielded on first poll.
+    early_err: Option<CommError>,
+}
+
+impl Future for RecvOwned<'_> {
+    type Output = Result<SharedBuf>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if let Some(err) = this.early_err.take() {
+            return Poll::Ready(Err(err));
+        }
+        let env = match Pin::new(&mut this.inner).poll(cx) {
+            Poll::Ready(Ok(env)) => env,
+            Poll::Ready(Err(err)) => return Poll::Ready(Err(err)),
+            Poll::Pending => return Poll::Pending,
+        };
+        if env.data.len() > this.capacity {
+            return Poll::Ready(Err(CommError::Truncation {
+                capacity: this.capacity,
+                incoming: env.data.len(),
+            }));
+        }
+        let comm = this.inner.comm;
+        comm.shared.counters[comm.rank].record_recv(this.inner.src, env.data.len());
+        // The matched payload is handed to the caller as-is — no copy, no
+        // stash; its eventual drop recycles the rental.
+        Poll::Ready(Ok(env.data.into_shared()))
     }
 }
 
@@ -840,9 +903,78 @@ impl AsyncCommunicator for EventComm {
             return Err(CommError::Truncation { capacity: total, incoming: env.data.len() });
         }
         let n = scatter_spans(buf, spans, &env.data);
+        self.shared.counters[self.rank].record_copy(n);
         self.shared.counters[self.rank].record_recv_vectored(src, n, spans.len().max(1) as u64);
-        self.shared.stash(env.data);
+        self.shared.stash_payload(env.data);
         Ok(n)
+    }
+
+    fn make_shared(&self, data: &[u8]) -> SharedBuf {
+        // One counted copy stages the user bytes; every send_shared of (a
+        // slice of) the result is a refcount bump.
+        self.shared.counters[self.rank].record_copy(data.len());
+        SharedBuf::new(self.shared.rent_copy(data))
+    }
+
+    fn note_copy(&self, bytes: usize) {
+        self.shared.counters[self.rank].record_copy(bytes);
+    }
+
+    async fn send_shared(&self, buf: &SharedBuf, dest: Rank, tag: Tag) -> Result<()> {
+        self.send_shared_now(buf, dest, tag)
+    }
+
+    // Like `recv`/`sendrecv`, the owned receives refine the trait's
+    // `async fn` signatures to return the [`RecvOwned`] leaf future
+    // directly, keeping the zero-copy ring's park/resume one `poll` deep.
+
+    fn recv_owned(
+        &self,
+        capacity: usize,
+        src: Rank,
+        tag: Tag,
+    ) -> impl Future<Output = Result<SharedBuf>> {
+        let early_err = self.ensure_rank(src).err();
+        RecvOwned { inner: RecvEnvelope::new(self, src, tag, None), capacity, early_err }
+    }
+
+    fn recv_owned_timeout(
+        &self,
+        capacity: usize,
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> impl Future<Output = Result<SharedBuf>> {
+        let nanos = u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX);
+        let deadline_ns = self.shared.now().saturating_add(nanos);
+        let early_err = self.ensure_rank(src).err();
+        RecvOwned {
+            inner: RecvEnvelope::new(self, src, tag, Some(deadline_ns)),
+            capacity,
+            early_err,
+        }
+    }
+
+    fn sendrecv_shared(
+        &self,
+        sendbuf: &SharedBuf,
+        dest: Rank,
+        sendtag: Tag,
+        recv_capacity: usize,
+        src: Rank,
+        recvtag: Tag,
+    ) -> impl Future<Output = Result<SharedBuf>> {
+        // Eager send at call time, then the owned receive — deadlock-free
+        // for the same reason the default sendrecv chain is.
+        let early_err = self
+            .send_shared_now(sendbuf, dest, sendtag)
+            .err()
+            .or_else(|| self.ensure_rank(src).err());
+        RecvOwned {
+            inner: RecvEnvelope::new(self, src, recvtag, None),
+            capacity: recv_capacity,
+            early_err,
+        }
     }
 }
 

@@ -200,7 +200,7 @@ mod tests {
     use crate::pool::BufferPool;
 
     fn env(pool: &std::sync::Arc<BufferPool>, src: Rank, byte: u8) -> Envelope {
-        Envelope { src, data: pool.rent_copy(&[byte]) }
+        Envelope { src, data: pool.rent_copy(&[byte]).into() }
     }
 
     #[test]

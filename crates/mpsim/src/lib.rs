@@ -91,7 +91,7 @@ pub use event_comm::{EventComm, EventWorld};
 pub use event_mailbox::LaneMailbox;
 pub use event_timer::{TimerHandle, TimerWheel};
 pub use nonblocking::NonBlocking;
-pub use pool::{BufferPool, PoolStats, PooledBuf};
+pub use pool::{BufferPool, Payload, PoolStats, PooledBuf, SharedBuf};
 pub use rank::{
     absolute_rank, ceil_div, ceil_log2, ceil_pof2, is_pof2, relative_rank, ring_left, ring_right,
     Rank, Tag,

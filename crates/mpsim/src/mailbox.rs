@@ -30,7 +30,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::counters::WakeupStats;
-use crate::pool::PooledBuf;
+use crate::pool::Payload;
 use crate::proto::push_should_notify;
 use crate::sync::{Condvar, Mutex};
 
@@ -47,8 +47,9 @@ pub struct Envelope {
     /// Sending rank (kept for diagnostics; matching already fixed it).
     pub src: Rank,
     /// The payload (pool-backed on the hot path; its drop recycles the
-    /// buffer after the receiver copies out).
-    pub data: PooledBuf,
+    /// buffer after the receiver copies out). Shared payloads are refcount
+    /// clones of one rental fanned out to many mailboxes.
+    pub data: Payload,
 }
 
 #[derive(Default)]
@@ -114,7 +115,7 @@ impl Mailbox {
     }
 
     /// Deliver a message from `src` with `tag`.
-    pub fn push(&self, src: Rank, tag: Tag, data: PooledBuf) {
+    pub fn push(&self, src: Rank, tag: Tag, data: Payload) {
         let slot = self.slot(src, tag);
         let mut st = slot.state.lock();
         st.queues.entry((src, tag)).or_default().push_back(Envelope { src, data });

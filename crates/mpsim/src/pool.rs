@@ -287,6 +287,191 @@ impl From<Vec<u8>> for PooledBuf {
     }
 }
 
+/// Immutable, refcounted view of a [`PooledBuf`] — the zero-copy envelope
+/// payload.
+///
+/// Cloning a `SharedBuf` bumps a refcount instead of copying bytes, so one
+/// rented buffer can sit in many mailboxes at once (a broadcast fan-out is
+/// `children` clones of the same rental). The backing buffer returns to its
+/// pool when the **last** clone drops, exactly like a uniquely-owned
+/// `PooledBuf`. [`slice`](SharedBuf::slice) carves shared sub-views (scatter
+/// chunks of one root buffer) that keep the whole rental alive.
+///
+/// The view is immutable by construction — no `DerefMut` — which is what
+/// makes handing the same bytes to several receivers sound.
+#[derive(Clone)]
+pub struct SharedBuf {
+    inner: Arc<PooledBuf>,
+    off: usize,
+    len: usize,
+}
+
+impl SharedBuf {
+    /// Wrap a uniquely-owned buffer into a shareable view (no copy).
+    pub fn new(buf: PooledBuf) -> Self {
+        let len = buf.len();
+        SharedBuf { inner: Arc::new(buf), off: 0, len }
+    }
+
+    /// Logical length of this view in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view holds no payload bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// How many live views (including this one) share the backing buffer.
+    pub fn shares(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// A shared sub-view of `range` (relative to this view). The sub-view
+    /// holds the whole backing rental alive; no bytes move.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> SharedBuf {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {range:?} out of bounds of SharedBuf of len {}",
+            self.len
+        );
+        SharedBuf {
+            inner: Arc::clone(&self.inner),
+            off: self.off + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Recover unique ownership of the backing buffer, if this is the last
+    /// view and it covers the whole rental — the handle-cache fast path of
+    /// the event executor. Otherwise the view is returned unchanged.
+    pub(crate) fn try_unique(self) -> std::result::Result<PooledBuf, SharedBuf> {
+        if self.off == 0 && Arc::strong_count(&self.inner) == 1 {
+            let full = self.len == self.inner.len();
+            match Arc::try_unwrap(self.inner) {
+                Ok(buf) if full => Ok(buf),
+                Ok(buf) => Err(SharedBuf { inner: Arc::new(buf), off: self.off, len: self.len }),
+                Err(inner) => Err(SharedBuf { inner, off: self.off, len: self.len }),
+            }
+        } else {
+            Err(self)
+        }
+    }
+}
+
+impl std::ops::Deref for SharedBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner[self.off..self.off + self.len]
+    }
+}
+
+impl std::fmt::Debug for SharedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedBuf")
+            .field("len", &self.len)
+            .field("off", &self.off)
+            .field("shares", &self.shares())
+            .finish()
+    }
+}
+
+impl From<PooledBuf> for SharedBuf {
+    fn from(buf: PooledBuf) -> Self {
+        SharedBuf::new(buf)
+    }
+}
+
+impl From<Vec<u8>> for SharedBuf {
+    fn from(data: Vec<u8>) -> Self {
+        SharedBuf::new(PooledBuf::from(data))
+    }
+}
+
+/// An envelope payload: uniquely owned (the classic copy path, no refcount
+/// overhead) or shared (a zero-copy fan-out clone).
+///
+/// Dereferences to its bytes either way, so receive paths that only *read*
+/// the payload do not care which variant arrived.
+#[derive(Debug)]
+pub enum Payload {
+    /// Uniquely-owned rental — mutable-capable, stashable in handle caches.
+    Unique(PooledBuf),
+    /// Refcounted view — possibly aliased by the sender and other receivers.
+    Shared(SharedBuf),
+}
+
+impl Payload {
+    /// Logical length in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Unique(b) => b.len(),
+            Payload::Shared(s) => s.len(),
+        }
+    }
+
+    /// True when the payload holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Convert into a shared view, without copying. A unique payload pays
+    /// one `Arc` allocation; a shared one is handed through as-is.
+    pub fn into_shared(self) -> SharedBuf {
+        match self {
+            Payload::Unique(b) => SharedBuf::new(b),
+            Payload::Shared(s) => s,
+        }
+    }
+
+    /// Recover a uniquely-owned buffer when nothing else aliases the bytes
+    /// (see [`SharedBuf::try_unique`]); used to stash consumed envelopes
+    /// back into per-class handle caches.
+    pub(crate) fn try_unique(self) -> Option<PooledBuf> {
+        match self {
+            Payload::Unique(b) => Some(b),
+            Payload::Shared(s) => s.try_unique().ok(),
+        }
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            Payload::Unique(b) => b,
+            Payload::Shared(s) => s,
+        }
+    }
+}
+
+impl From<PooledBuf> for Payload {
+    fn from(buf: PooledBuf) -> Self {
+        Payload::Unique(buf)
+    }
+}
+
+impl From<SharedBuf> for Payload {
+    fn from(buf: SharedBuf) -> Self {
+        Payload::Shared(buf)
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(data: Vec<u8>) -> Self {
+        Payload::Unique(data.into())
+    }
+}
+
+impl From<Box<[u8]>> for Payload {
+    fn from(data: Box<[u8]>) -> Self {
+        Payload::Unique(data.into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +572,83 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.returned, MAX_PER_CLASS as u64);
         assert_eq!(stats.outstanding, 0);
+    }
+
+    #[test]
+    fn shared_buf_returns_to_pool_on_last_drop() {
+        let pool = BufferPool::new();
+        let s = SharedBuf::new(pool.rent_copy(&[7u8; 100]));
+        let clones: Vec<_> = (0..5).map(|_| s.clone()).collect();
+        assert_eq!(s.shares(), 6);
+        assert_eq!(pool.stats().outstanding, 1, "clones share one rental");
+        drop(clones);
+        assert_eq!(s.shares(), 1);
+        assert_eq!(pool.stats().returned, 0, "still held by the original");
+        drop(s);
+        assert_eq!(pool.stats().returned, 1);
+        assert_eq!(pool.stats().outstanding, 0);
+        // the recycled buffer serves the next same-class rental
+        let _b = pool.rent(100);
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn shared_buf_slices_alias_the_rental() {
+        let pool = BufferPool::new();
+        let s = SharedBuf::new(pool.rent_copy(&(0..64u8).collect::<Vec<_>>()));
+        let a = s.slice(8..16);
+        let b = a.slice(2..6); // slice of a slice
+        assert_eq!(&*a, &(8..16u8).collect::<Vec<_>>()[..]);
+        assert_eq!(&*b, &[10, 11, 12, 13]);
+        assert_eq!(s.shares(), 3);
+        drop(s);
+        drop(a);
+        assert_eq!(pool.stats().outstanding, 1, "sub-view keeps the rental alive");
+        drop(b);
+        assert_eq!(pool.stats().outstanding, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shared_buf_slice_bounds_checked() {
+        let s = SharedBuf::from(vec![0u8; 8]);
+        let _ = s.slice(4..12);
+    }
+
+    #[test]
+    fn shared_buf_try_unique() {
+        let pool = BufferPool::new();
+        let s = SharedBuf::new(pool.rent_copy(&[1u8; 32]));
+        let c = s.clone();
+        // aliased: not unique
+        let s = s.try_unique().unwrap_err();
+        drop(c);
+        // sole full view: unique again
+        let b = s.try_unique().unwrap();
+        assert_eq!(&*b, &[1u8; 32]);
+        // a sub-view is never unique even as the last clone
+        let s = SharedBuf::from(vec![5u8; 16]).slice(0..8);
+        assert!(s.try_unique().is_err());
+    }
+
+    #[test]
+    fn payload_variants_deref_and_convert() {
+        let pool = BufferPool::new();
+        let u = Payload::from(pool.rent_copy(&[3u8; 10]));
+        assert_eq!(u.len(), 10);
+        assert_eq!(&*u, &[3u8; 10]);
+        assert!(u.try_unique().is_some());
+        let s = Payload::from(SharedBuf::new(pool.rent_copy(&[4u8; 6])));
+        assert_eq!(&*s, &[4u8; 6]);
+        let shared = s.into_shared();
+        assert_eq!(shared.shares(), 1);
+        // a lone shared payload recovers unique ownership for stashing
+        assert!(Payload::from(shared).try_unique().is_some());
+        // an aliased one does not
+        let s = SharedBuf::new(pool.rent_copy(&[9u8; 4]));
+        let keep = s.clone();
+        assert!(Payload::from(s).try_unique().is_none());
+        drop(keep);
     }
 
     #[test]

@@ -425,6 +425,65 @@ impl<C: AsyncCommunicator + ?Sized> AsyncCommunicator for SubComm<'_, C> {
             .await
             .map_err(|e| self.localize_err(e))
     }
+
+    fn make_shared(&self, data: &[u8]) -> crate::SharedBuf {
+        self.parent.make_shared(data)
+    }
+
+    fn note_copy(&self, bytes: usize) {
+        self.parent.note_copy(bytes)
+    }
+
+    async fn send_shared(&self, buf: &crate::SharedBuf, dest: Rank, tag: Tag) -> Result<()> {
+        self.check_rank(dest)?;
+        self.parent.send_shared(buf, self.members[dest], tag).await
+    }
+
+    async fn recv_owned(&self, capacity: usize, src: Rank, tag: Tag) -> Result<crate::SharedBuf> {
+        self.check_rank(src)?;
+        self.parent
+            .recv_owned(capacity, self.members[src], tag)
+            .await
+            .map_err(|e| self.localize_err(e))
+    }
+
+    async fn recv_owned_timeout(
+        &self,
+        capacity: usize,
+        src: Rank,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> Result<crate::SharedBuf> {
+        self.check_rank(src)?;
+        self.parent
+            .recv_owned_timeout(capacity, self.members[src], tag, timeout)
+            .await
+            .map_err(|e| self.localize_err(e))
+    }
+
+    async fn sendrecv_shared(
+        &self,
+        sendbuf: &crate::SharedBuf,
+        dest: Rank,
+        sendtag: Tag,
+        recv_capacity: usize,
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<crate::SharedBuf> {
+        self.check_rank(dest)?;
+        self.check_rank(src)?;
+        self.parent
+            .sendrecv_shared(
+                sendbuf,
+                self.members[dest],
+                sendtag,
+                recv_capacity,
+                self.members[src],
+                recvtag,
+            )
+            .await
+            .map_err(|e| self.localize_err(e))
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ use crate::comm::{scatter_spans, validate_spans, Communicator, IoSpan};
 use crate::counters::{CounterCell, ReactorStats, TrafficStats, WorldTraffic};
 use crate::error::{CommError, Result};
 use crate::mailbox::Mailbox;
-use crate::pool::{BufferPool, PoolStats};
+use crate::pool::{BufferPool, Payload, PoolStats, SharedBuf};
 use crate::rank::{Rank, Tag};
 
 /// Everything a world run produced.
@@ -202,6 +202,7 @@ impl ThreadComm {
     ) -> Result<usize> {
         let env = self.pop_envelope(src, tag, deadline, buf.len())?;
         buf[..env.data.len()].copy_from_slice(&env.data);
+        self.counters.record_copy(env.data.len());
         self.counters.record_recv(src, env.data.len());
         Ok(env.data.len())
     }
@@ -242,10 +243,11 @@ impl Communicator for ThreadComm {
     fn send(&self, buf: &[u8], dest: Rank, tag: Tag) -> Result<()> {
         self.check_rank(dest)?;
         self.counters.record_send(dest, buf.len());
+        self.counters.record_copy(buf.len());
         // Rent from the shared pool instead of allocating: in steady state
         // this is a freelist pop + memcpy, with the buffer returning to the
         // pool when the receiver's copy-out drops the envelope.
-        self.shared.mailboxes[dest].push(self.rank, tag, self.shared.pool.rent_copy(buf));
+        self.shared.mailboxes[dest].push(self.rank, tag, self.shared.pool.rent_copy(buf).into());
         Ok(())
     }
 
@@ -278,8 +280,9 @@ impl Communicator for ThreadComm {
         // buffer, and one mailbox push delivers them all: the per-chunk
         // envelope/push overhead this API exists to remove.
         let env = self.shared.pool.rent_gather(total, spans.iter().map(|s| &buf[s.range()]));
+        self.counters.record_copy(total);
         self.counters.record_send_vectored(dest, total, spans.len().max(1) as u64);
-        self.shared.mailboxes[dest].push(self.rank, tag, env);
+        self.shared.mailboxes[dest].push(self.rank, tag, env.into());
         Ok(())
     }
 
@@ -295,8 +298,52 @@ impl Communicator for ThreadComm {
         // Scatter each segment directly out of the matched envelope — no
         // intermediate contiguous staging buffer.
         let n = scatter_spans(buf, spans, &env.data);
+        self.counters.record_copy(n);
         self.counters.record_recv_vectored(src, n, spans.len().max(1) as u64);
         Ok(n)
+    }
+
+    fn make_shared(&self, data: &[u8]) -> SharedBuf {
+        // One counted copy stages the user bytes into a pool rental; every
+        // subsequent send_shared of (a slice of) it is a refcount bump.
+        self.counters.record_copy(data.len());
+        SharedBuf::new(self.shared.pool.rent_copy(data))
+    }
+
+    fn note_copy(&self, bytes: usize) {
+        self.counters.record_copy(bytes);
+    }
+
+    fn send_shared(&self, buf: &SharedBuf, dest: Rank, tag: Tag) -> Result<()> {
+        self.check_rank(dest)?;
+        self.counters.record_send(dest, buf.len());
+        // Zero-copy: the mailbox receives a refcount clone of the rental —
+        // no bytes move until (unless) the receiver copies out.
+        self.shared.mailboxes[dest].push(self.rank, tag, Payload::Shared(buf.clone()));
+        Ok(())
+    }
+
+    fn recv_owned(&self, capacity: usize, src: Rank, tag: Tag) -> Result<SharedBuf> {
+        let env = self.pop_envelope(src, tag, None, capacity)?;
+        self.counters.record_recv(src, env.data.len());
+        // Hand the matched envelope's payload to the caller as-is: the
+        // receive itself performs no copy.
+        Ok(env.data.into_shared())
+    }
+
+    fn sendrecv_shared(
+        &self,
+        sendbuf: &SharedBuf,
+        dest: Rank,
+        sendtag: Tag,
+        recv_capacity: usize,
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<SharedBuf> {
+        // Eager sends never block, so push-then-pop is deadlock-free for
+        // the same reason the default sendrecv is.
+        self.send_shared(sendbuf, dest, sendtag)?;
+        self.recv_owned(recv_capacity, src, recvtag)
     }
 }
 

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use mpsim::pool::{BufferPool, PoolStats, PooledBuf};
+use mpsim::pool::{BufferPool, Payload, PoolStats, PooledBuf};
 use mpsim::sync::{Condvar, Mutex};
 
 use mpsim::{CommError, Rank, Result, Tag};
@@ -99,11 +99,11 @@ pub struct SendHandle {
 
 /// Handle a rank waits on for a posted receive; yields payload + new virtual time.
 pub struct RecvHandle {
-    cell: Arc<Cell<(PooledBuf, SimTime)>>,
+    cell: Arc<Cell<(Payload, SimTime)>>,
 }
 
 struct SendOffer {
-    data: PooledBuf,
+    data: Payload,
     sender_vtime: SimTime,
     /// For eager sends: when the last byte reaches the destination side of
     /// the wire (the receive side still claims ejection/unpack resources).
@@ -114,7 +114,7 @@ struct SendOffer {
 struct RecvOffer {
     capacity: usize,
     receiver_vtime: SimTime,
-    done: Arc<Cell<(PooledBuf, SimTime)>>,
+    done: Arc<Cell<(Payload, SimTime)>>,
 }
 
 #[derive(Default)]
@@ -126,7 +126,7 @@ struct Queues {
 /// An eager send stalled on flow-control credits, not yet injected.
 struct DeferredSend {
     tag: Tag,
-    data: PooledBuf,
+    data: Payload,
     ready: SimTime,
     done: Arc<Cell<SimTime>>,
 }
@@ -245,7 +245,7 @@ impl Fabric {
         data: &[u8],
         now: SimTime,
     ) -> Result<SendHandle> {
-        self.post_send_buf(src, dst, tag, self.pool.rent_copy(data), now)
+        self.post_send_buf(src, dst, tag, self.pool.rent_copy(data).into(), now)
     }
 
     /// Assemble a multi-segment payload into one pooled envelope, gathered
@@ -259,14 +259,15 @@ impl Fabric {
     }
 
     /// Post a send whose payload envelope the caller already assembled
-    /// (via [`gather_payload`](Self::gather_payload) or any
-    /// [`PooledBuf`]) — the vectored path's single-envelope injection.
+    /// (via [`gather_payload`](Self::gather_payload), any [`PooledBuf`],
+    /// or a refcount clone of a shared envelope) — the vectored and
+    /// zero-copy paths' single-envelope injection.
     pub fn post_send_buf(
         &self,
         src: Rank,
         dst: Rank,
         tag: Tag,
-        payload: PooledBuf,
+        payload: Payload,
         now: SimTime,
     ) -> Result<SendHandle> {
         let cell = Cell::new();
@@ -415,7 +416,7 @@ impl Fabric {
         &self,
         handle: &RecvHandle,
         timeout: std::time::Duration,
-    ) -> Option<Result<(PooledBuf, SimTime)>> {
+    ) -> Option<Result<(Payload, SimTime)>> {
         handle.cell.wait_deadline(std::time::Instant::now() + timeout)
     }
 
@@ -444,7 +445,7 @@ impl Fabric {
     /// Block until a posted receive completes; returns the payload (a pooled
     /// buffer that recycles itself when dropped) and the receiver's new
     /// virtual time.
-    pub fn wait_recv(&self, handle: &RecvHandle) -> Result<(PooledBuf, SimTime)> {
+    pub fn wait_recv(&self, handle: &RecvHandle) -> Result<(Payload, SimTime)> {
         handle.cell.wait()
     }
 
@@ -458,7 +459,7 @@ impl Fabric {
         st: &mut State,
         src: Rank,
         dst: Rank,
-        data: PooledBuf,
+        data: Payload,
         ready: SimTime,
         done: Arc<Cell<SimTime>>,
     ) -> SendOffer {

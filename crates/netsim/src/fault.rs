@@ -638,6 +638,78 @@ impl<C: AsyncCommunicator + ?Sized> AsyncCommunicator for FaultyComm<'_, C> {
         AsyncCommunicator::send_vectored(self, buf, send_spans, dest, sendtag).await?;
         AsyncCommunicator::recv_scattered(self, buf, recv_spans, src, recvtag).await
     }
+
+    // The zero-copy surface forwards natively so a fault-decorated stack
+    // keeps refcounted envelopes all the way down to the executor. Each
+    // method ticks the crash clock and draws per-link decisions exactly
+    // like its copying twin, so a seeded plan replays identically whether
+    // the collective above runs the copy or the zero-copy path.
+
+    fn make_shared(&self, data: &[u8]) -> mpsim::SharedBuf {
+        self.inner.make_shared(data)
+    }
+
+    fn note_copy(&self, bytes: usize) {
+        self.inner.note_copy(bytes)
+    }
+
+    async fn send_shared(&self, buf: &mpsim::SharedBuf, dest: Rank, tag: Tag) -> Result<()> {
+        self.tick_async()?;
+        if tag.0 >= mpsim::reliable::ACK_TAG_BASE {
+            return self.inner.send_shared(buf, dest, tag).await;
+        }
+        let k = self.next_link_seq(dest);
+        match self.plan.decide(self.rank(), dest, k) {
+            FaultAction::Deliver => {
+                self.inner.send_shared(buf, dest, tag).await?;
+                self.flush_holdback_async(dest, tag).await
+            }
+            FaultAction::Drop => self.flush_holdback_async(dest, tag).await,
+            FaultAction::Duplicate => {
+                self.inner.send_shared(buf, dest, tag).await?;
+                self.inner.send_shared(buf, dest, tag).await?;
+                self.flush_holdback_async(dest, tag).await
+            }
+            // A delayed envelope degrades to the copying holdback buffer —
+            // the sender may mutate its source after send_shared returns,
+            // so the held-back bytes must be snapshotted now.
+            FaultAction::Delay => match self.stash_holdback(dest, tag, buf.to_vec()) {
+                Some(data) => self.inner.send(&data, dest, tag).await,
+                None => Ok(()),
+            },
+        }
+    }
+
+    async fn recv_owned(&self, capacity: usize, src: Rank, tag: Tag) -> Result<mpsim::SharedBuf> {
+        self.tick_async()?;
+        self.inner.recv_owned(capacity, src, tag).await
+    }
+
+    async fn recv_owned_timeout(
+        &self,
+        capacity: usize,
+        src: Rank,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> Result<mpsim::SharedBuf> {
+        self.tick_async()?;
+        self.inner.recv_owned_timeout(capacity, src, tag, timeout).await
+    }
+
+    async fn sendrecv_shared(
+        &self,
+        sendbuf: &mpsim::SharedBuf,
+        dest: Rank,
+        sendtag: Tag,
+        recv_capacity: usize,
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<mpsim::SharedBuf> {
+        // Counted and fault-injected as one send plus one receive, exactly
+        // like `sendrecv`.
+        AsyncCommunicator::send_shared(self, sendbuf, dest, sendtag).await?;
+        AsyncCommunicator::recv_owned(self, recv_capacity, src, recvtag).await
+    }
 }
 
 #[cfg(test)]

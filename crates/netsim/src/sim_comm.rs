@@ -14,6 +14,7 @@ use mpsim::sync::Mutex;
 
 use mpsim::barrier::StopBarrier;
 use mpsim::counters::CounterCell;
+use mpsim::pool::{Payload, SharedBuf};
 use mpsim::{
     ceil_log2, disjoint_span_lists, scatter_spans, validate_spans, CommError, Communicator, IoSpan,
     Rank, Result, Tag, TrafficStats, WorldTraffic,
@@ -290,6 +291,7 @@ impl mpsim::NonBlocking for SimComm {
         self.advance_to(ready);
         self.charge_comm(from);
         let handle = self.shared.fabric.post_send(self.rank, dest, tag, buf, ready)?;
+        self.counters.record_copy(buf.len());
         self.counters.record_send(dest, buf.len());
         Ok(SimSendPending { handle, ready })
     }
@@ -317,6 +319,7 @@ impl mpsim::NonBlocking for SimComm {
         let from = self.vtime();
         let (data, done) = self.shared.fabric.wait_recv(&pending.handle)?;
         buf[..data.len()].copy_from_slice(&data);
+        self.counters.record_copy(data.len());
         self.advance_to(done.max(pending.ready));
         self.charge_comm(from);
         self.counters.record_recv(pending.src, data.len());
@@ -342,6 +345,7 @@ impl Communicator for SimComm {
         let done = self.shared.fabric.wait_send(&h)?;
         self.advance_to(done.max(ready));
         self.charge_comm(from);
+        self.counters.record_copy(buf.len());
         self.counters.record_send(dest, buf.len());
         Ok(())
     }
@@ -353,6 +357,7 @@ impl Communicator for SimComm {
         let h = self.shared.fabric.post_recv(src, self.rank, tag, buf.len(), ready)?;
         let (data, done) = self.shared.fabric.wait_recv(&h)?;
         buf[..data.len()].copy_from_slice(&data);
+        self.counters.record_copy(data.len());
         self.advance_to(done.max(ready));
         self.charge_comm(from);
         self.counters.record_recv(src, data.len());
@@ -392,6 +397,7 @@ impl Communicator for SimComm {
         };
         let (data, done) = result?;
         buf[..data.len()].copy_from_slice(&data);
+        self.counters.record_copy(data.len());
         self.advance_to(done.max(ready));
         self.charge_comm(from);
         self.counters.record_recv(src, data.len());
@@ -423,6 +429,7 @@ impl Communicator for SimComm {
         let send_done = self.shared.fabric.wait_send(&sh)?;
         let (data, recv_done) = self.shared.fabric.wait_recv(&rh)?;
         recvbuf[..data.len()].copy_from_slice(&data);
+        self.counters.record_copy(sendbuf.len() + data.len());
         self.advance_to(send_done.max(recv_done).max(recv_ready));
         self.charge_comm(now);
         self.counters.record_send(dest, sendbuf.len());
@@ -440,7 +447,8 @@ impl Communicator for SimComm {
         let ready = from + self.shared.fabric.model().o_send_ns;
         let payload =
             self.shared.fabric.gather_payload(total, spans.iter().map(|s| &buf[s.range()]));
-        let h = self.shared.fabric.post_send_buf(self.rank, dest, tag, payload, ready)?;
+        self.counters.record_copy(total);
+        let h = self.shared.fabric.post_send_buf(self.rank, dest, tag, payload.into(), ready)?;
         let done = self.shared.fabric.wait_send(&h)?;
         self.advance_to(done.max(ready));
         self.charge_comm(from);
@@ -464,6 +472,7 @@ impl Communicator for SimComm {
         let h = self.shared.fabric.post_recv(src, self.rank, tag, total, ready)?;
         let (data, done) = self.shared.fabric.wait_recv(&h)?;
         let n = scatter_spans(buf, spans, &data);
+        self.counters.record_copy(n);
         self.advance_to(done.max(ready));
         self.charge_comm(from);
         self.counters.record_recv_vectored(src, n, spans.len().max(1) as u64);
@@ -497,16 +506,97 @@ impl Communicator for SimComm {
             .shared
             .fabric
             .gather_payload(send_total, send_spans.iter().map(|s| &buf[s.range()]));
-        let sh = self.shared.fabric.post_send_buf(self.rank, dest, sendtag, payload, send_ready)?;
+        self.counters.record_copy(send_total);
+        let sh = self.shared.fabric.post_send_buf(
+            self.rank,
+            dest,
+            sendtag,
+            payload.into(),
+            send_ready,
+        )?;
         let rh = self.shared.fabric.post_recv(src, self.rank, recvtag, recv_total, recv_ready)?;
         let send_done = self.shared.fabric.wait_send(&sh)?;
         let (data, recv_done) = self.shared.fabric.wait_recv(&rh)?;
         let n = scatter_spans(buf, recv_spans, &data);
+        self.counters.record_copy(n);
         self.advance_to(send_done.max(recv_done).max(recv_ready));
         self.charge_comm(now);
         self.counters.record_send_vectored(dest, send_total, send_spans.len().max(1) as u64);
         self.counters.record_recv_vectored(src, n, recv_spans.len().max(1) as u64);
         Ok(n)
+    }
+
+    fn make_shared(&self, data: &[u8]) -> SharedBuf {
+        // One counted copy stages the bytes into a fabric-pool rental;
+        // every subsequent send_shared is a refcount clone.
+        self.counters.record_copy(data.len());
+        SharedBuf::new(self.shared.fabric.gather_payload(data.len(), [data]))
+    }
+
+    fn note_copy(&self, bytes: usize) {
+        self.counters.record_copy(bytes);
+    }
+
+    /// Zero-copy send: a refcount clone of the shared rental is injected as
+    /// the fabric payload — the sender-side `rent_copy` of the plain path
+    /// disappears, and only the simulated wire time is paid.
+    fn send_shared(&self, buf: &SharedBuf, dest: Rank, tag: Tag) -> Result<()> {
+        self.check_rank(dest)?;
+        let from = self.vtime();
+        let ready = from + self.shared.fabric.model().o_send_ns;
+        let payload = Payload::Shared(buf.clone());
+        let h = self.shared.fabric.post_send_buf(self.rank, dest, tag, payload, ready)?;
+        let done = self.shared.fabric.wait_send(&h)?;
+        self.advance_to(done.max(ready));
+        self.charge_comm(from);
+        self.counters.record_send(dest, buf.len());
+        Ok(())
+    }
+
+    /// Owned receive: the fabric hands the in-flight payload through
+    /// uncopied, so this is the receive half of the zero-copy forward chain.
+    fn recv_owned(&self, capacity: usize, src: Rank, tag: Tag) -> Result<SharedBuf> {
+        self.check_rank(src)?;
+        let from = self.vtime();
+        let ready = from + self.shared.fabric.model().o_recv_ns;
+        let h = self.shared.fabric.post_recv(src, self.rank, tag, capacity, ready)?;
+        let (data, done) = self.shared.fabric.wait_recv(&h)?;
+        self.advance_to(done.max(ready));
+        self.charge_comm(from);
+        self.counters.record_recv(src, data.len());
+        Ok(data.into_shared())
+    }
+
+    /// Zero-copy fused exchange. Both fabric offers are posted before either
+    /// is awaited — the property that keeps rings of rendezvous-size
+    /// exchanges deadlock-free — with no payload copy on either side.
+    #[allow(clippy::too_many_arguments)]
+    fn sendrecv_shared(
+        &self,
+        sendbuf: &SharedBuf,
+        dest: Rank,
+        sendtag: Tag,
+        recv_capacity: usize,
+        src: Rank,
+        recvtag: Tag,
+    ) -> Result<SharedBuf> {
+        self.check_rank(dest)?;
+        self.check_rank(src)?;
+        let now = self.vtime();
+        let model = self.shared.fabric.model();
+        let send_ready = now + model.o_send_ns;
+        let recv_ready = send_ready + model.o_recv_ns;
+        let payload = Payload::Shared(sendbuf.clone());
+        let sh = self.shared.fabric.post_send_buf(self.rank, dest, sendtag, payload, send_ready)?;
+        let rh =
+            self.shared.fabric.post_recv(src, self.rank, recvtag, recv_capacity, recv_ready)?;
+        let send_done = self.shared.fabric.wait_send(&sh)?;
+        let (data, recv_done) = self.shared.fabric.wait_recv(&rh)?;
+        self.advance_to(send_done.max(recv_done).max(recv_ready));
+        self.charge_comm(now);
+        self.counters.record_send(dest, sendbuf.len());
+        self.counters.record_recv(src, data.len());
+        Ok(data.into_shared())
     }
 
     /// Barrier: all clocks jump to the latest participant plus a
@@ -983,6 +1073,58 @@ mod tests {
         assert!(out.traffic.is_balanced());
         // one envelope of 7 bytes: both sides leave at α + 7β = 17
         assert_eq!(out.finish_ns, vec![17.0, 17.0]);
+    }
+
+    #[test]
+    fn vectored_send_gathers_with_exactly_one_counted_copy() {
+        // Regression: the vectored send once assembled its segments into an
+        // intermediate buffer and then staged that buffer into the fabric
+        // envelope — two passes over every payload byte. `gather_payload`
+        // now fills the pool rental straight from the caller's segments, so
+        // the sender's whole bill is the single gather pass (and the
+        // receiver's the single scatter pass out of the matched envelope).
+        let (m, p) = uniform_world(10.0, 1.0, 4, 2);
+        let out = SimWorld::run(m, p, 2, |comm| {
+            if comm.rank() == 0 {
+                let src: Vec<u8> = (0..32).collect();
+                comm.send_vectored(&src, &[IoSpan::new(0, 8), IoSpan::new(16, 8)], 1, Tag(0))
+                    .unwrap();
+            } else {
+                let mut dst = vec![0u8; 16];
+                comm.recv_scattered(&mut dst, &[IoSpan::new(0, 16)], 0, Tag(0)).unwrap();
+            }
+        });
+        assert_eq!(
+            out.traffic.per_rank[0].bytes_copied, 16,
+            "sender must pay exactly one gather pass, not gather + restage"
+        );
+        assert_eq!(
+            out.traffic.per_rank[1].bytes_copied, 16,
+            "receiver must pay exactly one scatter pass"
+        );
+    }
+
+    #[test]
+    fn shared_send_owned_recv_pays_only_the_staging_copy() {
+        // The zero-copy surface on the simulator: one counted staging copy
+        // covers any number of refcounted sends, and an owned receive takes
+        // the in-flight envelope without touching RAM at all.
+        let (m, p) = uniform_world(10.0, 1.0, 4, 2);
+        let out = SimWorld::run(m, p, 2, |comm| {
+            if comm.rank() == 0 {
+                let shared = comm.make_shared(&[0xAB; 64]);
+                comm.send_shared(&shared, 1, Tag(0)).unwrap();
+                comm.send_shared(&shared, 1, Tag(1)).unwrap();
+            } else {
+                let a = comm.recv_owned(64, 0, Tag(0)).unwrap();
+                let b = comm.recv_owned(64, 0, Tag(1)).unwrap();
+                assert_eq!(&a[..], &[0xAB; 64]);
+                assert_eq!(&b[..], &[0xAB; 64]);
+            }
+        });
+        assert_eq!(out.traffic.per_rank[0].bytes_copied, 64, "one staging copy, two sends");
+        assert_eq!(out.traffic.per_rank[1].bytes_copied, 0, "owned receives copy nothing");
+        assert_eq!(out.traffic.total_bytes(), 128, "wire accounting is unchanged");
     }
 
     #[test]

@@ -123,6 +123,10 @@ impl Report {
 ///   planned transfer, so coalescing can only lower the transmission count.
 /// * `executed_envelopes <= executed_msgs` and globally balanced counters —
 ///   invariants of the [`mpsim`] accounting layer.
+/// * per-rank `bytes_copied <= copy ceiling` — for the broadcast schedules
+///   with a known zero-copy payload flow ([`copy_ceiling_per_rank`]), no
+///   rank may memcpy more than the closed-form budget; a regression to
+///   per-hop copying shows up here even though wire traffic is unchanged.
 #[derive(Debug, Clone)]
 pub struct Reconciliation {
     /// Send halves in the schedule IR.
@@ -135,6 +139,8 @@ pub struct Reconciliation {
     pub executed_bytes: u64,
     /// Physical transmissions the run paid for.
     pub executed_envelopes: u64,
+    /// Rank-local memcpy bytes the run recorded, summed over ranks.
+    pub executed_bytes_copied: u64,
     /// Violations of the contract above, human-readable.
     pub errors: Vec<String>,
 }
@@ -148,6 +154,28 @@ impl Reconciliation {
     /// Envelopes saved relative to the plan — the coalescing win.
     pub fn envelopes_saved(&self) -> u64 {
         self.planned_msgs.saturating_sub(self.executed_envelopes)
+    }
+}
+
+/// Closed-form memcpy budget, in bytes per rank, of a broadcast schedule's
+/// zero-copy payload flow — `None` when the schedule has no pinned budget.
+///
+/// * Binomial and the scatter-ring broadcasts (native, tuned, and their
+///   coalesced refinements, which reconcile against the tuned IR): a rank
+///   stages its payload at most once and lands every received envelope at
+///   most once, so `2 · nbytes` bounds every rank — the root of the
+///   scatter-ring paths meets it exactly (an `nbytes` staging pass plus the
+///   ring's landing copies).
+/// * Scatter + recursive-doubling: the RD exchange is a copying
+///   `sendrecv` on both halves (up to `2 · nbytes` alone), on top of the
+///   zero-copy scatter's ≤ `nbytes` — ceiling `3 · nbytes`.
+pub fn copy_ceiling_per_rank(schedule_name: &str, nbytes: u64) -> Option<u64> {
+    match schedule_name {
+        "bcast/binomial" | "bcast/scatter_ring_native" | "bcast/scatter_ring_tuned" => {
+            Some(2 * nbytes)
+        }
+        "bcast/scatter_rd" => Some(3 * nbytes),
+        _ => None,
     }
 }
 
@@ -199,6 +227,21 @@ pub fn reconcile_traffic(schedule: &Schedule, traffic: &mpsim::WorldTraffic) -> 
     if !traffic.is_balanced() {
         errors.push("balance: global sent/received counters disagree".to_string());
     }
+    if let Some(ceiling) = copy_ceiling_per_rank(
+        &schedule.name,
+        schedule.ranks.first().map_or(0, |r| r.buf_len as u64),
+    ) {
+        for (rank, stats) in traffic.per_rank.iter().enumerate() {
+            if stats.bytes_copied > ceiling {
+                errors.push(format!(
+                    "copies: rank {rank} memcpy'd {}B, above the {ceiling}B zero-copy budget of \
+                     {} (wire traffic can be right while the payload path regressed to per-hop \
+                     copying)",
+                    stats.bytes_copied, schedule.name
+                ));
+            }
+        }
+    }
 
     Reconciliation {
         planned_msgs,
@@ -206,6 +249,7 @@ pub fn reconcile_traffic(schedule: &Schedule, traffic: &mpsim::WorldTraffic) -> 
         executed_msgs,
         executed_bytes,
         executed_envelopes,
+        executed_bytes_copied: traffic.total_bytes_copied(),
         errors,
     }
 }
@@ -770,6 +814,39 @@ mod tests {
         let rec = reconcile_traffic(&native, &out.traffic);
         assert!(rec.is_clean(), "{:?}", rec.errors);
         assert_eq!(rec.envelopes_saved(), 0);
+    }
+
+    #[test]
+    fn reconcile_flags_copy_regressions() {
+        use bcast_core::bcast::bcast_schedule;
+        use bcast_core::{bcast_binomial, bcast_binomial_copy, Algorithm};
+        use mpsim::{Communicator, ThreadWorld};
+
+        let p = 8;
+        let nbytes = 128;
+        let sched = bcast_schedule(Algorithm::Binomial, p, nbytes, 0);
+        let src: Vec<u8> = (0..nbytes).map(|i| (i % 7) as u8).collect();
+
+        // The zero-copy walk stays within the 2·nbytes/rank budget…
+        let msg = src.clone();
+        let out = ThreadWorld::run(p, move |comm| {
+            let mut buf = if comm.rank() == 0 { msg.clone() } else { vec![0u8; msg.len()] };
+            bcast_binomial(comm, &mut buf, 0).unwrap();
+        });
+        let rec = reconcile_traffic(&sched, &out.traffic);
+        assert!(rec.is_clean(), "{:?}", rec.errors);
+        assert!(rec.executed_bytes_copied > 0);
+
+        // …while the per-hop copy baseline blows it on the root (a copy-in
+        // per child send) with byte-identical wire traffic.
+        let msg = src.clone();
+        let out = ThreadWorld::run(p, move |comm| {
+            let mut buf = if comm.rank() == 0 { msg.clone() } else { vec![0u8; msg.len()] };
+            bcast_binomial_copy(comm, &mut buf, 0).unwrap();
+        });
+        let rec = reconcile_traffic(&sched, &out.traffic);
+        assert!(rec.errors.iter().any(|e| e.starts_with("copies:")), "{:?}", rec.errors);
+        assert_eq!(rec.executed_bytes, rec.planned_bytes, "wire traffic must still match");
     }
 
     #[test]

@@ -80,5 +80,7 @@ pub mod lint;
 pub mod models;
 pub mod mutate;
 
-pub use analysis::{check, reconcile_traffic, Reconciliation, Report, Semantics};
+pub use analysis::{
+    check, copy_ceiling_per_rank, reconcile_traffic, Reconciliation, Report, Semantics,
+};
 pub use explore::{explore, explore_dpor, Model, Stats, Step, DEFAULT_MAX_STATES};

@@ -1,6 +1,6 @@
 //! Repo-convention lint rules behind the `repolint` binary.
 //!
-//! Nine rules, each a pure function over `(relative path, file content)` so
+//! Ten rules, each a pure function over `(relative path, file content)` so
 //! they are unit-testable without touching the filesystem:
 //!
 //! 1. [`check_raw_sync`] — raw `std::sync::{Mutex, Condvar, RwLock}` are
@@ -60,6 +60,16 @@
 //!    timeout must feed the heartbeat/agreement machinery, never abort the
 //!    process. Rule 2's generic `allow(panic)` waiver deliberately does not
 //!    apply; the only escape hatch is `// lint: allow(recovery-unwrap)`.
+//! 10. [`check_bcast_hot_copy`] — no unaccounted payload copies in the
+//!     broadcast hot-path modules (rule 5's file set plus `binomial.rs`).
+//!     Since the zero-copy envelope flow landed, forwarded payloads travel
+//!     as refcounted [`mpsim::SharedBuf`] views; a `copy_from_slice(` /
+//!     `rent_copy(` / `.to_vec()` creeping back in silently re-taxes every
+//!     hop while leaving wire traffic — and every wire-traffic test —
+//!     unchanged. The sanctioned shape is the *accounted landing copy*: a
+//!     copy with a `note_copy(` call within the following two lines, which
+//!     the `bytes_copied` ceilings then police at run time. Anything else
+//!     needs a `// lint: allow(bcast-hot-copy)` marker.
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -487,6 +497,43 @@ pub fn check_recovery_unwrap(path: &str, content: &str) -> Vec<LintHit> {
     hits
 }
 
+/// Rule 10: unaccounted payload copies in the broadcast hot path — rule 5's
+/// file set plus `binomial.rs` (the whole-buffer tree walk has no send loop
+/// but the same zero-copy contract). A copy primitive (`copy_from_slice(`,
+/// `rent_copy(`, `.to_vec()`) is sanctioned only as an *accounted landing
+/// copy*, recognisable by a `note_copy(` call on the same or the following
+/// two lines; the runtime `bytes_copied` ceilings then bound how often that
+/// shape may execute. Test modules are exempt (same scoping as
+/// [`check_panics`]); a deliberate exception carries a
+/// `// lint: allow(bcast-hot-copy)` marker on the same or the preceding
+/// line.
+pub fn check_bcast_hot_copy(path: &str, content: &str) -> Vec<LintHit> {
+    if !is_bcast_hot_path(path) && path != "crates/core/src/binomial.rs" {
+        return Vec::new();
+    }
+    let body = match content.find("#[cfg(test)]") {
+        Some(i) => &content[..i],
+        None => content,
+    };
+    const COPIES: [&str; 3] = ["copy_from_slice(", "rent_copy(", ".to_vec()"];
+    let lines: Vec<&str> = body.lines().collect();
+    let mut hits = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let code = code_part(line);
+        if !COPIES.iter().any(|c| code.contains(c)) {
+            continue;
+        }
+        let allowed = line.contains("lint: allow(bcast-hot-copy)")
+            || (i > 0 && lines[i - 1].contains("lint: allow(bcast-hot-copy)"));
+        let hi = (i + 3).min(lines.len());
+        let accounted = lines[i..hi].iter().any(|l| code_part(l).contains("note_copy("));
+        if !allowed && !accounted {
+            hits.push(hit(path, i, "bcast-hot-copy", line));
+        }
+    }
+    hits
+}
+
 /// Run every rule over one file.
 pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     // The linter's own source holds the trigger patterns as string
@@ -504,6 +551,7 @@ pub fn check_file(path: &str, content: &str) -> Vec<LintHit> {
     hits.extend(check_event_mailbox_hashmap(path, content));
     hits.extend(check_cancel_safety(path, content));
     hits.extend(check_recovery_unwrap(path, content));
+    hits.extend(check_bcast_hot_copy(path, content));
     hits
 }
 
@@ -798,6 +846,45 @@ mod tests {
         // *next* statement is not contaminated by the previous comm call.
         let reset = "comm.barrier()?;\nlet r = report.decode().unwrap();\n";
         assert!(check_recovery_unwrap("crates/core/src/recovery.rs", reset).is_empty());
+    }
+
+    #[test]
+    fn bcast_hot_copy_flags_unaccounted_copies() {
+        let bare = "fn f() {\n    buf[disp..disp + n].copy_from_slice(&env);\n}\n";
+        for file in ["binomial.rs", "scatter.rs", "ring.rs", "ring_tuned.rs", "coalesce.rs"] {
+            let path = format!("crates/core/src/{file}");
+            assert_eq!(check_bcast_hot_copy(&path, bare).len(), 1, "{path}");
+        }
+        let rented = "let env = pool.rent_copy(buf);\n";
+        assert_eq!(check_bcast_hot_copy("crates/core/src/ring.rs", rented).len(), 1);
+        let vecced = "let staged = comm_buf.to_vec();\n";
+        assert_eq!(check_bcast_hot_copy("crates/core/src/bcast.rs", vecced).len(), 1);
+        // Only the broadcast hot path is held to the zero-copy contract.
+        assert!(check_bcast_hot_copy("crates/core/src/rd_allgather.rs", bare).is_empty());
+        assert!(check_bcast_hot_copy("crates/mpsim/src/thread_comm.rs", rented).is_empty());
+    }
+
+    #[test]
+    fn bcast_hot_copy_accepts_accounted_landing_copies_and_waivers() {
+        // The sanctioned shape: one landing copy, accounted on the spot.
+        let accounted = "fn f() {\n    buf[..env.len()].copy_from_slice(&env);\n    \
+                         comm.note_copy(env.len());\n}\n";
+        assert!(check_bcast_hot_copy("crates/core/src/binomial.rs", accounted).is_empty());
+        // note_copy three lines later is out of the two-line window.
+        let late = "fn f() {\n    buf.copy_from_slice(&env);\n    a();\n    b();\n    \
+                    comm.note_copy(env.len());\n}\n";
+        assert_eq!(check_bcast_hot_copy("crates/core/src/binomial.rs", late).len(), 1);
+        // Explicit waiver, same or preceding line.
+        let waived = "// lint: allow(bcast-hot-copy) — differential copy baseline\n\
+                      buf.copy_from_slice(&env);\n";
+        assert!(check_bcast_hot_copy("crates/core/src/ring.rs", waived).is_empty());
+        let same_line = "buf.copy_from_slice(&env); // lint: allow(bcast-hot-copy) — baseline\n";
+        assert!(check_bcast_hot_copy("crates/core/src/ring.rs", same_line).is_empty());
+        // Comments and test modules are exempt.
+        let comment = "// copy_from_slice( is banned on this path\n";
+        assert!(check_bcast_hot_copy("crates/core/src/ring.rs", comment).is_empty());
+        let in_tests = "fn f() {}\n#[cfg(test)]\nmod t { fn g() { buf.copy_from_slice(&src); } }\n";
+        assert!(check_bcast_hot_copy("crates/core/src/ring.rs", in_tests).is_empty());
     }
 
     #[test]

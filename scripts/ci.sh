@@ -157,10 +157,16 @@ phase_bench_gate() {
   # The recovery_hotpath P=1024 legs take seconds per sample, so the quick
   # gate does not re-measure them; their baseline rows stay waived by name
   # until a first CI-recorded baseline lands (see bench_compare.sh header).
+  # Likewise the zero_copy P=4096 legs (~4 GiB of payload per measured
+  # world): recorded out-of-band in results/zero_copy.json, waived here.
   run scripts/bench_compare.sh \
     --allow-missing recovery_hotpath/p1024/c0 \
     --allow-missing recovery_hotpath/p1024/c1 \
-    --allow-missing recovery_hotpath/p1024/c4
+    --allow-missing recovery_hotpath/p1024/c4 \
+    --allow-missing zero_copy/binomial/4096x64K \
+    --allow-missing zero_copy/binomial/4096x1M \
+    --allow-missing zero_copy/binomial_copy/4096x64K \
+    --allow-missing zero_copy/binomial_copy/4096x1M
 }
 
 if [[ $quick -eq 0 ]]; then
@@ -173,10 +179,14 @@ run_phase "schedcheck-reactor (DPOR + mutation drill)" phase_schedcheck_reactor
 run_phase "chaos gate (seeded faults)" phase_chaos
 run_phase "event-exec lane" phase_event_exec
 if [[ $quick -eq 0 ]]; then
+  # The bench gate runs BEFORE the megascale phases: those worlds allocate
+  # and free tens of GiB, and for minutes afterwards the kernel's memory
+  # reclaim steals enough CPU to swing ~100 ms benches by 2-4x — measured
+  # repeatedly as spurious gate failures when this phase ran last.
+  run_phase "bench regression gate" phase_bench_gate
   run_phase "event-exec megascale P=16384" phase_event_megascale_p16384
   run_phase "self-healing megascale P in {1024,4096}" phase_recovery_megascale
   run_phase "chaos search (budget 200 + seeded drill)" phase_chaos_search
-  run_phase "bench regression gate" phase_bench_gate
 fi
 
 budget=${CI_BUDGET_SECONDS:-1200}

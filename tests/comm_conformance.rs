@@ -30,12 +30,25 @@
 //! rejection of overlapping spans, and full-duplex `sendrecv_vectored`
 //! exchange — on every executor and under the simulator's rendezvous
 //! regime, where the combined call is the only deadlock-free shape.
+//!
+//! A fourth battery pins the shared-payload (zero-copy) surface:
+//! `make_shared` snapshot semantics (mutating the source after
+//! `send_shared` is unobservable at any receiver), wire-format equivalence
+//! with plain and vectored transfers in both directions, sub-view slice
+//! forwarding, `send_shared_to` fan-out, truncation on `recv_owned`, and
+//! the fused `sendrecv_shared` exchange — including forwarding a received
+//! envelope without copying, the ring allgather's hold chain. A decorator
+//! companion drives the same calls through `SubComm` rank translation,
+//! `ReliableComm` retransmission framing, and the recovery layer's
+//! `GuardedComm` deadlines, proving the copy-fallback trait defaults keep
+//! every wrapper correct without a native zero-copy path of its own.
 
 use std::time::Duration;
 
+use bcast_core::GuardedComm;
 use mpsim::{
     complete_now, AsyncCommunicator, AsyncNonBlocking, CommError, EventWorld, IoSpan, ReliableComm,
-    RetryConfig, SyncComm, Tag, ThreadWorld,
+    RetryConfig, SubComm, SyncComm, Tag, ThreadWorld,
 };
 use netsim::{FaultPlan, FaultyComm, LinkFaults, NetworkModel, Placement, SimWorld};
 
@@ -419,6 +432,193 @@ async fn timeout_edge_battery<C: AsyncCommunicator>(comm: &C) {
     comm.barrier().await.unwrap();
 }
 
+/// The shared-payload battery. Every exchange is pairwise (`me ^ 1`) or a
+/// fused `sendrecv_shared`, so it is rendezvous-safe and runs verbatim on
+/// every executor and under both simulator regimes.
+async fn shared_battery<C: AsyncCommunicator>(comm: &C) {
+    assert_eq!(comm.size(), WORLD);
+    let me = comm.rank();
+    let partner = me ^ 1;
+
+    // --- snapshot semantics: `make_shared` captures the bytes at call
+    // time, so mutating the source buffer after `send_shared` must be
+    // unobservable at the receiver — the aliasing hazard zero-copy
+    // forwarding would otherwise open. The mutation strictly precedes the
+    // second send, so a backend that kept a live reference into `src`
+    // would fail the Tag(81) assertion deterministically.
+    if me.is_multiple_of(2) {
+        let mut src: Vec<u8> = (0..48u8).map(|i| i.wrapping_mul(7) ^ me as u8).collect();
+        let shared = comm.make_shared(&src);
+        assert_eq!(shared.shares(), 1, "fresh snapshot must be sole owner");
+        let extra = shared.clone();
+        assert_eq!(shared.shares(), 2, "a clone is a refcount bump");
+        drop(extra);
+        comm.send_shared(&shared, partner, Tag(80)).await.unwrap();
+        src.fill(0xFF); // sender-side mutation after the send
+        comm.send_shared(&shared, partner, Tag(81)).await.unwrap();
+    } else {
+        let expect: Vec<u8> = (0..48u8).map(|i| i.wrapping_mul(7) ^ partner as u8).collect();
+        // Oversized capacity behaves like an oversized receive buffer: the
+        // envelope arrives at its true length.
+        let env = comm.recv_owned(64, partner, Tag(80)).await.unwrap();
+        assert_eq!(env.len(), 48);
+        assert_eq!(&env[..], &expect[..]);
+        let env = comm.recv_owned(48, partner, Tag(81)).await.unwrap();
+        assert_eq!(
+            &env[..],
+            &expect[..],
+            "source mutation after send_shared leaked into the envelope"
+        );
+    }
+    comm.barrier().await.unwrap();
+
+    // --- wire-format equivalence: a shared envelope is indistinguishable
+    // from a plain or vectored transfer of the same bytes, in either
+    // direction, including shared sub-view slices.
+    let src: Vec<u8> = (0..32u8).map(|i| i.wrapping_add(9)).collect();
+    if me.is_multiple_of(2) {
+        let shared = comm.make_shared(&src);
+        // shared send → scattered receive
+        comm.send_shared(&shared.slice(4..10), partner, Tag(82)).await.unwrap();
+        // shared send → plain receive
+        comm.send_shared(&shared.slice(20..32), partner, Tag(83)).await.unwrap();
+        // vectored send → owned receive
+        comm.send_vectored(&src, &[IoSpan::new(24, 4), IoSpan::new(0, 3)], partner, Tag(84))
+            .await
+            .unwrap();
+        // zero-byte shared envelopes are real messages
+        comm.send_shared(&shared.slice(8..8), partner, Tag(85)).await.unwrap();
+    } else {
+        let mut scat = [0xEEu8; 8];
+        let n = comm
+            .recv_scattered(&mut scat, &[IoSpan::new(5, 3), IoSpan::new(0, 3)], partner, Tag(82))
+            .await
+            .unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(scat[5..8], src[4..7]);
+        assert_eq!(scat[..3], src[7..10]);
+        let mut plain = [0u8; 12];
+        assert_eq!(comm.recv(&mut plain, partner, Tag(83)).await.unwrap(), 12);
+        assert_eq!(plain[..], src[20..32]);
+        let env = comm.recv_owned(16, partner, Tag(84)).await.unwrap();
+        assert_eq!(env.len(), 7);
+        assert_eq!(env[..4], src[24..28]);
+        assert_eq!(env[4..], src[..3]);
+        let empty = comm.recv_owned(0, partner, Tag(85)).await.unwrap();
+        assert_eq!(empty.len(), 0, "zero-byte shared envelope must deliver empty");
+    }
+    comm.barrier().await.unwrap();
+
+    // --- truncation: an envelope longer than `capacity` is an error at
+    // the receiver, exactly as for a too-small receive buffer. (Rendezvous
+    // backends may surface the failure at the sender too; only the
+    // receiver's error is pinned — same contract as the plain battery.)
+    if me == 0 {
+        let shared = comm.make_shared(&[7u8; 32]);
+        let _ = comm.send_shared(&shared, 1, Tag(86)).await;
+    } else if me == 1 {
+        let err = comm.recv_owned(8, 0, Tag(86)).await.unwrap_err();
+        assert_eq!(err, CommError::Truncation { capacity: 8, incoming: 32 });
+    }
+    comm.barrier().await.unwrap();
+
+    // --- send_shared_to fan-out: one snapshot, refcount clones to a list
+    // of children — the broadcast hot loop's shape.
+    if me == 0 {
+        let shared = comm.make_shared(&[0xC3; 24]);
+        comm.send_shared_to(&[1, 2, 3], &shared, Tag(87)).await.unwrap();
+        comm.send_shared_to(&[], &shared, Tag(87)).await.unwrap(); // empty list is a no-op
+    } else if me <= 3 {
+        let env = comm.recv_owned(24, 0, Tag(87)).await.unwrap();
+        assert_eq!(&env[..], &[0xC3; 24], "fan-out clone corrupted");
+    }
+    comm.barrier().await.unwrap();
+
+    // --- fused exchange around the ring, then forward the received
+    // envelope itself: the allgather hold chain. Step two sends the step-one
+    // envelope with no intervening copy, so the payload two hops left must
+    // arrive intact — and the held clone must still read its own bytes
+    // afterwards (forwarding must not invalidate the holder's view).
+    let right = mpsim::ring_right(me, WORLD);
+    let left = mpsim::ring_left(me, WORLD);
+    let left2 = mpsim::ring_left(left, WORLD);
+    let mine = comm.make_shared(&[me as u8; 8]);
+    let env = comm.sendrecv_shared(&mine, right, Tag(88), 8, left, Tag(88)).await.unwrap();
+    assert_eq!(&env[..], &[left as u8; 8], "ring step 1 delivered wrong payload");
+    let env2 = comm.sendrecv_shared(&env, right, Tag(89), 8, left, Tag(89)).await.unwrap();
+    assert_eq!(&env2[..], &[left2 as u8; 8], "forwarded envelope corrupted");
+    assert_eq!(&env[..], &[left as u8; 8], "forwarding must not disturb the held view");
+    comm.barrier().await.unwrap();
+}
+
+/// Decorator passthrough for the shared-payload surface: the copy-fallback
+/// trait defaults must keep every wrapper correct — `SubComm` translates
+/// ranks, `ReliableComm` frames each payload in its retransmission
+/// protocol, `GuardedComm` bounds each receive with a deadline — even
+/// though none of them implements a native zero-copy path. Requires an
+/// eagerly-delivering transport (`GuardedComm` decomposes `sendrecv` and
+/// `ReliableComm` pumps ACKs), like the fault battery.
+async fn shared_decorator_battery<C: AsyncCommunicator>(comm: &C) {
+    assert_eq!(comm.size(), WORLD);
+    let me = comm.rank();
+
+    // --- SubComm with reversed members: local rank r is parent rank
+    // WORLD-1-r, so a pairwise exchange in local space crosses translated
+    // parent ranks.
+    let members: Vec<usize> = (0..WORLD).rev().collect();
+    let sub = SubComm::new_async(comm, members).expect("every rank is a member");
+    let lme = sub.rank();
+    let lpartner = lme ^ 1;
+    if lme.is_multiple_of(2) {
+        let shared = sub.make_shared(&[lme as u8; 16]);
+        sub.send_shared(&shared, lpartner, Tag(90)).await.unwrap();
+    } else {
+        let env = sub.recv_owned(16, lpartner, Tag(90)).await.unwrap();
+        assert_eq!(&env[..], &[lpartner as u8; 16], "SubComm mistranslated a shared send");
+    }
+    let lright = mpsim::ring_right(lme, WORLD);
+    let lleft = mpsim::ring_left(lme, WORLD);
+    let mine = sub.make_shared(&[lme as u8; 4]);
+    let env = sub.sendrecv_shared(&mine, lright, Tag(91), 4, lleft, Tag(91)).await.unwrap();
+    assert_eq!(&env[..], &[lleft as u8; 4], "SubComm fused exchange broke");
+    sub.barrier().await.unwrap();
+
+    // --- ReliableComm: the fallback send travels inside the ACK protocol;
+    // sequence numbers and retransmission state must frame it like any
+    // plain payload.
+    let retry = RetryConfig {
+        base_timeout: Duration::from_millis(50),
+        max_timeout: Duration::from_millis(200),
+        max_attempts: 8,
+    };
+    let rc = ReliableComm::with_config(comm, retry);
+    let partner = me ^ 1;
+    if me.is_multiple_of(2) {
+        let shared = rc.make_shared(&[0xA5; 12]);
+        rc.send_shared(&shared, partner, Tag(92)).await.unwrap();
+        let env = rc.recv_owned(12, partner, Tag(93)).await.unwrap();
+        assert_eq!(&env[..], &[0x5A; 12]);
+    } else {
+        let env = rc.recv_owned(12, partner, Tag(92)).await.unwrap();
+        assert_eq!(&env[..], &[0xA5; 12], "ReliableComm framing corrupted a shared payload");
+        let shared = rc.make_shared(&[0x5A; 12]);
+        rc.send_shared(&shared, partner, Tag(93)).await.unwrap();
+    }
+    comm.barrier().await.unwrap();
+
+    // --- GuardedComm: deadline-bounded receives under the recovery layer;
+    // the shared surface must flow through its timeout plumbing untouched.
+    let guarded = GuardedComm::new(comm, Duration::from_secs(5));
+    if me.is_multiple_of(2) {
+        let shared = guarded.make_shared(&[0x3C; 20]);
+        guarded.send_shared_to(&[partner], &shared, Tag(94)).await.unwrap();
+    } else {
+        let env = guarded.recv_owned(20, partner, Tag(94)).await.unwrap();
+        assert_eq!(&env[..], &[0x3C; 20], "GuardedComm deadline plumbing corrupted a payload");
+    }
+    comm.barrier().await.unwrap();
+}
+
 #[test]
 fn threaded_backend_conforms() {
     ThreadWorld::run(WORLD, |comm| complete_now(conformance_battery(&SyncComm::new(comm))));
@@ -494,6 +694,52 @@ fn event_backend_vectored_conforms() {
 fn event_backend_masks_seeded_faults() {
     let seed = battery_seed();
     EventWorld::run(WORLD, move |comm| async move { fault_battery(&comm, seed).await });
+}
+
+#[test]
+fn threaded_backend_shared_conforms() {
+    ThreadWorld::run(WORLD, |comm| complete_now(shared_battery(&SyncComm::new(comm))));
+}
+
+#[test]
+fn simulated_backend_shared_conforms_rendezvous() {
+    let model = NetworkModel::uniform(50.0, 1.0);
+    SimWorld::run(model, Placement::new(4), WORLD, |comm| {
+        complete_now(shared_battery(&SyncComm::new(comm)))
+    });
+}
+
+#[test]
+fn simulated_backend_shared_conforms_eager() {
+    let mut model = NetworkModel::uniform(50.0, 1.0);
+    model.eager_threshold = usize::MAX;
+    SimWorld::run(model, Placement::new(2), WORLD, |comm| {
+        complete_now(shared_battery(&SyncComm::new(comm)))
+    });
+}
+
+#[test]
+fn event_backend_shared_conforms() {
+    EventWorld::run(WORLD, |comm| async move { shared_battery(&comm).await });
+}
+
+#[test]
+fn threaded_backend_shared_decorators_conform() {
+    ThreadWorld::run(WORLD, |comm| complete_now(shared_decorator_battery(&SyncComm::new(comm))));
+}
+
+#[test]
+fn simulated_backend_shared_decorators_conform() {
+    let mut model = NetworkModel::uniform(50.0, 1.0);
+    model.eager_threshold = usize::MAX; // GuardedComm/ReliableComm need eager delivery
+    SimWorld::run(model, Placement::new(2), WORLD, |comm| {
+        complete_now(shared_decorator_battery(&SyncComm::new(comm)))
+    });
+}
+
+#[test]
+fn event_backend_shared_decorators_conform() {
+    EventWorld::run(WORLD, |comm| async move { shared_decorator_battery(&comm).await });
 }
 
 #[test]

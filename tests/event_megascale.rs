@@ -23,9 +23,18 @@ use bcast_core::{bcast_coalesced_event_world, bcast_event_world, Algorithm, Coal
 /// `wakeups == spurious_polls + P` (each rank task completes on exactly one
 /// `Ready` poll — dedup never double-enqueues, no wake is lost), and every
 /// `Pending` poll attributable to a delivered message or a startup poll
-/// (`spurious_polls ≤ msgs + P`). At these world sizes a ping-ponging
+/// (`spurious_polls ≤ msgs + p`). At these world sizes a ping-ponging
 /// reactor would still deliver — only the counters betray it.
-fn assert_reactor_invariants(reactor: &mpsim::ReactorStats, p: usize, msgs: u64) {
+///
+/// Alongside the reactor counters, every sweep pins the zero-copy budget:
+/// no rank may memcpy more than `2·nbytes` of payload (staging owned chunks
+/// for forwarding plus the landing copies into the user buffer — the
+/// closed-form ceiling `schedcheck::copy_ceiling_per_rank` enforces during
+/// reconciliation). At `P = 16384` a per-hop copy regression would multiply
+/// RAM traffic by the scatter-tree depth; this assertion makes it fail the
+/// sweep instead.
+fn assert_reactor_invariants(out: &mpsim::WorldOutcome<()>, p: usize, msgs: u64, nbytes: usize) {
+    let reactor = &out.reactor;
     assert_eq!(reactor.mailbox_spills, 0, "P={p}: collective traffic spilled a mailbox lane");
     assert_eq!(
         reactor.wakeups,
@@ -38,6 +47,14 @@ fn assert_reactor_invariants(reactor: &mpsim::ReactorStats, p: usize, msgs: u64)
          legitimately cause them",
         reactor.spurious_polls
     );
+    let ceiling = 2 * nbytes as u64;
+    for (rank, st) in out.traffic.per_rank.iter().enumerate() {
+        assert!(
+            st.bytes_copied <= ceiling,
+            "P={p} rank={rank}: {}B memcpy'd, above the {ceiling}B zero-copy budget",
+            st.bytes_copied
+        );
+    }
 }
 
 /// Run both scatter-ring algorithms at world size `p` and pin the measured
@@ -49,7 +66,7 @@ fn sweep_scatter_ring(p: usize, nbytes: usize) {
         let vol = bcast_volume(algorithm, nbytes, p);
         assert_eq!(out.traffic.total_msgs(), vol.msgs, "{algorithm:?} P={p}: msgs");
         assert_eq!(out.traffic.total_bytes(), vol.bytes, "{algorithm:?} P={p}: bytes");
-        assert_reactor_invariants(&out.reactor, p, vol.msgs);
+        assert_reactor_invariants(&out, p, vol.msgs, nbytes);
     }
 }
 
@@ -64,7 +81,7 @@ fn sweep_coalesced(p: usize, nbytes: usize) {
     assert_eq!(out.traffic.total_bytes(), vol.bytes, "coalesced P={p}: bytes");
     let envelopes = coalesced_envelope_count(p) + scatter_msgs(nbytes, p);
     assert_eq!(out.traffic.total_envelopes(), envelopes, "coalesced P={p}: envelopes");
-    assert_reactor_invariants(&out.reactor, p, vol.msgs);
+    assert_reactor_invariants(&out, p, vol.msgs, nbytes);
 }
 
 #[test]
@@ -107,5 +124,5 @@ fn megascale_p16384() {
     // The dense mailbox lanes must absorb the whole sweep without ever
     // falling back to the spill map, and the wake accounting must stay
     // exact through ~268M messages.
-    assert_reactor_invariants(&out.reactor, p, vol.msgs);
+    assert_reactor_invariants(&out, p, vol.msgs, nbytes);
 }

@@ -1,0 +1,188 @@
+//! Closed-form bytes-copied accounting for the zero-copy broadcast paths.
+//!
+//! The wire counters (messages, bytes, envelopes) pin *what moves between
+//! ranks*; `bytes_copied` pins *what moves through RAM on each rank*. The
+//! shared-envelope fabric makes the latter a closed form too:
+//!
+//! * **Binomial, zero-copy**: the root stages its buffer into a pool rental
+//!   once (`make_shared`, `nbytes`); every forward is a refcount clone; a
+//!   non-root receives the envelope itself and pays exactly one landing
+//!   copy into the user buffer. Every rank's bill is *exactly* `nbytes` —
+//!   independent of its depth or fan-out in the tree.
+//! * **Binomial, copy baseline** (`bcast_binomial_copy`): every hop pays a
+//!   sender copy-in plus a receiver copy-out, so the world bill is
+//!   `2·(P−1)·nbytes` and grows with the tree instead of the payload.
+//! * **Scatter + ring (native, tuned, coalesced)**: at most `2·nbytes` per
+//!   rank — the allgather's landing copies sum to ≤ `nbytes` and staging
+//!   owned chunks for forwarding adds at most `nbytes` more. The tuned
+//!   broadcast's shared-root path (`bcast_opt_shared_async`) stages one
+//!   envelope for both phases, so the root's entire bill is one `nbytes`.
+//! * **Scatter + recursive doubling**: ≤ `3·nbytes` per rank (the doubling
+//!   exchange is a copying `sendrecv`, paying both directions).
+//!
+//! The same ceilings are enforced a second way through
+//! `schedcheck::reconcile_traffic`, here driven by real `ThreadWorld` and
+//! `EventWorld` outcomes — so a copy regression fails both the direct
+//! assertions and the schedule reconciliation, on every executor.
+
+use bcast_core::bcast::bcast_schedule;
+use bcast_core::{
+    bcast_binomial, bcast_binomial_copy, bcast_coalesced_event_world, bcast_event_world,
+    bcast_with, Algorithm, CoalescePolicy,
+};
+use mpsim::{Communicator, ThreadWorld, WorldTraffic};
+use schedcheck::{copy_ceiling_per_rank, reconcile_traffic};
+
+fn pattern(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 131 + 7) as u8).collect()
+}
+
+/// Run `algorithm` on a `ThreadWorld` of `size` ranks and return the
+/// traffic, with every delivered buffer verified first.
+fn run_thread(size: usize, nbytes: usize, root: usize, algorithm: Algorithm) -> WorldTraffic {
+    let src = pattern(nbytes);
+    let out = ThreadWorld::run(size, |comm| {
+        let mut buf = if comm.rank() == root { src.clone() } else { vec![0u8; nbytes] };
+        bcast_with(comm, &mut buf, root, algorithm).unwrap();
+        assert_eq!(buf, src, "rank {} diverged", comm.rank());
+    });
+    out.traffic
+}
+
+#[test]
+fn binomial_zero_copy_bill_is_exactly_nbytes_per_rank() {
+    for &(size, root) in &[(8usize, 0usize), (8, 5), (11, 4)] {
+        let nbytes = 512;
+        let traffic = run_thread(size, nbytes, root, Algorithm::Binomial);
+        for (rank, st) in traffic.per_rank.iter().enumerate() {
+            assert_eq!(
+                st.bytes_copied, nbytes as u64,
+                "P={size} root={root} rank={rank}: binomial must pay exactly one \
+                 staging (root) or landing (non-root) copy"
+            );
+        }
+    }
+}
+
+#[test]
+fn binomial_copy_baseline_pays_per_hop() {
+    let (size, nbytes) = (8usize, 512usize);
+    let src = pattern(nbytes);
+    let out = ThreadWorld::run(size, |comm| {
+        let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+        bcast_binomial_copy(comm, &mut buf, 0).unwrap();
+        assert_eq!(buf, src, "rank {} diverged", comm.rank());
+    });
+    // P−1 transfers, each paying a sender copy-in and a receiver copy-out.
+    let per_hop = (2 * (size - 1) * nbytes) as u64;
+    assert_eq!(out.traffic.total_bytes_copied(), per_hop);
+
+    // The zero-copy walk's world bill is P·nbytes — strictly below the
+    // per-hop baseline for every P ≥ 3, and the gap is what the zero_copy
+    // bench group measures as wall-clock.
+    let src = pattern(nbytes);
+    let zc = ThreadWorld::run(size, |comm| {
+        let mut buf = if comm.rank() == 0 { src.clone() } else { vec![0u8; nbytes] };
+        bcast_binomial(comm, &mut buf, 0).unwrap();
+    });
+    assert_eq!(zc.traffic.total_bytes_copied(), (size * nbytes) as u64);
+    assert!(zc.traffic.total_bytes_copied() < per_hop);
+}
+
+#[test]
+fn scatter_ring_paths_stay_under_the_copy_ceiling_threadworld() {
+    let nbytes = 1024;
+    for &size in &[6usize, 8] {
+        for (algorithm, name) in [
+            (Algorithm::ScatterRingNative, "bcast/scatter_ring_native"),
+            (Algorithm::ScatterRingTuned, "bcast/scatter_ring_tuned"),
+        ] {
+            let ceiling = copy_ceiling_per_rank(name, nbytes as u64)
+                .expect("ring schedules must publish a copy ceiling");
+            assert_eq!(ceiling, 2 * nbytes as u64);
+            let traffic = run_thread(size, nbytes, 0, algorithm);
+            for (rank, st) in traffic.per_rank.iter().enumerate() {
+                assert!(
+                    st.bytes_copied <= ceiling,
+                    "{name} P={size} rank={rank}: {}B copied, ceiling {ceiling}B",
+                    st.bytes_copied
+                );
+            }
+        }
+    }
+    // Recursive doubling pays the copying sendrecv in both directions:
+    // a looser 3·nbytes ceiling, still enforced (power-of-two world).
+    let ceiling = copy_ceiling_per_rank("bcast/scatter_rd", nbytes as u64).unwrap();
+    assert_eq!(ceiling, 3 * nbytes as u64);
+    let traffic = run_thread(8, nbytes, 0, Algorithm::ScatterRdAllgather);
+    for (rank, st) in traffic.per_rank.iter().enumerate() {
+        assert!(
+            st.bytes_copied <= ceiling,
+            "scatter_rd rank={rank}: {}B copied, ceiling {ceiling}B",
+            st.bytes_copied
+        );
+    }
+}
+
+#[test]
+fn event_world_copy_ceiling_and_shared_root_pin() {
+    let (p, nbytes) = (64usize, 1024usize);
+    let ceiling = 2 * nbytes as u64;
+
+    // Binomial on the event executor: exactly nbytes per rank, like the
+    // threaded run — the accounting layer is executor-agnostic.
+    let out = bcast_event_world(p, nbytes, 0, Algorithm::Binomial);
+    for (rank, st) in out.traffic.per_rank.iter().enumerate() {
+        assert_eq!(st.bytes_copied, nbytes as u64, "binomial rank={rank}");
+    }
+
+    for algorithm in [Algorithm::ScatterRingNative, Algorithm::ScatterRingTuned] {
+        let out = bcast_event_world(p, nbytes, 0, algorithm);
+        for (rank, st) in out.traffic.per_rank.iter().enumerate() {
+            assert!(
+                st.bytes_copied <= ceiling,
+                "{algorithm:?} rank={rank}: {}B copied, ceiling {ceiling}B",
+                st.bytes_copied
+            );
+        }
+    }
+
+    // The tuned launch routes the root through `bcast_opt_shared_async`:
+    // one staged envelope feeds both the scatter and the allgather, so the
+    // root's whole copy bill is that single nbytes pass.
+    let out = bcast_event_world(p, nbytes, 0, Algorithm::ScatterRingTuned);
+    assert_eq!(
+        out.traffic.per_rank[0].bytes_copied, nbytes as u64,
+        "shared-root tuned broadcast must stage exactly once"
+    );
+
+    let out = bcast_coalesced_event_world(p, nbytes, 0, CoalescePolicy::unlimited());
+    for (rank, st) in out.traffic.per_rank.iter().enumerate() {
+        assert!(
+            st.bytes_copied <= ceiling,
+            "coalesced rank={rank}: {}B copied, ceiling {ceiling}B",
+            st.bytes_copied
+        );
+    }
+}
+
+#[test]
+fn reconciliation_enforces_copy_ceilings_on_both_executors() {
+    let (p, nbytes) = (8usize, 256usize);
+    for algorithm in [
+        Algorithm::Binomial,
+        Algorithm::ScatterRingNative,
+        Algorithm::ScatterRingTuned,
+        Algorithm::ScatterRdAllgather,
+    ] {
+        let sched = bcast_schedule(algorithm, p, nbytes, 0);
+        let traffic = run_thread(p, nbytes, 0, algorithm);
+        let rec = reconcile_traffic(&sched, &traffic);
+        assert!(rec.is_clean(), "{algorithm:?} on ThreadWorld: {:?}", rec.errors);
+        assert!(rec.executed_bytes_copied > 0, "{algorithm:?}: copies must be visible");
+
+        let out = bcast_event_world(p, nbytes, 0, algorithm);
+        let rec = reconcile_traffic(&sched, &out.traffic);
+        assert!(rec.is_clean(), "{algorithm:?} on EventWorld: {:?}", rec.errors);
+    }
+}
